@@ -1,0 +1,48 @@
+// Figure 3: average iteration time for intra-machine (fast) vs inter-machine
+// (slow) communication, ResNet18 and VGG19, under the iteration law
+// t_{i,m} = max{C_i, N_{i,m}} of Section II-B.
+//
+// Paper values (1000 Mbps Ethernet, RTX 2080 Ti):
+//   ResNet18: ~0.2 s intra, ~0.75 s inter;  VGG19: ~0.5 s intra, ~2.0 s inter
+// (inter up to ~4x intra).
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.h"
+#include "ml/model_profile.h"
+#include "net/cluster.h"
+
+namespace netmax {
+namespace {
+
+double IterationSeconds(const ml::ModelProfile& profile,
+                        const net::LinkClass& link) {
+  return std::max(profile.compute_seconds,
+                  link.TransferSeconds(profile.message_bytes()));
+}
+
+void Run() {
+  const net::LinkClass intra = net::IntraMachineLinkClass();
+  const net::LinkClass inter = net::InterMachineLinkClass();
+  TablePrinter table(
+      {"model", "intra_machine_s", "inter_machine_s", "inter_over_intra"});
+  for (const ml::ModelProfile& profile :
+       {ml::ResNet18Profile(), ml::Vgg19Profile()}) {
+    const double fast = IterationSeconds(profile, intra);
+    const double slow = IterationSeconds(profile, inter);
+    table.AddRow({profile.name, Fmt(fast, 3), Fmt(slow, 3),
+                  Fmt(slow / fast, 2)});
+  }
+  std::cout << "\n== Fig. 3: intra vs inter-machine iteration time ==\n";
+  table.Print(std::cout);
+  table.PrintCsv(std::cout, "fig03_iteration_time");
+}
+
+}  // namespace
+}  // namespace netmax
+
+int main() {
+  netmax::Run();
+  return 0;
+}

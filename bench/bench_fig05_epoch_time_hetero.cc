@@ -1,0 +1,36 @@
+// Figure 5: average epoch time split into computation and communication cost,
+// 8 workers on the heterogeneous network, ResNet18 (a) and VGG19 (b).
+//
+// Paper shape: computation cost nearly identical across algorithms;
+// communication cost dominated by Prague (partial-allreduce congestion),
+// then Allreduce, then AD-PSGD; NetMax lowest (up to ~83%/63% communication
+// reduction vs Prague/AD-PSGD for ResNet18).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "algos/registry.h"
+#include "ml/model_profile.h"
+
+namespace netmax {
+namespace {
+
+void Run() {
+  for (const auto& profile : {ml::ResNet18Profile(), ml::Vgg19Profile()}) {
+    core::ExperimentConfig config = bench::PaperBaseConfig();
+    config.profile = profile;
+    config.max_epochs = 12;  // the cost split stabilizes within a few epochs
+    const auto results =
+        bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config);
+    bench::PrintEpochCostSplit(
+        std::cout, "Fig. 5 (" + profile.name + ", heterogeneous)", results);
+  }
+}
+
+}  // namespace
+}  // namespace netmax
+
+int main() {
+  netmax::Run();
+  return 0;
+}

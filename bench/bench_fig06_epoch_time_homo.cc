@@ -1,0 +1,37 @@
+// Figure 6: average epoch time split (computation vs communication), 8
+// workers on the homogeneous network (single server, 10 Gbps virtual switch),
+// ResNet18 (a) and VGG19 (b).
+//
+// Paper shape: computation cost unchanged vs Fig. 5; communication cost much
+// lower than on the heterogeneous network; NetMax and AD-PSGD (one pull per
+// iteration) clearly below Prague and Allreduce (multi-node averaging).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "algos/registry.h"
+#include "ml/model_profile.h"
+
+namespace netmax {
+namespace {
+
+void Run() {
+  for (const auto& profile : {ml::ResNet18Profile(), ml::Vgg19Profile()}) {
+    core::ExperimentConfig config = bench::PaperBaseConfig();
+    config.network = core::NetworkScenario::kHomogeneous;
+    config.profile = profile;
+    config.max_epochs = 12;
+    const auto results =
+        bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config);
+    bench::PrintEpochCostSplit(
+        std::cout, "Fig. 6 (" + profile.name + ", homogeneous)", results);
+  }
+}
+
+}  // namespace
+}  // namespace netmax
+
+int main() {
+  netmax::Run();
+  return 0;
+}

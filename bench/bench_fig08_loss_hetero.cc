@@ -1,0 +1,36 @@
+// Figure 8: training loss vs wall time, 8 workers, heterogeneous network,
+// ResNet18 (a) and VGG19 (b) on CIFAR10-sim.
+//
+// Paper shape: NetMax converges fastest; speedups at equal loss of about
+// 3.7x / 3.4x / 1.9x over Prague / Allreduce / AD-PSGD for ResNet18 and
+// 2.8x / 2.2x / 1.7x for VGG19.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "algos/registry.h"
+#include "ml/model_profile.h"
+
+namespace netmax {
+namespace {
+
+void Run() {
+  for (const auto& profile : {ml::ResNet18Profile(), ml::Vgg19Profile()}) {
+    core::ExperimentConfig config = bench::PaperBaseConfig();
+    config.profile = profile;
+    const auto results =
+        bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config);
+    const std::string title = "Fig. 8 (" + profile.name + ", heterogeneous)";
+    bench::PrintSeries(std::cout, title, "time_s", "train_loss", results,
+                       &core::RunResult::loss_vs_time);
+    bench::PrintSpeedups(std::cout, title + " speedups", results);
+  }
+}
+
+}  // namespace
+}  // namespace netmax
+
+int main() {
+  netmax::Run();
+  return 0;
+}

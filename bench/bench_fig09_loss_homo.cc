@@ -1,0 +1,38 @@
+// Figure 9: training loss vs wall time, 8 workers, homogeneous network
+// (single server, 10 Gbps virtual switch), ResNet18 (a) and VGG19 (b).
+//
+// Paper shape: NetMax still fastest, but NetMax and AD-PSGD nearly coincide
+// (with equal link speeds NetMax's policy approaches uniform selection);
+// Allreduce and Prague converge much slower due to their extra communication
+// rounds.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "algos/registry.h"
+#include "ml/model_profile.h"
+
+namespace netmax {
+namespace {
+
+void Run() {
+  for (const auto& profile : {ml::ResNet18Profile(), ml::Vgg19Profile()}) {
+    core::ExperimentConfig config = bench::PaperBaseConfig();
+    config.network = core::NetworkScenario::kHomogeneous;
+    config.profile = profile;
+    const auto results =
+        bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config);
+    const std::string title = "Fig. 9 (" + profile.name + ", homogeneous)";
+    bench::PrintSeries(std::cout, title, "time_s", "train_loss", results,
+                       &core::RunResult::loss_vs_time);
+    bench::PrintSpeedups(std::cout, title + " speedups", results);
+  }
+}
+
+}  // namespace
+}  // namespace netmax
+
+int main() {
+  netmax::Run();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 14: MobileNet (small model) on CIFAR100-sim with non-uniform
+// partitioning, adding two parameter-server baselines: PS-syn and PS-asyn
+// (PS co-located with worker 0's server). Loss vs epoch (a) and vs time (b).
+//
+// Paper shape: per-epoch, PS-asyn converges worst (the PS over-weights the
+// fast co-located workers); per-time, PS-syn is slowest, PS-asyn lands near
+// Allreduce, and NetMax is clearly fastest.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "ml/model_profile.h"
+
+namespace netmax {
+namespace {
+
+void Run() {
+  const core::ExperimentConfig config =
+      bench::NonUniformConfig(ml::Cifar100SimSpec(), ml::MobileNetProfile());
+  const std::vector<std::string> algorithms = {
+      "prague", "allreduce", "adpsgd", "ps-sync", "ps-async", "netmax"};
+  const auto results = bench::RunAlgorithms(algorithms, config);
+  bench::PrintSeries(std::cout,
+                     "Fig. 14a (MobileNet/CIFAR100-sim, loss vs epoch)",
+                     "epoch", "train_loss", results,
+                     &core::RunResult::loss_vs_epoch);
+  bench::PrintSeries(std::cout,
+                     "Fig. 14b (MobileNet/CIFAR100-sim, loss vs time)",
+                     "time_s", "train_loss", results,
+                     &core::RunResult::loss_vs_time);
+  bench::PrintSpeedups(std::cout, "Fig. 14 speedups", results);
+}
+
+}  // namespace
+}  // namespace netmax
+
+int main() {
+  netmax::Run();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 16 (Appendix F): ResNet18 on CIFAR10-sim with non-uniform data
+// partitioning; loss vs epoch (a) and vs time (b).
+//
+// Paper shape: the 10-class problem is easy enough that all approaches share
+// nearly the same per-epoch convergence; per-time NetMax leads.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "algos/registry.h"
+#include "ml/model_profile.h"
+
+namespace netmax {
+namespace {
+
+void Run() {
+  const core::ExperimentConfig config =
+      bench::NonUniformConfig(ml::Cifar10SimSpec(), ml::ResNet18Profile());
+  const auto results =
+      bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config);
+  bench::PrintSeries(std::cout, "Fig. 16a (CIFAR10-sim, loss vs epoch)",
+                     "epoch", "train_loss", results,
+                     &core::RunResult::loss_vs_epoch);
+  bench::PrintSeries(std::cout, "Fig. 16b (CIFAR10-sim, loss vs time)",
+                     "time_s", "train_loss", results,
+                     &core::RunResult::loss_vs_time);
+  bench::PrintSpeedups(std::cout, "Fig. 16 speedups", results);
+}
+
+}  // namespace
+}  // namespace netmax
+
+int main() {
+  netmax::Run();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 17 (Appendix F): ResNet18 on Tiny-ImageNet-sim (200 classes) with
+// non-uniform data partitioning; loss vs epoch (a) and vs time (b).
+//
+// Paper shape: NetMax's per-epoch convergence is slightly slower than the
+// synchronized baselines on this hard 200-way problem, but per wall-clock it
+// is far ahead; final accuracy ~57% for everyone.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "algos/registry.h"
+#include "ml/model_profile.h"
+
+namespace netmax {
+namespace {
+
+void Run() {
+  core::ExperimentConfig config = bench::NonUniformConfig(
+      ml::TinyImageNetSimSpec(), ml::ResNet18Profile());
+  config.dataset.num_train = 6000;
+  config.dataset.num_test = 1000;
+  const auto results =
+      bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config);
+  bench::PrintSeries(std::cout, "Fig. 17a (Tiny-ImageNet-sim, loss vs epoch)",
+                     "epoch", "train_loss", results,
+                     &core::RunResult::loss_vs_epoch);
+  bench::PrintSeries(std::cout, "Fig. 17b (Tiny-ImageNet-sim, loss vs time)",
+                     "time_s", "train_loss", results,
+                     &core::RunResult::loss_vs_time);
+  bench::PrintSpeedups(std::cout, "Fig. 17 speedups", results);
+}
+
+}  // namespace
+}  // namespace netmax
+
+int main() {
+  netmax::Run();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) for the substrates on NetMax's hot
+// paths: the symmetric eigensolver and the policy LP (called K*R times per
+// monitor tick), full Algorithm 3 policy generation, the event simulator, and
+// one training step of the MLP proxy.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/policy_generator.h"
+#include "linalg/eigen.h"
+#include "linalg/simplex.h"
+#include "ml/dataset.h"
+#include "ml/mlp.h"
+#include "net/event_sim.h"
+
+namespace netmax {
+namespace {
+
+linalg::Matrix RandomSymmetric(int n, uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix a(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = r; c < n; ++c) {
+      const double v = rng.Gaussian();
+      a(r, c) = v;
+      a(c, r) = v;
+    }
+  }
+  return a;
+}
+
+linalg::Matrix RandomTimes(int n, uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix t(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int m = i + 1; m < n; ++m) {
+      const double v = rng.Uniform(0.2, 2.0);
+      t(i, m) = v;
+      t(m, i) = v;
+    }
+  }
+  return t;
+}
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const linalg::Matrix a = RandomSymmetric(n, 1);
+  for (auto _ : state) {
+    auto result = linalg::JacobiEigenSymmetric(a);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PolicyLp(benchmark::State& state) {
+  // The Eq. (14) LP for a complete graph of M nodes, via the generator's
+  // single-(rho, t_bar) path: approximated by a 1x1 grid.
+  const int n = static_cast<int>(state.range(0));
+  net::Topology topo = net::Topology::Complete(n);
+  core::PolicyGeneratorOptions options;
+  options.alpha = 0.1;
+  options.outer_rounds = 1;
+  options.inner_rounds = 1;
+  core::PolicyGenerator generator(topo, options);
+  const linalg::Matrix times = RandomTimes(n, 2);
+  for (auto _ : state) {
+    auto result = generator.Generate(times);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PolicyLp)->Arg(8)->Arg(16);
+
+void BM_PolicyGenerationFull(benchmark::State& state) {
+  // Full Algorithm 3 with the paper-scale grid (K = R = 8): what the monitor
+  // pays every Ts = 2 minutes.
+  const int n = static_cast<int>(state.range(0));
+  net::Topology topo = net::Topology::Complete(n);
+  core::PolicyGeneratorOptions options;
+  options.alpha = 0.1;
+  options.outer_rounds = 8;
+  options.inner_rounds = 8;
+  core::PolicyGenerator generator(topo, options);
+  const linalg::Matrix times = RandomTimes(n, 3);
+  for (auto _ : state) {
+    auto result = generator.Generate(times);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PolicyGenerationFull)->Arg(8)->Arg(16);
+
+void BM_EventSimulatorThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    net::EventSimulator sim;
+    int64_t count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) sim.ScheduleAfter(1.0, tick);
+    };
+    sim.ScheduleAt(0.0, tick);
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventSimulatorThroughput);
+
+void BM_MlpTrainingStep(benchmark::State& state) {
+  ml::SyntheticSpec spec;
+  spec.feature_dim = 32;
+  spec.num_classes = 10;
+  spec.num_train = 1024;
+  spec.num_test = 1;
+  ml::DatasetPair pair = ml::GenerateSynthetic(spec);
+  ml::Mlp model({32, 32, 10});
+  model.InitializeParameters(1);
+  ml::BatchSampler sampler(&pair.train, 32, 2);
+  std::vector<double> gradient(static_cast<size_t>(model.num_parameters()));
+  for (auto _ : state) {
+    const std::vector<int> batch = sampler.NextBatch();
+    const double loss = model.LossAndGradient(pair.train, batch, gradient);
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_MlpTrainingStep);
+
+}  // namespace
+}  // namespace netmax
+
+BENCHMARK_MAIN();

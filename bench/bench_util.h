@@ -1,0 +1,81 @@
+#ifndef NETMAX_BENCH_BENCH_UTIL_H_
+#define NETMAX_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the reproduction benches. Every bench binary prints the
+// rows/series of one paper table or figure: a human-readable aligned table
+// plus a "#CSV <name> ... #END" block for scraping. Independent experiment
+// runs execute in parallel on a thread pool (each run is internally
+// deterministic and single-threaded).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "ml/metrics.h"
+
+namespace netmax::bench {
+
+struct NamedResult {
+  std::string name;
+  core::RunResult result;
+};
+
+// Runs the registry algorithms named in `names` on `config`, in parallel;
+// results come back in input order. Fatal on unknown names or failed runs
+// (bench configs are supposed to be valid).
+std::vector<NamedResult> RunAlgorithms(const std::vector<std::string>& names,
+                                       const core::ExperimentConfig& config);
+
+// Runs one registry algorithm per config variant (paired by index).
+std::vector<NamedResult> RunConfigs(
+    const std::string& algorithm,
+    const std::vector<core::ExperimentConfig>& configs,
+    const std::vector<std::string>& labels);
+
+// Downsamples `series` to at most `max_points` evenly spaced points
+// (always keeps the last point).
+ml::Series Downsample(const ml::Series& series, int max_points);
+
+// Prints one column per result: the chosen series downsampled onto its own
+// x values. Layout: blocks of "algo, x, y" rows (long format), which is what
+// the paper's curves digitize to.
+void PrintSeries(std::ostream& os, const std::string& title,
+                 const std::string& x_label, const std::string& y_label,
+                 const std::vector<NamedResult>& results,
+                 ml::Series core::RunResult::* series, int max_points = 12);
+
+// Loss threshold that every run in `results` reaches: slightly above the
+// largest of the per-run minimum losses.
+double CommonLossThreshold(const std::vector<NamedResult>& results);
+
+// Virtual seconds for `result` to first reach `loss_threshold`; falls back to
+// the total runtime if never reached (should not happen with
+// CommonLossThreshold).
+double ConvergenceSeconds(const core::RunResult& result,
+                          double loss_threshold);
+
+// Prints time-to-threshold and the speedup of the *last* entry (NetMax by
+// convention) over every other entry — the paper's "3.7x over Prague" rows.
+void PrintSpeedups(std::ostream& os, const std::string& title,
+                   const std::vector<NamedResult>& results);
+
+// Prints the per-epoch computation/communication cost split (Fig. 5/6 bars).
+void PrintEpochCostSplit(std::ostream& os, const std::string& title,
+                         const std::vector<NamedResult>& results);
+
+// The paper's default Section V-A experiment: 8 workers, heterogeneous
+// dynamic network, CIFAR10-sim, ResNet18 profile, paper hyper-parameters —
+// scaled down (smaller synthetic corpus / epoch budget) to keep the full
+// bench suite runnable in minutes. Override fields per bench as needed.
+core::ExperimentConfig PaperBaseConfig();
+
+// Section V-F non-uniform setup: 8 workers across exactly two servers with
+// segment weights <1,1,1,1, 2,1,2,1> (second server holds more data) and
+// per-worker batch size proportional to the segment count, step LR decay.
+core::ExperimentConfig NonUniformConfig(const ml::SyntheticSpec& dataset,
+                                        const ml::ModelProfile& profile);
+
+}  // namespace netmax::bench
+
+#endif  // NETMAX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,74 @@
+// Multi-tenant cluster scenario: watch the Network Monitor adapt the
+// communication policy as link speeds change underneath the training job.
+//
+//   $ ./examples/multi_tenant_cluster
+//
+// This example drives the monitor/policy machinery directly (no training):
+// it simulates the paper's Fig. 2 situation — the slow link moves at runtime
+// — and prints worker 0's neighbor-selection probabilities before and after
+// each change, showing the probability mass migrating off the slow link.
+
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "core/monitor.h"
+#include "ml/model_profile.h"
+#include "net/cluster.h"
+
+int main() {
+  namespace core = netmax::core;
+  namespace net = netmax::net;
+
+  const int num_workers = 5;
+  const net::Topology topology = net::Topology::Complete(num_workers);
+
+  core::MonitorOptions options;
+  options.schedule_period_seconds = 120.0;
+  options.generator.alpha = 0.1;
+  options.generator.outer_rounds = 8;
+  options.generator.inner_rounds = 8;
+  core::NetworkMonitor monitor(topology, options);
+
+  // Synthetic iteration-time matrices for two points in time, mirroring
+  // Fig. 2: at T1 the link (3,1) is slow; at T2 links (3,2) and (3,4) are.
+  auto base_times = [&] {
+    netmax::linalg::Matrix t(num_workers, num_workers, 1.0);
+    for (int i = 0; i < num_workers; ++i) t(i, i) = 0.0;
+    return t;
+  };
+  netmax::linalg::Matrix t1 = base_times();
+  t1(3, 1) = t1(1, 3) = 9.0;  // paper: t_{3,1} = 9
+  netmax::linalg::Matrix t2 = base_times();
+  t2(3, 1) = t2(1, 3) = 9.0;
+  t2(3, 2) = t2(2, 3) = 12.0;  // paper: t_{3,2} becomes 12
+  t2(3, 4) = t2(4, 3) = 12.0;  // paper: t_{3,4} becomes 12
+
+  netmax::TablePrinter table({"network state", "p(3,1) slow", "p(3,2)",
+                              "p(3,3) self", "p(0,1) fast pair", "rho",
+                              "lambda2"});
+  for (const auto& [label, times] :
+       {std::pair{"T1: link 3-1 slow", &t1},
+        std::pair{"T2: links 3-2 & 3-4 slow too", &t2}}) {
+    auto policy = monitor.ComputePolicy(*times);
+    NETMAX_CHECK_OK(policy.status());
+    table.AddRow({label, netmax::Fmt(policy->policy.probability(3, 1), 3),
+                  netmax::Fmt(policy->policy.probability(3, 2), 3),
+                  netmax::Fmt(policy->policy.probability(3, 3), 3),
+                  netmax::Fmt(policy->policy.probability(0, 1), 3),
+                  netmax::Fmt(policy->rho, 3),
+                  netmax::Fmt(policy->lambda2, 4)});
+  }
+  std::cout << "Adaptive policy under changing link speeds (paper Fig. 2)\n\n";
+  table.Print(std::cout);
+  std::cout
+      << "\nUniform selection would put 0.25 on every link. The generated\n"
+         "policy keeps only the mandatory minimum (Eq. 11) on node 3's slow\n"
+         "links and parks the rest on p(3,3): node 3 communicates less often\n"
+         "so its average iteration stays as fast as everyone else's (Eq. 10),\n"
+         "while the all-fast nodes keep exchanging models among themselves.\n"
+         "When more of node 3's links degrade at T2, its self-probability\n"
+         "grows further — a static fast-link subgraph (SAPS-PSGD) could not\n"
+         "react to that change.\n";
+  return 0;
+}

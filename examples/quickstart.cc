@@ -1,0 +1,51 @@
+// Quickstart: train a model with NetMax on a simulated heterogeneous cluster
+// and compare against AD-PSGD.
+//
+//   $ ./examples/quickstart
+//
+// Eight workers share a synthetic 10-class problem (CIFAR10-sim). The
+// cluster spans three servers; one link is slowed 2x-100x and re-drawn
+// periodically, exactly like the paper's Section V-A testbed. NetMax's
+// Network Monitor measures per-link iteration times and re-optimizes the
+// communication policy, so training finishes in less (virtual) time.
+
+#include <iostream>
+
+#include "algos/registry.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "core/experiment.h"
+
+int main() {
+  namespace core = netmax::core;
+
+  // 1. Describe the experiment (see core/experiment.h for every knob).
+  core::ExperimentConfig config;
+  config.dataset = netmax::ml::Cifar10SimSpec();  // synthetic 10-class data
+  config.num_workers = 8;
+  config.network = core::NetworkScenario::kHeterogeneousDynamic;
+  config.profile = netmax::ml::ResNet18Profile();  // byte/FLOP cost model
+  config.max_epochs = 12;
+  config.monitor_period_seconds = 30.0;
+  config.seed = 42;
+
+  // 2. Run NetMax and a baseline through the shared registry.
+  netmax::TablePrinter table(
+      {"algorithm", "virtual_time_s", "final_loss", "test_accuracy"});
+  for (const std::string& name : {"netmax", "adpsgd"}) {
+    auto algorithm = netmax::algos::MakeAlgorithm(name);
+    NETMAX_CHECK_OK(algorithm.status());
+    auto result = (*algorithm)->Run(config);
+    NETMAX_CHECK_OK(result.status());
+    table.AddRow({result->algorithm, netmax::Fmt(result->total_virtual_seconds, 1),
+                  netmax::Fmt(result->final_train_loss, 3),
+                  netmax::Fmt(100.0 * result->final_accuracy, 1) + "%"});
+  }
+
+  // 3. Inspect the outcome.
+  std::cout << "NetMax vs AD-PSGD on a dynamic heterogeneous cluster\n\n";
+  table.Print(std::cout);
+  std::cout << "\nNetMax reaches the same epoch budget in less virtual time "
+               "by steering pulls away from slow links.\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "algos/ad_psgd.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/monitor.h"
+#include "core/policy.h"
+
+namespace netmax::algos {
+namespace {
+
+using core::CommunicationPolicy;
+using core::ExperimentConfig;
+using core::ExperimentHarness;
+using core::RunResult;
+
+class AdPsgdEngine {
+ public:
+  AdPsgdEngine(const ExperimentConfig& config, bool with_monitor)
+      : harness_(config, with_monitor ? "AD-PSGD+Monitor" : "AD-PSGD"),
+        config_(config), with_monitor_(with_monitor) {}
+
+  StatusOr<RunResult> Run() {
+    NETMAX_RETURN_IF_ERROR(harness_.Init());
+    const int n = harness_.num_workers();
+    topology_ = &harness_.topology();
+    policy_ = std::make_unique<CommunicationPolicy>(
+        CommunicationPolicy::Uniform(*topology_));
+
+    if (with_monitor_) {
+      core::MonitorOptions monitor_options;
+      monitor_options.schedule_period_seconds = config_.monitor_period_seconds;
+      monitor_options.generator = config_.generator;
+      monitor_options.generator.alpha = config_.learning_rate;
+      // Section III-D: the same optimization with the averaging-mode Y matrix
+      // and the relaxed Eq. (11) bound.
+      monitor_options.generator.mode =
+          core::PolicyGeneratorOptions::Mode::kAveraging;
+      monitor_options.generator.averaging_weight = 0.5;
+      monitor_ = std::make_unique<core::NetworkMonitor>(*topology_,
+                                                        monitor_options);
+      ema_times_.assign(
+          static_cast<size_t>(n),
+          std::vector<ExponentialMovingAverage>(
+              static_cast<size_t>(n),
+              ExponentialMovingAverage(config_.ema_beta)));
+      harness_.sim().ScheduleAfter(config_.monitor_period_seconds,
+                                   [this] { MonitorTick(); });
+    }
+
+    for (int w = 0; w < n; ++w) StartIteration(w);
+    harness_.sim().RunUntilIdle();
+    if (monitor_ != nullptr) {
+      harness_.set_policies_generated(monitor_->policies_generated());
+    }
+    return harness_.Finalize();
+  }
+
+ private:
+  void StartIteration(int w) {
+    if (harness_.WorkerDone(w)) return;
+    core::WorkerRuntime& worker = harness_.worker(w);
+    int m = w;
+    while (m == w) {
+      m = worker.rng.Discrete(policy_->Row(w));
+    }
+    const double compute = worker.compute_seconds_per_batch;
+    const double transfer = harness_.PullSeconds(m, w);
+    // Gradient computation overlaps the pull.
+    const double wall = std::max(compute, transfer);
+    harness_.sim().ScheduleAfter(wall, [this, w, m, compute, wall] {
+      CompleteIteration(w, m, compute, wall);
+    });
+  }
+
+  void CompleteIteration(int w, int m, double compute, double wall) {
+    core::WorkerRuntime& worker = harness_.worker(w);
+    // AD-PSGD order: average with the selected peer, then apply the gradient
+    // that was computed concurrently. The averaging is atomic and symmetric —
+    // both endpoints adopt (x_i + x_m)/2, as in Lian et al.'s W matrix — which
+    // preserves the parameter mean across the fleet.
+    harness_.ComputeGradientOnly(w);
+    auto x_i = worker.model->parameters();
+    auto x_m = harness_.worker(m).model->parameters();
+    for (size_t j = 0; j < x_i.size(); ++j) {
+      const double mean = 0.5 * (x_i[j] + x_m[j]);
+      x_i[j] = mean;
+      x_m[j] = mean;
+    }
+    harness_.ApplyStoredGradient(w);
+    if (with_monitor_) {
+      ema_times_[static_cast<size_t>(w)][static_cast<size_t>(m)].Add(wall);
+    }
+    harness_.AccountIteration(w, compute, wall);
+    StartIteration(w);
+  }
+
+  void MonitorTick() {
+    if (harness_.AllDone()) return;
+    const int n = harness_.num_workers();
+    linalg::Matrix times(n, n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int m : topology_->Neighbors(i)) {
+        const auto& ema =
+            ema_times_[static_cast<size_t>(i)][static_cast<size_t>(m)];
+        if (ema.has_value()) times(i, m) = ema.value();
+      }
+    }
+    StatusOr<core::GeneratedPolicy> generated = monitor_->ComputePolicy(times);
+    if (generated.ok()) {
+      policy_ = std::make_unique<CommunicationPolicy>(
+          std::move(generated.value().policy));
+    }
+    harness_.sim().ScheduleAfter(config_.monitor_period_seconds,
+                                 [this] { MonitorTick(); });
+  }
+
+  ExperimentHarness harness_;
+  ExperimentConfig config_;
+  bool with_monitor_;
+  const net::Topology* topology_ = nullptr;
+  std::unique_ptr<CommunicationPolicy> policy_;
+  std::unique_ptr<core::NetworkMonitor> monitor_;
+  std::vector<std::vector<ExponentialMovingAverage>> ema_times_;
+};
+
+}  // namespace
+
+StatusOr<core::RunResult> AdPsgdAlgorithm::Run(
+    const core::ExperimentConfig& config) const {
+  AdPsgdEngine engine(config, /*with_monitor=*/false);
+  return engine.Run();
+}
+
+StatusOr<core::RunResult> AdPsgdWithMonitorAlgorithm::Run(
+    const core::ExperimentConfig& config) const {
+  AdPsgdEngine engine(config, /*with_monitor=*/true);
+  return engine.Run();
+}
+
+}  // namespace netmax::algos

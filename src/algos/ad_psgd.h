@@ -1,0 +1,40 @@
+#ifndef NETMAX_ALGOS_AD_PSGD_H_
+#define NETMAX_ALGOS_AD_PSGD_H_
+
+// AD-PSGD baseline (paper reference [11]) and its Network-Monitor extension
+// (paper Section III-D / Fig. 15).
+//
+// AD-PSGD workers iterate asynchronously: pick a neighbor uniformly at
+// random, average parameters x_i <- (x_i + x_m)/2, and apply the local
+// gradient computed concurrently with the pull. Because neighbor selection is
+// uniform, slow links are used as often as fast ones — the communication
+// inefficiency NetMax attacks.
+//
+// AdPsgdWithMonitorAlgorithm retrofits NetMax's monitor: every Ts the policy
+// generator (in averaging mode, Section III-D) re-weights the selection
+// probabilities from measured iteration times, while the averaging weight
+// stays fixed at 1/2 — matching the paper's observation that this variant
+// trains faster than plain AD-PSGD but converges per-epoch slightly slower
+// than NetMax (which also adapts the pull weight).
+
+#include "core/experiment.h"
+
+namespace netmax::algos {
+
+class AdPsgdAlgorithm : public core::TrainingAlgorithm {
+ public:
+  std::string name() const override { return "AD-PSGD"; }
+  StatusOr<core::RunResult> Run(
+      const core::ExperimentConfig& config) const override;
+};
+
+class AdPsgdWithMonitorAlgorithm : public core::TrainingAlgorithm {
+ public:
+  std::string name() const override { return "AD-PSGD+Monitor"; }
+  StatusOr<core::RunResult> Run(
+      const core::ExperimentConfig& config) const override;
+};
+
+}  // namespace netmax::algos
+
+#endif  // NETMAX_ALGOS_AD_PSGD_H_

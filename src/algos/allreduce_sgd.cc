@@ -1,0 +1,94 @@
+#include "algos/allreduce_sgd.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace netmax::algos {
+namespace {
+
+using core::ExperimentConfig;
+using core::ExperimentHarness;
+using core::RunResult;
+
+class AllreduceEngine {
+ public:
+  explicit AllreduceEngine(const ExperimentConfig& config)
+      : harness_(config, "Allreduce") {}
+
+  StatusOr<RunResult> Run() {
+    NETMAX_RETURN_IF_ERROR(harness_.Init());
+    harness_.sim().ScheduleAfter(0.0, [this] { RunRound(); });
+    harness_.sim().RunUntilIdle();
+    return harness_.Finalize();
+  }
+
+ private:
+  void RunRound() {
+    if (harness_.AllDone()) return;
+    const int n = harness_.num_workers();
+    const double now = harness_.sim().Now();
+
+    // Phase 1: all workers compute gradients in parallel.
+    double max_compute = 0.0;
+    std::vector<double> computes(static_cast<size_t>(n));
+    for (int w = 0; w < n; ++w) {
+      harness_.ComputeGradientOnly(w);
+      computes[static_cast<size_t>(w)] =
+          harness_.worker(w).compute_seconds_per_batch;
+      max_compute = std::max(max_compute, computes[static_cast<size_t>(w)]);
+    }
+
+    // Phase 2: ring allreduce of the gradients. 2(M-1) chunk steps, each
+    // paced by the slowest ring link; the chunks are pipelined, so the
+    // per-message latency is paid once per direction rather than per step
+    // (T(0 bytes) isolates the latency component). Link costs are evaluated
+    // at the current virtual time (dynamic slowdowns apply).
+    const int64_t chunk_bytes =
+        harness_.config().profile.message_bytes() / n;
+    double step_seconds = 0.0;
+    double latency_seconds = 0.0;
+    for (int w = 0; w < n; ++w) {
+      const int succ = (w + 1) % n;
+      const double latency = harness_.links().TransferSeconds(w, succ, now, 0);
+      const double chunk =
+          harness_.links().TransferSeconds(w, succ, now, chunk_bytes);
+      step_seconds = std::max(step_seconds, chunk - latency);
+      latency_seconds = std::max(latency_seconds, latency);
+    }
+    const double allreduce_seconds =
+        2.0 * (n - 1) * step_seconds + 2.0 * latency_seconds;
+
+    // Average the gradients and apply the identical update on every replica.
+    std::vector<double> mean_gradient(
+        harness_.worker(0).gradient.size(), 0.0);
+    for (int w = 0; w < n; ++w) {
+      linalg::AddInPlace(harness_.worker(w).gradient, mean_gradient);
+    }
+    linalg::Scale(1.0 / static_cast<double>(n), mean_gradient);
+    for (int w = 0; w < n; ++w) {
+      harness_.worker(w).gradient = mean_gradient;
+      harness_.ApplyStoredGradient(w);
+    }
+
+    // Gradients must be ready before the reduce: no overlap.
+    const double wall = max_compute + allreduce_seconds;
+    for (int w = 0; w < n; ++w) {
+      harness_.AccountIteration(w, computes[static_cast<size_t>(w)], wall);
+    }
+    harness_.sim().ScheduleAfter(wall, [this] { RunRound(); });
+  }
+
+  ExperimentHarness harness_;
+};
+
+}  // namespace
+
+StatusOr<core::RunResult> AllreduceSgdAlgorithm::Run(
+    const core::ExperimentConfig& config) const {
+  AllreduceEngine engine(config);
+  return engine.Run();
+}
+
+}  // namespace netmax::algos

@@ -1,0 +1,25 @@
+#ifndef NETMAX_ALGOS_ALLREDUCE_SGD_H_
+#define NETMAX_ALGOS_ALLREDUCE_SGD_H_
+
+// Allreduce-SGD baseline (paper reference [8]): fully synchronous data
+// parallelism. Every round all workers compute a minibatch gradient in
+// parallel, average the gradients with a ring allreduce (2(M-1) steps, each
+// moving 1/M of the model over every ring link), and apply the same averaged
+// update — so all replicas stay bit-identical. The round is paced by the
+// slowest compute AND the slowest ring link, which is exactly why it suffers
+// on heterogeneous networks (Fig. 5/8 of the paper).
+
+#include "core/experiment.h"
+
+namespace netmax::algos {
+
+class AllreduceSgdAlgorithm : public core::TrainingAlgorithm {
+ public:
+  std::string name() const override { return "Allreduce"; }
+  StatusOr<core::RunResult> Run(
+      const core::ExperimentConfig& config) const override;
+};
+
+}  // namespace netmax::algos
+
+#endif  // NETMAX_ALGOS_ALLREDUCE_SGD_H_

@@ -1,0 +1,73 @@
+#include "algos/gossip_sgd.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace netmax::algos {
+namespace {
+
+using core::ExperimentConfig;
+using core::ExperimentHarness;
+using core::RunResult;
+
+class GossipEngine {
+ public:
+  explicit GossipEngine(const ExperimentConfig& config)
+      : harness_(config, "GoSGD") {}
+
+  StatusOr<RunResult> Run() {
+    NETMAX_RETURN_IF_ERROR(harness_.Init());
+    const int n = harness_.num_workers();
+    push_busy_until_.assign(static_cast<size_t>(n), 0.0);
+    for (int w = 0; w < n; ++w) StartIteration(w);
+    harness_.sim().RunUntilIdle();
+    return harness_.Finalize();
+  }
+
+ private:
+  void StartIteration(int w) {
+    if (harness_.WorkerDone(w)) return;
+    const double compute = harness_.worker(w).compute_seconds_per_batch;
+    harness_.sim().ScheduleAfter(compute, [this, w, compute] {
+      harness_.LocalGradientStep(w);
+      MaybePush(w);
+      // The push does not block the training loop: wall time is compute only.
+      harness_.AccountIteration(w, compute, compute);
+      StartIteration(w);
+    });
+  }
+
+  void MaybePush(int w) {
+    const double now = harness_.sim().Now();
+    if (now < push_busy_until_[static_cast<size_t>(w)]) return;  // NIC busy
+    core::WorkerRuntime& worker = harness_.worker(w);
+    const auto& neighbors = harness_.topology().Neighbors(w);
+    const int m = neighbors[static_cast<size_t>(worker.rng.UniformInt(
+        0, static_cast<int64_t>(neighbors.size()) - 1))];
+    const double transfer = harness_.PullSeconds(w, m);  // w -> m push
+    push_busy_until_[static_cast<size_t>(w)] = now + transfer;
+    // Snapshot the sender's parameters at push time.
+    const auto p = worker.model->parameters();
+    std::vector<double> snapshot(p.begin(), p.end());
+    harness_.sim().ScheduleAfter(
+        transfer, [this, m, snapshot = std::move(snapshot)] {
+          auto x_m = harness_.worker(m).model->parameters();
+          for (size_t j = 0; j < x_m.size(); ++j) {
+            x_m[j] = 0.5 * (x_m[j] + snapshot[j]);
+          }
+        });
+  }
+
+  ExperimentHarness harness_;
+  std::vector<double> push_busy_until_;
+};
+
+}  // namespace
+
+StatusOr<core::RunResult> GossipSgdAlgorithm::Run(
+    const core::ExperimentConfig& config) const {
+  GossipEngine engine(config);
+  return engine.Run();
+}
+
+}  // namespace netmax::algos

@@ -1,0 +1,25 @@
+#ifndef NETMAX_ALGOS_GOSSIP_SGD_H_
+#define NETMAX_ALGOS_GOSSIP_SGD_H_
+
+// GoSGD-style push gossip (paper references [12, 17]). After every local SGD
+// step a worker pushes a copy of its parameters to a uniformly random
+// neighbor without blocking on the transfer (at most one push in flight per
+// worker; new pushes are skipped while the NIC is busy). The receiver merges
+// incoming models by equal-weight averaging. Because iterations never wait on
+// the network, gossip iterates fast but propagates stale models over slow
+// links — the regime NetMax's policy explicitly optimizes instead.
+
+#include "core/experiment.h"
+
+namespace netmax::algos {
+
+class GossipSgdAlgorithm : public core::TrainingAlgorithm {
+ public:
+  std::string name() const override { return "GoSGD"; }
+  StatusOr<core::RunResult> Run(
+      const core::ExperimentConfig& config) const override;
+};
+
+}  // namespace netmax::algos
+
+#endif  // NETMAX_ALGOS_GOSSIP_SGD_H_

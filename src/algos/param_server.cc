@@ -1,0 +1,196 @@
+#include "algos/param_server.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace netmax::algos {
+namespace {
+
+using core::ExperimentConfig;
+using core::ExperimentHarness;
+using core::RunResult;
+
+// Local (same machine/region) worker <-> PS link for the co-located worker 0.
+const net::LinkClass kPsLocalLink{/*latency_seconds=*/0.010,
+                                  /*bandwidth_bytes_per_second=*/2.0e9};
+
+// Shared PS state: the global model, its optimizer, and the serialized NIC.
+class PsState {
+ public:
+  // `use_momentum` is false for the asynchronous server: interleaved pushes
+  // from M workers through one shared velocity amplify every gradient ~M-fold
+  // and diverge, so async parameter servers apply plain SGD steps (the
+  // classic Hogwild-style update); the synchronous server sees one sequential
+  // stream of averaged gradients and keeps momentum.
+  PsState(ExperimentHarness& harness, const ExperimentConfig& config,
+          bool use_momentum) {
+    harness_ = &harness;
+    model_ = harness.worker(0).model->Clone();
+    ml::SgdOptions options;
+    options.learning_rate = config.learning_rate;
+    options.momentum = use_momentum ? config.momentum : 0.0;
+    options.weight_decay = config.weight_decay;
+    optimizer_ = std::make_unique<ml::SgdOptimizer>(model_->num_parameters(),
+                                                    options);
+  }
+
+  // Transfer seconds between worker w and the PS at time `now` (either
+  // direction; the paper's links are symmetric).
+  double LinkSeconds(int w, double now) const {
+    const int64_t bytes = harness_->config().profile.message_bytes();
+    if (w == 0) return kPsLocalLink.TransferSeconds(bytes);
+    return harness_->links().TransferSeconds(0, w, now, bytes);
+  }
+
+  // Reserves the PS NIC from max(now, free) for `duration`; returns the
+  // transfer's completion time.
+  double ReserveNic(double now, double duration) {
+    const double start = std::max(now, nic_free_);
+    nic_free_ = start + duration;
+    return nic_free_;
+  }
+
+  ml::Model& model() { return *model_; }
+  ml::SgdOptimizer& optimizer() { return *optimizer_; }
+
+ private:
+  ExperimentHarness* harness_ = nullptr;
+  std::unique_ptr<ml::Model> model_;
+  std::unique_ptr<ml::SgdOptimizer> optimizer_;
+  double nic_free_ = 0.0;
+};
+
+class PsSyncEngine {
+ public:
+  explicit PsSyncEngine(const ExperimentConfig& config)
+      : harness_(config, "PS-syn") {}
+
+  StatusOr<RunResult> Run() {
+    NETMAX_RETURN_IF_ERROR(harness_.Init());
+    ps_ = std::make_unique<PsState>(harness_, harness_.config(),
+                                    /*use_momentum=*/true);
+    harness_.sim().ScheduleAfter(0.0, [this] { RunRound(); });
+    harness_.sim().RunUntilIdle();
+    return harness_.Finalize();
+  }
+
+ private:
+  void RunRound() {
+    if (harness_.AllDone()) return;
+    const int n = harness_.num_workers();
+    const double t0 = harness_.sim().Now();
+
+    // Phase 1: parallel gradient computation on each worker's own replica.
+    double max_compute = 0.0;
+    std::vector<double> computes(static_cast<size_t>(n));
+    for (int w = 0; w < n; ++w) {
+      harness_.ComputeGradientOnly(w);
+      computes[static_cast<size_t>(w)] =
+          harness_.worker(w).compute_seconds_per_batch;
+      max_compute = std::max(max_compute, computes[static_cast<size_t>(w)]);
+    }
+
+    // Phase 2: uploads, serialized at the PS NIC (central congestion).
+    double clock = t0;
+    for (int w = 0; w < n; ++w) {
+      const double ready = t0 + computes[static_cast<size_t>(w)];
+      const double start = std::max(ready, clock);
+      clock = start + ps_->LinkSeconds(w, start);
+    }
+
+    // PS applies the averaged gradient once.
+    std::vector<double> mean_gradient(harness_.worker(0).gradient.size(), 0.0);
+    for (int w = 0; w < n; ++w) {
+      linalg::AddInPlace(harness_.worker(w).gradient, mean_gradient);
+    }
+    linalg::Scale(1.0 / static_cast<double>(n), mean_gradient);
+    ps_->optimizer().set_learning_rate(
+        harness_.worker(0).optimizer->learning_rate());
+    ps_->optimizer().Step(ps_->model().parameters(), mean_gradient);
+
+    // Phase 3: downloads, serialized again; the round ends when the last
+    // worker holds the fresh model.
+    for (int w = 0; w < n; ++w) {
+      clock += ps_->LinkSeconds(w, clock);
+    }
+    const auto fresh = ps_->model().parameters();
+    for (int w = 0; w < n; ++w) {
+      auto params = harness_.worker(w).model->parameters();
+      std::copy(fresh.begin(), fresh.end(), params.begin());
+      harness_.AccountIteration(w, computes[static_cast<size_t>(w)],
+                                clock - t0);
+    }
+    harness_.sim().ScheduleAt(clock, [this] { RunRound(); });
+  }
+
+  ExperimentHarness harness_;
+  std::unique_ptr<PsState> ps_;
+};
+
+class PsAsyncEngine {
+ public:
+  explicit PsAsyncEngine(const ExperimentConfig& config)
+      : harness_(config, "PS-asyn") {}
+
+  StatusOr<RunResult> Run() {
+    NETMAX_RETURN_IF_ERROR(harness_.Init());
+    ps_ = std::make_unique<PsState>(harness_, harness_.config(),
+                                    /*use_momentum=*/false);
+    for (int w = 0; w < harness_.num_workers(); ++w) StartIteration(w);
+    harness_.sim().RunUntilIdle();
+    return harness_.Finalize();
+  }
+
+ private:
+  void StartIteration(int w) {
+    if (harness_.WorkerDone(w)) return;
+    const double t0 = harness_.sim().Now();
+    const double compute = harness_.worker(w).compute_seconds_per_batch;
+    harness_.sim().ScheduleAfter(compute, [this, w, t0, compute] {
+      // Gradient at the worker's (possibly stale) parameters.
+      harness_.ComputeGradientOnly(w);
+      const double now = harness_.sim().Now();
+      // Upload, then download, both serialized on the PS NIC; the worker
+      // blocks for the round trip (async only across workers).
+      const double upload_done = ps_->ReserveNic(now, ps_->LinkSeconds(w, now));
+      const double download_done =
+          ps_->ReserveNic(upload_done, ps_->LinkSeconds(w, upload_done));
+      harness_.sim().ScheduleAt(upload_done, [this, w] {
+        // Async SGD: apply this worker's gradient immediately.
+        ps_->optimizer().set_learning_rate(
+            harness_.worker(w).optimizer->learning_rate());
+        ps_->optimizer().Step(ps_->model().parameters(),
+                              harness_.worker(w).gradient);
+      });
+      harness_.sim().ScheduleAt(download_done, [this, w, t0, compute] {
+        const auto fresh = ps_->model().parameters();
+        auto params = harness_.worker(w).model->parameters();
+        std::copy(fresh.begin(), fresh.end(), params.begin());
+        harness_.AccountIteration(w, compute, harness_.sim().Now() - t0);
+        StartIteration(w);
+      });
+    });
+  }
+
+  ExperimentHarness harness_;
+  std::unique_ptr<PsState> ps_;
+};
+
+}  // namespace
+
+StatusOr<core::RunResult> PsSyncAlgorithm::Run(
+    const core::ExperimentConfig& config) const {
+  PsSyncEngine engine(config);
+  return engine.Run();
+}
+
+StatusOr<core::RunResult> PsAsyncAlgorithm::Run(
+    const core::ExperimentConfig& config) const {
+  PsAsyncEngine engine(config);
+  return engine.Run();
+}
+
+}  // namespace netmax::algos

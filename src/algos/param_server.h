@@ -1,0 +1,39 @@
+#ifndef NETMAX_ALGOS_PARAM_SERVER_H_
+#define NETMAX_ALGOS_PARAM_SERVER_H_
+
+// Parameter-server baselines (paper Sections V-G and Appendix G).
+//
+// The PS is co-located with worker 0's machine/region; worker-to-PS link
+// costs reuse worker 0's links, so workers sharing that machine talk to the
+// PS over fast links while everyone else crosses the slow fabric — exactly
+// the paper's "the worker nodes located on the same server with the PS
+// iterate much faster" observation. The PS NIC is a serialization point: all
+// uploads/downloads queue on it, modelling the central-node congestion that
+// motivates decentralized training.
+//
+//  * PS-syn: bulk-synchronous rounds — all workers push gradients, the PS
+//    applies the averaged gradient once, then sends fresh parameters back.
+//  * PS-asyn: each worker independently pushes its gradient and pulls the
+//    updated model; the PS applies updates in arrival order (async SGD).
+
+#include "core/experiment.h"
+
+namespace netmax::algos {
+
+class PsSyncAlgorithm : public core::TrainingAlgorithm {
+ public:
+  std::string name() const override { return "PS-syn"; }
+  StatusOr<core::RunResult> Run(
+      const core::ExperimentConfig& config) const override;
+};
+
+class PsAsyncAlgorithm : public core::TrainingAlgorithm {
+ public:
+  std::string name() const override { return "PS-asyn"; }
+  StatusOr<core::RunResult> Run(
+      const core::ExperimentConfig& config) const override;
+};
+
+}  // namespace netmax::algos
+
+#endif  // NETMAX_ALGOS_PARAM_SERVER_H_

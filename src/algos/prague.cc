@@ -1,0 +1,145 @@
+#include "algos/prague.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace netmax::algos {
+namespace {
+
+using core::ExperimentConfig;
+using core::ExperimentHarness;
+using core::RunResult;
+
+class PragueEngine {
+ public:
+  PragueEngine(const ExperimentConfig& config, int group_size)
+      : harness_(config, "Prague"), group_size_(group_size) {}
+
+  StatusOr<RunResult> Run() {
+    NETMAX_RETURN_IF_ERROR(harness_.Init());
+    const int n = harness_.num_workers();
+    if (group_size_ <= 1) group_size_ = n <= 4 ? 2 : 4;
+    group_size_ = std::min(group_size_, n);
+    iteration_start_.assign(static_cast<size_t>(n), 0.0);
+    for (int w = 0; w < n; ++w) StartIteration(w);
+    harness_.sim().RunUntilIdle();
+    return harness_.Finalize();
+  }
+
+ private:
+  void StartIteration(int w) {
+    if (harness_.WorkerDone(w)) {
+      // A finished worker no longer joins groups; flush stragglers so the
+      // remaining ready workers are not stranded waiting for it.
+      MaybeFormGroup(/*flush=*/true);
+      return;
+    }
+    iteration_start_[static_cast<size_t>(w)] = harness_.sim().Now();
+    const double compute = harness_.worker(w).compute_seconds_per_batch;
+    harness_.sim().ScheduleAfter(compute, [this, w] {
+      // Local SGD step, then wait for a partial-allreduce group.
+      harness_.LocalGradientStep(w);
+      ready_.push_back(w);
+      MaybeFormGroup(/*flush=*/false);
+    });
+  }
+
+  // Number of workers that can still produce a ready event.
+  int ActiveWorkers() const {
+    int active = 0;
+    for (int w = 0; w < harness_.num_workers(); ++w) {
+      if (!harness_.WorkerDone(w)) ++active;
+    }
+    return active;
+  }
+
+  void MaybeFormGroup(bool flush) {
+    while (static_cast<int>(ready_.size()) >= group_size_) {
+      std::vector<int> group(ready_.begin(), ready_.begin() + group_size_);
+      ready_.erase(ready_.begin(), ready_.begin() + group_size_);
+      LaunchGroup(group);
+    }
+    // When too few active workers remain to ever fill a group, reduce what is
+    // left (pairs at minimum) or let singletons continue alone.
+    if (!ready_.empty() &&
+        (flush || ActiveWorkers() < group_size_) &&
+        static_cast<int>(ready_.size()) >= ActiveWorkers()) {
+      std::vector<int> group = ready_;
+      ready_.clear();
+      if (group.size() >= 2) {
+        LaunchGroup(group);
+      } else {
+        FinishGroupMember(group[0], 0.0);
+      }
+    }
+  }
+
+  void LaunchGroup(const std::vector<int>& group) {
+    const double now = harness_.sim().Now();
+    // Ring allreduce within the group: 2(G-1) steps of 1/G model chunks over
+    // the slowest intra-group link. Concurrent groups share the physical
+    // network: the paper attributes Prague's congestion to exactly this, so
+    // each step is stretched by the number of in-flight groups.
+    const int g = static_cast<int>(group.size());
+    const int64_t chunk_bytes = harness_.config().profile.message_bytes() / g;
+    double step_seconds = 0.0;
+    double latency_seconds = 0.0;
+    for (int k = 0; k < g; ++k) {
+      const int a = group[static_cast<size_t>(k)];
+      const int b = group[static_cast<size_t>((k + 1) % g)];
+      const double latency = harness_.links().TransferSeconds(a, b, now, 0);
+      const double chunk =
+          harness_.links().TransferSeconds(a, b, now, chunk_bytes);
+      step_seconds = std::max(step_seconds, chunk - latency);
+      latency_seconds = std::max(latency_seconds, latency);
+    }
+    ++active_groups_;
+    const double contention = static_cast<double>(active_groups_);
+    const double reduce_seconds =
+        (2.0 * (g - 1) * step_seconds + 2.0 * latency_seconds) * contention;
+
+    // Average the group's models.
+    std::vector<std::vector<double>> params;
+    params.reserve(group.size());
+    for (int w : group) {
+      const auto p = harness_.worker(w).model->parameters();
+      params.emplace_back(p.begin(), p.end());
+    }
+    const std::vector<double> mean = linalg::Mean(params);
+    for (int w : group) {
+      auto p = harness_.worker(w).model->parameters();
+      std::copy(mean.begin(), mean.end(), p.begin());
+    }
+
+    harness_.sim().ScheduleAfter(reduce_seconds, [this, group, reduce_seconds] {
+      --active_groups_;
+      for (int w : group) FinishGroupMember(w, reduce_seconds);
+    });
+  }
+
+  void FinishGroupMember(int w, double /*reduce_seconds*/) {
+    const double wall =
+        harness_.sim().Now() - iteration_start_[static_cast<size_t>(w)];
+    harness_.AccountIteration(
+        w, harness_.worker(w).compute_seconds_per_batch, wall);
+    StartIteration(w);
+  }
+
+  ExperimentHarness harness_;
+  int group_size_;
+  std::vector<int> ready_;
+  std::vector<double> iteration_start_;
+  int active_groups_ = 0;
+};
+
+}  // namespace
+
+StatusOr<core::RunResult> PragueAlgorithm::Run(
+    const core::ExperimentConfig& config) const {
+  PragueEngine engine(config, group_size_);
+  return engine.Run();
+}
+
+}  // namespace netmax::algos

@@ -1,0 +1,32 @@
+#ifndef NETMAX_ALGOS_PRAGUE_H_
+#define NETMAX_ALGOS_PRAGUE_H_
+
+// Prague baseline (paper reference [14]): heterogeneity-aware asynchronous
+// decentralized training via Partial All-Reduce. Workers that finish their
+// local step enter a ready pool; whenever `group_size` workers are ready they
+// form a group and ring-allreduce (average) their models, independently of
+// other groups. Group formation is agnostic to link speed, and concurrent
+// group reductions contend for the shared network — the two effects the paper
+// blames for Prague's high communication cost on heterogeneous networks
+// (Section V-B): each group step is scaled by the number of groups in flight.
+
+#include "core/experiment.h"
+
+namespace netmax::algos {
+
+class PragueAlgorithm : public core::TrainingAlgorithm {
+ public:
+  // group_size <= 1 picks the paper-style default (2 for M <= 4, else 4).
+  explicit PragueAlgorithm(int group_size = 0) : group_size_(group_size) {}
+
+  std::string name() const override { return "Prague"; }
+  StatusOr<core::RunResult> Run(
+      const core::ExperimentConfig& config) const override;
+
+ private:
+  int group_size_;
+};
+
+}  // namespace netmax::algos
+
+#endif  // NETMAX_ALGOS_PRAGUE_H_

@@ -1,0 +1,38 @@
+#include "algos/registry.h"
+
+#include "algos/ad_psgd.h"
+#include "algos/allreduce_sgd.h"
+#include "algos/gossip_sgd.h"
+#include "algos/param_server.h"
+#include "algos/prague.h"
+#include "algos/saps_psgd.h"
+#include "core/netmax_engine.h"
+
+namespace netmax::algos {
+
+StatusOr<std::unique_ptr<core::TrainingAlgorithm>> MakeAlgorithm(
+    const std::string& name) {
+  if (name == "netmax") return {std::make_unique<core::NetMaxAlgorithm>()};
+  if (name == "adpsgd") return {std::make_unique<AdPsgdAlgorithm>()};
+  if (name == "allreduce") return {std::make_unique<AllreduceSgdAlgorithm>()};
+  if (name == "prague") return {std::make_unique<PragueAlgorithm>()};
+  if (name == "gossip") return {std::make_unique<GossipSgdAlgorithm>()};
+  if (name == "saps") return {std::make_unique<SapsPsgdAlgorithm>()};
+  if (name == "ps-sync") return {std::make_unique<PsSyncAlgorithm>()};
+  if (name == "ps-async") return {std::make_unique<PsAsyncAlgorithm>()};
+  if (name == "adpsgd+monitor") {
+    return {std::make_unique<AdPsgdWithMonitorAlgorithm>()};
+  }
+  return NotFoundError("no algorithm named '" + name + "'");
+}
+
+std::vector<std::string> AlgorithmNames() {
+  return {"netmax", "adpsgd",  "allreduce", "prague",         "gossip",
+          "saps",   "ps-sync", "ps-async",  "adpsgd+monitor"};
+}
+
+std::vector<std::string> PaperComparisonAlgorithms() {
+  return {"prague", "allreduce", "adpsgd", "netmax"};
+}
+
+}  // namespace netmax::algos

@@ -1,0 +1,30 @@
+#ifndef NETMAX_ALGOS_REGISTRY_H_
+#define NETMAX_ALGOS_REGISTRY_H_
+
+// Name -> algorithm factory used by benches and examples.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/experiment.h"
+
+namespace netmax::algos {
+
+// Known names: "netmax", "adpsgd", "allreduce", "prague", "gossip",
+// "saps", "ps-sync", "ps-async", "adpsgd+monitor". Returns NotFound for
+// anything else.
+StatusOr<std::unique_ptr<core::TrainingAlgorithm>> MakeAlgorithm(
+    const std::string& name);
+
+// All registered names, in the order above.
+std::vector<std::string> AlgorithmNames();
+
+// The four algorithms of the paper's main comparison (Sections V-B..V-F):
+// Prague, Allreduce, AD-PSGD, NetMax.
+std::vector<std::string> PaperComparisonAlgorithms();
+
+}  // namespace netmax::algos
+
+#endif  // NETMAX_ALGOS_REGISTRY_H_

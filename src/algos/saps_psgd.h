@@ -1,0 +1,29 @@
+#ifndef NETMAX_ALGOS_SAPS_PSGD_H_
+#define NETMAX_ALGOS_SAPS_PSGD_H_
+
+// SAPS-PSGD-style baseline (paper reference [15]): measure link speeds once
+// at startup, keep only the initially fast links — a minimum-spanning tree on
+// measured transfer time plus each node's fastest extra edge — and then run
+// AD-PSGD-style uniform gossip restricted to that *static* subgraph for the
+// whole training run. On a static network this avoids slow links; on the
+// paper's dynamic network an initially fast link may later be slowed 2x-100x,
+// and SAPS keeps using it (the Fig. 2 failure mode motivating NetMax).
+
+#include "core/experiment.h"
+
+namespace netmax::algos {
+
+class SapsPsgdAlgorithm : public core::TrainingAlgorithm {
+ public:
+  std::string name() const override { return "SAPS-PSGD"; }
+  StatusOr<core::RunResult> Run(
+      const core::ExperimentConfig& config) const override;
+};
+
+// Builds the static fast-link subgraph used by SAPS: MST under `cost` plus
+// each node's cheapest non-tree edge. Exposed for tests.
+net::Topology BuildFastLinkSubgraph(const linalg::Matrix& cost);
+
+}  // namespace netmax::algos
+
+#endif  // NETMAX_ALGOS_SAPS_PSGD_H_

@@ -1,0 +1,63 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace netmax {
+
+ExponentialMovingAverage::ExponentialMovingAverage(double beta) : beta_(beta) {
+  NETMAX_CHECK_GE(beta, 0.0);
+  NETMAX_CHECK_LT(beta, 1.0);
+}
+
+void ExponentialMovingAverage::Add(double sample) {
+  if (count_ == 0) {
+    value_ = sample;
+  } else {
+    value_ = beta_ * value_ + (1.0 - beta_) * sample;
+  }
+  ++count_;
+}
+
+void ExponentialMovingAverage::Reset() {
+  value_ = 0.0;
+  count_ = 0;
+}
+
+void RunningStat::Add(double sample) {
+  ++count_;
+  sum_ += sample;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+  if (count_ == 1) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Quantile(const std::vector<double>& samples, double q) {
+  NETMAX_CHECK(!samples.empty());
+  NETMAX_CHECK_GE(q, 0.0);
+  NETMAX_CHECK_LE(q, 1.0);
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace netmax

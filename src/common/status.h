@@ -1,0 +1,131 @@
+#ifndef NETMAX_COMMON_STATUS_H_
+#define NETMAX_COMMON_STATUS_H_
+
+// Error propagation without exceptions, in the style of absl::Status /
+// absl::StatusOr. Functions that can fail for reasons other than programmer
+// error return Status (or StatusOr<T> when they also produce a value).
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace netmax {
+
+// Canonical error space (subset of the absl/gRPC canonical codes that this
+// project needs).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kInfeasible = 8,  // optimization problem has no feasible point
+  kUnbounded = 9,   // optimization objective is unbounded
+};
+
+// Returns a human-readable name for `code`, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeToString(StatusCode code);
+
+// Value-type result of an operation: either OK or an error code plus message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "OK" or "CODE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors mirroring absl.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status InfeasibleError(std::string message);
+Status UnboundedError(std::string message);
+
+// Holds either a value of type T or an error Status. Access to the value when
+// the status is not OK is a fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  // Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    NETMAX_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  // Constructs from a value; status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    NETMAX_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    NETMAX_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    NETMAX_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace netmax
+
+// Propagates an error Status from an expression, absl-style:
+//   NETMAX_RETURN_IF_ERROR(DoThing());
+#define NETMAX_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::netmax::Status status_macro_ = (expr);  \
+    if (!status_macro_.ok()) return status_macro_; \
+  } while (false)
+
+// Aborts if `expr` is an error Status.
+#define NETMAX_CHECK_OK(expr)                                              \
+  do {                                                                    \
+    ::netmax::Status status_macro_ = (expr);                               \
+    NETMAX_CHECK(status_macro_.ok()) << status_macro_.ToString();          \
+  } while (false)
+
+#endif  // NETMAX_COMMON_STATUS_H_

@@ -1,0 +1,51 @@
+#ifndef NETMAX_COMMON_TABLE_H_
+#define NETMAX_COMMON_TABLE_H_
+
+// Text-table and CSV emission for the benchmark harnesses. Each bench binary
+// prints the paper's rows/series twice: once as an aligned human-readable
+// table and once as a machine-readable CSV block delimited by
+// "#CSV <name>" ... "#END".
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace netmax {
+
+// Collects rows of string cells and renders them column-aligned.
+//
+// Example:
+//   TablePrinter t({"algo", "epoch_time_s"});
+//   t.AddRow({"NetMax", Fmt(12.3)});
+//   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the aligned table.
+  void Print(std::ostream& os) const;
+
+  // Renders the same content as CSV inside a "#CSV name" ... "#END" block so
+  // downstream tooling can scrape bench output.
+  void PrintCsv(std::ostream& os, const std::string& name) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `precision` digits after the decimal point.
+std::string Fmt(double value, int precision = 3);
+
+// Formats an integer count.
+std::string Fmt(int64_t value);
+std::string Fmt(int value);
+
+}  // namespace netmax
+
+#endif  // NETMAX_COMMON_TABLE_H_

@@ -1,0 +1,69 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace netmax {
+
+ThreadPool::ThreadPool(int num_threads) {
+  NETMAX_CHECK_GE(num_threads, 1);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    NETMAX_CHECK(!shutting_down_) << "Submit after shutdown";
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  work_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // shutting_down_ and no work left.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int num_threads,
+                 const std::vector<std::function<void()>>& tasks) {
+  ThreadPool pool(num_threads);
+  for (const auto& task : tasks) pool.Submit(task);
+  pool.Wait();
+}
+
+}  // namespace netmax

@@ -1,0 +1,55 @@
+#ifndef NETMAX_COMMON_THREAD_POOL_H_
+#define NETMAX_COMMON_THREAD_POOL_H_
+
+// Fixed-size worker pool used by the benchmark harnesses to run independent
+// experiment configurations in parallel. The simulation core itself is
+// single-threaded and deterministic; only whole experiments are parallelized.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netmax {
+
+class ThreadPool {
+ public:
+  // Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  // Enqueues `task` for execution. Must not be called after the destructor
+  // has begun.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Runs `tasks[i]()` for all i using `num_threads` workers and returns when all
+// have completed. Convenience wrapper for one-shot parallel sections.
+void ParallelFor(int num_threads, const std::vector<std::function<void()>>& tasks);
+
+}  // namespace netmax
+
+#endif  // NETMAX_COMMON_THREAD_POOL_H_

@@ -1,0 +1,299 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "ml/mlp.h"
+
+namespace netmax::core {
+
+StatusOr<std::vector<ml::Dataset>> BuildShards(const ExperimentConfig& config,
+                                               const ml::Dataset& train) {
+  const uint64_t shard_seed = config.seed * 7919 + 13;
+  switch (config.partition) {
+    case PartitionScheme::kUniform:
+      return ml::PartitionUniform(train, config.num_workers, shard_seed);
+    case PartitionScheme::kSegments: {
+      if (static_cast<int>(config.segments.size()) != config.num_workers) {
+        return InvalidArgumentError("segments.size() != num_workers");
+      }
+      return ml::PartitionBySegments(train, config.segments, shard_seed);
+    }
+    case PartitionScheme::kLostLabels: {
+      if (static_cast<int>(config.lost_labels.size()) != config.num_workers) {
+        return InvalidArgumentError("lost_labels.size() != num_workers");
+      }
+      return ml::PartitionWithLostLabels(train, config.lost_labels, shard_seed);
+    }
+  }
+  return InternalError("unknown partition scheme");
+}
+
+int WorkerBatchSize(const ExperimentConfig& config, int worker) {
+  if (config.partition == PartitionScheme::kSegments) {
+    return config.batch_size * config.segments[static_cast<size_t>(worker)];
+  }
+  return config.batch_size;
+}
+
+ExperimentHarness::ExperimentHarness(const ExperimentConfig& config,
+                                     std::string algorithm_name)
+    : config_(config), algorithm_name_(std::move(algorithm_name)) {}
+
+Status ExperimentHarness::Init() {
+  NETMAX_CHECK(!initialized_) << "Init called twice";
+  if (config_.num_workers < 2) {
+    return InvalidArgumentError("need at least 2 workers");
+  }
+  if (config_.batch_size < 1) return InvalidArgumentError("batch_size < 1");
+  if (config_.max_epochs < 1) return InvalidArgumentError("max_epochs < 1");
+  if (config_.learning_rate <= 0.0) {
+    return InvalidArgumentError("learning_rate <= 0");
+  }
+  if (config_.network == NetworkScenario::kWan && config_.num_workers != 6) {
+    return InvalidArgumentError("the WAN scenario models exactly 6 regions");
+  }
+
+  // Dataset and shards.
+  ml::SyntheticSpec dataset_spec = config_.dataset;
+  dataset_spec.seed ^= config_.seed * 0x9E3779B97F4A7C15ULL;
+  ml::DatasetPair pair = ml::GenerateSynthetic(dataset_spec);
+  test_set_ = std::move(pair.test);
+  StatusOr<std::vector<ml::Dataset>> shards = BuildShards(config_, pair.train);
+  if (!shards.ok()) return shards.status();
+  for (const ml::Dataset& shard : *shards) {
+    if (shard.empty()) {
+      return InvalidArgumentError("a worker received an empty shard");
+    }
+  }
+
+  // Network.
+  switch (config_.network) {
+    case NetworkScenario::kHeterogeneousDynamic: {
+      net::DynamicSlowdownLinkModel::Options slow;
+      slow.change_period_seconds = config_.slowdown_period_seconds;
+      slow.min_factor = config_.slowdown_min_factor;
+      slow.max_factor = config_.slowdown_max_factor;
+      slow.seed = config_.seed * 31 + 7;
+      const net::ClusterConfig cluster =
+          config_.two_server_placement
+              ? net::HeterogeneousClusterTwoServers(config_.num_workers)
+              : net::HeterogeneousCluster(config_.num_workers);
+      links_ = net::BuildDynamicHeterogeneousLinkModel(cluster, slow);
+      break;
+    }
+    case NetworkScenario::kHeterogeneousStatic: {
+      const net::ClusterConfig cluster =
+          config_.two_server_placement
+              ? net::HeterogeneousClusterTwoServers(config_.num_workers)
+              : net::HeterogeneousCluster(config_.num_workers);
+      links_ = net::BuildStaticLinkModel(cluster);
+      break;
+    }
+    case NetworkScenario::kHomogeneous:
+      links_ = net::BuildStaticLinkModel(
+          net::HomogeneousCluster(config_.num_workers));
+      break;
+    case NetworkScenario::kWan:
+      links_ = net::BuildCloudWanLinkModel();
+      break;
+  }
+  topology_ =
+      std::make_unique<net::Topology>(net::Topology::Complete(config_.num_workers));
+
+  // Workers: identical initial replicas (x^0), forked RNG/sampler streams.
+  Rng root(config_.seed);
+  const int feature_dim = dataset_spec.feature_dim;
+  const int num_classes = dataset_spec.num_classes;
+  std::vector<int> layers;
+  layers.push_back(feature_dim);
+  for (int h : config_.hidden_layers) layers.push_back(h);
+  layers.push_back(num_classes);
+
+  workers_.clear();
+  for (int w = 0; w < config_.num_workers; ++w) {
+    auto worker = std::make_unique<WorkerRuntime>(
+        w, std::move((*shards)[static_cast<size_t>(w)]),
+        root.Fork(static_cast<uint64_t>(w)).Next64());
+    worker->model = std::make_unique<ml::Mlp>(layers);
+    worker->model->InitializeParameters(config_.seed);  // same x^0 everywhere
+    ml::SgdOptions sgd;
+    sgd.learning_rate = config_.learning_rate;
+    sgd.momentum = config_.momentum;
+    sgd.weight_decay = config_.weight_decay;
+    worker->optimizer =
+        std::make_unique<ml::SgdOptimizer>(worker->model->num_parameters(), sgd);
+    worker->batch_size = WorkerBatchSize(config_, w);
+    worker->sampler = std::make_unique<ml::BatchSampler>(
+        &worker->shard, worker->batch_size,
+        root.Fork(1000 + static_cast<uint64_t>(w)).Next64());
+    if (!config_.lr_milestones.empty()) {
+      worker->lr_schedule = std::make_unique<ml::StepDecayLr>(
+          config_.learning_rate, 0.1, config_.lr_milestones);
+    } else {
+      worker->lr_schedule = std::make_unique<ml::PlateauDecayLr>(
+          config_.learning_rate, 0.1, config_.plateau_patience);
+    }
+    worker->gradient.assign(
+        static_cast<size_t>(worker->model->num_parameters()), 0.0);
+    worker->compute_seconds_per_batch = ComputeSeconds(worker->batch_size);
+    workers_.push_back(std::move(worker));
+  }
+  initialized_ = true;
+  return Status::Ok();
+}
+
+double ExperimentHarness::ComputeSeconds(int batch_size) const {
+  return config_.profile.compute_seconds * config_.compute_multiplier *
+         static_cast<double>(batch_size) /
+         static_cast<double>(config_.profile_batch);
+}
+
+double ExperimentHarness::PullSeconds(int src, int dst) const {
+  return links_->TransferSeconds(src, dst, sim_.Now(),
+                                 config_.profile.message_bytes());
+}
+
+double ExperimentHarness::ComputeGradientOnly(int w) {
+  WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
+  const std::vector<int> batch = worker.sampler->NextBatch();
+  const double loss =
+      worker.model->LossAndGradient(worker.shard, batch, worker.gradient);
+  worker.epoch_loss_sum += loss;
+  ++worker.epoch_batches;
+  ++worker.iterations;
+  if (worker.sampler->epochs_completed() > worker.epochs_completed) {
+    const double epoch_loss =
+        worker.epoch_loss_sum / static_cast<double>(worker.epoch_batches);
+    worker.epoch_loss_sum = 0.0;
+    worker.epoch_batches = 0;
+    ++worker.epochs_completed;
+    OnEpochCompleted(w, epoch_loss);
+  }
+  return loss;
+}
+
+void ExperimentHarness::ApplyStoredGradient(int w) {
+  WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
+  worker.optimizer->Step(worker.model->parameters(), worker.gradient);
+}
+
+double ExperimentHarness::LocalGradientStep(int w) {
+  const double loss = ComputeGradientOnly(w);
+  ApplyStoredGradient(w);
+  return loss;
+}
+
+void ExperimentHarness::AccountIteration(int w, double compute_seconds,
+                                         double wall_seconds) {
+  WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
+  const double compute = std::min(compute_seconds, wall_seconds);
+  worker.compute_cost_total += compute;
+  worker.comm_cost_total += std::max(0.0, wall_seconds - compute);
+}
+
+void ExperimentHarness::OnEpochCompleted(int w, double epoch_loss) {
+  WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
+  worker.latest_epoch_loss = epoch_loss;
+  worker.has_epoch_loss = true;
+  const double new_lr =
+      worker.lr_schedule->OnEpochEnd(worker.epochs_completed, epoch_loss);
+  worker.optimizer->set_learning_rate(new_lr);
+  ++total_epochs_completed_;
+  if (total_epochs_completed_ % config_.num_workers == 0) {
+    RecordGlobalEpochPoint();
+  }
+  if (worker.epochs_completed >= config_.max_epochs) worker.finished = true;
+}
+
+void ExperimentHarness::RecordGlobalEpochPoint() {
+  double loss_sum = 0.0;
+  int count = 0;
+  for (const auto& worker : workers_) {
+    if (worker->has_epoch_loss) {
+      loss_sum += worker->latest_epoch_loss;
+      ++count;
+    }
+  }
+  if (count == 0) return;
+  const double mean_loss = loss_sum / static_cast<double>(count);
+  const double global_epoch =
+      static_cast<double>(total_epochs_completed_) /
+      static_cast<double>(config_.num_workers);
+  loss_vs_time_.push_back({sim_.Now(), mean_loss});
+  loss_vs_epoch_.push_back({global_epoch, mean_loss});
+  if (config_.eval_every_epochs > 0 &&
+      static_cast<int64_t>(global_epoch) % config_.eval_every_epochs == 0) {
+    accuracy_vs_time_.push_back(
+        {sim_.Now(), ml::Accuracy(*workers_[0]->model, test_set_)});
+  }
+}
+
+bool ExperimentHarness::WorkerDone(int w) const {
+  const WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
+  return worker.finished || sim_.Now() >= config_.max_virtual_seconds;
+}
+
+bool ExperimentHarness::AllDone() const {
+  for (int w = 0; w < config_.num_workers; ++w) {
+    if (!WorkerDone(w)) return false;
+  }
+  return true;
+}
+
+RunResult ExperimentHarness::Finalize() {
+  RunResult result;
+  result.algorithm = algorithm_name_;
+  result.loss_vs_time = loss_vs_time_;
+  result.loss_vs_epoch = loss_vs_epoch_;
+  result.accuracy_vs_time = accuracy_vs_time_;
+  result.total_virtual_seconds = sim_.Now();
+  result.policies_generated = policies_generated_;
+
+  double loss_sum = 0.0;
+  int loss_count = 0;
+  double accuracy_sum = 0.0;
+  double compute_total = 0.0;
+  double comm_total = 0.0;
+  int64_t epochs_total = 0;
+  for (const auto& worker : workers_) {
+    if (worker->has_epoch_loss) {
+      loss_sum += worker->latest_epoch_loss;
+      ++loss_count;
+    }
+    accuracy_sum += ml::Accuracy(*worker->model, test_set_);
+    compute_total += worker->compute_cost_total;
+    comm_total += worker->comm_cost_total;
+    epochs_total += worker->epochs_completed;
+    result.total_local_iterations += worker->iterations;
+  }
+  result.final_train_loss =
+      loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
+  result.final_accuracy =
+      accuracy_sum / static_cast<double>(config_.num_workers);
+  if (epochs_total > 0) {
+    result.avg_epoch_cost.compute_seconds =
+        compute_total / static_cast<double>(epochs_total);
+    result.avg_epoch_cost.communication_seconds =
+        comm_total / static_cast<double>(epochs_total);
+  }
+
+  // Consensus distance: max_i || x_i - mean(x) ||.
+  const int num_params = workers_[0]->model->num_parameters();
+  std::vector<double> mean(static_cast<size_t>(num_params), 0.0);
+  for (const auto& worker : workers_) {
+    linalg::AddInPlace(worker->model->parameters(), mean);
+  }
+  linalg::Scale(1.0 / static_cast<double>(config_.num_workers), mean);
+  double max_dist = 0.0;
+  for (const auto& worker : workers_) {
+    const std::vector<double> diff =
+        linalg::Sub(worker->model->parameters(), mean);
+    max_dist = std::max(max_dist, linalg::Norm(diff));
+  }
+  result.consensus_distance = max_dist;
+  return result;
+}
+
+}  // namespace netmax::core

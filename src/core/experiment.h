@@ -1,0 +1,261 @@
+#ifndef NETMAX_CORE_EXPERIMENT_H_
+#define NETMAX_CORE_EXPERIMENT_H_
+
+// Shared experiment plumbing for every decentralized-training algorithm.
+//
+// ExperimentConfig describes one run the way the paper's Section V does:
+// dataset + partitioning, model cost profile, cluster/network scenario,
+// optimizer settings, and algorithm knobs. ExperimentHarness instantiates it
+// (shards, per-worker model replicas and optimizers, link model, event
+// simulator) and does the measurement bookkeeping (training-loss series,
+// epoch-time cost split, accuracy) so that NetMax and all baselines are
+// compared on identical footing — the paper's "same runtime environment".
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/policy_generator.h"
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+#include "ml/model.h"
+#include "ml/model_profile.h"
+#include "ml/optimizer.h"
+#include "net/cluster.h"
+#include "net/event_sim.h"
+#include "net/link_model.h"
+#include "net/topology.h"
+
+namespace netmax::core {
+
+enum class PartitionScheme {
+  kUniform,     // Sections V-B..E
+  kSegments,    // Section V-F: worker w holds segments[w] data segments
+  kLostLabels,  // Tables IV/VII non-IID
+};
+
+enum class NetworkScenario {
+  kHeterogeneousDynamic,  // Section V-A: slow link re-drawn every 5 minutes
+  kHeterogeneousStatic,   // same placement, no dynamic slowdown
+  kHomogeneous,           // single server, 10 Gbps virtual switch
+  kWan,                   // Appendix G: six EC2 regions
+};
+
+struct ExperimentConfig {
+  // --- workload ---
+  ml::SyntheticSpec dataset = ml::Cifar10SimSpec();
+  PartitionScheme partition = PartitionScheme::kUniform;
+  std::vector<int> segments;                  // for kSegments
+  std::vector<std::vector<int>> lost_labels;  // for kLostLabels
+
+  // --- trainable proxy model (hidden layer widths of the MLP) ---
+  std::vector<int> hidden_layers = {32};
+
+  // --- time-domain cost model ---
+  ml::ModelProfile profile = ml::ResNet18Profile();
+  int profile_batch = 128;          // batch size profile.compute_seconds refers to
+  double compute_multiplier = 1.0;  // >1 for CPU-only WAN instances
+
+  // --- cluster / network ---
+  int num_workers = 8;
+  NetworkScenario network = NetworkScenario::kHeterogeneousDynamic;
+  bool two_server_placement = false;  // Section V-F placement
+  double slowdown_period_seconds = 300.0;
+  double slowdown_min_factor = 2.0;
+  double slowdown_max_factor = 100.0;
+
+  // --- optimization (paper defaults) ---
+  int batch_size = 32;
+  double learning_rate = 0.1;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  int plateau_patience = 3;             // LR /10 on plateau if no milestones
+  std::vector<int64_t> lr_milestones;   // LR /10 at these epochs if non-empty
+
+  // --- stopping ---
+  int max_epochs = 30;                 // per-worker epochs
+  double max_virtual_seconds = 1e7;    // safety cap on simulated time
+
+  // --- NetMax / monitor knobs ---
+  double monitor_period_seconds = 120.0;  // Ts
+  double ema_beta = 0.5;                  // iteration-time EMA smoothing
+  PolicyGeneratorOptions generator;       // alpha is overwritten from learning_rate
+  // Initial consensus strength: rho_0 chosen so that
+  // alpha * rho_0 * (M-1) = initial_consensus_coefficient (uniform policy).
+  double initial_consensus_coefficient = 0.3;
+  bool overlap_communication = true;  // Fig. 7: parallel vs serial
+  bool adaptive_policy = true;        // Fig. 7: adaptive vs uniform
+  // Apply the consensus step as a symmetric exchange: when i pulls from m,
+  // m applies the mirrored update, so the pair moves toward each other and
+  // the fleet-wide parameter mean is preserved (the update matrix becomes
+  // doubly stochastic in the first moment, strengthening the paper's
+  // E[D^T D] condition). The literal one-sided pull of Algorithm 2 is
+  // row-stochastic only; every pull then discards a fraction of the puller's
+  // fresh gradient progress from the mean, which measurably slows per-epoch
+  // convergence in this scaled-down high-gradient-noise regime. Disable to
+  // run the paper-literal variant.
+  bool symmetric_consensus = true;
+
+  // --- measurement ---
+  // Evaluate test accuracy every this many global epochs (0 = only at end).
+  int eval_every_epochs = 0;
+  uint64_t seed = 1;
+};
+
+// Per-epoch cost attribution averaged over workers and epochs. Communication
+// cost is the part of the iteration wall time not covered by compute
+// (wall - compute, >= 0), so the two parts stack to the epoch time as in the
+// paper's Fig. 5/6 bars.
+struct EpochCostBreakdown {
+  double compute_seconds = 0.0;
+  double communication_seconds = 0.0;
+  double total_seconds() const { return compute_seconds + communication_seconds; }
+};
+
+struct RunResult {
+  std::string algorithm;
+  // Mean (over workers) per-epoch training loss vs virtual seconds / epochs.
+  ml::Series loss_vs_time;
+  ml::Series loss_vs_epoch;
+  // Test accuracy of a reference model vs virtual seconds (only when
+  // eval_every_epochs > 0).
+  ml::Series accuracy_vs_time;
+  double final_train_loss = 0.0;
+  double final_accuracy = 0.0;  // mean over worker models at the end
+  double total_virtual_seconds = 0.0;
+  EpochCostBreakdown avg_epoch_cost;
+  int64_t total_local_iterations = 0;
+  // max_i || x_i - mean(x) ||, a consensus diagnostic.
+  double consensus_distance = 0.0;
+  // NetMax diagnostics: number of policies the monitor produced.
+  int64_t policies_generated = 0;
+};
+
+// Interface implemented by NetMax and every baseline.
+class TrainingAlgorithm {
+ public:
+  virtual ~TrainingAlgorithm() = default;
+  virtual std::string name() const = 0;
+  virtual StatusOr<RunResult> Run(const ExperimentConfig& config) const = 0;
+};
+
+// Mutable per-worker training state.
+struct WorkerRuntime {
+  int id = -1;
+  ml::Dataset shard;
+  std::unique_ptr<ml::Model> model;
+  std::unique_ptr<ml::SgdOptimizer> optimizer;
+  std::unique_ptr<ml::BatchSampler> sampler;
+  std::unique_ptr<ml::LrSchedule> lr_schedule;
+  Rng rng;
+  std::vector<double> gradient;  // scratch buffer
+  int batch_size = 0;
+  double compute_seconds_per_batch = 0.0;
+
+  // Epoch bookkeeping.
+  double epoch_loss_sum = 0.0;
+  int64_t epoch_batches = 0;
+  int64_t epochs_completed = 0;
+  double latest_epoch_loss = 0.0;
+  bool has_epoch_loss = false;
+
+  // Cost accounting.
+  double compute_cost_total = 0.0;
+  double comm_cost_total = 0.0;
+  int64_t iterations = 0;
+  bool finished = false;
+
+  WorkerRuntime(int worker_id, ml::Dataset worker_shard, uint64_t rng_seed)
+      : id(worker_id), shard(std::move(worker_shard)), rng(rng_seed) {}
+};
+
+// Builds and owns everything an engine needs for one run.
+class ExperimentHarness {
+ public:
+  // `algorithm_name` labels the RunResult.
+  ExperimentHarness(const ExperimentConfig& config, std::string algorithm_name);
+
+  // Materializes datasets, workers, link model, topology. Must be called
+  // exactly once before anything else; fails on inconsistent configs.
+  Status Init();
+
+  const ExperimentConfig& config() const { return config_; }
+  net::EventSimulator& sim() { return sim_; }
+  net::LinkModel& links() { return *links_; }
+  const net::Topology& topology() const { return *topology_; }
+  int num_workers() const { return config_.num_workers; }
+  WorkerRuntime& worker(int w) { return *workers_[static_cast<size_t>(w)]; }
+  const ml::Dataset& test_set() const { return test_set_; }
+
+  // Compute time for one batch of `batch_size` examples.
+  double ComputeSeconds(int batch_size) const;
+
+  // Transfer time for one model pull from `src` to `dst` starting now.
+  double PullSeconds(int src, int dst) const;
+
+  // Executes one local gradient step on worker w (sample batch, loss +
+  // gradient, optimizer step). Handles epoch bookkeeping: when w finishes an
+  // epoch this records series points, applies the LR schedule, and may mark
+  // the worker finished. Returns the batch loss.
+  double LocalGradientStep(int w);
+
+  // Like LocalGradientStep but leaves the gradient in worker.gradient without
+  // applying it (engines that apply gradients after communication, e.g.
+  // AD-PSGD's average-then-step order). Epoch bookkeeping still runs.
+  double ComputeGradientOnly(int w);
+
+  // Applies worker w's stored gradient through its optimizer.
+  void ApplyStoredGradient(int w);
+
+  // Adds one iteration's cost to worker w's account. `wall_seconds` is the
+  // iteration duration; compute cost is capped at wall.
+  void AccountIteration(int w, double compute_seconds, double wall_seconds);
+
+  // True once worker w has trained for config.max_epochs epochs or the time
+  // cap has been reached.
+  bool WorkerDone(int w) const;
+  bool AllDone() const;
+
+  // For NetMax diagnostics.
+  void set_policies_generated(int64_t n) { policies_generated_ = n; }
+
+  // Assembles the RunResult (final accuracy over all worker models, cost
+  // averages, consensus distance).
+  RunResult Finalize();
+
+ private:
+  void OnEpochCompleted(int w, double epoch_loss);
+  void RecordGlobalEpochPoint();
+
+  ExperimentConfig config_;
+  std::string algorithm_name_;
+  bool initialized_ = false;
+
+  net::EventSimulator sim_;
+  std::unique_ptr<net::Topology> topology_;
+  std::unique_ptr<net::LinkModel> links_;
+  std::vector<std::unique_ptr<WorkerRuntime>> workers_;
+  ml::Dataset test_set_{1, 2};
+
+  // Recording state.
+  ml::Series loss_vs_time_;
+  ml::Series loss_vs_epoch_;
+  ml::Series accuracy_vs_time_;
+  int64_t total_epochs_completed_ = 0;
+  int64_t policies_generated_ = 0;
+};
+
+// Helper shared by benches/examples: builds the per-worker shards for the
+// configured partition scheme (exposed for tests).
+StatusOr<std::vector<ml::Dataset>> BuildShards(const ExperimentConfig& config,
+                                               const ml::Dataset& train);
+
+// Per-worker batch size: config.batch_size, scaled by segments[w] for the
+// kSegments scheme (paper: batch = 64 * segment count).
+int WorkerBatchSize(const ExperimentConfig& config, int worker);
+
+}  // namespace netmax::core
+
+#endif  // NETMAX_CORE_EXPERIMENT_H_

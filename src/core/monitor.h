@@ -1,0 +1,57 @@
+#ifndef NETMAX_CORE_MONITOR_H_
+#define NETMAX_CORE_MONITOR_H_
+
+// Network Monitor (paper Algorithm 1).
+//
+// The monitor is the only centralized component of NetMax and it never sees
+// training data or model parameters: every schedule period Ts it collects the
+// per-link iteration-time EMAs [t_{i,m}] from the workers, runs the policy
+// generator (Algorithm 3), and pushes the new policy (P, rho) back. Inside
+// the simulator the engine schedules a monitor event every Ts and calls
+// ComputePolicy; this class holds the policy-generation state and the
+// handling of not-yet-measured links.
+
+#include <optional>
+
+#include "core/policy_generator.h"
+
+namespace netmax::core {
+
+struct MonitorOptions {
+  // Ts: how often the monitor recomputes the policy (paper: 2 minutes).
+  double schedule_period_seconds = 120.0;
+  PolicyGeneratorOptions generator;
+};
+
+class NetworkMonitor {
+ public:
+  NetworkMonitor(net::Topology topology, MonitorOptions options);
+
+  // Fills links that no worker has measured yet (entry <= 0) with the largest
+  // measured time — a conservative guess that steers traffic away from
+  // unknown links until they are probed. Returns nullopt if nothing has been
+  // measured at all.
+  std::optional<linalg::Matrix> FillMissingTimes(
+      const linalg::Matrix& ema_times) const;
+
+  // One monitor tick: assembles the time matrix and runs Algorithm 3.
+  // Returns kFailedPrecondition while no link has been measured yet, or the
+  // generator's error if no feasible policy exists.
+  StatusOr<GeneratedPolicy> ComputePolicy(
+      const linalg::Matrix& ema_times) const;
+
+  const MonitorOptions& options() const { return options_; }
+  const net::Topology& topology() const { return generator_.topology(); }
+
+  // Number of successful policy computations so far (diagnostics).
+  int64_t policies_generated() const { return policies_generated_; }
+
+ private:
+  MonitorOptions options_;
+  PolicyGenerator generator_;
+  mutable int64_t policies_generated_ = 0;
+};
+
+}  // namespace netmax::core
+
+#endif  // NETMAX_CORE_MONITOR_H_

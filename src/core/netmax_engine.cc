@@ -1,0 +1,171 @@
+#include "core/netmax_engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/monitor.h"
+#include "linalg/vector_ops.h"
+
+namespace netmax::core {
+namespace {
+
+// Consensus coefficients are clamped below this to keep the second-step
+// update a contraction even while policy and rho are transiently mismatched
+// (e.g. right after a monitor update).
+constexpr double kMaxConsensusCoefficient = 0.95;
+
+class NetMaxEngine {
+ public:
+  explicit NetMaxEngine(const ExperimentConfig& config)
+      : harness_(config, "NetMax"), config_(config) {}
+
+  StatusOr<RunResult> Run() {
+    NETMAX_RETURN_IF_ERROR(harness_.Init());
+    const int n = harness_.num_workers();
+    topology_ = &harness_.topology();
+
+    // Initial uniform policy and rho_0 with
+    // alpha * rho_0 * (M - 1) = initial_consensus_coefficient.
+    policy_ = std::make_unique<CommunicationPolicy>(
+        CommunicationPolicy::Uniform(*topology_));
+    rho_ = config_.initial_consensus_coefficient /
+           (config_.learning_rate * static_cast<double>(n - 1));
+
+    // Monitor (Algorithm 1).
+    MonitorOptions monitor_options;
+    monitor_options.schedule_period_seconds = config_.monitor_period_seconds;
+    monitor_options.generator = config_.generator;
+    monitor_options.generator.alpha = config_.learning_rate;
+    monitor_ = std::make_unique<NetworkMonitor>(*topology_, monitor_options);
+
+    // Per-link iteration-time EMAs (Algorithm 2, UPDATETIMEVECTOR).
+    ema_times_.assign(
+        static_cast<size_t>(n),
+        std::vector<ExponentialMovingAverage>(
+            static_cast<size_t>(n),
+            ExponentialMovingAverage(config_.ema_beta)));
+
+    for (int w = 0; w < n; ++w) StartIteration(w);
+    if (config_.adaptive_policy) {
+      harness_.sim().ScheduleAfter(config_.monitor_period_seconds,
+                                   [this] { MonitorTick(); });
+    }
+    harness_.sim().RunUntilIdle();
+    harness_.set_policies_generated(monitor_->policies_generated());
+    return harness_.Finalize();
+  }
+
+ private:
+  void StartIteration(int w) {
+    if (harness_.WorkerDone(w)) return;
+    WorkerRuntime& worker = harness_.worker(w);
+    const int m = worker.rng.Discrete(policy_->Row(w));
+    const double compute = worker.compute_seconds_per_batch;
+    if (m == w) {
+      // Self-selection: pure local step, no communication this iteration.
+      harness_.sim().ScheduleAfter(compute, [this, w, compute] {
+        harness_.LocalGradientStep(w);
+        harness_.AccountIteration(w, compute, compute);
+        StartIteration(w);
+      });
+      return;
+    }
+    const double transfer = harness_.PullSeconds(m, w);
+    const double wall = config_.overlap_communication
+                            ? std::max(compute, transfer)
+                            : compute + transfer;
+    harness_.sim().ScheduleAfter(wall, [this, w, m, compute, wall] {
+      CompleteIteration(w, m, compute, wall);
+    });
+  }
+
+  void CompleteIteration(int w, int m, double compute, double wall) {
+    WorkerRuntime& worker = harness_.worker(w);
+    // First-step update: local gradients (Algorithm 2 line 11).
+    harness_.LocalGradientStep(w);
+    // Second-step update: consensus pull (lines 13-14) against m's current
+    // ("freshest") parameters:
+    //   x_i <- x_i - alpha * rho/p_{i,m} * (x_i - x_m).
+    // alpha here is the constant learning rate the convergence analysis and
+    // the policy generator use (Theorems 1-3 assume a fixed alpha); tying the
+    // consensus strength to the *decayed* SGD rate would silently turn off
+    // mixing in late training and break the lambda_2-based policy objective.
+    const double p = policy_->probability(w, m);
+    NETMAX_CHECK_GT(p, 0.0);
+    // For feasible policies Eq. (11) gives p >= 2*alpha*rho, so the
+    // coefficient is at most 1/2 — exactly the perfect-swap bound of the
+    // symmetric exchange below.
+    const double coefficient = std::min(
+        config_.symmetric_consensus ? 0.5 : kMaxConsensusCoefficient,
+        config_.learning_rate * rho_ / p);
+    auto x_i = worker.model->parameters();
+    auto x_m = harness_.worker(m).model->parameters();
+    for (size_t j = 0; j < x_i.size(); ++j) {
+      const double delta = coefficient * (x_i[j] - x_m[j]);
+      x_i[j] -= delta;
+      if (config_.symmetric_consensus) x_m[j] += delta;
+    }
+    // Iteration-time EMA (line 16 / lines 19-22).
+    ema_times_[static_cast<size_t>(w)][static_cast<size_t>(m)].Add(wall);
+    harness_.AccountIteration(w, compute, wall);
+    StartIteration(w);
+  }
+
+  void MonitorTick() {
+    if (harness_.AllDone()) return;  // training is over; monitor stops
+    const int n = harness_.num_workers();
+    linalg::Matrix times(n, n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int m : topology_->Neighbors(i)) {
+        const auto& ema =
+            ema_times_[static_cast<size_t>(i)][static_cast<size_t>(m)];
+        if (ema.has_value()) times(i, m) = ema.value();
+      }
+    }
+    StatusOr<GeneratedPolicy> generated = monitor_->ComputePolicy(times);
+    if (generated.ok()) {
+      policy_ = std::make_unique<CommunicationPolicy>(
+          std::move(generated.value().policy));
+      rho_ = generated->rho;
+    }
+    // Warm-up (no measurements yet) or infeasible configurations keep the
+    // previous policy; either way the monitor keeps running.
+    harness_.sim().ScheduleAfter(config_.monitor_period_seconds,
+                                 [this] { MonitorTick(); });
+  }
+
+  ExperimentHarness harness_;
+  ExperimentConfig config_;
+  const net::Topology* topology_ = nullptr;
+  std::unique_ptr<CommunicationPolicy> policy_;
+  std::unique_ptr<NetworkMonitor> monitor_;
+  double rho_ = 0.0;
+  std::vector<std::vector<ExponentialMovingAverage>> ema_times_;
+};
+
+}  // namespace
+
+StatusOr<RunResult> NetMaxAlgorithm::Run(const ExperimentConfig& config) const {
+  NetMaxEngine engine(config);
+  return engine.Run();
+}
+
+NetMaxVariantAlgorithm::NetMaxVariantAlgorithm(bool overlap, bool adaptive)
+    : overlap_(overlap), adaptive_(adaptive) {
+  name_ = std::string(overlap ? "parallel" : "serial") + "+" +
+          (adaptive ? "adaptive" : "uniform");
+}
+
+StatusOr<RunResult> NetMaxVariantAlgorithm::Run(
+    const ExperimentConfig& config) const {
+  ExperimentConfig variant = config;
+  variant.overlap_communication = overlap_;
+  variant.adaptive_policy = adaptive_;
+  NetMaxEngine engine(variant);
+  StatusOr<RunResult> result = engine.Run();
+  if (result.ok()) result.value().algorithm = name_;
+  return result;
+}
+
+}  // namespace netmax::core

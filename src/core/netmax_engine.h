@@ -1,0 +1,44 @@
+#ifndef NETMAX_CORE_NETMAX_ENGINE_H_
+#define NETMAX_CORE_NETMAX_ENGINE_H_
+
+// NetMax: asynchronous decentralized consensus SGD with monitor-driven
+// adaptive neighbor selection (paper Algorithms 1-3).
+//
+// Per local iteration a worker (Algorithm 2):
+//   1. draws a peer m from its policy row (p_{i,m}),
+//   2. requests m's parameters while computing its local minibatch gradient
+//      (overlapped, so the iteration lasts max{C_i, N_{i,m}}; the Fig. 7
+//      "serial" ablation runs them back-to-back instead),
+//   3. applies the gradient step, then the consensus step
+//      x_i <- x_i - alpha * rho/p_{i,m} * (x_i - x_m),
+//   4. folds the iteration time into its EMA vector T_i[m].
+// Every Ts seconds the Network Monitor collects the EMAs and regenerates
+// (P, rho) by Algorithm 3 (the Fig. 7 "uniform" ablation disables this).
+
+#include "core/experiment.h"
+
+namespace netmax::core {
+
+class NetMaxAlgorithm : public TrainingAlgorithm {
+ public:
+  std::string name() const override { return "NetMax"; }
+  StatusOr<RunResult> Run(const ExperimentConfig& config) const override;
+};
+
+// NetMax variants for the Fig. 7 source-of-improvement ablation. `overlap`
+// toggles compute/communication overlap; `adaptive` toggles the monitor.
+class NetMaxVariantAlgorithm : public TrainingAlgorithm {
+ public:
+  NetMaxVariantAlgorithm(bool overlap, bool adaptive);
+  std::string name() const override { return name_; }
+  StatusOr<RunResult> Run(const ExperimentConfig& config) const override;
+
+ private:
+  bool overlap_;
+  bool adaptive_;
+  std::string name_;
+};
+
+}  // namespace netmax::core
+
+#endif  // NETMAX_CORE_NETMAX_ENGINE_H_

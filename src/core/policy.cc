@@ -1,0 +1,156 @@
+#include "core/policy.h"
+
+#include <cmath>
+#include <functional>
+
+namespace netmax::core {
+
+CommunicationPolicy::CommunicationPolicy(linalg::Matrix probabilities)
+    : probabilities_(std::move(probabilities)) {
+  NETMAX_CHECK_EQ(probabilities_.rows(), probabilities_.cols());
+  NETMAX_CHECK_GT(probabilities_.rows(), 0);
+}
+
+CommunicationPolicy CommunicationPolicy::Uniform(
+    const net::Topology& topology) {
+  const int n = topology.num_nodes();
+  linalg::Matrix p(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const auto& neighbors = topology.Neighbors(i);
+    NETMAX_CHECK(!neighbors.empty())
+        << "node " << i << " has no neighbors; cannot build a uniform policy";
+    const double share = 1.0 / static_cast<double>(neighbors.size());
+    for (int m : neighbors) p(i, m) = share;
+  }
+  return CommunicationPolicy(std::move(p));
+}
+
+Status CommunicationPolicy::Validate(const net::Topology& topology,
+                                     double tol) const {
+  if (num_workers() != topology.num_nodes()) {
+    return InvalidArgumentError("policy size does not match topology");
+  }
+  const int n = num_workers();
+  for (int i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (int m = 0; m < n; ++m) {
+      const double p = probabilities_(i, m);
+      if (p < -tol) {
+        return InvalidArgumentError("negative probability at (" +
+                                    std::to_string(i) + "," +
+                                    std::to_string(m) + ")");
+      }
+      if (i != m && !topology.AreNeighbors(i, m) && p > tol) {
+        return InvalidArgumentError(
+            "positive probability on non-edge (" + std::to_string(i) + "," +
+            std::to_string(m) + ")");
+      }
+      row_sum += p;
+    }
+    if (std::fabs(row_sum - 1.0) > tol) {
+      return InvalidArgumentError("row " + std::to_string(i) +
+                                  " sums to " + std::to_string(row_sum));
+    }
+  }
+  return Status::Ok();
+}
+
+double AverageIterationTime(const linalg::Matrix& iteration_times,
+                            const CommunicationPolicy& policy,
+                            const net::Topology& topology, int i) {
+  NETMAX_CHECK_EQ(iteration_times.rows(), policy.num_workers());
+  NETMAX_CHECK_EQ(iteration_times.cols(), policy.num_workers());
+  double total = 0.0;
+  for (int m : topology.Neighbors(i)) {
+    total += iteration_times(i, m) * policy.probability(i, m);
+  }
+  return total;
+}
+
+StatusOr<std::vector<double>> GlobalStepProbabilities(
+    const linalg::Matrix& iteration_times, const CommunicationPolicy& policy,
+    const net::Topology& topology) {
+  const int n = policy.num_workers();
+  std::vector<double> inverse_times(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double t_i = AverageIterationTime(iteration_times, policy, topology, i);
+    if (t_i <= 0.0) {
+      return InvalidArgumentError("node " + std::to_string(i) +
+                                  " has non-positive average iteration time");
+    }
+    inverse_times[static_cast<size_t>(i)] = 1.0 / t_i;
+    total += inverse_times[static_cast<size_t>(i)];
+  }
+  for (double& p : inverse_times) p /= total;
+  return inverse_times;
+}
+
+namespace {
+
+// Shared accumulation of Y = E[(D^k)^T D^k] where D^k = I + c e_i(e_m-e_i)^T
+// for the event "i pulls from m" (probability p_i * p_{i,m}) and c is the
+// event's update coefficient. Per event the contribution to Y is
+//   (-2c + c^2) E_ii + c^2 E_mm + (c - c^2)(E_im + E_mi).
+StatusOr<linalg::Matrix> BuildY(
+    const CommunicationPolicy& policy, const net::Topology& topology,
+    std::span<const double> global_probs,
+    const std::function<StatusOr<double>(int, int)>& coefficient) {
+  const int n = policy.num_workers();
+  if (static_cast<int>(global_probs.size()) != n) {
+    return InvalidArgumentError("global_probs size mismatch");
+  }
+  NETMAX_RETURN_IF_ERROR(policy.Validate(topology));
+  linalg::Matrix y = linalg::Matrix::Identity(n);
+  for (int i = 0; i < n; ++i) {
+    for (int m : topology.Neighbors(i)) {
+      const double p_event =
+          global_probs[static_cast<size_t>(i)] * policy.probability(i, m);
+      if (p_event <= 0.0) continue;  // the event never happens
+      StatusOr<double> c_or = coefficient(i, m);
+      if (!c_or.ok()) return c_or.status();
+      const double c = c_or.value();
+      y(i, i) += p_event * (-2.0 * c + c * c);
+      y(m, m) += p_event * c * c;
+      y(i, m) += p_event * (c - c * c);
+      y(m, i) += p_event * (c - c * c);
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+StatusOr<linalg::Matrix> BuildNetMaxY(const CommunicationPolicy& policy,
+                                      const net::Topology& topology,
+                                      double alpha, double rho,
+                                      std::span<const double> global_probs,
+                                      bool allow_overshoot) {
+  if (alpha <= 0.0) return InvalidArgumentError("alpha must be positive");
+  if (rho < 0.0) return InvalidArgumentError("rho must be non-negative");
+  return BuildY(policy, topology, global_probs,
+                [&](int i, int m) -> StatusOr<double> {
+                  // gamma_{i,m} = (d_{i,m}+d_{m,i}) / (2 p_{i,m}) and both
+                  // indicators are 1 on an edge of the undirected graph.
+                  const double p = policy.probability(i, m);
+                  const double c = alpha * rho / p;
+                  if (!allow_overshoot && c >= 1.0) {
+                    return InvalidArgumentError(
+                        "alpha*rho*gamma >= 1 for edge (" + std::to_string(i) +
+                        "," + std::to_string(m) + "): consensus step overshoots");
+                  }
+                  return c;
+                });
+}
+
+StatusOr<linalg::Matrix> BuildAveragingY(
+    const CommunicationPolicy& policy, const net::Topology& topology,
+    double weight, std::span<const double> global_probs) {
+  if (weight <= 0.0 || weight > 1.0) {
+    return InvalidArgumentError("averaging weight must be in (0, 1]");
+  }
+  return BuildY(policy, topology, global_probs,
+                [&](int, int) -> StatusOr<double> { return weight; });
+}
+
+}  // namespace netmax::core

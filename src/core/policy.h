@@ -1,0 +1,89 @@
+#ifndef NETMAX_CORE_POLICY_H_
+#define NETMAX_CORE_POLICY_H_
+
+// Communication-policy algebra.
+//
+// A communication policy P = [p_{i,m}] gives, for each worker i, the
+// probability of selecting peer m at an iteration (p_{i,i} = probability of
+// skipping communication). This file implements:
+//   * policy construction/validation (Eqs. 12-13),
+//   * per-node average iteration times and global-step probabilities
+//     (Eqs. 2-3),
+//   * the contraction matrix Y_P = E[(D^k)^T D^k] of the convergence analysis
+//     (Eqs. 20-22), both for NetMax's consensus update (coefficient
+//     alpha*rho*gamma_{i,m}) and for plain pairwise-averaging gossip such as
+//     AD-PSGD (constant coefficient 1/2) used by the Section III-D extension.
+//
+// Lemmas 1-3 and Theorem 3 of the paper assert that Y_P of any feasible
+// policy is symmetric, doubly stochastic, non-negative and irreducible with
+// lambda_2 < 1; tests/policy_test.cc checks those properties over random
+// configurations.
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "net/topology.h"
+
+namespace netmax::core {
+
+class CommunicationPolicy {
+ public:
+  // Takes a row-stochastic M x M matrix; rows are per-worker distributions.
+  explicit CommunicationPolicy(linalg::Matrix probabilities);
+
+  // Uniform over neighbors (AD-PSGD / GoSGD behaviour): p_{i,m} = 1/deg(i)
+  // for neighbors, p_{i,i} = 0.
+  static CommunicationPolicy Uniform(const net::Topology& topology);
+
+  int num_workers() const { return probabilities_.rows(); }
+  const linalg::Matrix& matrix() const { return probabilities_; }
+  double probability(int i, int m) const { return probabilities_(i, m); }
+  std::span<const double> Row(int i) const { return probabilities_.Row(i); }
+
+  // Verifies rows sum to 1, entries are non-negative, and p_{i,m} = 0
+  // wherever i != m are not neighbors (Eqs. 12-13).
+  Status Validate(const net::Topology& topology, double tol = 1e-7) const;
+
+ private:
+  linalg::Matrix probabilities_;
+};
+
+// Average iteration time of node i (Eq. 2): sum_m t_{i,m} p_{i,m} d_{i,m}.
+// `iteration_times` is the M x M matrix of per-link iteration times.
+double AverageIterationTime(const linalg::Matrix& iteration_times,
+                            const CommunicationPolicy& policy,
+                            const net::Topology& topology, int i);
+
+// Probability that node i is the one acting at a global step (Eq. 3):
+// p_i = (1/t_i) / sum_m (1/t_m). Nodes with zero average iteration time are
+// invalid (they would iterate infinitely fast).
+StatusOr<std::vector<double>> GlobalStepProbabilities(
+    const linalg::Matrix& iteration_times, const CommunicationPolicy& policy,
+    const net::Topology& topology);
+
+// Y_P for NetMax's consensus update (Eqs. 20-22), where the event "i pulls
+// from m" rescales the consensus step by gamma_{i,m} =
+// (d_{i,m}+d_{m,i}) / (2 p_{i,m}).
+//
+// `global_probs` are the p_i of Eq. 3 (pass 1/M for a feasible policy, by
+// Lemma 1). Returns InvalidArgument if some neighbor with positive selection
+// probability has a coefficient alpha*rho*gamma >= 1 (the update would
+// overshoot; cf. Eq. 52) -- except that callers may tolerate it by setting
+// `allow_overshoot`.
+StatusOr<linalg::Matrix> BuildNetMaxY(const CommunicationPolicy& policy,
+                                      const net::Topology& topology,
+                                      double alpha, double rho,
+                                      std::span<const double> global_probs,
+                                      bool allow_overshoot = false);
+
+// Y_P for pairwise averaging x_i <- (1-w) x_i + w x_m (AD-PSGD: w = 1/2).
+StatusOr<linalg::Matrix> BuildAveragingY(const CommunicationPolicy& policy,
+                                         const net::Topology& topology,
+                                         double weight,
+                                         std::span<const double> global_probs);
+
+}  // namespace netmax::core
+
+#endif  // NETMAX_CORE_POLICY_H_

@@ -1,0 +1,249 @@
+#include "core/policy_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/eigen.h"
+#include "linalg/simplex.h"
+
+namespace netmax::core {
+namespace {
+
+// Numerical floor below which lambda_2 is treated as "converges in one step".
+constexpr double kLambdaFloor = 1e-12;
+
+}  // namespace
+
+PolicyGenerator::PolicyGenerator(net::Topology topology,
+                                 PolicyGeneratorOptions options)
+    : topology_(std::move(topology)), options_(options) {
+  NETMAX_CHECK_GT(options_.alpha, 0.0);
+  NETMAX_CHECK_GE(options_.outer_rounds, 1);
+  NETMAX_CHECK_GE(options_.inner_rounds, 1);
+  NETMAX_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
+  NETMAX_CHECK_GT(options_.probability_margin, 0.0);
+  NETMAX_CHECK(topology_.IsConnected())
+      << "Assumption 1 requires a connected graph";
+}
+
+namespace {
+
+// Eq. (11) lower bound for an edge probability: 2*alpha*rho (both indicators
+// are 1 on an undirected edge) made strict by the margin. In averaging mode
+// the update coefficient does not depend on p, so only the margin is needed
+// to keep Y_P's off-diagonals positive (irreducibility, Lemma 3).
+double EdgeLowerBound(const PolicyGeneratorOptions& options, double rho) {
+  if (options.mode == PolicyGeneratorOptions::Mode::kAveraging) {
+    return options.probability_margin;
+  }
+  return 2.0 * options.alpha * rho + options.probability_margin;
+}
+
+}  // namespace
+
+std::pair<double, double> PolicyGenerator::FeasibleStepTimeInterval(
+    double rho, const linalg::Matrix& iteration_times) const {
+  const int n = topology_.num_nodes();
+  const double lb = EdgeLowerBound(options_, rho);
+  double lower = 0.0;   // max over i of (1/M) sum_m t_im * lb   (Eq. 26)
+  double upper = std::numeric_limits<double>::infinity();  // Eq. 28
+  for (int i = 0; i < n; ++i) {
+    double sum_t = 0.0;
+    double max_t = 0.0;
+    for (int m : topology_.Neighbors(i)) {
+      const double t = iteration_times(i, m);
+      sum_t += t;
+      max_t = std::max(max_t, t);
+    }
+    lower = std::max(lower, lb * sum_t / static_cast<double>(n));
+    upper = std::min(upper, max_t / static_cast<double>(n));
+  }
+  return {lower, upper};
+}
+
+StatusOr<CommunicationPolicy> PolicyGenerator::SolvePolicyLp(
+    double rho, double t_bar, const linalg::Matrix& iteration_times) const {
+  const int n = topology_.num_nodes();
+  const double lb = EdgeLowerBound(options_, rho);
+
+  // Variable layout: first the n self-probabilities p_{i,i}, then one
+  // variable per directed edge (i -> m), in row-major edge order.
+  std::vector<std::pair<int, int>> edges;
+  std::vector<int> edge_var(static_cast<size_t>(n) * n, -1);
+  for (int i = 0; i < n; ++i) {
+    for (int m : topology_.Neighbors(i)) {
+      edge_var[static_cast<size_t>(i) * n + m] =
+          n + static_cast<int>(edges.size());
+      edges.emplace_back(i, m);
+    }
+  }
+  const int num_vars = n + static_cast<int>(edges.size());
+
+  linalg::LpProblem lp;
+  lp.num_vars = num_vars;
+  lp.objective.assign(static_cast<size_t>(num_vars), 0.0);
+  for (int i = 0; i < n; ++i) lp.objective[static_cast<size_t>(i)] = 1.0;
+  lp.lower_bounds.assign(static_cast<size_t>(num_vars), 0.0);
+  lp.upper_bounds.assign(static_cast<size_t>(num_vars), 1.0);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    lp.lower_bounds[static_cast<size_t>(n) + e] = lb;
+  }
+
+  // Eq. (10): sum_m t_{i,m} p_{i,m} = M * t_bar for every i.
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> row(static_cast<size_t>(num_vars), 0.0);
+    for (int m : topology_.Neighbors(i)) {
+      row[static_cast<size_t>(edge_var[static_cast<size_t>(i) * n + m])] =
+          iteration_times(i, m);
+    }
+    lp.AddConstraint(std::move(row), linalg::LpRelation::kEqual,
+                     static_cast<double>(n) * t_bar);
+  }
+  // Eq. (13): rows of P sum to 1.
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> row(static_cast<size_t>(num_vars), 0.0);
+    row[static_cast<size_t>(i)] = 1.0;
+    for (int m : topology_.Neighbors(i)) {
+      row[static_cast<size_t>(edge_var[static_cast<size_t>(i) * n + m])] = 1.0;
+    }
+    lp.AddConstraint(std::move(row), linalg::LpRelation::kEqual, 1.0);
+  }
+
+  StatusOr<linalg::LpSolution> solution = linalg::SolveLp(lp);
+  if (!solution.ok()) return solution.status();
+
+  linalg::Matrix p(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    p(i, i) = std::max(0.0, solution->x[static_cast<size_t>(i)]);
+  }
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const auto [i, m] = edges[e];
+    p(i, m) = std::max(0.0, solution->x[static_cast<size_t>(n) + e]);
+  }
+  // Renormalize away simplex round-off so rows sum to exactly 1.
+  for (int i = 0; i < n; ++i) {
+    const double row_sum = p.RowSum(i);
+    NETMAX_CHECK_GT(row_sum, 0.0);
+    for (int m = 0; m < n; ++m) p(i, m) /= row_sum;
+  }
+  return CommunicationPolicy(std::move(p));
+}
+
+StatusOr<double> PolicyGenerator::Lambda2(const CommunicationPolicy& policy,
+                                          double rho) const {
+  // Any feasible policy equalizes average iteration times, so p_i = 1/M
+  // (Lemma 1).
+  const int n = topology_.num_nodes();
+  std::vector<double> uniform(static_cast<size_t>(n),
+                              1.0 / static_cast<double>(n));
+  StatusOr<linalg::Matrix> y =
+      options_.mode == PolicyGeneratorOptions::Mode::kAveraging
+          ? BuildAveragingY(policy, topology_, options_.averaging_weight,
+                            uniform)
+          : BuildNetMaxY(policy, topology_, options_.alpha, rho, uniform);
+  if (!y.ok()) return y.status();
+  return linalg::SecondLargestEigenvalue(y.value());
+}
+
+StatusOr<PolicyGenerator::Candidate> PolicyGenerator::InnerLoop(
+    double rho, const linalg::Matrix& iteration_times) const {
+  const auto [lower, upper] = FeasibleStepTimeInterval(rho, iteration_times);
+  if (!(lower <= upper)) {
+    return InfeasibleError("no feasible t_bar for rho=" + std::to_string(rho));
+  }
+  const int rounds = options_.inner_rounds;
+  const double delta = (upper - lower) / static_cast<double>(rounds);
+  StatusOr<Candidate> best = InfeasibleError("inner loop found no candidate");
+  for (int r = 1; r <= rounds; ++r) {
+    const double t_bar = lower + delta * static_cast<double>(r);
+    StatusOr<CommunicationPolicy> policy =
+        SolvePolicyLp(rho, t_bar, iteration_times);
+    if (!policy.ok()) continue;
+    StatusOr<double> lambda2 = Lambda2(policy.value(), rho);
+    if (!lambda2.ok()) continue;
+    const double l2 = lambda2.value();
+    if (l2 >= 1.0 - kLambdaFloor) continue;  // no contraction
+    // T_conv = t_bar * ln(eps) / ln(lambda2); for lambda2 <= 0 consensus
+    // mixes in a single step, so t_bar itself is the cost.
+    const double t_convergence =
+        l2 <= kLambdaFloor
+            ? t_bar
+            : t_bar * std::log(options_.epsilon) / std::log(l2);
+    if (!best.ok() || t_convergence < best->t_convergence) {
+      best = Candidate{std::move(policy.value()), rho, l2, t_bar,
+                       t_convergence};
+    }
+  }
+  return best;
+}
+
+StatusOr<GeneratedPolicy> PolicyGenerator::Generate(
+    const linalg::Matrix& iteration_times) const {
+  const int n = topology_.num_nodes();
+  if (iteration_times.rows() != n || iteration_times.cols() != n) {
+    return InvalidArgumentError("iteration-time matrix has wrong shape");
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int m : topology_.Neighbors(i)) {
+      if (!(iteration_times(i, m) > 0.0)) {
+        return InvalidArgumentError(
+            "iteration time for edge (" + std::to_string(i) + "," +
+            std::to_string(m) + ") must be positive");
+      }
+    }
+  }
+
+  // Outer loop over rho (Appendix A gives rho in (0, 0.5/alpha]). On a
+  // heterogeneous network only small rho values are feasible, because
+  // Eq. (11) forces 2*alpha*rho of probability mass onto every (possibly very
+  // slow) link; a grid over (0, 0.5/alpha] can then miss the feasible region
+  // entirely. Since L(rho) of Eq. (26) is linear in rho and U is constant,
+  // the largest feasible rho has the closed form
+  //   (2*alpha*rho_max + margin) * max_i sum_m t_im / M = U,
+  // so we place the K grid points over (0, rho_max] instead.
+  const bool averaging =
+      options_.mode == PolicyGeneratorOptions::Mode::kAveraging;
+  double rho_max = 0.5 / options_.alpha;
+  if (!averaging) {
+    const int n = topology_.num_nodes();
+    double max_row_time = 0.0;
+    double upper = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      double sum_t = 0.0;
+      double max_t = 0.0;
+      for (int m : topology_.Neighbors(i)) {
+        sum_t += iteration_times(i, m);
+        max_t = std::max(max_t, iteration_times(i, m));
+      }
+      max_row_time = std::max(max_row_time, sum_t);
+      upper = std::min(upper, max_t);
+    }
+    const double rho_feasible =
+        (upper / max_row_time - options_.probability_margin) /
+        (2.0 * options_.alpha);
+    if (rho_feasible <= 0.0) {
+      return InfeasibleError("no rho admits a feasible policy");
+    }
+    rho_max = std::min(rho_max, rho_feasible);
+  }
+
+  const int rounds = averaging ? 1 : options_.outer_rounds;
+  const double rho_delta = rho_max / static_cast<double>(rounds);
+  StatusOr<Candidate> best = InfeasibleError("no feasible policy found");
+  for (int k = 1; k <= rounds; ++k) {
+    const double rho = averaging ? 0.0 : rho_delta * static_cast<double>(k);
+    StatusOr<Candidate> candidate = InnerLoop(rho, iteration_times);
+    if (!candidate.ok()) continue;
+    if (!best.ok() || candidate->t_convergence < best->t_convergence) {
+      best = std::move(candidate);
+    }
+  }
+  if (!best.ok()) return best.status();
+
+  GeneratedPolicy out{std::move(best->policy), best->rho, best->lambda2,
+                      best->t_bar, best->t_convergence};
+  return out;
+}
+
+}  // namespace netmax::core

@@ -1,0 +1,178 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+#include "linalg/vector_ops.h"
+
+namespace netmax::linalg {
+namespace {
+
+// Sum of squares of off-diagonal entries.
+double OffDiagonalNorm(const Matrix& a) {
+  double acc = 0.0;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      if (r != c) acc += a(r, c) * a(r, c);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+StatusOr<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                  double symmetry_tol) {
+  if (a.rows() != a.cols()) {
+    return InvalidArgumentError("JacobiEigenSymmetric: matrix not square");
+  }
+  if (!a.IsSymmetric(symmetry_tol)) {
+    return InvalidArgumentError("JacobiEigenSymmetric: matrix not symmetric");
+  }
+  const int n = a.rows();
+  Matrix work = a;
+  Matrix vectors = Matrix::Identity(n);
+
+  constexpr int kMaxSweeps = 100;
+  constexpr double kConvergence = 1e-22;  // off-diagonal Frobenius^2 target
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    if (OffDiagonalNorm(work) < kConvergence) break;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = work(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = work(p, p);
+        const double aqq = work(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // t = sign(theta) / (|theta| + sqrt(theta^2 + 1)) is the smaller root,
+        // which keeps rotations small and the process stable.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation J(p, q, theta) on both sides of `work` and
+        // accumulate it into `vectors`.
+        for (int k = 0; k < n; ++k) {
+          const double akp = work(k, p);
+          const double akq = work(k, q);
+          work(k, p) = c * akp - s * akq;
+          work(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = work(p, k);
+          const double aqk = work(q, k);
+          work(p, k) = c * apk - s * aqk;
+          work(q, k) = s * apk + c * aqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = vectors(k, p);
+          const double vkq = vectors(k, q);
+          vectors(k, p) = c * vkp - s * vkq;
+          vectors(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Collect eigenvalues and sort descending, permuting eigenvector columns.
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return work(x, x) > work(y, y); });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(static_cast<size_t>(n));
+  out.eigenvectors = Matrix(n, n);
+  for (int c = 0; c < n; ++c) {
+    out.eigenvalues[static_cast<size_t>(c)] = work(order[static_cast<size_t>(c)], order[static_cast<size_t>(c)]);
+    for (int r = 0; r < n; ++r) {
+      out.eigenvectors(r, c) = vectors(r, order[static_cast<size_t>(c)]);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> SymmetricEigenvalues(const Matrix& a) {
+  StatusOr<EigenDecomposition> decomp = JacobiEigenSymmetric(a);
+  if (!decomp.ok()) return decomp.status();
+  return std::move(decomp.value().eigenvalues);
+}
+
+StatusOr<double> SecondLargestEigenvalue(const Matrix& a) {
+  if (a.rows() < 2) {
+    return InvalidArgumentError("SecondLargestEigenvalue: need n >= 2");
+  }
+  StatusOr<std::vector<double>> values = SymmetricEigenvalues(a);
+  if (!values.ok()) return values.status();
+  return values.value()[1];
+}
+
+StatusOr<double> PowerIterationLargest(const Matrix& a, int max_iters,
+                                       double tol, uint64_t seed) {
+  if (a.rows() != a.cols() || a.rows() == 0) {
+    return InvalidArgumentError("PowerIterationLargest: matrix not square");
+  }
+  const int n = a.rows();
+  Rng rng(seed);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (double& x : v) x = rng.Gaussian();
+  double lambda = 0.0;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    std::vector<double> w = a.Apply(v);
+    const double norm = Norm(w);
+    if (norm == 0.0) return 0.0;
+    Scale(1.0 / norm, w);
+    const double next = Dot(w, a.Apply(w));
+    const bool converged = std::fabs(next - lambda) < tol;
+    lambda = next;
+    v = std::move(w);
+    if (converged && iter > 2) break;
+  }
+  return lambda;
+}
+
+StatusOr<double> PowerIterationSecondLargestStochastic(const Matrix& a,
+                                                       int max_iters,
+                                                       double tol,
+                                                       uint64_t seed) {
+  if (!a.IsDoublyStochastic(1e-6)) {
+    return InvalidArgumentError(
+        "PowerIterationSecondLargestStochastic: matrix is not symmetric "
+        "doubly stochastic");
+  }
+  const int n = a.rows();
+  Rng rng(seed);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (double& x : v) x = rng.Gaussian();
+
+  auto deflate = [&](std::vector<double>& x) {
+    // Remove the component along the all-ones eigenvector (eigenvalue 1).
+    double mean = 0.0;
+    for (double e : x) mean += e;
+    mean /= static_cast<double>(n);
+    for (double& e : x) e -= mean;
+  };
+
+  deflate(v);
+  double lambda = 0.0;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    std::vector<double> w = a.Apply(v);
+    deflate(w);
+    const double norm = Norm(w);
+    if (norm < 1e-300) return 0.0;
+    Scale(1.0 / norm, w);
+    std::vector<double> aw = a.Apply(w);
+    deflate(aw);
+    const double next = Dot(w, aw);
+    const bool converged = std::fabs(next - lambda) < tol;
+    lambda = next;
+    v = std::move(w);
+    if (converged && iter > 2) break;
+  }
+  return lambda;
+}
+
+}  // namespace netmax::linalg

@@ -1,0 +1,64 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace netmax::linalg {
+
+void Axpy(double a, std::span<const double> x, std::span<double> y) {
+  NETMAX_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+double Dot(std::span<const double> x, std::span<const double> y) {
+  NETMAX_CHECK_EQ(x.size(), y.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void Scale(double a, std::span<double> x) {
+  for (double& v : x) v *= a;
+}
+
+void AddInPlace(std::span<const double> x, std::span<double> y) {
+  NETMAX_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += x[i];
+}
+
+void SubInPlace(std::span<const double> x, std::span<double> y) {
+  NETMAX_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] -= x[i];
+}
+
+std::vector<double> Sub(std::span<const double> x, std::span<const double> y) {
+  NETMAX_CHECK_EQ(x.size(), y.size());
+  std::vector<double> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+  return out;
+}
+
+double SquaredNorm(std::span<const double> x) { return Dot(x, x); }
+
+double Norm(std::span<const double> x) { return std::sqrt(SquaredNorm(x)); }
+
+double MaxAbs(std::span<const double> x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+void Fill(std::span<double> x, double value) {
+  for (double& v : x) v = value;
+}
+
+std::vector<double> Mean(const std::vector<std::vector<double>>& vectors) {
+  NETMAX_CHECK(!vectors.empty());
+  std::vector<double> out(vectors[0].size(), 0.0);
+  for (const auto& v : vectors) AddInPlace(v, out);
+  Scale(1.0 / static_cast<double>(vectors.size()), out);
+  return out;
+}
+
+}  // namespace netmax::linalg

@@ -1,0 +1,48 @@
+#ifndef NETMAX_LINALG_VECTOR_OPS_H_
+#define NETMAX_LINALG_VECTOR_OPS_H_
+
+// Dense vector kernels over std::vector<double> / std::span<double>. These are
+// the primitives the model-parameter updates (Algorithm 2) and the optimizers
+// are built from. All binary operations require equal lengths (checked).
+
+#include <span>
+#include <vector>
+
+namespace netmax::linalg {
+
+// y += a * x  (BLAS axpy).
+void Axpy(double a, std::span<const double> x, std::span<double> y);
+
+// Returns x . y.
+double Dot(std::span<const double> x, std::span<const double> y);
+
+// x *= a.
+void Scale(double a, std::span<double> x);
+
+// y += x.
+void AddInPlace(std::span<const double> x, std::span<double> y);
+
+// y -= x.
+void SubInPlace(std::span<const double> x, std::span<double> y);
+
+// Returns x - y as a new vector.
+std::vector<double> Sub(std::span<const double> x, std::span<const double> y);
+
+// Returns sum_i x[i]^2.
+double SquaredNorm(std::span<const double> x);
+
+// Returns the Euclidean norm.
+double Norm(std::span<const double> x);
+
+// Returns max_i |x[i]|; 0 for an empty vector.
+double MaxAbs(std::span<const double> x);
+
+// Sets every element to `value`.
+void Fill(std::span<double> x, double value);
+
+// Element-wise average of `vectors` (all equal length, at least one).
+std::vector<double> Mean(const std::vector<std::vector<double>>& vectors);
+
+}  // namespace netmax::linalg
+
+#endif  // NETMAX_LINALG_VECTOR_OPS_H_

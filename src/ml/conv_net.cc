@@ -1,0 +1,178 @@
+#include "ml/conv_net.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/vector_ops.h"
+#include "ml/linear_model.h"
+
+namespace netmax::ml {
+
+ConvNet::ConvNet(int input_dim, int num_filters, int kernel_size,
+                 int num_classes)
+    : input_dim_(input_dim), num_filters_(num_filters),
+      kernel_size_(kernel_size), num_classes_(num_classes),
+      conv_len_(input_dim - kernel_size + 1) {
+  NETMAX_CHECK_GT(input_dim, 0);
+  NETMAX_CHECK_GT(num_filters, 0);
+  NETMAX_CHECK_GT(kernel_size, 0);
+  NETMAX_CHECK_LE(kernel_size, input_dim);
+  NETMAX_CHECK_GT(num_classes, 1);
+  const size_t conv_params =
+      static_cast<size_t>(num_filters) * kernel_size + num_filters;
+  const size_t fc_params = static_cast<size_t>(num_classes) * num_filters *
+                               static_cast<size_t>(conv_len_) +
+                           static_cast<size_t>(num_classes);
+  params_.assign(conv_params + fc_params, 0.0);
+}
+
+size_t ConvNet::ConvBiasOffset() const {
+  return static_cast<size_t>(num_filters_) * kernel_size_;
+}
+
+size_t ConvNet::FcWeightOffset() const {
+  return ConvBiasOffset() + static_cast<size_t>(num_filters_);
+}
+
+size_t ConvNet::FcBiasOffset() const {
+  return FcWeightOffset() + static_cast<size_t>(num_classes_) * num_filters_ *
+                                static_cast<size_t>(conv_len_);
+}
+
+int ConvNet::num_parameters() const { return static_cast<int>(params_.size()); }
+
+void ConvNet::InitializeParameters(uint64_t seed) {
+  Rng rng(seed);
+  double* conv_w = params_.data() + ConvWeightOffset();
+  const double conv_scale = std::sqrt(2.0 / static_cast<double>(kernel_size_));
+  for (int i = 0; i < num_filters_ * kernel_size_; ++i) {
+    conv_w[i] = rng.Gaussian(0.0, conv_scale);
+  }
+  double* conv_b = params_.data() + ConvBiasOffset();
+  for (int f = 0; f < num_filters_; ++f) conv_b[f] = 0.0;
+
+  const int fc_in = num_filters_ * conv_len_;
+  double* fc_w = params_.data() + FcWeightOffset();
+  const double fc_scale = 1.0 / std::sqrt(static_cast<double>(fc_in));
+  for (int i = 0; i < num_classes_ * fc_in; ++i) {
+    fc_w[i] = rng.Gaussian(0.0, fc_scale);
+  }
+  double* fc_b = params_.data() + FcBiasOffset();
+  for (int c = 0; c < num_classes_; ++c) fc_b[c] = 0.0;
+}
+
+void ConvNet::Forward(std::span<const double> x, std::vector<double>& conv_out,
+                      std::vector<double>& logits) const {
+  const double* conv_w = params_.data() + ConvWeightOffset();
+  const double* conv_b = params_.data() + ConvBiasOffset();
+  conv_out.assign(static_cast<size_t>(num_filters_) * conv_len_, 0.0);
+  for (int f = 0; f < num_filters_; ++f) {
+    const double* kernel = conv_w + static_cast<size_t>(f) * kernel_size_;
+    double* out = conv_out.data() + static_cast<size_t>(f) * conv_len_;
+    for (int p = 0; p < conv_len_; ++p) {
+      double acc = conv_b[f];
+      for (int k = 0; k < kernel_size_; ++k) {
+        acc += kernel[k] * x[static_cast<size_t>(p + k)];
+      }
+      out[p] = std::max(0.0, acc);  // ReLU
+    }
+  }
+  const int fc_in = num_filters_ * conv_len_;
+  const double* fc_w = params_.data() + FcWeightOffset();
+  const double* fc_b = params_.data() + FcBiasOffset();
+  logits.assign(static_cast<size_t>(num_classes_), 0.0);
+  for (int c = 0; c < num_classes_; ++c) {
+    const double* row = fc_w + static_cast<size_t>(c) * fc_in;
+    double acc = fc_b[c];
+    for (int j = 0; j < fc_in; ++j) acc += row[j] * conv_out[static_cast<size_t>(j)];
+    logits[static_cast<size_t>(c)] = acc;
+  }
+}
+
+double ConvNet::LossAndGradient(const Dataset& data,
+                                std::span<const int> batch_indices,
+                                std::span<double> gradient) const {
+  NETMAX_CHECK(!batch_indices.empty());
+  NETMAX_CHECK_EQ(data.feature_dim(), input_dim_);
+  const bool want_gradient = !gradient.empty();
+  if (want_gradient) {
+    NETMAX_CHECK_EQ(static_cast<int>(gradient.size()), num_parameters());
+    netmax::linalg::Fill(gradient, 0.0);
+  }
+
+  const int fc_in = num_filters_ * conv_len_;
+  std::vector<double> conv_out;
+  std::vector<double> probs;
+  double total_loss = 0.0;
+  for (int index : batch_indices) {
+    const std::span<const double> x = data.features(index);
+    const int label = data.label(index);
+    Forward(x, conv_out, probs);
+    SoftmaxInPlace(probs);
+    total_loss += CrossEntropyFromProbabilities(probs, label);
+    if (!want_gradient) continue;
+
+    // dL/dlogits.
+    std::vector<double> dlogits = probs;
+    dlogits[static_cast<size_t>(label)] -= 1.0;
+
+    // FC layer gradients and backprop into conv activations.
+    const double* fc_w = params_.data() + FcWeightOffset();
+    double* g_fc_w = gradient.data() + FcWeightOffset();
+    double* g_fc_b = gradient.data() + FcBiasOffset();
+    std::vector<double> dconv(static_cast<size_t>(fc_in), 0.0);
+    for (int c = 0; c < num_classes_; ++c) {
+      const double d = dlogits[static_cast<size_t>(c)];
+      g_fc_b[c] += d;
+      if (d == 0.0) continue;
+      double* grow = g_fc_w + static_cast<size_t>(c) * fc_in;
+      const double* row = fc_w + static_cast<size_t>(c) * fc_in;
+      for (int j = 0; j < fc_in; ++j) {
+        grow[j] += d * conv_out[static_cast<size_t>(j)];
+        dconv[static_cast<size_t>(j)] += d * row[j];
+      }
+    }
+    // ReLU mask.
+    for (int j = 0; j < fc_in; ++j) {
+      if (conv_out[static_cast<size_t>(j)] <= 0.0) dconv[static_cast<size_t>(j)] = 0.0;
+    }
+    // Conv layer gradients.
+    double* g_conv_w = gradient.data() + ConvWeightOffset();
+    double* g_conv_b = gradient.data() + ConvBiasOffset();
+    for (int f = 0; f < num_filters_; ++f) {
+      double* gk = g_conv_w + static_cast<size_t>(f) * kernel_size_;
+      const double* dout = dconv.data() + static_cast<size_t>(f) * conv_len_;
+      for (int p = 0; p < conv_len_; ++p) {
+        const double d = dout[p];
+        if (d == 0.0) continue;
+        for (int k = 0; k < kernel_size_; ++k) {
+          gk[k] += d * x[static_cast<size_t>(p + k)];
+        }
+        g_conv_b[f] += d;
+      }
+    }
+  }
+  const double inv_batch = 1.0 / static_cast<double>(batch_indices.size());
+  if (want_gradient) netmax::linalg::Scale(inv_batch, gradient);
+  return total_loss * inv_batch;
+}
+
+int ConvNet::Predict(const Dataset& data, int index) const {
+  std::vector<double> conv_out;
+  std::vector<double> logits;
+  Forward(data.features(index), conv_out, logits);
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (logits[static_cast<size_t>(c)] > logits[static_cast<size_t>(best)]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<Model> ConvNet::Clone() const {
+  return std::make_unique<ConvNet>(*this);
+}
+
+}  // namespace netmax::ml

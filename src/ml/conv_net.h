@@ -1,0 +1,60 @@
+#ifndef NETMAX_ML_CONV_NET_H_
+#define NETMAX_ML_CONV_NET_H_
+
+// A small 1-D convolutional network: Conv1D(filters, kernel) -> ReLU ->
+// fully-connected softmax head. Features are treated as a single-channel 1-D
+// signal. Included so the model zoo covers weight sharing (the structural
+// property that distinguishes the paper's CNNs from MLPs); gradients are
+// verified against finite differences in tests.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace netmax::ml {
+
+class ConvNet : public Model {
+ public:
+  // input_dim: feature length; num_filters/kernel_size: conv layer shape
+  // (valid padding, stride 1, kernel_size <= input_dim); num_classes: output.
+  // Parameters flat: [conv W (F x K) | conv b (F) | fc W (C x F*L) | fc b (C)]
+  // where L = input_dim - kernel_size + 1.
+  ConvNet(int input_dim, int num_filters, int kernel_size, int num_classes);
+
+  std::string name() const override { return "convnet"; }
+  int num_parameters() const override;
+  std::span<double> parameters() override { return params_; }
+  std::span<const double> parameters() const override { return params_; }
+  void InitializeParameters(uint64_t seed) override;
+  double LossAndGradient(const Dataset& data,
+                         std::span<const int> batch_indices,
+                         std::span<double> gradient) const override;
+  int Predict(const Dataset& data, int index) const override;
+  std::unique_ptr<Model> Clone() const override;
+
+  int conv_output_length() const { return conv_len_; }
+
+ private:
+  // Forward pass: fills `conv_out` (F x L, post-ReLU) and `logits` (C).
+  void Forward(std::span<const double> x, std::vector<double>& conv_out,
+               std::vector<double>& logits) const;
+
+  size_t ConvWeightOffset() const { return 0; }
+  size_t ConvBiasOffset() const;
+  size_t FcWeightOffset() const;
+  size_t FcBiasOffset() const;
+
+  int input_dim_;
+  int num_filters_;
+  int kernel_size_;
+  int num_classes_;
+  int conv_len_;
+  std::vector<double> params_;
+};
+
+}  // namespace netmax::ml
+
+#endif  // NETMAX_ML_CONV_NET_H_

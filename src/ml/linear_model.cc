@@ -1,0 +1,116 @@
+#include "ml/linear_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/vector_ops.h"
+
+namespace netmax::ml {
+
+void SoftmaxInPlace(std::span<double> logits) {
+  double max_logit = logits[0];
+  for (double v : logits) max_logit = std::max(max_logit, v);
+  double total = 0.0;
+  for (double& v : logits) {
+    v = std::exp(v - max_logit);
+    total += v;
+  }
+  for (double& v : logits) v /= total;
+}
+
+double CrossEntropyFromProbabilities(std::span<const double> probabilities,
+                                     int label) {
+  constexpr double kFloor = 1e-12;
+  return -std::log(std::max(probabilities[static_cast<size_t>(label)], kFloor));
+}
+
+LinearModel::LinearModel(int feature_dim, int num_classes)
+    : feature_dim_(feature_dim), num_classes_(num_classes),
+      params_(static_cast<size_t>(num_classes) * feature_dim + num_classes,
+              0.0) {
+  NETMAX_CHECK_GT(feature_dim, 0);
+  NETMAX_CHECK_GT(num_classes, 1);
+}
+
+int LinearModel::num_parameters() const {
+  return static_cast<int>(params_.size());
+}
+
+void LinearModel::InitializeParameters(uint64_t seed) {
+  Rng rng(seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(feature_dim_));
+  const size_t weight_count =
+      static_cast<size_t>(num_classes_) * static_cast<size_t>(feature_dim_);
+  for (size_t i = 0; i < weight_count; ++i) {
+    params_[i] = rng.Gaussian(0.0, scale);
+  }
+  for (size_t i = weight_count; i < params_.size(); ++i) params_[i] = 0.0;
+}
+
+void LinearModel::Logits(std::span<const double> x,
+                         std::span<double> logits) const {
+  const size_t d = static_cast<size_t>(feature_dim_);
+  const size_t bias_offset = static_cast<size_t>(num_classes_) * d;
+  for (int c = 0; c < num_classes_; ++c) {
+    const double* w = params_.data() + static_cast<size_t>(c) * d;
+    double acc = params_[bias_offset + static_cast<size_t>(c)];
+    for (size_t j = 0; j < d; ++j) acc += w[j] * x[j];
+    logits[static_cast<size_t>(c)] = acc;
+  }
+}
+
+double LinearModel::LossAndGradient(const Dataset& data,
+                                    std::span<const int> batch_indices,
+                                    std::span<double> gradient) const {
+  NETMAX_CHECK(!batch_indices.empty());
+  NETMAX_CHECK_EQ(data.feature_dim(), feature_dim_);
+  const bool want_gradient = !gradient.empty();
+  if (want_gradient) {
+    NETMAX_CHECK_EQ(static_cast<int>(gradient.size()), num_parameters());
+    netmax::linalg::Fill(gradient, 0.0);
+  }
+
+  const size_t d = static_cast<size_t>(feature_dim_);
+  const size_t bias_offset = static_cast<size_t>(num_classes_) * d;
+  std::vector<double> probs(static_cast<size_t>(num_classes_));
+  double total_loss = 0.0;
+  for (int index : batch_indices) {
+    const std::span<const double> x = data.features(index);
+    const int label = data.label(index);
+    Logits(x, probs);
+    SoftmaxInPlace(probs);
+    total_loss += CrossEntropyFromProbabilities(probs, label);
+    if (want_gradient) {
+      // dL/dlogit_c = p_c - [c == label]; dW_c = dlogit_c * x; db_c = dlogit.
+      for (int c = 0; c < num_classes_; ++c) {
+        const double dlogit =
+            probs[static_cast<size_t>(c)] - (c == label ? 1.0 : 0.0);
+        double* gw = gradient.data() + static_cast<size_t>(c) * d;
+        for (size_t j = 0; j < d; ++j) gw[j] += dlogit * x[j];
+        gradient[bias_offset + static_cast<size_t>(c)] += dlogit;
+      }
+    }
+  }
+  const double inv_batch = 1.0 / static_cast<double>(batch_indices.size());
+  if (want_gradient) netmax::linalg::Scale(inv_batch, gradient);
+  return total_loss * inv_batch;
+}
+
+int LinearModel::Predict(const Dataset& data, int index) const {
+  std::vector<double> logits(static_cast<size_t>(num_classes_));
+  Logits(data.features(index), logits);
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (logits[static_cast<size_t>(c)] > logits[static_cast<size_t>(best)]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<Model> LinearModel::Clone() const {
+  return std::make_unique<LinearModel>(*this);
+}
+
+}  // namespace netmax::ml

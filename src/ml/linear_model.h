@@ -1,0 +1,55 @@
+#ifndef NETMAX_ML_LINEAR_MODEL_H_
+#define NETMAX_ML_LINEAR_MODEL_H_
+
+// Multinomial logistic regression (softmax regression). The convex member of
+// the model zoo: convergence theory (Theorem 1/3 of the paper) assumes strong
+// convexity, so tests of the theoretical bounds use this model.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace netmax::ml {
+
+class LinearModel : public Model {
+ public:
+  // Builds a feature_dim -> num_classes softmax classifier. Parameters are
+  // stored flat as [W row-major (C x D) | b (C)].
+  LinearModel(int feature_dim, int num_classes);
+
+  std::string name() const override { return "linear"; }
+  int num_parameters() const override;
+  std::span<double> parameters() override { return params_; }
+  std::span<const double> parameters() const override { return params_; }
+  void InitializeParameters(uint64_t seed) override;
+  double LossAndGradient(const Dataset& data,
+                         std::span<const int> batch_indices,
+                         std::span<double> gradient) const override;
+  int Predict(const Dataset& data, int index) const override;
+  std::unique_ptr<Model> Clone() const override;
+
+  int feature_dim() const { return feature_dim_; }
+  int num_classes() const { return num_classes_; }
+
+ private:
+  // Writes class logits for `x` into `logits` (size num_classes_).
+  void Logits(std::span<const double> x, std::span<double> logits) const;
+
+  int feature_dim_;
+  int num_classes_;
+  std::vector<double> params_;
+};
+
+// Computes softmax probabilities of `logits` in place, numerically stably.
+void SoftmaxInPlace(std::span<double> logits);
+
+// Returns -log(probabilities[label]) with clamping away from 0.
+double CrossEntropyFromProbabilities(std::span<const double> probabilities,
+                                     int label);
+
+}  // namespace netmax::ml
+
+#endif  // NETMAX_ML_LINEAR_MODEL_H_

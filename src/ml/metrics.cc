@@ -1,0 +1,66 @@
+#include "ml/metrics.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace netmax::ml {
+
+double AverageLoss(const Model& model, const Dataset& data) {
+  NETMAX_CHECK_GT(data.size(), 0);
+  std::vector<int> all(static_cast<size_t>(data.size()));
+  std::iota(all.begin(), all.end(), 0);
+  return model.LossAndGradient(data, all, {});
+}
+
+double Accuracy(const Model& model, const Dataset& data) {
+  NETMAX_CHECK_GT(data.size(), 0);
+  int correct = 0;
+  for (int i = 0; i < data.size(); ++i) {
+    if (model.Predict(data, i) == data.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+std::optional<double> TimeToThreshold(const Series& series, double threshold) {
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (series[i].y <= threshold) {
+      if (i == 0) return series[i].x;
+      const SeriesPoint& prev = series[i - 1];
+      const SeriesPoint& cur = series[i];
+      if (cur.y == prev.y) return cur.x;
+      const double frac = (prev.y - threshold) / (prev.y - cur.y);
+      return prev.x + frac * (cur.x - prev.x);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> TimeToThresholdAbove(const Series& series,
+                                           double threshold) {
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (series[i].y >= threshold) {
+      if (i == 0) return series[i].x;
+      const SeriesPoint& prev = series[i - 1];
+      const SeriesPoint& cur = series[i];
+      if (cur.y == prev.y) return cur.x;
+      const double frac = (threshold - prev.y) / (cur.y - prev.y);
+      return prev.x + frac * (cur.x - prev.x);
+    }
+  }
+  return std::nullopt;
+}
+
+double FinalValue(const Series& series) {
+  NETMAX_CHECK(!series.empty());
+  return series.back().y;
+}
+
+double MinValue(const Series& series) {
+  NETMAX_CHECK(!series.empty());
+  double best = series[0].y;
+  for (const SeriesPoint& p : series) best = std::min(best, p.y);
+  return best;
+}
+
+}  // namespace netmax::ml

@@ -1,0 +1,44 @@
+#ifndef NETMAX_ML_METRICS_H_
+#define NETMAX_ML_METRICS_H_
+
+// Whole-dataset evaluation helpers and the (x, y) series type the experiment
+// harness records (loss vs virtual time, loss vs epoch, accuracy vs time).
+
+#include <optional>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace netmax::ml {
+
+// Mean cross-entropy loss of `model` over all of `data`.
+double AverageLoss(const Model& model, const Dataset& data);
+
+// Fraction of examples of `data` that `model` classifies correctly.
+double Accuracy(const Model& model, const Dataset& data);
+
+struct SeriesPoint {
+  double x = 0.0;  // virtual time (s), epoch, or iteration
+  double y = 0.0;  // loss or accuracy
+};
+using Series = std::vector<SeriesPoint>;
+
+// First x at which the series reaches y <= threshold, linearly interpolating
+// between points; nullopt if it never does. Series must be sorted by x.
+// Used to compute "time to converge to loss L" speedups (Figures 8/9 etc.).
+std::optional<double> TimeToThreshold(const Series& series, double threshold);
+
+// First x at which the series reaches y >= threshold (for accuracy curves).
+std::optional<double> TimeToThresholdAbove(const Series& series,
+                                           double threshold);
+
+// Final y value; fatal on empty series.
+double FinalValue(const Series& series);
+
+// Minimum y over the series; fatal on empty series.
+double MinValue(const Series& series);
+
+}  // namespace netmax::ml
+
+#endif  // NETMAX_ML_METRICS_H_

@@ -1,0 +1,162 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/vector_ops.h"
+#include "ml/linear_model.h"
+
+namespace netmax::ml {
+
+Mlp::Mlp(std::vector<int> layer_sizes) : layer_sizes_(std::move(layer_sizes)) {
+  NETMAX_CHECK_GE(layer_sizes_.size(), 2u) << "need at least input and output";
+  for (int size : layer_sizes_) NETMAX_CHECK_GT(size, 0);
+  size_t offset = 0;
+  for (int l = 0; l < num_layers(); ++l) {
+    layer_offsets_.push_back(offset);
+    const size_t in = static_cast<size_t>(layer_sizes_[static_cast<size_t>(l)]);
+    const size_t out =
+        static_cast<size_t>(layer_sizes_[static_cast<size_t>(l) + 1]);
+    offset += out * in + out;
+  }
+  params_.assign(offset, 0.0);
+}
+
+int Mlp::num_parameters() const { return static_cast<int>(params_.size()); }
+
+size_t Mlp::WeightOffset(int layer) const {
+  return layer_offsets_[static_cast<size_t>(layer)];
+}
+
+size_t Mlp::BiasOffset(int layer) const {
+  const size_t in = static_cast<size_t>(layer_sizes_[static_cast<size_t>(layer)]);
+  const size_t out =
+      static_cast<size_t>(layer_sizes_[static_cast<size_t>(layer) + 1]);
+  return WeightOffset(layer) + out * in;
+}
+
+void Mlp::InitializeParameters(uint64_t seed) {
+  Rng rng(seed);
+  for (int l = 0; l < num_layers(); ++l) {
+    const size_t in = static_cast<size_t>(layer_sizes_[static_cast<size_t>(l)]);
+    const size_t out =
+        static_cast<size_t>(layer_sizes_[static_cast<size_t>(l) + 1]);
+    // He initialization (fan-in scaled) suits ReLU layers.
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    double* w = params_.data() + WeightOffset(l);
+    for (size_t i = 0; i < out * in; ++i) w[i] = rng.Gaussian(0.0, scale);
+    double* b = params_.data() + BiasOffset(l);
+    for (size_t i = 0; i < out; ++i) b[i] = 0.0;
+  }
+}
+
+void Mlp::Forward(std::span<const double> x,
+                  std::vector<std::vector<double>>& activations) const {
+  activations.resize(static_cast<size_t>(num_layers()));
+  std::span<const double> input = x;
+  for (int l = 0; l < num_layers(); ++l) {
+    const size_t in = static_cast<size_t>(layer_sizes_[static_cast<size_t>(l)]);
+    const size_t out =
+        static_cast<size_t>(layer_sizes_[static_cast<size_t>(l) + 1]);
+    auto& act = activations[static_cast<size_t>(l)];
+    act.assign(out, 0.0);
+    const double* w = params_.data() + WeightOffset(l);
+    const double* b = params_.data() + BiasOffset(l);
+    for (size_t o = 0; o < out; ++o) {
+      double acc = b[o];
+      const double* row = w + o * in;
+      for (size_t j = 0; j < in; ++j) acc += row[j] * input[j];
+      act[o] = acc;
+    }
+    if (l + 1 < num_layers()) {
+      for (double& v : act) v = std::max(0.0, v);  // ReLU
+    }
+    input = act;
+  }
+}
+
+double Mlp::LossAndGradient(const Dataset& data,
+                            std::span<const int> batch_indices,
+                            std::span<double> gradient) const {
+  NETMAX_CHECK(!batch_indices.empty());
+  NETMAX_CHECK_EQ(data.feature_dim(), layer_sizes_.front());
+  const bool want_gradient = !gradient.empty();
+  if (want_gradient) {
+    NETMAX_CHECK_EQ(static_cast<int>(gradient.size()), num_parameters());
+    netmax::linalg::Fill(gradient, 0.0);
+  }
+
+  std::vector<std::vector<double>> activations;
+  std::vector<double> probs;
+  double total_loss = 0.0;
+  for (int index : batch_indices) {
+    const std::span<const double> x = data.features(index);
+    const int label = data.label(index);
+    Forward(x, activations);
+
+    probs = activations.back();
+    SoftmaxInPlace(probs);
+    total_loss += CrossEntropyFromProbabilities(probs, label);
+    if (!want_gradient) continue;
+
+    // Backward pass. delta starts as dL/dlogits.
+    std::vector<double> delta = probs;
+    delta[static_cast<size_t>(label)] -= 1.0;
+    for (int l = num_layers() - 1; l >= 0; --l) {
+      const size_t in = static_cast<size_t>(layer_sizes_[static_cast<size_t>(l)]);
+      const size_t out =
+          static_cast<size_t>(layer_sizes_[static_cast<size_t>(l) + 1]);
+      const std::span<const double> layer_input =
+          l == 0 ? x
+                 : std::span<const double>(
+                       activations[static_cast<size_t>(l) - 1]);
+      double* gw = gradient.data() + WeightOffset(l);
+      double* gb = gradient.data() + BiasOffset(l);
+      for (size_t o = 0; o < out; ++o) {
+        const double d = delta[o];
+        if (d != 0.0) {
+          double* grow = gw + o * in;
+          for (size_t j = 0; j < in; ++j) grow[j] += d * layer_input[j];
+        }
+        gb[o] += d;
+      }
+      if (l > 0) {
+        // Propagate through W^T and the ReLU mask of the previous layer.
+        const double* w = params_.data() + WeightOffset(l);
+        std::vector<double> prev_delta(in, 0.0);
+        for (size_t o = 0; o < out; ++o) {
+          const double d = delta[o];
+          if (d == 0.0) continue;
+          const double* row = w + o * in;
+          for (size_t j = 0; j < in; ++j) prev_delta[j] += d * row[j];
+        }
+        const auto& prev_act = activations[static_cast<size_t>(l) - 1];
+        for (size_t j = 0; j < in; ++j) {
+          if (prev_act[j] <= 0.0) prev_delta[j] = 0.0;
+        }
+        delta = std::move(prev_delta);
+      }
+    }
+  }
+  const double inv_batch = 1.0 / static_cast<double>(batch_indices.size());
+  if (want_gradient) netmax::linalg::Scale(inv_batch, gradient);
+  return total_loss * inv_batch;
+}
+
+int Mlp::Predict(const Dataset& data, int index) const {
+  std::vector<std::vector<double>> activations;
+  Forward(data.features(index), activations);
+  const auto& logits = activations.back();
+  int best = 0;
+  for (size_t c = 1; c < logits.size(); ++c) {
+    if (logits[c] > logits[static_cast<size_t>(best)]) {
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<Model> Mlp::Clone() const { return std::make_unique<Mlp>(*this); }
+
+}  // namespace netmax::ml

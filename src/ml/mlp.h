@@ -1,0 +1,56 @@
+#ifndef NETMAX_ML_MLP_H_
+#define NETMAX_ML_MLP_H_
+
+// Multi-layer perceptron with ReLU activations and a softmax cross-entropy
+// head. The non-convex stand-in for the paper's deep models: the consensus /
+// gossip dynamics only interact with the flat parameter vector, so an MLP
+// exercises exactly the code path a ResNet would, at laptop scale.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace netmax::ml {
+
+class Mlp : public Model {
+ public:
+  // layer_sizes = {input_dim, hidden..., num_classes}; at least {in, out}.
+  // Parameters are stored flat, layer by layer, each layer as
+  // [W row-major (out x in) | b (out)].
+  explicit Mlp(std::vector<int> layer_sizes);
+
+  std::string name() const override { return "mlp"; }
+  int num_parameters() const override;
+  std::span<double> parameters() override { return params_; }
+  std::span<const double> parameters() const override { return params_; }
+  void InitializeParameters(uint64_t seed) override;
+  double LossAndGradient(const Dataset& data,
+                         std::span<const int> batch_indices,
+                         std::span<double> gradient) const override;
+  int Predict(const Dataset& data, int index) const override;
+  std::unique_ptr<Model> Clone() const override;
+
+  const std::vector<int>& layer_sizes() const { return layer_sizes_; }
+  int num_layers() const { return static_cast<int>(layer_sizes_.size()) - 1; }
+
+ private:
+  // Offset of layer l's weight block within params_.
+  size_t WeightOffset(int layer) const;
+  size_t BiasOffset(int layer) const;
+
+  // Runs a forward pass on `x`; activations[l] holds the post-activation
+  // output of layer l (pre-softmax logits for the last layer).
+  void Forward(std::span<const double> x,
+               std::vector<std::vector<double>>& activations) const;
+
+  std::vector<int> layer_sizes_;
+  std::vector<size_t> layer_offsets_;  // start of each layer's block
+  std::vector<double> params_;
+};
+
+}  // namespace netmax::ml
+
+#endif  // NETMAX_ML_MLP_H_

@@ -1,0 +1,53 @@
+#ifndef NETMAX_ML_MODEL_H_
+#define NETMAX_ML_MODEL_H_
+
+// Trainable-model interface.
+//
+// Decentralized SGD only needs three things from a model: a flat parameter
+// vector (what workers exchange in Algorithm 2), minibatch loss+gradient
+// (line 11's local update), and prediction (test accuracy). Every model in
+// src/ml implements this interface and is verified against finite-difference
+// gradients in tests.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ml/dataset.h"
+
+namespace netmax::ml {
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual int num_parameters() const = 0;
+
+  // Flat view of the parameters; consensus updates mutate this in place.
+  virtual std::span<double> parameters() = 0;
+  virtual std::span<const double> parameters() const = 0;
+
+  // (Re-)initializes the parameters (scaled Gaussian fan-in init),
+  // deterministically in `seed`.
+  virtual void InitializeParameters(uint64_t seed) = 0;
+
+  // Computes the mean cross-entropy loss over `batch_indices` of `data` and,
+  // if `gradient` is non-empty, writes d(loss)/d(parameters) into it
+  // (`gradient.size()` must equal num_parameters()). Does not modify the
+  // model. Returns the loss.
+  virtual double LossAndGradient(const Dataset& data,
+                                 std::span<const int> batch_indices,
+                                 std::span<double> gradient) const = 0;
+
+  // Predicted class for example `index` of `data`.
+  virtual int Predict(const Dataset& data, int index) const = 0;
+
+  // Deep copy (architecture + parameters).
+  virtual std::unique_ptr<Model> Clone() const = 0;
+};
+
+}  // namespace netmax::ml
+
+#endif  // NETMAX_ML_MODEL_H_

@@ -1,0 +1,79 @@
+#ifndef NETMAX_NET_CLUSTER_H_
+#define NETMAX_NET_CLUSTER_H_
+
+// Cluster presets matching the paper's three experimental environments:
+//
+//  * Heterogeneous multi-tenant cluster (Section V-A): workers spread over
+//    2-4 servers on 1000 Mbps Ethernet; intra-machine links are ~4x faster
+//    per iteration than inter-machine links (Fig. 3), and one random link is
+//    slowed 2x-100x with the slow link re-drawn every 5 minutes.
+//  * Homogeneous cluster: all workers on one server behind a 10 Gbps virtual
+//    switch.
+//  * Cross-cloud WAN (Appendix G / Fig. 19): six EC2 regions with
+//    distance-dependent latency and bandwidth, CPU-only instances.
+//
+// Link-class constants are calibrated so that the measured iteration times of
+// Fig. 3 are reproduced (intra ~0.2 s / inter ~0.75 s for ResNet18, ~0.5 s /
+// ~2.0 s for VGG19 with the max{C, N} iteration law); the paper's training
+// stack overlaps and batches its transfers, so these are *effective* per-pull
+// costs, not raw wire speeds. See EXPERIMENTS.md.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link_model.h"
+
+namespace netmax::net {
+
+// Placement of workers on machines plus the two link classes.
+struct ClusterConfig {
+  int num_workers = 0;
+  // machine_of_worker[w] = machine index hosting worker w.
+  std::vector<int> machine_of_worker;
+  LinkClass intra_machine;
+  LinkClass inter_machine;
+
+  int num_machines() const;
+  bool SameMachine(int a, int b) const;
+};
+
+// Effective link classes used by the presets (exposed for tests/benches).
+LinkClass IntraMachineLinkClass();
+LinkClass InterMachineLinkClass();
+LinkClass HomogeneousLinkClass();
+
+// Paper Section V-A placement: 4, 8, 16 workers across 2, 3, 4 servers
+// (near-even split). Any other count spreads over ceil(num_workers/4)
+// servers.
+ClusterConfig HeterogeneousCluster(int num_workers);
+
+// Paper Section V-F placement: all workers split across exactly two servers
+// (e.g. 8 workers as 4+4, 16 as 8+8).
+ClusterConfig HeterogeneousClusterTwoServers(int num_workers);
+
+// Single server, 10 Gbps virtual switch (Section V-A homogeneous setup).
+ClusterConfig HomogeneousCluster(int num_workers);
+
+// Static link model realizing `config` (intra/inter classes per placement).
+std::unique_ptr<StaticLinkModel> BuildStaticLinkModel(
+    const ClusterConfig& config);
+
+// The paper's full heterogeneous environment: static placement plus the
+// random 2x-100x slow link re-drawn every `options.change_period_seconds`.
+std::unique_ptr<LinkModel> BuildDynamicHeterogeneousLinkModel(
+    const ClusterConfig& config, DynamicSlowdownLinkModel::Options options);
+
+// --- Cross-cloud WAN preset (Appendix G) ------------------------------------
+
+// The six EC2 regions of Table VII, in worker order.
+std::vector<std::string> CloudRegionNames();
+
+// Pairwise WAN link model over the six regions: latency grows with
+// geographic distance and effective TCP bandwidth shrinks with latency
+// (up to ~12x spread, consistent with the paper's WAN motivation).
+std::unique_ptr<StaticLinkModel> BuildCloudWanLinkModel();
+
+}  // namespace netmax::net
+
+#endif  // NETMAX_NET_CLUSTER_H_

@@ -1,0 +1,45 @@
+#include "net/event_sim.h"
+
+#include <utility>
+
+namespace netmax::net {
+
+void EventSimulator::ScheduleAt(double time, Callback callback) {
+  NETMAX_CHECK_GE(time, now_) << "cannot schedule into the past";
+  NETMAX_CHECK(callback != nullptr);
+  queue_.push(Event{time, next_sequence_++, std::move(callback)});
+}
+
+void EventSimulator::ScheduleAfter(double delay, Callback callback) {
+  NETMAX_CHECK_GE(delay, 0.0);
+  ScheduleAt(now_ + delay, std::move(callback));
+}
+
+bool EventSimulator::Step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop so the callback may schedule new events.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  ++processed_;
+  event.callback();
+  return true;
+}
+
+int64_t EventSimulator::RunUntil(double time_limit) {
+  int64_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= time_limit) {
+    Step();
+    ++count;
+  }
+  if (now_ < time_limit) now_ = time_limit;
+  return count;
+}
+
+int64_t EventSimulator::RunUntilIdle() {
+  int64_t count = 0;
+  while (Step()) ++count;
+  return count;
+}
+
+}  // namespace netmax::net

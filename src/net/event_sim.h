@@ -1,0 +1,73 @@
+#ifndef NETMAX_NET_EVENT_SIM_H_
+#define NETMAX_NET_EVENT_SIM_H_
+
+// Deterministic discrete-event simulator with a virtual clock.
+//
+// All decentralized-training algorithms in this repo run inside this
+// simulator: compute and communication delays are scheduled as events, so
+// "iteration time = max{compute, communication}" (paper Section II-B) and the
+// asynchrony between workers fall out of the event ordering. Ties in event
+// time are broken by insertion order, which makes every run bit-reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace netmax::net {
+
+class EventSimulator {
+ public:
+  using Callback = std::function<void()>;
+
+  EventSimulator() = default;
+  EventSimulator(const EventSimulator&) = delete;
+  EventSimulator& operator=(const EventSimulator&) = delete;
+
+  // Current virtual time in seconds.
+  double Now() const { return now_; }
+
+  // Schedules `callback` at absolute virtual time `time` (>= Now()).
+  void ScheduleAt(double time, Callback callback);
+
+  // Schedules `callback` `delay` seconds from now (delay >= 0).
+  void ScheduleAfter(double delay, Callback callback);
+
+  // Pops and runs the earliest event. Returns false when no events remain.
+  bool Step();
+
+  // Runs events until the queue is empty or the next event is later than
+  // `time_limit`; advances Now() to min(time of last event, time_limit).
+  // Returns the number of events processed.
+  int64_t RunUntil(double time_limit);
+
+  // Runs until no events remain. Returns the number of events processed.
+  int64_t RunUntilIdle();
+
+  bool empty() const { return queue_.empty(); }
+  int64_t num_events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    int64_t sequence;  // tie-breaker: FIFO among equal times
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  double now_ = 0.0;
+  int64_t next_sequence_ = 0;
+  int64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace netmax::net
+
+#endif  // NETMAX_NET_EVENT_SIM_H_

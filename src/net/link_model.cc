@@ -1,0 +1,104 @@
+#include "net/link_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace netmax::net {
+
+StaticLinkModel::StaticLinkModel(int num_nodes)
+    : num_nodes_(num_nodes),
+      links_(static_cast<size_t>(num_nodes) * static_cast<size_t>(num_nodes)) {
+  NETMAX_CHECK_GT(num_nodes, 0);
+}
+
+void StaticLinkModel::SetLink(int a, int b, LinkClass link) {
+  SetDirectedLink(a, b, link);
+  SetDirectedLink(b, a, link);
+}
+
+void StaticLinkModel::SetDirectedLink(int a, int b, LinkClass link) {
+  NETMAX_CHECK(a >= 0 && a < num_nodes_);
+  NETMAX_CHECK(b >= 0 && b < num_nodes_);
+  NETMAX_CHECK_NE(a, b);
+  NETMAX_CHECK_GT(link.bandwidth_bytes_per_second, 0.0);
+  NETMAX_CHECK_GE(link.latency_seconds, 0.0);
+  links_[static_cast<size_t>(a) * num_nodes_ + static_cast<size_t>(b)] = link;
+}
+
+void StaticLinkModel::SetAll(LinkClass link) {
+  for (int a = 0; a < num_nodes_; ++a) {
+    for (int b = 0; b < num_nodes_; ++b) {
+      if (a != b) SetDirectedLink(a, b, link);
+    }
+  }
+}
+
+const LinkClass& StaticLinkModel::link(int src, int dst) const {
+  NETMAX_CHECK(src >= 0 && src < num_nodes_);
+  NETMAX_CHECK(dst >= 0 && dst < num_nodes_);
+  return links_[static_cast<size_t>(src) * num_nodes_ + static_cast<size_t>(dst)];
+}
+
+double StaticLinkModel::TransferSeconds(int src, int dst, double /*now*/,
+                                        int64_t bytes) const {
+  if (src == dst) return 0.0;
+  const LinkClass& l = link(src, dst);
+  NETMAX_CHECK_GT(l.bandwidth_bytes_per_second, 0.0)
+      << "link " << src << "->" << dst << " was never configured";
+  return l.TransferSeconds(bytes);
+}
+
+DynamicSlowdownLinkModel::DynamicSlowdownLinkModel(
+    std::unique_ptr<LinkModel> base, Options options)
+    : base_(std::move(base)), options_(options) {
+  NETMAX_CHECK(base_ != nullptr);
+  NETMAX_CHECK_GT(options_.change_period_seconds, 0.0);
+  NETMAX_CHECK_GE(options_.min_factor, 1.0);
+  NETMAX_CHECK_GE(options_.max_factor, options_.min_factor);
+  NETMAX_CHECK_GE(base_->num_nodes(), 2);
+}
+
+int64_t DynamicSlowdownLinkModel::PeriodIndex(double now) const {
+  NETMAX_CHECK_GE(now, 0.0);
+  return static_cast<int64_t>(std::floor(now / options_.change_period_seconds));
+}
+
+Rng DynamicSlowdownLinkModel::PeriodRng(int64_t period) const {
+  Rng root(options_.seed);
+  return root.Fork(static_cast<uint64_t>(period));
+}
+
+std::pair<int, int> DynamicSlowdownLinkModel::SlowedLinkAt(double now) const {
+  Rng rng = PeriodRng(PeriodIndex(now));
+  const int n = base_->num_nodes();
+  const int a = static_cast<int>(rng.UniformInt(0, n - 1));
+  int b = static_cast<int>(rng.UniformInt(0, n - 2));
+  if (b >= a) ++b;
+  return {std::min(a, b), std::max(a, b)};
+}
+
+double DynamicSlowdownLinkModel::SlowdownFactorAt(double now) const {
+  Rng rng = PeriodRng(PeriodIndex(now));
+  // Keep the stream layout in sync with SlowedLinkAt: consume the two pair
+  // draws first, then draw the factor.
+  const int n = base_->num_nodes();
+  (void)rng.UniformInt(0, n - 1);
+  (void)rng.UniformInt(0, n - 2);
+  return rng.Uniform(options_.min_factor, options_.max_factor);
+}
+
+double DynamicSlowdownLinkModel::TransferSeconds(int src, int dst, double now,
+                                                 int64_t bytes) const {
+  const double base_seconds = base_->TransferSeconds(src, dst, now, bytes);
+  if (src == dst) return base_seconds;
+  const auto [lo, hi] = SlowedLinkAt(now);
+  const int a = std::min(src, dst);
+  const int b = std::max(src, dst);
+  if (a == lo && b == hi) {
+    return base_seconds * SlowdownFactorAt(now);
+  }
+  return base_seconds;
+}
+
+}  // namespace netmax::net

@@ -1,0 +1,111 @@
+#ifndef NETMAX_NET_LINK_MODEL_H_
+#define NETMAX_NET_LINK_MODEL_H_
+
+// Per-pair network cost models.
+//
+// A LinkModel answers one question: how long does it take to pull `bytes`
+// from node `src` to node `dst` starting at virtual time `now`? Costs follow
+// the classic latency + bytes/bandwidth law. DynamicSlowdownLinkModel wraps
+// any base model and reproduces the paper's Section V-A protocol: every
+// change period, one randomly chosen link is slowed by a random 2x-100x
+// factor (the factor and link are deterministic functions of the seed and the
+// period index, so runs are reproducible and the "network condition at time
+// T1 vs T2" dynamics of Fig. 2 are exercised).
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace netmax::net {
+
+// One direction of a link: transfer time = latency + bytes / bandwidth.
+// The zero-bandwidth default marks a link as unconfigured; StaticLinkModel
+// refuses to route over such links.
+struct LinkClass {
+  double latency_seconds = 0.0;
+  double bandwidth_bytes_per_second = 0.0;
+
+  double TransferSeconds(int64_t bytes) const {
+    return latency_seconds +
+           static_cast<double>(bytes) / bandwidth_bytes_per_second;
+  }
+};
+
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+
+  virtual int num_nodes() const = 0;
+
+  // Seconds to move `bytes` from `src` to `dst` starting at time `now`.
+  // Zero when src == dst.
+  virtual double TransferSeconds(int src, int dst, double now,
+                                 int64_t bytes) const = 0;
+};
+
+// Time-invariant pairwise link classes (symmetric by default via SetLink).
+class StaticLinkModel : public LinkModel {
+ public:
+  explicit StaticLinkModel(int num_nodes);
+
+  // Sets both directions of {a, b}.
+  void SetLink(int a, int b, LinkClass link);
+
+  // Sets one direction a -> b only (asymmetric links, e.g. WAN).
+  void SetDirectedLink(int a, int b, LinkClass link);
+
+  // Sets every off-diagonal pair.
+  void SetAll(LinkClass link);
+
+  const LinkClass& link(int src, int dst) const;
+
+  int num_nodes() const override { return num_nodes_; }
+  double TransferSeconds(int src, int dst, double now,
+                         int64_t bytes) const override;
+
+ private:
+  int num_nodes_;
+  std::vector<LinkClass> links_;  // row-major src * n + dst
+};
+
+// Wraps a base model; in every window of `change_period_seconds` one random
+// unordered pair of nodes is slowed by a factor drawn uniformly from
+// [min_factor, max_factor] (paper Section V-A: 2x to 100x, re-drawn every 5
+// minutes).
+class DynamicSlowdownLinkModel : public LinkModel {
+ public:
+  struct Options {
+    double change_period_seconds = 300.0;
+    double min_factor = 2.0;
+    double max_factor = 100.0;
+    uint64_t seed = 1;
+  };
+
+  DynamicSlowdownLinkModel(std::unique_ptr<LinkModel> base, Options options);
+
+  int num_nodes() const override { return base_->num_nodes(); }
+  double TransferSeconds(int src, int dst, double now,
+                         int64_t bytes) const override;
+
+  // The unordered pair slowed during the window containing `now`.
+  std::pair<int, int> SlowedLinkAt(double now) const;
+  // The slowdown factor during the window containing `now`.
+  double SlowdownFactorAt(double now) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  int64_t PeriodIndex(double now) const;
+  // Deterministic per-period RNG.
+  Rng PeriodRng(int64_t period) const;
+
+  std::unique_ptr<LinkModel> base_;
+  Options options_;
+};
+
+}  // namespace netmax::net
+
+#endif  // NETMAX_NET_LINK_MODEL_H_

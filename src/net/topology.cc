@@ -1,0 +1,81 @@
+#include "net/topology.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace netmax::net {
+
+Topology::Topology(int num_nodes)
+    : num_nodes_(num_nodes),
+      neighbors_(static_cast<size_t>(num_nodes)) {
+  NETMAX_CHECK_GT(num_nodes, 0);
+}
+
+Topology Topology::Complete(int num_nodes) {
+  Topology topo(num_nodes);
+  for (int a = 0; a < num_nodes; ++a) {
+    for (int b = a + 1; b < num_nodes; ++b) topo.AddEdge(a, b);
+  }
+  return topo;
+}
+
+Topology Topology::Ring(int num_nodes) {
+  NETMAX_CHECK_GE(num_nodes, 3);
+  Topology topo(num_nodes);
+  for (int a = 0; a < num_nodes; ++a) topo.AddEdge(a, (a + 1) % num_nodes);
+  return topo;
+}
+
+void Topology::AddEdge(int a, int b) {
+  NETMAX_CHECK(a >= 0 && a < num_nodes_);
+  NETMAX_CHECK(b >= 0 && b < num_nodes_);
+  NETMAX_CHECK_NE(a, b) << "self-loops are not allowed";
+  if (AreNeighbors(a, b)) return;
+  auto& na = neighbors_[static_cast<size_t>(a)];
+  auto& nb = neighbors_[static_cast<size_t>(b)];
+  na.insert(std::lower_bound(na.begin(), na.end(), b), b);
+  nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
+  ++num_edges_;
+}
+
+bool Topology::AreNeighbors(int a, int b) const {
+  NETMAX_CHECK(a >= 0 && a < num_nodes_);
+  NETMAX_CHECK(b >= 0 && b < num_nodes_);
+  const auto& na = neighbors_[static_cast<size_t>(a)];
+  return std::binary_search(na.begin(), na.end(), b);
+}
+
+const std::vector<int>& Topology::Neighbors(int node) const {
+  NETMAX_CHECK(node >= 0 && node < num_nodes_);
+  return neighbors_[static_cast<size_t>(node)];
+}
+
+bool Topology::IsConnected() const {
+  std::vector<bool> visited(static_cast<size_t>(num_nodes_), false);
+  std::vector<int> stack = {0};
+  visited[0] = true;
+  int reached = 1;
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    for (int next : Neighbors(node)) {
+      if (!visited[static_cast<size_t>(next)]) {
+        visited[static_cast<size_t>(next)] = true;
+        ++reached;
+        stack.push_back(next);
+      }
+    }
+  }
+  return reached == num_nodes_;
+}
+
+linalg::Matrix Topology::AdjacencyMatrix() const {
+  linalg::Matrix d(num_nodes_, num_nodes_, 0.0);
+  for (int a = 0; a < num_nodes_; ++a) {
+    for (int b : Neighbors(a)) d(a, b) = 1.0;
+  }
+  return d;
+}
+
+}  // namespace netmax::net

@@ -1,0 +1,56 @@
+#ifndef NETMAX_NET_TOPOLOGY_H_
+#define NETMAX_NET_TOPOLOGY_H_
+
+// Undirected communication graph G = (V, E) over worker nodes; provides the
+// neighborhood indicators d_{i,m} of the paper (Eq. 1). The paper's
+// experiments use the complete graph; ring and custom graphs are provided for
+// tests and extensions. Convergence (Theorem 3 / Lemma 3) requires G to be
+// connected, which Topology::IsConnected verifies.
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace netmax::net {
+
+class Topology {
+ public:
+  // Graph with `num_nodes` vertices and no edges.
+  explicit Topology(int num_nodes);
+
+  // Complete graph K_n.
+  static Topology Complete(int num_nodes);
+
+  // Cycle graph (requires num_nodes >= 3).
+  static Topology Ring(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_edges() const { return num_edges_; }
+
+  // Adds undirected edge {a, b}; self-loops are invalid; duplicate edges are
+  // idempotent.
+  void AddEdge(int a, int b);
+
+  bool AreNeighbors(int a, int b) const;
+
+  // Neighbors of `node` in ascending order.
+  const std::vector<int>& Neighbors(int node) const;
+
+  int Degree(int node) const { return static_cast<int>(Neighbors(node).size()); }
+
+  // True if the graph is connected (every node reachable from node 0).
+  // A one-node graph is connected.
+  bool IsConnected() const;
+
+  // d_{i,m} indicator matrix (symmetric, zero diagonal).
+  linalg::Matrix AdjacencyMatrix() const;
+
+ private:
+  int num_nodes_;
+  int num_edges_ = 0;
+  std::vector<std::vector<int>> neighbors_;
+};
+
+}  // namespace netmax::net
+
+#endif  // NETMAX_NET_TOPOLOGY_H_

@@ -1,0 +1,102 @@
+#include "net/event_sim.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace netmax::net {
+namespace {
+
+TEST(EventSimTest, RunsEventsInTimeOrder) {
+  EventSimulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(EventSimTest, TiesBrokenByInsertionOrder) {
+  EventSimulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(1.0, [&] { order.push_back(0); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventSimTest, ScheduleAfterIsRelative) {
+  EventSimulator sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(5.0, [&] {
+    sim.ScheduleAfter(2.5, [&] { fired_at = sim.Now(); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(EventSimTest, CallbackMaySpawnEvents) {
+  EventSimulator sim;
+  int count = 0;
+  // A self-perpetuating chain of 10 events.
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 10) sim.ScheduleAfter(1.0, tick);
+  };
+  sim.ScheduleAt(0.0, tick);
+  sim.RunUntilIdle();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(sim.Now(), 9.0);
+}
+
+TEST(EventSimTest, RunUntilStopsAtLimit) {
+  EventSimulator sim;
+  std::vector<int> fired;
+  sim.ScheduleAt(1.0, [&] { fired.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { fired.push_back(2); });
+  sim.ScheduleAt(3.0, [&] { fired.push_back(3); });
+  const int64_t processed = sim.RunUntil(2.0);
+  EXPECT_EQ(processed, 2);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+  EXPECT_FALSE(sim.empty());
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventSimTest, RunUntilAdvancesClockWhenIdle) {
+  EventSimulator sim;
+  sim.RunUntil(42.0);
+  EXPECT_DOUBLE_EQ(sim.Now(), 42.0);
+}
+
+TEST(EventSimTest, StepReturnsFalseWhenEmpty) {
+  EventSimulator sim;
+  EXPECT_FALSE(sim.Step());
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(EventSimTest, CountsProcessedEvents) {
+  EventSimulator sim;
+  for (int i = 0; i < 5; ++i) sim.ScheduleAt(static_cast<double>(i), [] {});
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.num_events_processed(), 5);
+}
+
+TEST(EventSimTest, SchedulingIntoThePastDies) {
+  EventSimulator sim;
+  sim.ScheduleAt(5.0, [] {});
+  sim.RunUntilIdle();
+  EXPECT_DEATH({ sim.ScheduleAt(1.0, [] {}); }, "past");
+}
+
+TEST(EventSimTest, NegativeDelayDies) {
+  EventSimulator sim;
+  EXPECT_DEATH({ sim.ScheduleAfter(-1.0, [] {}); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace netmax::net

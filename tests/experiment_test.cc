@@ -1,0 +1,173 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace netmax::core {
+namespace {
+
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config;
+  config.dataset.name = "tiny";
+  config.dataset.num_classes = 4;
+  config.dataset.feature_dim = 8;
+  config.dataset.num_train = 256;
+  config.dataset.num_test = 64;
+  config.dataset.class_separation = 4.0;
+  config.num_workers = 4;
+  config.batch_size = 16;
+  config.max_epochs = 2;
+  config.hidden_layers = {8};
+  config.network = NetworkScenario::kHeterogeneousStatic;
+  return config;
+}
+
+TEST(WorkerBatchSizeTest, UniformUsesConfigBatch) {
+  ExperimentConfig config = TinyConfig();
+  EXPECT_EQ(WorkerBatchSize(config, 0), 16);
+  EXPECT_EQ(WorkerBatchSize(config, 3), 16);
+}
+
+TEST(WorkerBatchSizeTest, SegmentsScaleBatch) {
+  ExperimentConfig config = TinyConfig();
+  config.partition = PartitionScheme::kSegments;
+  config.segments = {1, 2, 1, 2};
+  EXPECT_EQ(WorkerBatchSize(config, 0), 16);
+  EXPECT_EQ(WorkerBatchSize(config, 1), 32);
+}
+
+TEST(BuildShardsTest, DispatchesUniform) {
+  ExperimentConfig config = TinyConfig();
+  ml::DatasetPair pair = ml::GenerateSynthetic(config.dataset);
+  auto shards = BuildShards(config, pair.train);
+  ASSERT_TRUE(shards.ok());
+  EXPECT_EQ(shards->size(), 4u);
+}
+
+TEST(BuildShardsTest, RejectsMismatchedSegments) {
+  ExperimentConfig config = TinyConfig();
+  config.partition = PartitionScheme::kSegments;
+  config.segments = {1, 2};  // but 4 workers
+  ml::DatasetPair pair = ml::GenerateSynthetic(config.dataset);
+  EXPECT_FALSE(BuildShards(config, pair.train).ok());
+}
+
+TEST(BuildShardsTest, RejectsMismatchedLostLabels) {
+  ExperimentConfig config = TinyConfig();
+  config.partition = PartitionScheme::kLostLabels;
+  config.lost_labels = {{0}};  // but 4 workers
+  ml::DatasetPair pair = ml::GenerateSynthetic(config.dataset);
+  EXPECT_FALSE(BuildShards(config, pair.train).ok());
+}
+
+TEST(HarnessTest, InitValidatesConfig) {
+  {
+    ExperimentConfig config = TinyConfig();
+    config.num_workers = 1;
+    ExperimentHarness harness(config, "test");
+    EXPECT_FALSE(harness.Init().ok());
+  }
+  {
+    ExperimentConfig config = TinyConfig();
+    config.batch_size = 0;
+    ExperimentHarness harness(config, "test");
+    EXPECT_FALSE(harness.Init().ok());
+  }
+  {
+    ExperimentConfig config = TinyConfig();
+    config.network = NetworkScenario::kWan;
+    config.num_workers = 8;  // WAN is exactly 6 regions
+    ExperimentHarness harness(config, "test");
+    EXPECT_FALSE(harness.Init().ok());
+  }
+}
+
+TEST(HarnessTest, InitBuildsWorkersWithIdenticalReplicas) {
+  ExperimentConfig config = TinyConfig();
+  ExperimentHarness harness(config, "test");
+  ASSERT_TRUE(harness.Init().ok());
+  const auto p0 = harness.worker(0).model->parameters();
+  for (int w = 1; w < config.num_workers; ++w) {
+    const auto pw = harness.worker(w).model->parameters();
+    ASSERT_EQ(p0.size(), pw.size());
+    for (size_t j = 0; j < p0.size(); ++j) EXPECT_EQ(p0[j], pw[j]);
+  }
+}
+
+TEST(HarnessTest, ComputeSecondsScaleWithBatch) {
+  ExperimentConfig config = TinyConfig();
+  config.profile = ml::ResNet18Profile();
+  config.profile_batch = 128;
+  ExperimentHarness harness(config, "test");
+  ASSERT_TRUE(harness.Init().ok());
+  EXPECT_DOUBLE_EQ(harness.ComputeSeconds(128),
+                   ml::ResNet18Profile().compute_seconds);
+  EXPECT_DOUBLE_EQ(harness.ComputeSeconds(64),
+                   0.5 * ml::ResNet18Profile().compute_seconds);
+}
+
+TEST(HarnessTest, ComputeMultiplierApplies) {
+  ExperimentConfig config = TinyConfig();
+  config.compute_multiplier = 8.0;  // CPU-only instances
+  ExperimentHarness harness(config, "test");
+  ASSERT_TRUE(harness.Init().ok());
+  EXPECT_DOUBLE_EQ(harness.ComputeSeconds(128),
+                   8.0 * config.profile.compute_seconds);
+}
+
+TEST(HarnessTest, LocalStepsCompleteEpochsAndFinish) {
+  ExperimentConfig config = TinyConfig();
+  ExperimentHarness harness(config, "test");
+  ASSERT_TRUE(harness.Init().ok());
+  // 256/4 = 64 examples per worker, batch 16 -> 4 batches per epoch.
+  const int steps_per_epoch = 4;
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    for (int s = 0; s < steps_per_epoch; ++s) {
+      for (int w = 0; w < config.num_workers; ++w) {
+        harness.LocalGradientStep(w);
+      }
+    }
+  }
+  EXPECT_TRUE(harness.AllDone());
+  RunResult result = harness.Finalize();
+  EXPECT_EQ(result.total_local_iterations,
+            config.num_workers * config.max_epochs * steps_per_epoch);
+  // One global-epoch point per epoch.
+  EXPECT_EQ(static_cast<int>(result.loss_vs_epoch.size()), config.max_epochs);
+  EXPECT_GT(result.final_train_loss, 0.0);
+}
+
+TEST(HarnessTest, AccountIterationSplitsComputeAndComm) {
+  ExperimentConfig config = TinyConfig();
+  config.max_epochs = 1;
+  ExperimentHarness harness(config, "test");
+  ASSERT_TRUE(harness.Init().ok());
+  harness.AccountIteration(0, /*compute=*/0.2, /*wall=*/0.5);
+  // Complete worker 0's single epoch so cost averaging has a denominator.
+  for (int s = 0; s < 4; ++s) {
+    for (int w = 0; w < config.num_workers; ++w) harness.LocalGradientStep(w);
+  }
+  RunResult result = harness.Finalize();
+  // 4 worker-epochs total; only worker 0 accrued cost.
+  EXPECT_NEAR(result.avg_epoch_cost.compute_seconds, 0.2 / 4.0, 1e-12);
+  EXPECT_NEAR(result.avg_epoch_cost.communication_seconds, 0.3 / 4.0, 1e-12);
+}
+
+TEST(HarnessTest, TimeCapFinishesWorkers) {
+  ExperimentConfig config = TinyConfig();
+  config.max_virtual_seconds = 0.0;
+  ExperimentHarness harness(config, "test");
+  ASSERT_TRUE(harness.Init().ok());
+  EXPECT_TRUE(harness.WorkerDone(0));
+  EXPECT_TRUE(harness.AllDone());
+}
+
+TEST(HarnessTest, ConsensusDistanceZeroForIdenticalModels) {
+  ExperimentConfig config = TinyConfig();
+  ExperimentHarness harness(config, "test");
+  ASSERT_TRUE(harness.Init().ok());
+  RunResult result = harness.Finalize();
+  EXPECT_NEAR(result.consensus_distance, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace netmax::core

@@ -1,0 +1,206 @@
+#include "net/link_model.h"
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "net/cluster.h"
+#include "ml/model_profile.h"
+
+namespace netmax::net {
+namespace {
+
+TEST(LinkClassTest, LatencyPlusBandwidthLaw) {
+  LinkClass link{0.5, 100.0};
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(200), 0.5 + 2.0);
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(0), 0.5);
+}
+
+TEST(StaticLinkModelTest, SymmetricSetLink) {
+  StaticLinkModel model(3);
+  model.SetLink(0, 1, LinkClass{1.0, 10.0});
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(0, 1, 0.0, 10), 2.0);
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(1, 0, 0.0, 10), 2.0);
+}
+
+TEST(StaticLinkModelTest, DirectedLinksCanDiffer) {
+  StaticLinkModel model(2);
+  model.SetDirectedLink(0, 1, LinkClass{1.0, 10.0});
+  model.SetDirectedLink(1, 0, LinkClass{2.0, 10.0});
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(0, 1, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(1, 0, 0.0, 0), 2.0);
+}
+
+TEST(StaticLinkModelTest, SelfTransferIsFree) {
+  StaticLinkModel model(2);
+  model.SetAll(LinkClass{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(1, 1, 0.0, 1000), 0.0);
+}
+
+TEST(StaticLinkModelTest, UnconfiguredLinkDies) {
+  StaticLinkModel model(3);
+  EXPECT_DEATH({ (void)model.TransferSeconds(0, 1, 0.0, 8); },
+               "never configured");
+}
+
+TEST(DynamicSlowdownTest, SlowedLinkIsSlower) {
+  auto base = std::make_unique<StaticLinkModel>(4);
+  base->SetAll(LinkClass{0.0, 100.0});
+  DynamicSlowdownLinkModel::Options options;
+  options.seed = 3;
+  DynamicSlowdownLinkModel model(std::move(base), options);
+  const auto [a, b] = model.SlowedLinkAt(0.0);
+  const double factor = model.SlowdownFactorAt(0.0);
+  EXPECT_GE(factor, 2.0);
+  EXPECT_LE(factor, 100.0);
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(a, b, 0.0, 100), factor);
+  // Any other link is unaffected.
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      if (x == y) continue;
+      if (std::min(x, y) == a && std::max(x, y) == b) continue;
+      EXPECT_DOUBLE_EQ(model.TransferSeconds(x, y, 0.0, 100), 1.0);
+    }
+  }
+}
+
+TEST(DynamicSlowdownTest, SlowLinkChangesAcrossPeriods) {
+  auto base = std::make_unique<StaticLinkModel>(8);
+  base->SetAll(LinkClass{0.0, 100.0});
+  DynamicSlowdownLinkModel::Options options;
+  options.change_period_seconds = 300.0;
+  options.seed = 5;
+  DynamicSlowdownLinkModel model(std::move(base), options);
+  std::set<std::pair<int, int>> links;
+  for (int period = 0; period < 12; ++period) {
+    links.insert(model.SlowedLinkAt(period * 300.0 + 1.0));
+  }
+  // Across 12 periods on 28 possible pairs, re-draws must move the link.
+  EXPECT_GT(links.size(), 3u);
+}
+
+TEST(DynamicSlowdownTest, StableWithinOnePeriod) {
+  auto base = std::make_unique<StaticLinkModel>(6);
+  base->SetAll(LinkClass{0.0, 100.0});
+  DynamicSlowdownLinkModel::Options options;
+  options.change_period_seconds = 300.0;
+  options.seed = 7;
+  DynamicSlowdownLinkModel model(std::move(base), options);
+  const auto first = model.SlowedLinkAt(0.0);
+  const double factor = model.SlowdownFactorAt(0.0);
+  for (double t : {10.0, 100.0, 299.9}) {
+    EXPECT_EQ(model.SlowedLinkAt(t), first);
+    EXPECT_DOUBLE_EQ(model.SlowdownFactorAt(t), factor);
+  }
+}
+
+TEST(DynamicSlowdownTest, DeterministicInSeed) {
+  auto make = [](uint64_t seed) {
+    auto base = std::make_unique<StaticLinkModel>(5);
+    base->SetAll(LinkClass{0.0, 100.0});
+    DynamicSlowdownLinkModel::Options options;
+    options.seed = seed;
+    return std::make_unique<DynamicSlowdownLinkModel>(std::move(base), options);
+  };
+  auto a = make(11);
+  auto b = make(11);
+  for (double t : {0.0, 400.0, 900.0}) {
+    EXPECT_EQ(a->SlowedLinkAt(t), b->SlowedLinkAt(t));
+    EXPECT_DOUBLE_EQ(a->SlowdownFactorAt(t), b->SlowdownFactorAt(t));
+  }
+}
+
+TEST(ClusterTest, PaperWorkerPlacements) {
+  EXPECT_EQ(HeterogeneousCluster(4).num_machines(), 2);
+  EXPECT_EQ(HeterogeneousCluster(8).num_machines(), 3);
+  EXPECT_EQ(HeterogeneousCluster(16).num_machines(), 4);
+  EXPECT_EQ(HomogeneousCluster(8).num_machines(), 1);
+  EXPECT_EQ(HeterogeneousClusterTwoServers(8).num_machines(), 2);
+}
+
+TEST(ClusterTest, TwoServerSplitIsEven) {
+  ClusterConfig config = HeterogeneousClusterTwoServers(8);
+  int on_first = 0;
+  for (int m : config.machine_of_worker) {
+    if (m == 0) ++on_first;
+  }
+  EXPECT_EQ(on_first, 4);
+}
+
+TEST(ClusterTest, IntraFasterThanInter) {
+  ClusterConfig config = HeterogeneousCluster(8);
+  auto model = BuildStaticLinkModel(config);
+  // Find an intra pair and an inter pair.
+  int intra_a = -1, intra_b = -1, inter_a = -1, inter_b = -1;
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      if (config.SameMachine(a, b) && intra_a < 0) {
+        intra_a = a;
+        intra_b = b;
+      }
+      if (!config.SameMachine(a, b) && inter_a < 0) {
+        inter_a = a;
+        inter_b = b;
+      }
+    }
+  }
+  ASSERT_GE(intra_a, 0);
+  ASSERT_GE(inter_a, 0);
+  const int64_t bytes = ml::ResNet18Profile().message_bytes();
+  EXPECT_LT(model->TransferSeconds(intra_a, intra_b, 0.0, bytes),
+            model->TransferSeconds(inter_a, inter_b, 0.0, bytes));
+}
+
+TEST(ClusterTest, Fig3IterationTimeCalibration) {
+  // max{C, N} iteration times should land near Fig. 3:
+  // ResNet18 ~0.2 s intra / ~0.75 s inter; VGG19 ~0.5 s / ~2.0 s.
+  const auto resnet = ml::ResNet18Profile();
+  const auto vgg = ml::Vgg19Profile();
+  const LinkClass intra = IntraMachineLinkClass();
+  const LinkClass inter = InterMachineLinkClass();
+  auto iteration = [](const ml::ModelProfile& profile, const LinkClass& link) {
+    return std::max(profile.compute_seconds,
+                    link.TransferSeconds(profile.message_bytes()));
+  };
+  EXPECT_NEAR(iteration(resnet, intra), 0.20, 0.05);
+  EXPECT_NEAR(iteration(resnet, inter), 0.75, 0.10);
+  EXPECT_NEAR(iteration(vgg, intra), 0.50, 0.10);
+  EXPECT_NEAR(iteration(vgg, inter), 2.00, 0.25);
+}
+
+TEST(ClusterTest, HomogeneousLinksAllEqual) {
+  ClusterConfig config = HomogeneousCluster(6);
+  auto model = BuildStaticLinkModel(config);
+  const double reference = model->TransferSeconds(0, 1, 0.0, 1 << 20);
+  for (int a = 0; a < 6; ++a) {
+    for (int b = 0; b < 6; ++b) {
+      if (a == b) continue;
+      EXPECT_DOUBLE_EQ(model->TransferSeconds(a, b, 0.0, 1 << 20), reference);
+    }
+  }
+}
+
+TEST(ClusterTest, WanModelHasSixRegionsAndHeterogeneousLinks) {
+  auto model = BuildCloudWanLinkModel();
+  EXPECT_EQ(model->num_nodes(), 6);
+  EXPECT_EQ(CloudRegionNames().size(), 6u);
+  const int64_t bytes = ml::MobileNetProfile().message_bytes();
+  // Mumbai <-> Singapore (3,4) is the closest pair; US West <-> Mumbai (0,3)
+  // the farthest: cost spread should be several-fold.
+  const double close = model->TransferSeconds(3, 4, 0.0, bytes);
+  const double far = model->TransferSeconds(0, 3, 0.0, bytes);
+  EXPECT_GT(far / close, 3.0);
+}
+
+TEST(ClusterTest, DynamicHeterogeneousModelBuilds) {
+  DynamicSlowdownLinkModel::Options options;
+  options.seed = 9;
+  auto model =
+      BuildDynamicHeterogeneousLinkModel(HeterogeneousCluster(8), options);
+  EXPECT_EQ(model->num_nodes(), 8);
+  EXPECT_GT(model->TransferSeconds(0, 7, 0.0, 1000), 0.0);
+}
+
+}  // namespace
+}  // namespace netmax::net

@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace netmax {
+namespace {
+
+TEST(EmaTest, FirstSampleInitializesDirectly) {
+  ExponentialMovingAverage ema(0.9);
+  EXPECT_FALSE(ema.has_value());
+  ema.Add(5.0);
+  EXPECT_TRUE(ema.has_value());
+  EXPECT_DOUBLE_EQ(ema.value(), 5.0);
+}
+
+TEST(EmaTest, FollowsPaperUpdateRule) {
+  // T[m] <- beta*T[m] + (1-beta)*t  (Algorithm 2, line 21).
+  ExponentialMovingAverage ema(0.5);
+  ema.Add(10.0);
+  ema.Add(20.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 0.5 * 10.0 + 0.5 * 20.0);
+  ema.Add(40.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 0.5 * 15.0 + 0.5 * 40.0);
+}
+
+TEST(EmaTest, SmallBetaTracksRecentSamples) {
+  // beta near 0 means a short window: the estimate should chase the latest
+  // sample, matching the paper's advice for fast-changing links.
+  ExponentialMovingAverage fast(0.1);
+  ExponentialMovingAverage slow(0.95);
+  for (int i = 0; i < 20; ++i) {
+    fast.Add(1.0);
+    slow.Add(1.0);
+  }
+  fast.Add(100.0);
+  slow.Add(100.0);
+  EXPECT_GT(fast.value(), 80.0);
+  EXPECT_LT(slow.value(), 10.0);
+}
+
+TEST(EmaTest, ConstantInputIsFixedPoint) {
+  ExponentialMovingAverage ema(0.7);
+  for (int i = 0; i < 100; ++i) ema.Add(3.25);
+  EXPECT_DOUBLE_EQ(ema.value(), 3.25);
+}
+
+TEST(EmaTest, ResetClearsState) {
+  ExponentialMovingAverage ema(0.5);
+  ema.Add(1.0);
+  ema.Reset();
+  EXPECT_FALSE(ema.has_value());
+  EXPECT_EQ(ema.count(), 0);
+  ema.Add(9.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 9.0);
+}
+
+TEST(EmaTest, RejectsInvalidBeta) {
+  EXPECT_DEATH({ ExponentialMovingAverage ema(1.0); }, "Check failed");
+  EXPECT_DEATH({ ExponentialMovingAverage ema(-0.1); }, "Check failed");
+}
+
+TEST(RunningStatTest, MeanAndVariance) {
+  RunningStat stat;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(v);
+  EXPECT_EQ(stat.count(), 8);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatTest, Extrema) {
+  RunningStat stat;
+  for (double v : {3.0, -1.0, 10.0, 2.0}) stat.Add(v);
+  EXPECT_DOUBLE_EQ(stat.min(), -1.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 10.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 14.0);
+}
+
+TEST(RunningStatTest, SingleSampleHasZeroVariance) {
+  RunningStat stat;
+  stat.Add(42.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 42.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 42.0);
+}
+
+TEST(RunningStatTest, NumericallyStableForShiftedData) {
+  // Welford should not lose precision on large offsets.
+  RunningStat stat;
+  const double offset = 1e9;
+  for (double v : {offset + 1.0, offset + 2.0, offset + 3.0}) stat.Add(v);
+  EXPECT_NEAR(stat.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(stat.variance(), 1.0, 1e-6);
+}
+
+TEST(QuantileTest, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStats) {
+  EXPECT_DOUBLE_EQ(Quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> v = {5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 9.0);
+}
+
+TEST(QuantileTest, DiesOnEmptyInput) {
+  EXPECT_DEATH({ (void)Quantile({}, 0.5); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace netmax

@@ -1,0 +1,103 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace netmax {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad M");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad M");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad M");
+}
+
+TEST(StatusTest, EveryConstructorMapsToItsCode) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(InfeasibleError("x").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(UnboundedError("x").code(), StatusCode::kUnbounded);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status(), Status::Ok());
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InternalError("a"));
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInfeasible), "INFEASIBLE");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnbounded), "UNBOUNDED");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v->size(), 5u);
+}
+
+TEST(StatusOrTest, DiesOnValueAccessWhenError) {
+  StatusOr<int> v = InternalError("boom");
+  EXPECT_DEATH({ (void)v.value(); }, "boom");
+}
+
+Status FailsThenPropagates() {
+  NETMAX_RETURN_IF_ERROR(InvalidArgumentError("inner"));
+  return InternalError("unreachable");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  Status s = FailsThenPropagates();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+Status Succeeds() { return Status::Ok(); }
+
+TEST(StatusMacroTest, ReturnIfErrorPassesThroughOk) {
+  auto fn = []() -> Status {
+    NETMAX_RETURN_IF_ERROR(Succeeds());
+    return AlreadyExistsError("reached end");
+  };
+  EXPECT_EQ(fn().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StatusMacroTest, CheckOkDiesOnError) {
+  EXPECT_DEATH({ NETMAX_CHECK_OK(InternalError("kaput")); }, "kaput");
+}
+
+}  // namespace
+}  // namespace netmax

@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace netmax {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"algo", "time"});
+  t.AddRow({"NetMax", "1.0"});
+  t.AddRow({"AD-PSGD", "2.0"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("algo"), std::string::npos);
+  EXPECT_NE(out.find("NetMax"), std::string::npos);
+  EXPECT_NE(out.find("AD-PSGD"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvBlockDelimited) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os, "fig8");
+  EXPECT_EQ(os.str(), "#CSV fig8\na,b\n1,2\n#END\n");
+}
+
+TEST(TablePrinterTest, RowArityEnforced) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH({ t.AddRow({"only one"}); }, "Check failed");
+}
+
+TEST(TablePrinterTest, CountsRows) {
+  TablePrinter t({"x"});
+  EXPECT_EQ(t.num_rows(), 0);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+TEST(FmtTest, DoublePrecision) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(Fmt(1.0, 0), "1");
+}
+
+TEST(FmtTest, Integers) {
+  EXPECT_EQ(Fmt(42), "42");
+  EXPECT_EQ(Fmt(static_cast<int64_t>(-7)), "-7");
+  EXPECT_EQ(Fmt(static_cast<int64_t>(1) << 40), "1099511627776");
+}
+
+}  // namespace
+}  // namespace netmax

@@ -1,0 +1,85 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace netmax::net {
+namespace {
+
+TEST(TopologyTest, CompleteGraph) {
+  Topology topo = Topology::Complete(5);
+  EXPECT_EQ(topo.num_nodes(), 5);
+  EXPECT_EQ(topo.num_edges(), 10);
+  for (int a = 0; a < 5; ++a) {
+    EXPECT_EQ(topo.Degree(a), 4);
+    for (int b = 0; b < 5; ++b) {
+      EXPECT_EQ(topo.AreNeighbors(a, b), a != b);
+    }
+  }
+  EXPECT_TRUE(topo.IsConnected());
+}
+
+TEST(TopologyTest, RingGraph) {
+  Topology topo = Topology::Ring(6);
+  EXPECT_EQ(topo.num_edges(), 6);
+  for (int a = 0; a < 6; ++a) {
+    EXPECT_EQ(topo.Degree(a), 2);
+    EXPECT_TRUE(topo.AreNeighbors(a, (a + 1) % 6));
+  }
+  EXPECT_FALSE(topo.AreNeighbors(0, 3));
+  EXPECT_TRUE(topo.IsConnected());
+}
+
+TEST(TopologyTest, RingRequiresThreeNodes) {
+  EXPECT_DEATH({ Topology::Ring(2); }, "Check failed");
+}
+
+TEST(TopologyTest, AddEdgeIdempotent) {
+  Topology topo(3);
+  topo.AddEdge(0, 1);
+  topo.AddEdge(1, 0);
+  topo.AddEdge(0, 1);
+  EXPECT_EQ(topo.num_edges(), 1);
+  EXPECT_EQ(topo.Degree(0), 1);
+}
+
+TEST(TopologyTest, SelfLoopDies) {
+  Topology topo(3);
+  EXPECT_DEATH({ topo.AddEdge(1, 1); }, "self-loops");
+}
+
+TEST(TopologyTest, NeighborsSorted) {
+  Topology topo(5);
+  topo.AddEdge(2, 4);
+  topo.AddEdge(2, 0);
+  topo.AddEdge(2, 3);
+  EXPECT_EQ(topo.Neighbors(2), (std::vector<int>{0, 3, 4}));
+}
+
+TEST(TopologyTest, DisconnectedGraphDetected) {
+  Topology topo(4);
+  topo.AddEdge(0, 1);
+  topo.AddEdge(2, 3);
+  EXPECT_FALSE(topo.IsConnected());
+  topo.AddEdge(1, 2);
+  EXPECT_TRUE(topo.IsConnected());
+}
+
+TEST(TopologyTest, SingleNodeIsConnected) {
+  Topology topo(1);
+  EXPECT_TRUE(topo.IsConnected());
+  EXPECT_EQ(topo.num_edges(), 0);
+}
+
+TEST(TopologyTest, AdjacencyMatrixMatchesIndicators) {
+  Topology topo(3);
+  topo.AddEdge(0, 2);
+  linalg::Matrix d = topo.AdjacencyMatrix();
+  EXPECT_DOUBLE_EQ(d(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(d(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+  EXPECT_TRUE(d.IsSymmetric());
+}
+
+}  // namespace
+}  // namespace netmax::net

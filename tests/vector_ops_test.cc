@@ -1,0 +1,86 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace netmax::linalg {
+namespace {
+
+TEST(VectorOpsTest, Axpy) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {10.0, 20.0, 30.0};
+  Axpy(2.0, x, y);
+  EXPECT_EQ(y, (std::vector<double>{12.0, 24.0, 36.0}));
+}
+
+TEST(VectorOpsTest, AxpyZeroCoefficientIsIdentity) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {5.0, 6.0};
+  Axpy(0.0, x, y);
+  EXPECT_EQ(y, (std::vector<double>{5.0, 6.0}));
+}
+
+TEST(VectorOpsTest, Dot) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VectorOpsTest, DotDiesOnMismatchedLengths) {
+  std::vector<double> x = {1.0};
+  std::vector<double> y = {1.0, 2.0};
+  EXPECT_DEATH({ (void)Dot(x, y); }, "Check failed");
+}
+
+TEST(VectorOpsTest, Scale) {
+  std::vector<double> x = {1.0, -2.0};
+  Scale(-3.0, x);
+  EXPECT_EQ(x, (std::vector<double>{-3.0, 6.0}));
+}
+
+TEST(VectorOpsTest, AddAndSubInPlace) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 10.0};
+  AddInPlace(x, y);
+  EXPECT_EQ(y, (std::vector<double>{11.0, 12.0}));
+  SubInPlace(x, y);
+  EXPECT_EQ(y, (std::vector<double>{10.0, 10.0}));
+}
+
+TEST(VectorOpsTest, Sub) {
+  std::vector<double> x = {5.0, 7.0};
+  std::vector<double> y = {1.0, 2.0};
+  EXPECT_EQ(Sub(x, y), (std::vector<double>{4.0, 5.0}));
+}
+
+TEST(VectorOpsTest, Norms) {
+  std::vector<double> x = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredNorm(x), 25.0);
+  EXPECT_DOUBLE_EQ(Norm(x), 5.0);
+}
+
+TEST(VectorOpsTest, MaxAbs) {
+  EXPECT_DOUBLE_EQ(MaxAbs(std::vector<double>{-7.0, 3.0, 5.0}), 7.0);
+  EXPECT_DOUBLE_EQ(MaxAbs(std::vector<double>{}), 0.0);
+}
+
+TEST(VectorOpsTest, Fill) {
+  std::vector<double> x(4, 1.0);
+  Fill(x, -2.5);
+  EXPECT_EQ(x, (std::vector<double>{-2.5, -2.5, -2.5, -2.5}));
+}
+
+TEST(VectorOpsTest, MeanOfVectors) {
+  const std::vector<std::vector<double>> vs = {{1.0, 2.0}, {3.0, 6.0}};
+  EXPECT_EQ(Mean(vs), (std::vector<double>{2.0, 4.0}));
+}
+
+TEST(VectorOpsTest, MeanOfSingleVectorIsItself) {
+  const std::vector<std::vector<double>> vs = {{1.5, -2.5}};
+  EXPECT_EQ(Mean(vs), (std::vector<double>{1.5, -2.5}));
+}
+
+}  // namespace
+}  // namespace netmax::linalg
