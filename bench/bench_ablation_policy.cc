@@ -17,6 +17,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench/bench_util.h"
+
 #include "common/random.h"
 #include "common/table.h"
 #include "core/policy_generator.h"
@@ -109,8 +111,12 @@ void CompareStrategies(int n, uint64_t seed) {
                                   times, rho),
                       1)});
   }
-  // netmax-lp at several grid resolutions
-  for (int grid : {2, 4, 8, 16}) {
+  // netmax-lp at several grid resolutions (smoke: coarse grids only — the
+  // K=R=16 sweep dominates this bench's runtime).
+  const std::vector<int> grids = bench::SmokeMode()
+                                     ? std::vector<int>{2, 4}
+                                     : std::vector<int>{2, 4, 8, 16};
+  for (int grid : grids) {
     core::PolicyGeneratorOptions options;
     options.alpha = kAlpha;
     options.epsilon = kEpsilon;
@@ -141,9 +147,12 @@ void CompareStrategies(int n, uint64_t seed) {
 }  // namespace
 }  // namespace netmax
 
-int main() {
+int main(int argc, char** argv) {
+  netmax::bench::InitBench(argc, argv);
   netmax::CompareStrategies(8, 1);
-  netmax::CompareStrategies(8, 2);
-  netmax::CompareStrategies(16, 1);
+  if (!netmax::bench::SmokeMode()) {
+    netmax::CompareStrategies(8, 2);
+    netmax::CompareStrategies(16, 1);
+  }
   return 0;
 }

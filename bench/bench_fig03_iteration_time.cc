@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench/bench_util.h"
+
 #include "common/table.h"
 #include "ml/model_profile.h"
 #include "net/cluster.h"
@@ -42,7 +44,8 @@ void Run() {
 }  // namespace
 }  // namespace netmax
 
-int main() {
+int main(int argc, char** argv) {
+  netmax::bench::InitBench(argc, argv);
   netmax::Run();
   return 0;
 }

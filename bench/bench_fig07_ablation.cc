@@ -35,6 +35,9 @@ void Run() {
     core::ExperimentConfig config = bench::PaperBaseConfig();
     config.profile = profile;
     config.max_epochs = 12;
+    // This bench runs NetMaxVariantAlgorithm by hand (no RunAlgorithms), so
+    // the smoke shrink must be applied explicitly, after the overrides.
+    bench::MaybeApplySmoke(config);
     TablePrinter table({"setting", "avg_epoch_time_s"});
     for (const Variant& variant : variants) {
       core::NetMaxVariantAlgorithm algorithm(variant.overlap,
@@ -53,7 +56,8 @@ void Run() {
 }  // namespace
 }  // namespace netmax
 
-int main() {
+int main(int argc, char** argv) {
+  netmax::bench::InitBench(argc, argv);
   netmax::Run();
   return 0;
 }

@@ -42,7 +42,7 @@ void Run() {
     }
     const double reference = times[{"Allreduce", 4}];
     TablePrinter table({"algorithm", "workers", "speedup"});
-    for (const std::string& name :
+    for (const std::string name :
          {"Prague", "Allreduce", "AD-PSGD", "NetMax"}) {
       for (int workers : worker_counts) {
         table.AddRow({name, Fmt(workers),
@@ -59,7 +59,8 @@ void Run() {
 }  // namespace
 }  // namespace netmax
 
-int main() {
+int main(int argc, char** argv) {
+  netmax::bench::InitBench(argc, argv);
   netmax::Run();
   return 0;
 }

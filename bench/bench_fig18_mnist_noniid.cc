@@ -41,7 +41,8 @@ void Run() {
 }  // namespace
 }  // namespace netmax
 
-int main() {
+int main(int argc, char** argv) {
+  netmax::bench::InitBench(argc, argv);
   netmax::Run();
   return 0;
 }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
 
 #include "algos/registry.h"
 #include "common/logging.h"
@@ -16,17 +19,61 @@ int BenchThreads() {
   return hw == 0 ? 4 : static_cast<int>(std::min(hw, 16u));
 }
 
+bool smoke_mode = false;
+
 }  // namespace
+
+void InitBench(int argc, char** argv) {
+  const char* env = std::getenv("NETMAX_SMOKE");
+  if (env != nullptr && std::strcmp(env, "1") == 0) smoke_mode = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke_mode = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0] << " [--smoke]\n"
+                << "  --smoke  reduced iterations / corpus (CI smoke run)\n";
+      std::exit(0);
+    } else {
+      NETMAX_CHECK(false) << "unknown bench flag: " << arg;
+    }
+  }
+}
+
+bool SmokeMode() { return smoke_mode; }
+
+void MaybeApplySmoke(core::ExperimentConfig& config) {
+  if (!smoke_mode) return;
+  // Keep the experiment shape (workers, network scenario, partition) but cut
+  // the work: tiny corpus, a handful of epochs, coarse policy refinement.
+  config.dataset.num_train = std::min(config.dataset.num_train, 512);
+  config.dataset.num_test = std::min(config.dataset.num_test, 128);
+  config.max_epochs = std::min(config.max_epochs, 4);
+  config.generator.outer_rounds = std::min(config.generator.outer_rounds, 3);
+  config.generator.inner_rounds = std::min(config.generator.inner_rounds, 3);
+  // Rescale the re-draw/monitor periods so smoke runs still exercise a few
+  // policy windows within the shortened virtual run.
+  config.slowdown_period_seconds =
+      std::min(config.slowdown_period_seconds, 20.0);
+  config.monitor_period_seconds = std::min(config.monitor_period_seconds, 8.0);
+  // lr_milestones are left untouched: milestones beyond the shortened budget
+  // simply never fire, while emptying the list would switch the harness to
+  // the plateau-decay scheduler (experiment.cc) — a different experiment.
+}
 
 std::vector<NamedResult> RunAlgorithms(const std::vector<std::string>& names,
                                        const core::ExperimentConfig& config) {
+  // Shrink at the last point before execution so per-bench overrides applied
+  // after PaperBaseConfig() (epochs, corpus size, ...) cannot undo --smoke.
+  core::ExperimentConfig run_config = config;
+  MaybeApplySmoke(run_config);
   std::vector<NamedResult> results(names.size());
   std::vector<std::function<void()>> tasks;
   for (size_t i = 0; i < names.size(); ++i) {
-    tasks.push_back([i, &names, &config, &results] {
+    tasks.push_back([i, &names, &run_config, &results] {
       auto algorithm = algos::MakeAlgorithm(names[i]);
       NETMAX_CHECK(algorithm.ok()) << algorithm.status();
-      auto result = (*algorithm)->Run(config);
+      auto result = (*algorithm)->Run(run_config);
       NETMAX_CHECK(result.ok())
           << names[i] << ": " << result.status().ToString();
       results[i] = NamedResult{result->algorithm, std::move(result.value())};
@@ -41,13 +88,17 @@ std::vector<NamedResult> RunConfigs(
     const std::vector<core::ExperimentConfig>& configs,
     const std::vector<std::string>& labels) {
   NETMAX_CHECK_EQ(configs.size(), labels.size());
+  std::vector<core::ExperimentConfig> run_configs = configs;
+  for (core::ExperimentConfig& run_config : run_configs) {
+    MaybeApplySmoke(run_config);
+  }
   std::vector<NamedResult> results(configs.size());
   std::vector<std::function<void()>> tasks;
   for (size_t i = 0; i < configs.size(); ++i) {
-    tasks.push_back([i, &algorithm, &configs, &labels, &results] {
+    tasks.push_back([i, &algorithm, &run_configs, &labels, &results] {
       auto algo = algos::MakeAlgorithm(algorithm);
       NETMAX_CHECK(algo.ok()) << algo.status();
-      auto result = (*algo)->Run(configs[i]);
+      auto result = (*algo)->Run(run_configs[i]);
       NETMAX_CHECK(result.ok()) << labels[i] << ": "
                                 << result.status().ToString();
       results[i] = NamedResult{labels[i], std::move(result.value())};

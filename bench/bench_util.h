@@ -16,6 +16,25 @@
 
 namespace netmax::bench {
 
+// Parses bench command-line flags; call first from the main() of every
+// figure/table bench (bench_micro_substrates is Google-Benchmark-driven and
+// uses its own flags instead). Recognized flags:
+//   --smoke   shrink experiments (corpus, epochs, policy refinement) so the
+//             bench finishes in seconds; CI runs benches this way.
+// Unknown flags are fatal so typos don't silently run the full bench.
+void InitBench(int argc, char** argv);
+
+// True once InitBench has seen --smoke (or NETMAX_SMOKE=1 in the
+// environment). RunAlgorithms/RunConfigs apply the shrink to their configs
+// at execution time — after any per-bench overrides — so benches only need
+// this (and MaybeApplySmoke) when they run experiments by hand.
+bool SmokeMode();
+
+// Applies the smoke-mode shrink to `config` in place (no-op unless
+// SmokeMode()). Exposed for benches that run experiments without
+// RunAlgorithms/RunConfigs.
+void MaybeApplySmoke(core::ExperimentConfig& config);
+
 struct NamedResult {
   std::string name;
   core::RunResult result;

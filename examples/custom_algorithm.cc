@@ -11,6 +11,8 @@
 
 #include <algorithm>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "algos/registry.h"
 #include "common/logging.h"
@@ -97,9 +99,16 @@ int main() {
                   netmax::Fmt(100.0 * result.final_accuracy, 1) + "%"});
   };
 
+  // Plug the custom algorithm into the shared registry so benches and
+  // scripts can resolve it by name like any built-in.
   for (int period : {2, 8}) {
-    LazyGossipAlgorithm lazy(period);
-    auto result = lazy.Run(config);
+    const std::string name = "lazygossip-" + std::to_string(period);
+    NETMAX_CHECK_OK(netmax::algos::RegisterAlgorithm(name, [period] {
+      return std::make_unique<LazyGossipAlgorithm>(period);
+    }));
+    auto lazy = netmax::algos::MakeAlgorithm(name);
+    NETMAX_CHECK_OK(lazy.status());
+    auto result = (*lazy)->Run(config);
     NETMAX_CHECK_OK(result.status());
     result->algorithm += " (every " + std::to_string(period) + ")";
     add_row(*result);

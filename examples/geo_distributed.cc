@@ -41,7 +41,7 @@ int main() {
 
   netmax::TablePrinter table(
       {"algorithm", "virtual_time_s", "test_accuracy"});
-  for (const std::string& name : {"ps-sync", "ps-async", "adpsgd", "netmax"}) {
+  for (const std::string name : {"ps-sync", "ps-async", "adpsgd", "netmax"}) {
     auto algorithm = netmax::algos::MakeAlgorithm(name);
     NETMAX_CHECK_OK(algorithm.status());
     auto result = (*algorithm)->Run(config);

@@ -32,7 +32,7 @@ int main() {
   // 2. Run NetMax and a baseline through the shared registry.
   netmax::TablePrinter table(
       {"algorithm", "virtual_time_s", "final_loss", "test_accuracy"});
-  for (const std::string& name : {"netmax", "adpsgd"}) {
+  for (const std::string name : {"netmax", "adpsgd"}) {
     auto algorithm = netmax::algos::MakeAlgorithm(name);
     NETMAX_CHECK_OK(algorithm.status());
     auto result = (*algorithm)->Run(config);

@@ -1,5 +1,9 @@
 #include "algos/registry.h"
 
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
 #include "algos/ad_psgd.h"
 #include "algos/allreduce_sgd.h"
 #include "algos/gossip_sgd.h"
@@ -9,27 +13,92 @@
 #include "core/netmax_engine.h"
 
 namespace netmax::algos {
+namespace {
+
+class Registry {
+ public:
+  static Registry& Get() {
+    static Registry* instance = new Registry();
+    return *instance;
+  }
+
+  Status Register(const std::string& name, AlgorithmFactory factory) {
+    if (name.empty()) {
+      return InvalidArgumentError("algorithm name must be non-empty");
+    }
+    if (factory == nullptr) {
+      return InvalidArgumentError("null factory for algorithm '" + name + "'");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (factories_.count(name) > 0) {
+      return AlreadyExistsError("algorithm '" + name +
+                                "' is already registered");
+    }
+    factories_.emplace(name, std::move(factory));
+    names_.push_back(name);
+    return Status::Ok();
+  }
+
+  StatusOr<std::unique_ptr<core::TrainingAlgorithm>> Make(
+      const std::string& name) const {
+    AlgorithmFactory factory;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = factories_.find(name);
+      if (it == factories_.end()) {
+        return NotFoundError("no algorithm named '" + name + "'");
+      }
+      factory = it->second;
+    }
+    auto algorithm = factory();
+    if (algorithm == nullptr) {
+      return InternalError("factory for algorithm '" + name +
+                           "' returned null");
+    }
+    return {std::move(algorithm)};
+  }
+
+  std::vector<std::string> Names() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return names_;
+  }
+
+ private:
+  Registry() {
+    auto builtin = [this](const std::string& name, AlgorithmFactory factory) {
+      NETMAX_CHECK_OK(Register(name, std::move(factory)));
+    };
+    builtin("netmax",
+            [] { return std::make_unique<core::NetMaxAlgorithm>(); });
+    builtin("adpsgd", [] { return std::make_unique<AdPsgdAlgorithm>(); });
+    builtin("allreduce",
+            [] { return std::make_unique<AllreduceSgdAlgorithm>(); });
+    builtin("prague", [] { return std::make_unique<PragueAlgorithm>(); });
+    builtin("gossip", [] { return std::make_unique<GossipSgdAlgorithm>(); });
+    builtin("saps", [] { return std::make_unique<SapsPsgdAlgorithm>(); });
+    builtin("ps-sync", [] { return std::make_unique<PsSyncAlgorithm>(); });
+    builtin("ps-async", [] { return std::make_unique<PsAsyncAlgorithm>(); });
+    builtin("adpsgd+monitor",
+            [] { return std::make_unique<AdPsgdWithMonitorAlgorithm>(); });
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, AlgorithmFactory> factories_;
+  std::vector<std::string> names_;  // registration order
+};
+
+}  // namespace
+
+Status RegisterAlgorithm(const std::string& name, AlgorithmFactory factory) {
+  return Registry::Get().Register(name, std::move(factory));
+}
 
 StatusOr<std::unique_ptr<core::TrainingAlgorithm>> MakeAlgorithm(
     const std::string& name) {
-  if (name == "netmax") return {std::make_unique<core::NetMaxAlgorithm>()};
-  if (name == "adpsgd") return {std::make_unique<AdPsgdAlgorithm>()};
-  if (name == "allreduce") return {std::make_unique<AllreduceSgdAlgorithm>()};
-  if (name == "prague") return {std::make_unique<PragueAlgorithm>()};
-  if (name == "gossip") return {std::make_unique<GossipSgdAlgorithm>()};
-  if (name == "saps") return {std::make_unique<SapsPsgdAlgorithm>()};
-  if (name == "ps-sync") return {std::make_unique<PsSyncAlgorithm>()};
-  if (name == "ps-async") return {std::make_unique<PsAsyncAlgorithm>()};
-  if (name == "adpsgd+monitor") {
-    return {std::make_unique<AdPsgdWithMonitorAlgorithm>()};
-  }
-  return NotFoundError("no algorithm named '" + name + "'");
+  return Registry::Get().Make(name);
 }
 
-std::vector<std::string> AlgorithmNames() {
-  return {"netmax", "adpsgd",  "allreduce", "prague",         "gossip",
-          "saps",   "ps-sync", "ps-async",  "adpsgd+monitor"};
-}
+std::vector<std::string> AlgorithmNames() { return Registry::Get().Names(); }
 
 std::vector<std::string> PaperComparisonAlgorithms() {
   return {"prague", "allreduce", "adpsgd", "netmax"};

@@ -2,7 +2,13 @@
 #define NETMAX_ALGOS_REGISTRY_H_
 
 // Name -> algorithm factory used by benches and examples.
+//
+// The built-in algorithms are registered automatically the first time the
+// registry is touched; user code can add its own with RegisterAlgorithm
+// (see examples/custom_algorithm.cc). All entry points are thread-safe —
+// benches resolve algorithms from thread-pool workers.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,13 +18,22 @@
 
 namespace netmax::algos {
 
-// Known names: "netmax", "adpsgd", "allreduce", "prague", "gossip",
+using AlgorithmFactory =
+    std::function<std::unique_ptr<core::TrainingAlgorithm>()>;
+
+// Registers `factory` under `name`. Returns AlreadyExists if the name is
+// taken (built-in or user-registered) and InvalidArgument for an empty name
+// or null factory.
+Status RegisterAlgorithm(const std::string& name, AlgorithmFactory factory);
+
+// Built-in names: "netmax", "adpsgd", "allreduce", "prague", "gossip",
 // "saps", "ps-sync", "ps-async", "adpsgd+monitor". Returns NotFound for
-// anything else.
+// anything not registered.
 StatusOr<std::unique_ptr<core::TrainingAlgorithm>> MakeAlgorithm(
     const std::string& name);
 
-// All registered names, in the order above.
+// All registered names in registration order: the built-ins in the order
+// above, then user registrations.
 std::vector<std::string> AlgorithmNames();
 
 // The four algorithms of the paper's main comparison (Sections V-B..V-F):

@@ -65,7 +65,7 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmSmoke,
                          ::testing::ValuesIn(algos::AlgorithmNames()));
 
 TEST(DeterminismTest, IdenticalRunsProduceIdenticalSeries) {
-  for (const std::string& name : {"netmax", "adpsgd", "allreduce", "prague"}) {
+  for (const std::string name : {"netmax", "adpsgd", "allreduce", "prague"}) {
     auto algorithm = MakeAlgorithm(name);
     ASSERT_TRUE(algorithm.ok());
     const ExperimentConfig config = SmokeConfig();

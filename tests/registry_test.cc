@@ -1,0 +1,113 @@
+// The algorithm registry: every built-in name resolves to a working factory,
+// unknown names are NotFound, and registration rejects duplicates and
+// malformed arguments.
+
+#include "algos/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "core/experiment.h"
+
+namespace netmax {
+namespace {
+
+// A do-nothing algorithm for registration tests.
+class NoopAlgorithm : public core::TrainingAlgorithm {
+ public:
+  std::string name() const override { return "noop"; }
+  StatusOr<core::RunResult> Run(
+      const core::ExperimentConfig& /*config*/) const override {
+    return core::RunResult{};
+  }
+};
+
+algos::AlgorithmFactory NoopFactory() {
+  return [] { return std::make_unique<NoopAlgorithm>(); };
+}
+
+TEST(RegistryTest, EveryRegisteredNameResolves) {
+  const std::vector<std::string> names = algos::AlgorithmNames();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    auto algorithm = algos::MakeAlgorithm(name);
+    ASSERT_TRUE(algorithm.ok()) << name << ": " << algorithm.status();
+    ASSERT_NE(*algorithm, nullptr) << name;
+  }
+}
+
+TEST(RegistryTest, BuiltinsArePresentInDocumentedOrder) {
+  const std::vector<std::string> expected = {
+      "netmax", "adpsgd",  "allreduce", "prague",         "gossip",
+      "saps",   "ps-sync", "ps-async",  "adpsgd+monitor"};
+  const std::vector<std::string> names = algos::AlgorithmNames();
+  ASSERT_GE(names.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(names[i], expected[i]) << "at index " << i;
+  }
+}
+
+TEST(RegistryTest, NamesAreUnique) {
+  const std::vector<std::string> names = algos::AlgorithmNames();
+  const std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  auto algorithm = algos::MakeAlgorithm("nonexistent");
+  ASSERT_FALSE(algorithm.ok());
+  EXPECT_EQ(algorithm.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, DuplicateRegistrationIsRejected) {
+  ASSERT_TRUE(algos::RegisterAlgorithm("registry-test-dup", NoopFactory())
+                  .ok());
+  const Status again =
+      algos::RegisterAlgorithm("registry-test-dup", NoopFactory());
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kAlreadyExists);
+  // The registry still lists the name exactly once and it still resolves.
+  const std::vector<std::string> names = algos::AlgorithmNames();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "registry-test-dup"), 1);
+  EXPECT_TRUE(algos::MakeAlgorithm("registry-test-dup").ok());
+}
+
+TEST(RegistryTest, ReRegisteringBuiltinIsRejected) {
+  const Status status = algos::RegisterAlgorithm("netmax", NoopFactory());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RegistryTest, EmptyNameAndNullFactoryAreInvalid) {
+  EXPECT_EQ(algos::RegisterAlgorithm("", NoopFactory()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(algos::RegisterAlgorithm("registry-test-null", nullptr).code(),
+            StatusCode::kInvalidArgument);
+  // The failed registrations must not leak into the name list.
+  const std::vector<std::string> names = algos::AlgorithmNames();
+  EXPECT_EQ(std::count(names.begin(), names.end(), ""), 0);
+  EXPECT_EQ(std::count(names.begin(), names.end(), "registry-test-null"), 0);
+}
+
+TEST(RegistryTest, FactoryReturningNullIsAnInternalError) {
+  ASSERT_TRUE(algos::RegisterAlgorithm("registry-test-nullresult", [] {
+                return std::unique_ptr<core::TrainingAlgorithm>();
+              }).ok());
+  auto algorithm = algos::MakeAlgorithm("registry-test-nullresult");
+  ASSERT_FALSE(algorithm.ok());
+  EXPECT_EQ(algorithm.status().code(), StatusCode::kInternal);
+}
+
+TEST(RegistryTest, RegisteredFactoryIsUsedByMake) {
+  ASSERT_TRUE(
+      algos::RegisterAlgorithm("registry-test-make", NoopFactory()).ok());
+  auto algorithm = algos::MakeAlgorithm("registry-test-make");
+  ASSERT_TRUE(algorithm.ok());
+  EXPECT_EQ((*algorithm)->name(), "noop");
+}
+
+}  // namespace
+}  // namespace netmax

@@ -65,7 +65,7 @@ TEST(TheoryTest, ConsensusContractsAtPredictedRate) {
   // Theorem 1 with g = 0, x* = consensus: E||x^k - x*||^2 <= lambda^k * E_0.
   const int n = 6;
   const double alpha = 0.1;
-  const double rho = 2.0;  // c = alpha*rho/(1/(n-1)) = 1.0... too big; use p.
+  // rho = 2.0 gives c = alpha*rho/(1/(n-1)) = 1.0 — too big; pick rho from p.
   net::Topology topo = net::Topology::Complete(n);
   CommunicationPolicy policy = CommunicationPolicy::Uniform(topo);
   // c = alpha*rho/p = 0.1*rho*(n-1); keep c = 0.35.
