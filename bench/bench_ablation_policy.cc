@@ -141,7 +141,8 @@ void CompareStrategies(int n, uint64_t seed) {
   std::cout << "\n== Policy-strategy ablation (M=" << n << ", seed=" << seed
             << ") ==\n";
   table.Print(std::cout);
-  table.PrintCsv(std::cout, "ablation_policy_M" + Fmt(n) + "_s" + Fmt(static_cast<int64_t>(seed)));
+  table.PrintCsv(std::cout, "ablation_policy_M" + Fmt(n) + "_s" +
+                                Fmt(static_cast<int64_t>(seed)));
 }
 
 }  // namespace

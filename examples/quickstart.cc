@@ -37,7 +37,8 @@ int main() {
     NETMAX_CHECK_OK(algorithm.status());
     auto result = (*algorithm)->Run(config);
     NETMAX_CHECK_OK(result.status());
-    table.AddRow({result->algorithm, netmax::Fmt(result->total_virtual_seconds, 1),
+    table.AddRow({result->algorithm,
+                  netmax::Fmt(result->total_virtual_seconds, 1),
                   netmax::Fmt(result->final_train_loss, 3),
                   netmax::Fmt(100.0 * result->final_accuracy, 1) + "%"});
   }

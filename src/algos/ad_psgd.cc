@@ -79,7 +79,8 @@ class AdPsgdEngine {
     core::WorkerRuntime& worker = harness_.worker(w);
     // AD-PSGD order: average with the selected peer, then apply the gradient
     // that was computed concurrently. The averaging is atomic and symmetric —
-    // both endpoints adopt (x_i + x_m)/2, as in Lian et al.'s W matrix — which
+    // both endpoints adopt (x_i + x_m)/2, as in Lian et al.'s W matrix —
+    // which
     // preserves the parameter mean across the fleet.
     harness_.ComputeGradientOnly(w);
     auto x_i = worker.model->parameters();

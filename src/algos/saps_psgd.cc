@@ -27,7 +27,8 @@ net::Topology BuildFastLinkSubgraph(const linalg::Matrix& cost) {
     for (int v = 0; v < n; ++v) {
       if (in_tree[static_cast<size_t>(v)]) continue;
       if (pick < 0 ||
-          best_cost[static_cast<size_t>(v)] < best_cost[static_cast<size_t>(pick)]) {
+          best_cost[static_cast<size_t>(v)] <
+              best_cost[static_cast<size_t>(pick)]) {
         pick = v;
       }
     }

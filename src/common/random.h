@@ -56,7 +56,8 @@ class Rng {
   template <typename T>
   void Shuffle(std::vector<T>& values) {
     for (size_t i = values.size(); i > 1; --i) {
-      const size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      const size_t j =
+          static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
       std::swap(values[i - 1], values[j]);
     }
   }

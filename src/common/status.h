@@ -78,7 +78,8 @@ template <typename T>
 class StatusOr {
  public:
   // Constructs from an error status. `status` must not be OK.
-  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {
     NETMAX_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
   }
 

@@ -40,8 +40,8 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutting_down_ || !queue_.empty(); });
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
       if (queue_.empty()) {
         // shutting_down_ and no work left.
         return;

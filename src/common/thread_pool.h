@@ -48,7 +48,8 @@ class ThreadPool {
 
 // Runs `tasks[i]()` for all i using `num_threads` workers and returns when all
 // have completed. Convenience wrapper for one-shot parallel sections.
-void ParallelFor(int num_threads, const std::vector<std::function<void()>>& tasks);
+void ParallelFor(int num_threads,
+                 const std::vector<std::function<void()>>& tasks);
 
 }  // namespace netmax
 

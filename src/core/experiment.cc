@@ -100,7 +100,8 @@ Status ExperimentHarness::Init() {
       break;
   }
   topology_ =
-      std::make_unique<net::Topology>(net::Topology::Complete(config_.num_workers));
+      std::make_unique<net::Topology>(
+          net::Topology::Complete(config_.num_workers));
 
   // Workers: identical initial replicas (x^0), forked RNG/sampler streams.
   Rng root(config_.seed);
@@ -123,7 +124,8 @@ Status ExperimentHarness::Init() {
     sgd.momentum = config_.momentum;
     sgd.weight_decay = config_.weight_decay;
     worker->optimizer =
-        std::make_unique<ml::SgdOptimizer>(worker->model->num_parameters(), sgd);
+        std::make_unique<ml::SgdOptimizer>(worker->model->num_parameters(),
+                                           sgd);
     worker->batch_size = WorkerBatchSize(config_, w);
     worker->sampler = std::make_unique<ml::BatchSampler>(
         &worker->shard, worker->batch_size,
@@ -157,9 +159,9 @@ double ExperimentHarness::PullSeconds(int src, int dst) const {
 
 double ExperimentHarness::ComputeGradientOnly(int w) {
   WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
-  const std::vector<int> batch = worker.sampler->NextBatch();
-  const double loss =
-      worker.model->LossAndGradient(worker.shard, batch, worker.gradient);
+  worker.sampler->NextBatch(worker.batch_indices);
+  const double loss = worker.model->LossAndGradient(
+      worker.shard, worker.batch_indices, worker.gradient, worker.workspace);
   worker.epoch_loss_sum += loss;
   ++worker.epoch_batches;
   ++worker.iterations;
@@ -226,7 +228,8 @@ void ExperimentHarness::RecordGlobalEpochPoint() {
   if (config_.eval_every_epochs > 0 &&
       static_cast<int64_t>(global_epoch) % config_.eval_every_epochs == 0) {
     accuracy_vs_time_.push_back(
-        {sim_.Now(), ml::Accuracy(*workers_[0]->model, test_set_)});
+        {sim_.Now(),
+         ml::Accuracy(*workers_[0]->model, test_set_, eval_workspace_)});
   }
 }
 
@@ -262,7 +265,7 @@ RunResult ExperimentHarness::Finalize() {
       loss_sum += worker->latest_epoch_loss;
       ++loss_count;
     }
-    accuracy_sum += ml::Accuracy(*worker->model, test_set_);
+    accuracy_sum += ml::Accuracy(*worker->model, test_set_, eval_workspace_);
     compute_total += worker->compute_cost_total;
     comm_total += worker->comm_cost_total;
     epochs_total += worker->epochs_completed;

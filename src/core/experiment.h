@@ -55,7 +55,8 @@ struct ExperimentConfig {
 
   // --- time-domain cost model ---
   ml::ModelProfile profile = ml::ResNet18Profile();
-  int profile_batch = 128;          // batch size profile.compute_seconds refers to
+  // Batch size that profile.compute_seconds refers to.
+  int profile_batch = 128;
   double compute_multiplier = 1.0;  // >1 for CPU-only WAN instances
 
   // --- cluster / network ---
@@ -81,7 +82,8 @@ struct ExperimentConfig {
   // --- NetMax / monitor knobs ---
   double monitor_period_seconds = 120.0;  // Ts
   double ema_beta = 0.5;                  // iteration-time EMA smoothing
-  PolicyGeneratorOptions generator;       // alpha is overwritten from learning_rate
+  // generator.alpha is overwritten from learning_rate.
+  PolicyGeneratorOptions generator;
   // Initial consensus strength: rho_0 chosen so that
   // alpha * rho_0 * (M-1) = initial_consensus_coefficient (uniform policy).
   double initial_consensus_coefficient = 0.3;
@@ -111,7 +113,9 @@ struct ExperimentConfig {
 struct EpochCostBreakdown {
   double compute_seconds = 0.0;
   double communication_seconds = 0.0;
-  double total_seconds() const { return compute_seconds + communication_seconds; }
+  double total_seconds() const {
+    return compute_seconds + communication_seconds;
+  }
 };
 
 struct RunResult {
@@ -150,7 +154,9 @@ struct WorkerRuntime {
   std::unique_ptr<ml::BatchSampler> sampler;
   std::unique_ptr<ml::LrSchedule> lr_schedule;
   Rng rng;
-  std::vector<double> gradient;  // scratch buffer
+  std::vector<double> gradient;     // scratch buffer
+  std::vector<int> batch_indices;   // scratch buffer (sampler output)
+  ml::TrainingWorkspace workspace;  // batched forward/backward scratch
   int batch_size = 0;
   double compute_seconds_per_batch = 0.0;
 
@@ -238,6 +244,10 @@ class ExperimentHarness {
   std::unique_ptr<net::LinkModel> links_;
   std::vector<std::unique_ptr<WorkerRuntime>> workers_;
   ml::Dataset test_set_{1, 2};
+  // Shared by every test-set evaluation (all worker models have identical
+  // shapes, so one set of buffers serves Finalize and the periodic
+  // accuracy-vs-time points without reallocating).
+  ml::TrainingWorkspace eval_workspace_;
 
   // Recording state.
   ml::Series loss_vs_time_;

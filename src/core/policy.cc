@@ -74,7 +74,8 @@ StatusOr<std::vector<double>> GlobalStepProbabilities(
   std::vector<double> inverse_times(static_cast<size_t>(n));
   double total = 0.0;
   for (int i = 0; i < n; ++i) {
-    const double t_i = AverageIterationTime(iteration_times, policy, topology, i);
+    const double t_i =
+        AverageIterationTime(iteration_times, policy, topology, i);
     if (t_i <= 0.0) {
       return InvalidArgumentError("node " + std::to_string(i) +
                                   " has non-positive average iteration time");
@@ -137,7 +138,8 @@ StatusOr<linalg::Matrix> BuildNetMaxY(const CommunicationPolicy& policy,
                   if (!allow_overshoot && c >= 1.0) {
                     return InvalidArgumentError(
                         "alpha*rho*gamma >= 1 for edge (" + std::to_string(i) +
-                        "," + std::to_string(m) + "): consensus step overshoots");
+                        "," + std::to_string(m) +
+                        "): consensus step overshoots");
                   }
                   return c;
                 });

@@ -12,10 +12,13 @@ namespace {
 
 // Sum of squares of off-diagonal entries.
 double OffDiagonalNorm(const Matrix& a) {
+  const int n = a.rows();
+  const double* data = a.data().data();
   double acc = 0.0;
-  for (int r = 0; r < a.rows(); ++r) {
-    for (int c = 0; c < a.cols(); ++c) {
-      if (r != c) acc += a(r, c) * a(r, c);
+  for (int r = 0; r < n; ++r) {
+    const double* row = data + static_cast<size_t>(r) * n;
+    for (int c = 0; c < n; ++c) {
+      if (r != c) acc += row[c] * row[c];
     }
   }
   return acc;
@@ -34,6 +37,11 @@ StatusOr<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
   const int n = a.rows();
   Matrix work = a;
   Matrix vectors = Matrix::Identity(n);
+  // The rotation loops touch every element of two rows/columns per (p, q)
+  // pair; raw row-major access keeps them branch-free (operator() bounds
+  // checks would dominate the sweep).
+  double* wd = work.mutable_data().data();
+  double* vd = vectors.mutable_data().data();
 
   constexpr int kMaxSweeps = 100;
   constexpr double kConvergence = 1e-22;  // off-diagonal Frobenius^2 target
@@ -41,10 +49,10 @@ StatusOr<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
     if (OffDiagonalNorm(work) < kConvergence) break;
     for (int p = 0; p < n - 1; ++p) {
       for (int q = p + 1; q < n; ++q) {
-        const double apq = work(p, q);
+        const double apq = wd[static_cast<size_t>(p) * n + q];
         if (std::fabs(apq) < 1e-300) continue;
-        const double app = work(p, p);
-        const double aqq = work(q, q);
+        const double app = wd[static_cast<size_t>(p) * n + p];
+        const double aqq = wd[static_cast<size_t>(q) * n + q];
         const double theta = (aqq - app) / (2.0 * apq);
         // t = sign(theta) / (|theta| + sqrt(theta^2 + 1)) is the smaller root,
         // which keeps rotations small and the process stable.
@@ -56,22 +64,26 @@ StatusOr<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
         // Apply the rotation J(p, q, theta) on both sides of `work` and
         // accumulate it into `vectors`.
         for (int k = 0; k < n; ++k) {
-          const double akp = work(k, p);
-          const double akq = work(k, q);
-          work(k, p) = c * akp - s * akq;
-          work(k, q) = s * akp + c * akq;
+          double* row = wd + static_cast<size_t>(k) * n;
+          const double akp = row[p];
+          const double akq = row[q];
+          row[p] = c * akp - s * akq;
+          row[q] = s * akp + c * akq;
+        }
+        double* wp = wd + static_cast<size_t>(p) * n;
+        double* wq = wd + static_cast<size_t>(q) * n;
+        for (int k = 0; k < n; ++k) {
+          const double apk = wp[k];
+          const double aqk = wq[k];
+          wp[k] = c * apk - s * aqk;
+          wq[k] = s * apk + c * aqk;
         }
         for (int k = 0; k < n; ++k) {
-          const double apk = work(p, k);
-          const double aqk = work(q, k);
-          work(p, k) = c * apk - s * aqk;
-          work(q, k) = s * apk + c * aqk;
-        }
-        for (int k = 0; k < n; ++k) {
-          const double vkp = vectors(k, p);
-          const double vkq = vectors(k, q);
-          vectors(k, p) = c * vkp - s * vkq;
-          vectors(k, q) = s * vkp + c * vkq;
+          double* row = vd + static_cast<size_t>(k) * n;
+          const double vkp = row[p];
+          const double vkq = row[q];
+          row[p] = c * vkp - s * vkq;
+          row[q] = s * vkp + c * vkq;
         }
       }
     }
@@ -87,7 +99,8 @@ StatusOr<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
   out.eigenvalues.resize(static_cast<size_t>(n));
   out.eigenvectors = Matrix(n, n);
   for (int c = 0; c < n; ++c) {
-    out.eigenvalues[static_cast<size_t>(c)] = work(order[static_cast<size_t>(c)], order[static_cast<size_t>(c)]);
+    const int source = order[static_cast<size_t>(c)];
+    out.eigenvalues[static_cast<size_t>(c)] = work(source, source);
     for (int r = 0; r < n; ++r) {
       out.eigenvectors(r, c) = vectors(r, order[static_cast<size_t>(c)]);
     }

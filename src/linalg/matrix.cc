@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/blas.h"
+
 namespace netmax::linalg {
 
 Matrix::Matrix(int rows, int cols, double init)
@@ -51,27 +53,15 @@ Matrix Matrix::Transpose() const {
 Matrix Matrix::Multiply(const Matrix& other) const {
   NETMAX_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
-  for (int r = 0; r < rows_; ++r) {
-    for (int k = 0; k < cols_; ++k) {
-      const double a = (*this)(r, k);
-      if (a == 0.0) continue;
-      for (int c = 0; c < other.cols_; ++c) {
-        out(r, c) += a * other(k, c);
-      }
-    }
-  }
+  Gemm(rows_, other.cols_, cols_, data_.data(), cols_, other.data_.data(),
+       other.cols_, out.data_.data(), out.cols_);
   return out;
 }
 
 std::vector<double> Matrix::Apply(std::span<const double> x) const {
   NETMAX_CHECK_EQ(static_cast<int>(x.size()), cols_);
   std::vector<double> out(static_cast<size_t>(rows_), 0.0);
-  for (int r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    const std::span<const double> row = Row(r);
-    for (int c = 0; c < cols_; ++c) acc += row[static_cast<size_t>(c)] * x[static_cast<size_t>(c)];
-    out[static_cast<size_t>(r)] = acc;
-  }
+  Gemv(rows_, cols_, data_.data(), cols_, x.data(), nullptr, out.data());
   return out;
 }
 

@@ -71,6 +71,10 @@ class Matrix {
 
   const std::vector<double>& data() const { return data_; }
 
+  // Raw row-major storage for kernel-level access (linalg-internal hot loops
+  // that must bypass the per-element bounds checks of operator()).
+  std::span<double> mutable_data() { return data_; }
+
  private:
   int rows_ = 0;
   int cols_ = 0;

@@ -8,7 +8,19 @@ namespace netmax::linalg {
 
 void Axpy(double a, std::span<const double> x, std::span<double> y) {
   NETMAX_CHECK_EQ(x.size(), y.size());
-  for (size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+  // Elementwise, so unrolling cannot change any result; the raw-pointer 4x
+  // unroll keeps the parameter/consensus updates of Algorithm 2 vectorized.
+  const double* xs = x.data();
+  double* ys = y.data();
+  const size_t n = x.size();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    ys[i] += a * xs[i];
+    ys[i + 1] += a * xs[i + 1];
+    ys[i + 2] += a * xs[i + 2];
+    ys[i + 3] += a * xs[i + 3];
+  }
+  for (; i < n; ++i) ys[i] += a * xs[i];
 }
 
 double Dot(std::span<const double> x, std::span<const double> y) {

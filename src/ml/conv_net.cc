@@ -4,10 +4,20 @@
 #include <cmath>
 
 #include "common/random.h"
+#include "linalg/blas.h"
 #include "linalg/vector_ops.h"
 #include "ml/linear_model.h"
 
 namespace netmax::ml {
+namespace {
+
+// Workspace slot layout.
+constexpr int kSlotConvOut = 0;    // batch x F*L post-ReLU conv activations
+constexpr int kSlotLogits = 1;     // batch x C logits / probs / deltas
+constexpr int kSlotDConv = 2;      // batch x F*L conv-activation deltas
+constexpr int kSlotFcWeightT = 3;  // F*L x C transposed FC weights
+
+}  // namespace
 
 ConvNet::ConvNet(int input_dim, int num_filters, int kernel_size,
                  int num_classes)
@@ -62,37 +72,66 @@ void ConvNet::InitializeParameters(uint64_t seed) {
   for (int c = 0; c < num_classes_; ++c) fc_b[c] = 0.0;
 }
 
-void ConvNet::Forward(std::span<const double> x, std::vector<double>& conv_out,
-                      std::vector<double>& logits) const {
+std::span<double> ConvNet::ForwardBatch(const Dataset& data,
+                                        std::span<const int> indices,
+                                        TrainingWorkspace& workspace) const {
+  const size_t batch = indices.size();
+  const size_t fc_in = static_cast<size_t>(num_filters_) * conv_len_;
   const double* conv_w = params_.data() + ConvWeightOffset();
   const double* conv_b = params_.data() + ConvBiasOffset();
-  conv_out.assign(static_cast<size_t>(num_filters_) * conv_len_, 0.0);
-  for (int f = 0; f < num_filters_; ++f) {
-    const double* kernel = conv_w + static_cast<size_t>(f) * kernel_size_;
-    double* out = conv_out.data() + static_cast<size_t>(f) * conv_len_;
-    for (int p = 0; p < conv_len_; ++p) {
-      double acc = conv_b[f];
+
+  // Conv stage per sample (valid-padding 1-D conv), writing every sample's
+  // F x L activation row into one matrix. Taps run k-outer / p-inner: the
+  // inner loop is an elementwise shifted axpy over contiguous positions
+  // (vectorizable), and each output still accumulates bias-first then taps in
+  // ascending-k order — the same sum as the per-position loop.
+  std::span<double> conv_out = workspace.Scratch(kSlotConvOut, batch * fc_in);
+  for (size_t s = 0; s < batch; ++s) {
+    const std::span<const double> x = data.features(indices[s]);
+    double* sample_out = conv_out.data() + s * fc_in;
+    for (int f = 0; f < num_filters_; ++f) {
+      const double* kernel = conv_w + static_cast<size_t>(f) * kernel_size_;
+      double* out = sample_out + static_cast<size_t>(f) * conv_len_;
+      for (int p = 0; p < conv_len_; ++p) out[p] = conv_b[f];
       for (int k = 0; k < kernel_size_; ++k) {
-        acc += kernel[k] * x[static_cast<size_t>(p + k)];
+        const double w = kernel[k];
+        const double* xk = x.data() + k;
+        for (int p = 0; p < conv_len_; ++p) out[p] += w * xk[p];
       }
-      out[p] = std::max(0.0, acc);  // ReLU
+      for (int p = 0; p < conv_len_; ++p) {
+        out[p] = std::max(0.0, out[p]);  // ReLU
+      }
     }
   }
-  const int fc_in = num_filters_ * conv_len_;
-  const double* fc_w = params_.data() + FcWeightOffset();
-  const double* fc_b = params_.data() + FcBiasOffset();
-  logits.assign(static_cast<size_t>(num_classes_), 0.0);
-  for (int c = 0; c < num_classes_; ++c) {
-    const double* row = fc_w + static_cast<size_t>(c) * fc_in;
-    double acc = fc_b[c];
-    for (int j = 0; j < fc_in; ++j) acc += row[j] * conv_out[static_cast<size_t>(j)];
-    logits[static_cast<size_t>(c)] = acc;
-  }
+
+  // FC head over the whole batch as one GEMM (transposed weight copy, see
+  // Mlp::ForwardBatch).
+  std::span<double> fc_wt = workspace.Scratch(
+      kSlotFcWeightT, fc_in * static_cast<size_t>(num_classes_));
+  linalg::Transpose(num_classes_, static_cast<int>(fc_in),
+                    params_.data() + FcWeightOffset(), static_cast<int>(fc_in),
+                    fc_wt.data(), num_classes_);
+  std::span<double> logits = workspace.Scratch(
+      kSlotLogits, batch * static_cast<size_t>(num_classes_));
+  linalg::GemmBias(static_cast<int>(batch), num_classes_,
+                   static_cast<int>(fc_in), conv_out.data(),
+                   static_cast<int>(fc_in), fc_wt.data(), num_classes_,
+                   params_.data() + FcBiasOffset(), logits.data(),
+                   num_classes_);
+  return logits;
 }
 
 double ConvNet::LossAndGradient(const Dataset& data,
                                 std::span<const int> batch_indices,
                                 std::span<double> gradient) const {
+  return LossAndGradient(data, batch_indices, gradient,
+                         ThreadLocalWorkspace());
+}
+
+double ConvNet::LossAndGradient(const Dataset& data,
+                                std::span<const int> batch_indices,
+                                std::span<double> gradient,
+                                TrainingWorkspace& workspace) const {
   NETMAX_CHECK(!batch_indices.empty());
   NETMAX_CHECK_EQ(data.feature_dim(), input_dim_);
   const bool want_gradient = !gradient.empty();
@@ -101,74 +140,92 @@ double ConvNet::LossAndGradient(const Dataset& data,
     netmax::linalg::Fill(gradient, 0.0);
   }
 
-  const int fc_in = num_filters_ * conv_len_;
-  std::vector<double> conv_out;
-  std::vector<double> probs;
+  const size_t batch = batch_indices.size();
+  const size_t fc_in = static_cast<size_t>(num_filters_) * conv_len_;
+  const size_t num_classes = static_cast<size_t>(num_classes_);
+  std::span<double> logits = ForwardBatch(data, batch_indices, workspace);
+
   double total_loss = 0.0;
-  for (int index : batch_indices) {
-    const std::span<const double> x = data.features(index);
-    const int label = data.label(index);
-    Forward(x, conv_out, probs);
-    SoftmaxInPlace(probs);
-    total_loss += CrossEntropyFromProbabilities(probs, label);
-    if (!want_gradient) continue;
+  for (size_t s = 0; s < batch; ++s) {
+    std::span<double> row = logits.subspan(s * num_classes, num_classes);
+    SoftmaxInPlace(row);
+    total_loss +=
+        CrossEntropyFromProbabilities(row, data.label(batch_indices[s]));
+  }
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  if (!want_gradient) return total_loss * inv_batch;
 
-    // dL/dlogits.
-    std::vector<double> dlogits = probs;
-    dlogits[static_cast<size_t>(label)] -= 1.0;
+  // dL/dlogits in place: p - onehot.
+  for (size_t s = 0; s < batch; ++s) {
+    logits[s * num_classes +
+           static_cast<size_t>(data.label(batch_indices[s]))] -= 1.0;
+  }
 
-    // FC layer gradients and backprop into conv activations.
-    const double* fc_w = params_.data() + FcWeightOffset();
-    double* g_fc_w = gradient.data() + FcWeightOffset();
-    double* g_fc_b = gradient.data() + FcBiasOffset();
-    std::vector<double> dconv(static_cast<size_t>(fc_in), 0.0);
-    for (int c = 0; c < num_classes_; ++c) {
-      const double d = dlogits[static_cast<size_t>(c)];
-      g_fc_b[c] += d;
-      if (d == 0.0) continue;
-      double* grow = g_fc_w + static_cast<size_t>(c) * fc_in;
-      const double* row = fc_w + static_cast<size_t>(c) * fc_in;
-      for (int j = 0; j < fc_in; ++j) {
-        grow[j] += d * conv_out[static_cast<size_t>(j)];
-        dconv[static_cast<size_t>(j)] += d * row[j];
-      }
-    }
-    // ReLU mask.
-    for (int j = 0; j < fc_in; ++j) {
-      if (conv_out[static_cast<size_t>(j)] <= 0.0) dconv[static_cast<size_t>(j)] = 0.0;
-    }
-    // Conv layer gradients.
-    double* g_conv_w = gradient.data() + ConvWeightOffset();
-    double* g_conv_b = gradient.data() + ConvBiasOffset();
+  // FC gradients over the whole batch (rank-1 updates in batch order), then
+  // deltas back into conv activation space with the ReLU mask.
+  const std::span<const double> conv_out =
+      workspace.Scratch(kSlotConvOut, batch * fc_in);
+  linalg::GemmAtBAccumulate(static_cast<int>(batch), num_classes_,
+                            static_cast<int>(fc_in), logits.data(),
+                            num_classes_, conv_out.data(),
+                            static_cast<int>(fc_in),
+                            gradient.data() + FcWeightOffset(),
+                            static_cast<int>(fc_in));
+  linalg::AddRowsAccumulate(static_cast<int>(batch), num_classes_,
+                            logits.data(), num_classes_,
+                            gradient.data() + FcBiasOffset());
+  std::span<double> dconv = workspace.Scratch(kSlotDConv, batch * fc_in);
+  linalg::Gemm(static_cast<int>(batch), static_cast<int>(fc_in), num_classes_,
+               logits.data(), num_classes_,
+               params_.data() + FcWeightOffset(), static_cast<int>(fc_in),
+               dconv.data(), static_cast<int>(fc_in));
+  // ReLU mask as a branchless select (see Mlp::LossAndGradient).
+  for (size_t i = 0; i < dconv.size(); ++i) {
+    dconv[i] = conv_out[i] > 0.0 ? dconv[i] : 0.0;
+  }
+
+  // Conv gradients per sample, in batch order. Each tap gradient is a dot
+  // product of the delta row against the shifted input (positions ascending,
+  // the seed's accumulation order); the seed's skip of zero deltas only ever
+  // added exact zeros, so dropping it changes no value.
+  double* g_conv_w = gradient.data() + ConvWeightOffset();
+  double* g_conv_b = gradient.data() + ConvBiasOffset();
+  for (size_t s = 0; s < batch; ++s) {
+    const std::span<const double> x = data.features(batch_indices[s]);
+    const double* sample_dconv = dconv.data() + s * fc_in;
     for (int f = 0; f < num_filters_; ++f) {
       double* gk = g_conv_w + static_cast<size_t>(f) * kernel_size_;
-      const double* dout = dconv.data() + static_cast<size_t>(f) * conv_len_;
-      for (int p = 0; p < conv_len_; ++p) {
-        const double d = dout[p];
-        if (d == 0.0) continue;
-        for (int k = 0; k < kernel_size_; ++k) {
-          gk[k] += d * x[static_cast<size_t>(p + k)];
-        }
-        g_conv_b[f] += d;
+      const double* dout = sample_dconv + static_cast<size_t>(f) * conv_len_;
+      for (int k = 0; k < kernel_size_; ++k) {
+        const double* xk = x.data() + k;
+        double acc = gk[k];
+        for (int p = 0; p < conv_len_; ++p) acc += dout[p] * xk[p];
+        gk[k] = acc;
       }
+      double bias_acc = g_conv_b[f];
+      for (int p = 0; p < conv_len_; ++p) bias_acc += dout[p];
+      g_conv_b[f] = bias_acc;
     }
   }
-  const double inv_batch = 1.0 / static_cast<double>(batch_indices.size());
-  if (want_gradient) netmax::linalg::Scale(inv_batch, gradient);
+  netmax::linalg::Scale(inv_batch, gradient);
   return total_loss * inv_batch;
 }
 
 int ConvNet::Predict(const Dataset& data, int index) const {
-  std::vector<double> conv_out;
-  std::vector<double> logits;
-  Forward(data.features(index), conv_out, logits);
-  int best = 0;
-  for (int c = 1; c < num_classes_; ++c) {
-    if (logits[static_cast<size_t>(c)] > logits[static_cast<size_t>(best)]) {
-      best = c;
-    }
-  }
-  return best;
+  int prediction = 0;
+  PredictBatch(data, {&index, 1}, {&prediction, 1}, ThreadLocalWorkspace());
+  return prediction;
+}
+
+void ConvNet::PredictBatch(const Dataset& data, std::span<const int> indices,
+                           std::span<int> out,
+                           TrainingWorkspace& workspace) const {
+  NETMAX_CHECK_EQ(indices.size(), out.size());
+  if (indices.empty()) return;
+  NETMAX_CHECK_EQ(data.feature_dim(), input_dim_);
+  const std::span<const double> logits =
+      ForwardBatch(data, indices, workspace);
+  ArgmaxRows(logits, indices.size(), static_cast<size_t>(num_classes_), out);
 }
 
 std::unique_ptr<Model> ConvNet::Clone() const {

@@ -32,20 +32,40 @@ class ConvNet : public Model {
   double LossAndGradient(const Dataset& data,
                          std::span<const int> batch_indices,
                          std::span<double> gradient) const override;
+  // Batched zero-allocation path: conv activations for the whole batch land
+  // in one workspace matrix (per-sample loops — the kernel is tiny and
+  // already streams), the FC head runs as one GEMM over that matrix.
+  // Bit-identical to the per-sample formulation.
+  double LossAndGradient(const Dataset& data,
+                         std::span<const int> batch_indices,
+                         std::span<double> gradient,
+                         TrainingWorkspace& workspace) const override;
   int Predict(const Dataset& data, int index) const override;
+  void PredictBatch(const Dataset& data, std::span<const int> indices,
+                    std::span<int> out,
+                    TrainingWorkspace& workspace) const override;
   std::unique_ptr<Model> Clone() const override;
 
   int conv_output_length() const { return conv_len_; }
+  int input_dim() const { return input_dim_; }
+  int num_filters() const { return num_filters_; }
+  int kernel_size() const { return kernel_size_; }
+  int num_classes() const { return num_classes_; }
 
- private:
-  // Forward pass: fills `conv_out` (F x L, post-ReLU) and `logits` (C).
-  void Forward(std::span<const double> x, std::vector<double>& conv_out,
-               std::vector<double>& logits) const;
-
+  // Parameter block offsets (exposed for the naive reference implementation
+  // used by the golden tests).
   size_t ConvWeightOffset() const { return 0; }
   size_t ConvBiasOffset() const;
   size_t FcWeightOffset() const;
   size_t FcBiasOffset() const;
+
+ private:
+  // Batched forward: fills the conv activation matrix (batch x F*L,
+  // post-ReLU) and returns the logits matrix (batch x C), both in
+  // `workspace`.
+  std::span<double> ForwardBatch(const Dataset& data,
+                                 std::span<const int> indices,
+                                 TrainingWorkspace& workspace) const;
 
   int input_dim_;
   int num_filters_;

@@ -317,6 +317,12 @@ void BatchSampler::Reshuffle() {
 
 std::vector<int> BatchSampler::NextBatch() {
   std::vector<int> batch;
+  NextBatch(batch);
+  return batch;
+}
+
+void BatchSampler::NextBatch(std::vector<int>& batch) {
+  batch.clear();
   batch.reserve(static_cast<size_t>(batch_size_));
   for (int k = 0; k < batch_size_ && cursor_ < order_.size(); ++k) {
     batch.push_back(order_[cursor_++]);
@@ -325,7 +331,6 @@ std::vector<int> BatchSampler::NextBatch() {
     ++epochs_completed_;
     Reshuffle();
   }
-  return batch;
 }
 
 int64_t BatchSampler::batches_per_epoch() const {

@@ -127,6 +127,10 @@ class BatchSampler {
   // batch of an epoch may be short). Advances epoch counters.
   std::vector<int> NextBatch();
 
+  // Allocation-free variant for the training hot loop: clears and refills
+  // `batch` in place (its capacity is reused across calls).
+  void NextBatch(std::vector<int>& batch);
+
   // Number of completed passes over the shard.
   int64_t epochs_completed() const { return epochs_completed_; }
   int64_t batches_per_epoch() const;

@@ -4,9 +4,18 @@
 #include <cmath>
 
 #include "common/random.h"
+#include "linalg/blas.h"
 #include "linalg/vector_ops.h"
 
 namespace netmax::ml {
+namespace {
+
+// Workspace slot layout.
+constexpr int kSlotInput = 0;    // batch x D gathered features
+constexpr int kSlotLogits = 1;   // batch x C logits / probs / deltas
+constexpr int kSlotWeightT = 2;  // D x C transposed weights
+
+}  // namespace
 
 void SoftmaxInPlace(std::span<double> logits) {
   double max_logit = logits[0];
@@ -23,6 +32,18 @@ double CrossEntropyFromProbabilities(std::span<const double> probabilities,
                                      int label) {
   constexpr double kFloor = 1e-12;
   return -std::log(std::max(probabilities[static_cast<size_t>(label)], kFloor));
+}
+
+void ArgmaxRows(std::span<const double> logits, size_t rows, size_t cols,
+                std::span<int> out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const double* row = logits.data() + r * cols;
+    size_t best = 0;
+    for (size_t c = 1; c < cols; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = static_cast<int>(best);
+  }
 }
 
 LinearModel::LinearModel(int feature_dim, int num_classes)
@@ -48,21 +69,41 @@ void LinearModel::InitializeParameters(uint64_t seed) {
   for (size_t i = weight_count; i < params_.size(); ++i) params_[i] = 0.0;
 }
 
-void LinearModel::Logits(std::span<const double> x,
-                         std::span<double> logits) const {
+std::span<double> LinearModel::ForwardBatch(
+    const Dataset& data, std::span<const int> indices,
+    TrainingWorkspace& workspace) const {
+  const size_t batch = indices.size();
   const size_t d = static_cast<size_t>(feature_dim_);
-  const size_t bias_offset = static_cast<size_t>(num_classes_) * d;
-  for (int c = 0; c < num_classes_; ++c) {
-    const double* w = params_.data() + static_cast<size_t>(c) * d;
-    double acc = params_[bias_offset + static_cast<size_t>(c)];
-    for (size_t j = 0; j < d; ++j) acc += w[j] * x[j];
-    logits[static_cast<size_t>(c)] = acc;
+  std::span<double> x = workspace.Scratch(kSlotInput, batch * d);
+  for (size_t s = 0; s < batch; ++s) {
+    const std::span<const double> row = data.features(indices[s]);
+    std::copy(row.begin(), row.end(),
+              x.begin() + static_cast<ptrdiff_t>(s * d));
   }
+  std::span<double> wt = workspace.Scratch(
+      kSlotWeightT, d * static_cast<size_t>(num_classes_));
+  linalg::Transpose(num_classes_, feature_dim_, params_.data(), feature_dim_,
+                    wt.data(), num_classes_);
+  std::span<double> logits = workspace.Scratch(
+      kSlotLogits, batch * static_cast<size_t>(num_classes_));
+  linalg::GemmBias(static_cast<int>(batch), num_classes_, feature_dim_,
+                   x.data(), feature_dim_, wt.data(), num_classes_,
+                   params_.data() + static_cast<size_t>(num_classes_) * d,
+                   logits.data(), num_classes_);
+  return logits;
 }
 
 double LinearModel::LossAndGradient(const Dataset& data,
                                     std::span<const int> batch_indices,
                                     std::span<double> gradient) const {
+  return LossAndGradient(data, batch_indices, gradient,
+                         ThreadLocalWorkspace());
+}
+
+double LinearModel::LossAndGradient(const Dataset& data,
+                                    std::span<const int> batch_indices,
+                                    std::span<double> gradient,
+                                    TrainingWorkspace& workspace) const {
   NETMAX_CHECK(!batch_indices.empty());
   NETMAX_CHECK_EQ(data.feature_dim(), feature_dim_);
   const bool want_gradient = !gradient.empty();
@@ -71,42 +112,57 @@ double LinearModel::LossAndGradient(const Dataset& data,
     netmax::linalg::Fill(gradient, 0.0);
   }
 
+  const size_t batch = batch_indices.size();
   const size_t d = static_cast<size_t>(feature_dim_);
-  const size_t bias_offset = static_cast<size_t>(num_classes_) * d;
-  std::vector<double> probs(static_cast<size_t>(num_classes_));
+  const size_t num_classes = static_cast<size_t>(num_classes_);
+  std::span<double> logits = ForwardBatch(data, batch_indices, workspace);
+
   double total_loss = 0.0;
-  for (int index : batch_indices) {
-    const std::span<const double> x = data.features(index);
-    const int label = data.label(index);
-    Logits(x, probs);
-    SoftmaxInPlace(probs);
-    total_loss += CrossEntropyFromProbabilities(probs, label);
-    if (want_gradient) {
-      // dL/dlogit_c = p_c - [c == label]; dW_c = dlogit_c * x; db_c = dlogit.
-      for (int c = 0; c < num_classes_; ++c) {
-        const double dlogit =
-            probs[static_cast<size_t>(c)] - (c == label ? 1.0 : 0.0);
-        double* gw = gradient.data() + static_cast<size_t>(c) * d;
-        for (size_t j = 0; j < d; ++j) gw[j] += dlogit * x[j];
-        gradient[bias_offset + static_cast<size_t>(c)] += dlogit;
-      }
-    }
+  for (size_t s = 0; s < batch; ++s) {
+    std::span<double> row = logits.subspan(s * num_classes, num_classes);
+    SoftmaxInPlace(row);
+    total_loss +=
+        CrossEntropyFromProbabilities(row, data.label(batch_indices[s]));
   }
-  const double inv_batch = 1.0 / static_cast<double>(batch_indices.size());
-  if (want_gradient) netmax::linalg::Scale(inv_batch, gradient);
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  if (!want_gradient) return total_loss * inv_batch;
+
+  // dL/dlogits in place (p - onehot), then one rank-1-update GEMM for the
+  // weight gradient and column sums for the bias gradient, both accumulating
+  // in batch order like the per-sample loop.
+  for (size_t s = 0; s < batch; ++s) {
+    logits[s * num_classes +
+           static_cast<size_t>(data.label(batch_indices[s]))] -= 1.0;
+  }
+  const std::span<const double> x = workspace.Scratch(kSlotInput, batch * d);
+  linalg::GemmAtBAccumulate(static_cast<int>(batch), num_classes_,
+                            feature_dim_, logits.data(), num_classes_,
+                            x.data(), feature_dim_, gradient.data(),
+                            feature_dim_);
+  linalg::AddRowsAccumulate(static_cast<int>(batch), num_classes_,
+                            logits.data(), num_classes_,
+                            gradient.data() +
+                                static_cast<size_t>(num_classes_) * d);
+  netmax::linalg::Scale(inv_batch, gradient);
   return total_loss * inv_batch;
 }
 
 int LinearModel::Predict(const Dataset& data, int index) const {
-  std::vector<double> logits(static_cast<size_t>(num_classes_));
-  Logits(data.features(index), logits);
-  int best = 0;
-  for (int c = 1; c < num_classes_; ++c) {
-    if (logits[static_cast<size_t>(c)] > logits[static_cast<size_t>(best)]) {
-      best = c;
-    }
-  }
-  return best;
+  int prediction = 0;
+  PredictBatch(data, {&index, 1}, {&prediction, 1}, ThreadLocalWorkspace());
+  return prediction;
+}
+
+void LinearModel::PredictBatch(const Dataset& data,
+                               std::span<const int> indices,
+                               std::span<int> out,
+                               TrainingWorkspace& workspace) const {
+  NETMAX_CHECK_EQ(indices.size(), out.size());
+  if (indices.empty()) return;
+  NETMAX_CHECK_EQ(data.feature_dim(), feature_dim_);
+  const std::span<const double> logits =
+      ForwardBatch(data, indices, workspace);
+  ArgmaxRows(logits, indices.size(), static_cast<size_t>(num_classes_), out);
 }
 
 std::unique_ptr<Model> LinearModel::Clone() const {

@@ -28,15 +28,28 @@ class LinearModel : public Model {
   double LossAndGradient(const Dataset& data,
                          std::span<const int> batch_indices,
                          std::span<double> gradient) const override;
+  // Batched zero-allocation path: logits for the whole batch as one GEMM,
+  // gradient as rank-1 updates in batch order. Bit-identical to the
+  // per-sample formulation.
+  double LossAndGradient(const Dataset& data,
+                         std::span<const int> batch_indices,
+                         std::span<double> gradient,
+                         TrainingWorkspace& workspace) const override;
   int Predict(const Dataset& data, int index) const override;
+  void PredictBatch(const Dataset& data, std::span<const int> indices,
+                    std::span<int> out,
+                    TrainingWorkspace& workspace) const override;
   std::unique_ptr<Model> Clone() const override;
 
   int feature_dim() const { return feature_dim_; }
   int num_classes() const { return num_classes_; }
 
  private:
-  // Writes class logits for `x` into `logits` (size num_classes_).
-  void Logits(std::span<const double> x, std::span<double> logits) const;
+  // Batched forward: gathers the batch's features into `workspace` and
+  // returns the logits matrix (indices.size() x num_classes).
+  std::span<double> ForwardBatch(const Dataset& data,
+                                 std::span<const int> indices,
+                                 TrainingWorkspace& workspace) const;
 
   int feature_dim_;
   int num_classes_;
@@ -45,6 +58,12 @@ class LinearModel : public Model {
 
 // Computes softmax probabilities of `logits` in place, numerically stably.
 void SoftmaxInPlace(std::span<double> logits);
+
+// Row-wise argmax of a row-major (rows x cols) logits matrix into `out`
+// (size rows); ties break toward the lowest class index, matching
+// single-example Predict.
+void ArgmaxRows(std::span<const double> logits, size_t rows, size_t cols,
+                std::span<int> out);
 
 // Returns -log(probabilities[label]) with clamping away from 0.
 double CrossEntropyFromProbabilities(std::span<const double> probabilities,

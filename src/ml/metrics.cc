@@ -1,23 +1,63 @@
 #include "ml/metrics.h"
 
+#include <algorithm>
+#include <array>
 #include <numeric>
 
 #include "common/logging.h"
 
 namespace netmax::ml {
+namespace {
+
+// Evaluation chunk: big enough to amortize the batched forward pass, small
+// enough that the workspace stays a few hundred KB at test-set widths (and
+// that the index/prediction buffers below fit on the stack).
+constexpr int kEvalChunk = 256;
+
+// Workspace int-slot used by AverageLoss for the all-examples index list.
+// Models must not touch int slots from LossAndGradient/PredictBatch (see
+// the PredictBatch contract in ml/model.h).
+constexpr int kSlotEvalIndices = 0;
+
+}  // namespace
 
 double AverageLoss(const Model& model, const Dataset& data) {
+  return AverageLoss(model, data, ThreadLocalWorkspace());
+}
+
+double AverageLoss(const Model& model, const Dataset& data,
+                   TrainingWorkspace& workspace) {
   NETMAX_CHECK_GT(data.size(), 0);
-  std::vector<int> all(static_cast<size_t>(data.size()));
+  std::span<int> all =
+      workspace.IntScratch(kSlotEvalIndices, static_cast<size_t>(data.size()));
   std::iota(all.begin(), all.end(), 0);
-  return model.LossAndGradient(data, all, {});
+  return model.LossAndGradient(data, all, {}, workspace);
 }
 
 double Accuracy(const Model& model, const Dataset& data) {
+  return Accuracy(model, data, ThreadLocalWorkspace());
+}
+
+double Accuracy(const Model& model, const Dataset& data,
+                TrainingWorkspace& workspace) {
   NETMAX_CHECK_GT(data.size(), 0);
+  // Index/prediction chunks live on the stack: spans into `workspace` could
+  // dangle if a model's PredictBatch grew the same slot mid-call.
+  std::array<int, kEvalChunk> indices;
+  std::array<int, kEvalChunk> predictions;
   int correct = 0;
-  for (int i = 0; i < data.size(); ++i) {
-    if (model.Predict(data, i) == data.label(i)) ++correct;
+  for (int start = 0; start < data.size(); start += kEvalChunk) {
+    const int count = std::min(kEvalChunk, data.size() - start);
+    std::iota(indices.begin(), indices.begin() + count, start);
+    model.PredictBatch(
+        data, std::span<const int>(indices).first(static_cast<size_t>(count)),
+        std::span<int>(predictions).first(static_cast<size_t>(count)),
+        workspace);
+    for (int i = 0; i < count; ++i) {
+      if (predictions[static_cast<size_t>(i)] == data.label(start + i)) {
+        ++correct;
+      }
+    }
   }
   return static_cast<double>(correct) / static_cast<double>(data.size());
 }

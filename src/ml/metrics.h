@@ -9,14 +9,27 @@
 
 #include "ml/dataset.h"
 #include "ml/model.h"
+#include "ml/workspace.h"
 
 namespace netmax::ml {
 
-// Mean cross-entropy loss of `model` over all of `data`.
+// Mean cross-entropy loss of `model` over all of `data`. Runs the whole
+// dataset as ONE batch — unlike Accuracy it cannot chunk, because splitting
+// would change the loss summation order and break bit-identity with the
+// seed — so the workspace's activation buffers grow to
+// O(dataset_size x widest layer). Use a dedicated workspace (not a
+// per-worker training one) if that footprint matters.
 double AverageLoss(const Model& model, const Dataset& data);
+double AverageLoss(const Model& model, const Dataset& data,
+                   TrainingWorkspace& workspace);
 
-// Fraction of examples of `data` that `model` classifies correctly.
+// Fraction of examples of `data` that `model` classifies correctly. The
+// workspace overload evaluates through the model's batched forward pass in
+// fixed-size chunks (the workspace-free one borrows the calling thread's
+// workspace); both give identical results.
 double Accuracy(const Model& model, const Dataset& data);
+double Accuracy(const Model& model, const Dataset& data,
+                TrainingWorkspace& workspace);
 
 struct SeriesPoint {
   double x = 0.0;  // virtual time (s), epoch, or iteration

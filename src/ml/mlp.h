@@ -30,21 +30,36 @@ class Mlp : public Model {
   double LossAndGradient(const Dataset& data,
                          std::span<const int> batch_indices,
                          std::span<double> gradient) const override;
+  // Batched zero-allocation path: the whole batch moves through each layer as
+  // one matrix-matrix product (bias-seeded GemmBias against a transposed
+  // weight copy forward, GemmAtB/Gemm backward), with every buffer carved
+  // from `workspace`. Bit-identical to the per-sample formulation
+  // (ascending-index summation order throughout).
+  double LossAndGradient(const Dataset& data,
+                         std::span<const int> batch_indices,
+                         std::span<double> gradient,
+                         TrainingWorkspace& workspace) const override;
   int Predict(const Dataset& data, int index) const override;
+  void PredictBatch(const Dataset& data, std::span<const int> indices,
+                    std::span<int> out,
+                    TrainingWorkspace& workspace) const override;
   std::unique_ptr<Model> Clone() const override;
 
   const std::vector<int>& layer_sizes() const { return layer_sizes_; }
   int num_layers() const { return static_cast<int>(layer_sizes_.size()) - 1; }
 
- private:
-  // Offset of layer l's weight block within params_.
+  // Offset of layer l's weight / bias block within parameters() (exposed for
+  // the naive reference implementation used by the golden tests).
   size_t WeightOffset(int layer) const;
   size_t BiasOffset(int layer) const;
 
-  // Runs a forward pass on `x`; activations[l] holds the post-activation
-  // output of layer l (pre-softmax logits for the last layer).
-  void Forward(std::span<const double> x,
-               std::vector<std::vector<double>>& activations) const;
+ private:
+  // Batched forward pass over `indices`: gathers features and fills one
+  // activation matrix per layer in `workspace`; returns the logits matrix
+  // (indices.size() x num_classes).
+  std::span<double> ForwardBatch(const Dataset& data,
+                                 std::span<const int> indices,
+                                 TrainingWorkspace& workspace) const;
 
   std::vector<int> layer_sizes_;
   std::vector<size_t> layer_offsets_;  // start of each layer's block

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "ml/dataset.h"
+#include "ml/workspace.h"
 
 namespace netmax::ml {
 
@@ -41,8 +42,38 @@ class Model {
                                  std::span<const int> batch_indices,
                                  std::span<double> gradient) const = 0;
 
+  // Workspace overload: the zero-allocation batched hot path. Scratch memory
+  // comes from `workspace` (grow-only, reused across batches), and results
+  // are bit-identical to the workspace-free overload — implementations keep
+  // the same per-element summation order. The default forwards to the
+  // workspace-free overload for models that have not been batched yet.
+  virtual double LossAndGradient(const Dataset& data,
+                                 std::span<const int> batch_indices,
+                                 std::span<double> gradient,
+                                 TrainingWorkspace& workspace) const {
+    (void)workspace;
+    return LossAndGradient(data, batch_indices, gradient);
+  }
+
   // Predicted class for example `index` of `data`.
   virtual int Predict(const Dataset& data, int index) const = 0;
+
+  // Batched prediction: writes the predicted class of every `indices[i]` to
+  // `out[i]` (`out.size()` must equal `indices.size()`), sharing one forward
+  // pass over the whole batch where implemented. The evaluation counterpart
+  // of the workspace LossAndGradient overload (same scratch reuse, same
+  // bit-identical results); the default loops single-example Predict.
+  // Contract: implementations (of this and the LossAndGradient overload) may
+  // use only the workspace's double Scratch slots — IntScratch slots are
+  // reserved for callers, whose index spans may be backed by them.
+  virtual void PredictBatch(const Dataset& data, std::span<const int> indices,
+                            std::span<int> out,
+                            TrainingWorkspace& workspace) const {
+    (void)workspace;
+    for (size_t i = 0; i < indices.size(); ++i) {
+      out[i] = Predict(data, indices[i]);
+    }
+  }
 
   // Deep copy (architecture + parameters).
   virtual std::unique_ptr<Model> Clone() const = 0;

@@ -69,7 +69,8 @@ class ConstantLr : public LrSchedule {
 // "decays by a factor of 10 at epoch 80").
 class StepDecayLr : public LrSchedule {
  public:
-  StepDecayLr(double initial_lr, double factor, std::vector<int64_t> milestones);
+  StepDecayLr(double initial_lr, double factor,
+              std::vector<int64_t> milestones);
   double OnEpochEnd(int64_t epoch, double epoch_loss) override;
   double initial_learning_rate() const override { return initial_lr_; }
   std::unique_ptr<LrSchedule> Clone() const override {

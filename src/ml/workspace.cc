@@ -1,0 +1,40 @@
+#include "ml/workspace.h"
+
+#include "common/logging.h"
+
+namespace netmax::ml {
+
+std::span<double> TrainingWorkspace::Scratch(int slot, size_t size) {
+  NETMAX_CHECK_GE(slot, 0);
+  if (static_cast<size_t>(slot) >= slots_.size()) {
+    slots_.resize(static_cast<size_t>(slot) + 1);
+    ++growth_count_;
+  }
+  std::vector<double>& buffer = slots_[static_cast<size_t>(slot)];
+  if (buffer.size() < size) {
+    buffer.resize(size);
+    ++growth_count_;
+  }
+  return {buffer.data(), size};
+}
+
+std::span<int> TrainingWorkspace::IntScratch(int slot, size_t size) {
+  NETMAX_CHECK_GE(slot, 0);
+  if (static_cast<size_t>(slot) >= int_slots_.size()) {
+    int_slots_.resize(static_cast<size_t>(slot) + 1);
+    ++growth_count_;
+  }
+  std::vector<int>& buffer = int_slots_[static_cast<size_t>(slot)];
+  if (buffer.size() < size) {
+    buffer.resize(size);
+    ++growth_count_;
+  }
+  return {buffer.data(), size};
+}
+
+TrainingWorkspace& ThreadLocalWorkspace() {
+  static thread_local TrainingWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace netmax::ml

@@ -1,0 +1,57 @@
+#ifndef NETMAX_ML_WORKSPACE_H_
+#define NETMAX_ML_WORKSPACE_H_
+
+// Reusable scratch memory for the batched model compute paths.
+//
+// The training hot loop of every decentralized algorithm is millions of
+// LossAndGradient calls; heap-allocating activations per sample (the seed
+// implementation) dominates wall time at this model scale. A
+// TrainingWorkspace owns a set of grow-only buffers that a model's batched
+// forward/backward passes carve their activation/delta matrices from, so the
+// steady-state batch loop performs zero heap allocations: the first batch
+// sizes the buffers, every later batch (same size or smaller) reuses them.
+//
+// Workspaces are not thread-safe; give each worker its own (see
+// core::WorkerRuntime) or use the per-thread fallback below.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace netmax::ml {
+
+class TrainingWorkspace {
+ public:
+  TrainingWorkspace() = default;
+  TrainingWorkspace(const TrainingWorkspace&) = delete;
+  TrainingWorkspace& operator=(const TrainingWorkspace&) = delete;
+
+  // Returns a span of `size` doubles backed by buffer `slot` (any small dense
+  // index; slots are created on first use). Contents are unspecified whenever
+  // the buffer had to grow — callers fully overwrite what they read.
+  std::span<double> Scratch(int slot, size_t size);
+
+  // Same, for index buffers (batched Predict gathers).
+  std::span<int> IntScratch(int slot, size_t size);
+
+  // Number of buffer growths (heap allocations) since construction. A
+  // steady-state training loop must keep this constant after its first batch;
+  // tests assert on it, and it is cheap enough to monitor in production.
+  int64_t growth_count() const { return growth_count_; }
+
+ private:
+  std::vector<std::vector<double>> slots_;
+  std::vector<std::vector<int>> int_slots_;
+  int64_t growth_count_ = 0;
+};
+
+// A lazily constructed workspace owned by the calling thread, used by the
+// workspace-free Model API overloads so legacy callers (tests, one-off
+// evaluations) get the batched path without threading a workspace through.
+// Engines should prefer explicit per-worker workspaces: the thread-local one
+// is sized to the largest batch any model on this thread has seen.
+TrainingWorkspace& ThreadLocalWorkspace();
+
+}  // namespace netmax::ml
+
+#endif  // NETMAX_ML_WORKSPACE_H_

@@ -37,7 +37,8 @@ void StaticLinkModel::SetAll(LinkClass link) {
 const LinkClass& StaticLinkModel::link(int src, int dst) const {
   NETMAX_CHECK(src >= 0 && src < num_nodes_);
   NETMAX_CHECK(dst >= 0 && dst < num_nodes_);
-  return links_[static_cast<size_t>(src) * num_nodes_ + static_cast<size_t>(dst)];
+  return links_[static_cast<size_t>(src) * num_nodes_ +
+                static_cast<size_t>(dst)];
 }
 
 double StaticLinkModel::TransferSeconds(int src, int dst, double /*now*/,

@@ -36,7 +36,9 @@ class Topology {
   // Neighbors of `node` in ascending order.
   const std::vector<int>& Neighbors(int node) const;
 
-  int Degree(int node) const { return static_cast<int>(Neighbors(node).size()); }
+  int Degree(int node) const {
+    return static_cast<int>(Neighbors(node).size());
+  }
 
   // True if the graph is connected (every node reachable from node 0).
   // A one-node graph is connected.

@@ -35,7 +35,8 @@ ExperimentConfig BaseConfig() {
   return config;
 }
 
-core::RunResult RunAlgo(const std::string& name, const ExperimentConfig& config) {
+core::RunResult RunAlgo(const std::string& name,
+                        const ExperimentConfig& config) {
   auto algorithm = algos::MakeAlgorithm(name);
   NETMAX_CHECK_OK(algorithm.status());
   auto result = (*algorithm)->Run(config);

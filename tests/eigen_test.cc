@@ -40,12 +40,16 @@ TEST(JacobiTest, EigenvectorsSatisfyDefinition) {
   const auto& decomp = result.value();
   for (int c = 0; c < 3; ++c) {
     std::vector<double> v(3);
-    for (int r = 0; r < 3; ++r) v[static_cast<size_t>(r)] = decomp.eigenvectors(r, c);
+    for (int r = 0; r < 3; ++r) {
+      v[static_cast<size_t>(r)] = decomp.eigenvectors(r, c);
+    }
     std::vector<double> av = a.Apply(v);
     // A v = lambda v.
     for (int r = 0; r < 3; ++r) {
       EXPECT_NEAR(av[static_cast<size_t>(r)],
-                  decomp.eigenvalues[static_cast<size_t>(c)] * v[static_cast<size_t>(r)], 1e-9);
+                  decomp.eigenvalues[static_cast<size_t>(c)] *
+                      v[static_cast<size_t>(r)],
+                  1e-9);
     }
     EXPECT_NEAR(Norm(v), 1.0, 1e-9);
   }

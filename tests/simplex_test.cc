@@ -176,7 +176,8 @@ TEST(SimplexTest, TransportationProblem) {
 
 // Property sweep: random feasible LPs built around a known feasible point;
 // the solver's optimum must be feasible and no worse than that point.
-class RandomLpProperty : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+class RandomLpProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
 
 TEST_P(RandomLpProperty, OptimumIsFeasibleAndAtLeastAsGood) {
   const int num_vars = std::get<0>(GetParam());
@@ -201,7 +202,9 @@ TEST_P(RandomLpProperty, OptimumIsFeasibleAndAtLeastAsGood) {
     std::vector<double> a(static_cast<size_t>(num_vars));
     for (double& v : a) v = rng.Uniform(-1.0, 1.0);
     double ax0 = 0.0;
-    for (int j = 0; j < num_vars; ++j) ax0 += a[static_cast<size_t>(j)] * x0[static_cast<size_t>(j)];
+    for (int j = 0; j < num_vars; ++j) {
+      ax0 += a[static_cast<size_t>(j)] * x0[static_cast<size_t>(j)];
+    }
     // Constraint a.x <= a.x0 + margin keeps x0 feasible.
     const double rhs = ax0 + rng.Uniform(0.0, 1.0);
     lp.AddConstraint(a, LpRelation::kLessEqual, rhs);
@@ -214,7 +217,8 @@ TEST_P(RandomLpProperty, OptimumIsFeasibleAndAtLeastAsGood) {
   for (int c = 0; c < num_cons; ++c) {
     double ax = 0.0;
     for (int j = 0; j < num_vars; ++j) {
-      ax += lp.constraints[static_cast<size_t>(c)].coefficients[static_cast<size_t>(j)] *
+      ax += lp.constraints[static_cast<size_t>(c)]
+                .coefficients[static_cast<size_t>(j)] *
             sol->x[static_cast<size_t>(j)];
     }
     EXPECT_LE(ax, slack_rhs[static_cast<size_t>(c)] + 1e-7);
@@ -225,7 +229,9 @@ TEST_P(RandomLpProperty, OptimumIsFeasibleAndAtLeastAsGood) {
   }
   // Optimality versus the known feasible point.
   double obj_x0 = 0.0;
-  for (int j = 0; j < num_vars; ++j) obj_x0 += lp.objective[static_cast<size_t>(j)] * x0[static_cast<size_t>(j)];
+  for (int j = 0; j < num_vars; ++j) {
+    obj_x0 += lp.objective[static_cast<size_t>(j)] * x0[static_cast<size_t>(j)];
+  }
   EXPECT_LE(sol->objective_value, obj_x0 + 1e-7);
 }
 
