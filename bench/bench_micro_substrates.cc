@@ -5,7 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "algos/registry.h"
 #include "common/random.h"
+#include "core/experiment.h"
 #include "core/policy_generator.h"
 #include "linalg/blas.h"
 #include "linalg/eigen.h"
@@ -118,6 +120,39 @@ void BM_EventSimulatorThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_EventSimulatorThroughput);
+
+// Serial-vs-parallel dispatch of the 32-worker scaled scenario (the
+// bench_scale32_parallel_runtime experiment at smoke size): Arg(1) is the
+// legacy serial path, Arg(0) one thread per hardware core. Results are
+// bit-identical; only real wall time may differ, which is exactly what this
+// tracks across commits.
+void BM_Scale32SimulationWall(benchmark::State& state) {
+  core::ExperimentConfig config;
+  config.num_workers = 32;
+  config.hidden_layers = {96};
+  config.dataset.num_train = 2048;
+  config.dataset.num_test = 128;
+  config.max_epochs = 2;
+  config.network = core::NetworkScenario::kHeterogeneousDynamic;
+  config.slowdown_period_seconds = 20.0;
+  config.monitor_period_seconds = 8.0;
+  config.generator.outer_rounds = 3;
+  config.generator.inner_rounds = 3;
+  config.seed = 5;
+  config.threads = static_cast<int>(state.range(0));
+  auto algorithm = algos::MakeAlgorithm("netmax");
+  NETMAX_CHECK(algorithm.ok()) << algorithm.status();
+  for (auto _ : state) {
+    auto result = (*algorithm)->Run(config);
+    NETMAX_CHECK(result.ok()) << result.status();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Scale32SimulationWall)
+    ->Arg(1)
+    ->Arg(0)
+    ->UseRealTime()  // the main thread blocks while the pool computes
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MatrixMultiply(benchmark::State& state) {
   // The GEMM substrate (policy matrices, Y_P products).

@@ -20,19 +20,45 @@ int BenchThreads() {
 }
 
 bool smoke_mode = false;
+int threads_override = -1;
+
+// Splits the machine between `concurrent_runs` simultaneous experiments:
+// every run gets an equal share of the cores for its own compute-event pool
+// (at least one). Applied only when the config asks for the automatic
+// default; an explicit config.threads or --threads wins.
+int PerRunThreads(size_t concurrent_runs) {
+  return std::max(1, BenchThreads() / std::max<int>(1, static_cast<int>(
+                                                           concurrent_runs)));
+}
+
+void ApplyThreads(core::ExperimentConfig& config, size_t concurrent_runs) {
+  if (threads_override >= 0) {
+    config.threads = threads_override;
+  } else if (config.threads == 0) {
+    config.threads = PerRunThreads(concurrent_runs);
+  }
+}
 
 }  // namespace
 
 void InitBench(int argc, char** argv) {
   const char* env = std::getenv("NETMAX_SMOKE");
   if (env != nullptr && std::strcmp(env, "1") == 0) smoke_mode = true;
+  const char* env_threads = std::getenv("NETMAX_THREADS");
+  if (env_threads != nullptr) threads_override = std::atoi(env_threads);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke_mode = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads_override = std::atoi(arg.c_str() + 10);
+      NETMAX_CHECK_GE(threads_override, 0) << "bad --threads value: " << arg;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << argv[0] << " [--smoke]\n"
-                << "  --smoke  reduced iterations / corpus (CI smoke run)\n";
+      std::cout << "usage: " << argv[0] << " [--smoke] [--threads=N]\n"
+                << "  --smoke      reduced iterations / corpus (CI smoke "
+                   "run)\n"
+                << "  --threads=N  per-run simulation threads (0 = one per "
+                   "core, 1 = serial; results are bit-identical)\n";
       std::exit(0);
     } else {
       NETMAX_CHECK(false) << "unknown bench flag: " << arg;
@@ -41,6 +67,8 @@ void InitBench(int argc, char** argv) {
 }
 
 bool SmokeMode() { return smoke_mode; }
+
+int ThreadsOverride() { return threads_override; }
 
 void MaybeApplySmoke(core::ExperimentConfig& config) {
   if (!smoke_mode) return;
@@ -67,19 +95,20 @@ std::vector<NamedResult> RunAlgorithms(const std::vector<std::string>& names,
   // after PaperBaseConfig() (epochs, corpus size, ...) cannot undo --smoke.
   core::ExperimentConfig run_config = config;
   MaybeApplySmoke(run_config);
+  ApplyThreads(run_config, names.size());
   std::vector<NamedResult> results(names.size());
-  std::vector<std::function<void()>> tasks;
-  for (size_t i = 0; i < names.size(); ++i) {
-    tasks.push_back([i, &names, &run_config, &results] {
-      auto algorithm = algos::MakeAlgorithm(names[i]);
-      NETMAX_CHECK(algorithm.ok()) << algorithm.status();
-      auto result = (*algorithm)->Run(run_config);
-      NETMAX_CHECK(result.ok())
-          << names[i] << ": " << result.status().ToString();
-      results[i] = NamedResult{result->algorithm, std::move(result.value())};
-    });
-  }
-  ParallelFor(BenchThreads(), tasks);
+  ThreadPool pool(BenchThreads());
+  ParallelFor(pool, static_cast<int>(names.size()),
+              [&names, &run_config, &results](int i) {
+                const size_t n = static_cast<size_t>(i);
+                auto algorithm = algos::MakeAlgorithm(names[n]);
+                NETMAX_CHECK(algorithm.ok()) << algorithm.status();
+                auto result = (*algorithm)->Run(run_config);
+                NETMAX_CHECK(result.ok())
+                    << names[n] << ": " << result.status().ToString();
+                results[n] =
+                    NamedResult{result->algorithm, std::move(result.value())};
+              });
   return results;
 }
 
@@ -91,20 +120,20 @@ std::vector<NamedResult> RunConfigs(
   std::vector<core::ExperimentConfig> run_configs = configs;
   for (core::ExperimentConfig& run_config : run_configs) {
     MaybeApplySmoke(run_config);
+    ApplyThreads(run_config, configs.size());
   }
   std::vector<NamedResult> results(configs.size());
-  std::vector<std::function<void()>> tasks;
-  for (size_t i = 0; i < configs.size(); ++i) {
-    tasks.push_back([i, &algorithm, &run_configs, &labels, &results] {
-      auto algo = algos::MakeAlgorithm(algorithm);
-      NETMAX_CHECK(algo.ok()) << algo.status();
-      auto result = (*algo)->Run(run_configs[i]);
-      NETMAX_CHECK(result.ok()) << labels[i] << ": "
-                                << result.status().ToString();
-      results[i] = NamedResult{labels[i], std::move(result.value())};
-    });
-  }
-  ParallelFor(BenchThreads(), tasks);
+  ThreadPool pool(BenchThreads());
+  ParallelFor(pool, static_cast<int>(configs.size()),
+              [&algorithm, &run_configs, &labels, &results](int i) {
+                const size_t n = static_cast<size_t>(i);
+                auto algo = algos::MakeAlgorithm(algorithm);
+                NETMAX_CHECK(algo.ok()) << algo.status();
+                auto result = (*algo)->Run(run_configs[n]);
+                NETMAX_CHECK(result.ok())
+                    << labels[n] << ": " << result.status().ToString();
+                results[n] = NamedResult{labels[n], std::move(result.value())};
+              });
   return results;
 }
 

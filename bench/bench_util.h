@@ -4,8 +4,10 @@
 // Shared plumbing for the reproduction benches. Every bench binary prints the
 // rows/series of one paper table or figure: a human-readable aligned table
 // plus a "#CSV <name> ... #END" block for scraping. Independent experiment
-// runs execute in parallel on a thread pool (each run is internally
-// deterministic and single-threaded).
+// runs execute in parallel on a thread pool, and each run additionally
+// parallelizes its own per-worker compute via the two-phase simulation
+// runtime (bit-identical to serial dispatch at any thread count; the machine
+// budget is split between concurrent runs).
 
 #include <ostream>
 #include <string>
@@ -19,10 +21,17 @@ namespace netmax::bench {
 // Parses bench command-line flags; call first from the main() of every
 // figure/table bench (bench_micro_substrates is Google-Benchmark-driven and
 // uses its own flags instead). Recognized flags:
-//   --smoke   shrink experiments (corpus, epochs, policy refinement) so the
-//             bench finishes in seconds; CI runs benches this way.
+//   --smoke       shrink experiments (corpus, epochs, policy refinement) so
+//                 the bench finishes in seconds; CI runs benches this way.
+//   --threads=N   per-run simulation threads (overrides ExperimentConfig::
+//                 threads for every run; N=1 forces the serial dispatch,
+//                 results are bit-identical either way). Also settable via
+//                 NETMAX_THREADS in the environment.
 // Unknown flags are fatal so typos don't silently run the full bench.
 void InitBench(int argc, char** argv);
+
+// The --threads/NETMAX_THREADS override, or -1 when unset.
+int ThreadsOverride();
 
 // True once InitBench has seen --smoke (or NETMAX_SMOKE=1 in the
 // environment). RunAlgorithms/RunConfigs apply the shrink to their configs

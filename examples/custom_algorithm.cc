@@ -7,7 +7,13 @@
 // The toy algorithm below ("LazyGossip") only communicates every K-th
 // iteration (local SGD with periodic pairwise averaging). It reuses the
 // harness for data sharding, cost accounting, and metrics, so the comparison
-// against the built-in algorithms is apples-to-apples.
+// against the built-in algorithms is apples-to-apples — and it is written
+// against the two-phase compute/commit event API, so it automatically runs
+// its per-worker gradient work on the simulator's thread pool (threads knob
+// on ExperimentConfig) with bit-identical results at any thread count. Note
+// the three rules every engine follows: draw randomness at schedule time,
+// keep the compute half pure, and NotifyStateWrite for every cross-worker
+// parameter write in a commit.
 
 #include <algorithm>
 #include <iostream>
@@ -47,12 +53,19 @@ class LazyGossipAlgorithm : public core::TrainingAlgorithm {
     core::WorkerRuntime& worker = harness.worker(w);
     const double compute = worker.compute_seconds_per_batch;
     const bool communicate = worker.iterations % period_ == period_ - 1;
+    // Schedule time (commit context): draw the batch — and the peer, when
+    // communicating — so the compute half stays pure.
+    harness.SampleBatch(w);
     if (!communicate) {
-      harness.sim().ScheduleAfter(compute, [&harness, w, compute, this] {
-        harness.LocalGradientStep(w);
-        harness.AccountIteration(w, compute, compute);
-        StartIteration(harness, w);
-      });
+      harness.sim().ScheduleComputeAfter(
+          compute, w,
+          [&harness, w] { return harness.EvalBatchGradient(w); },
+          [&harness, w, compute, this](double loss) {
+            harness.CommitBatchStats(w, loss);
+            harness.ApplyStoredGradient(w);
+            harness.AccountIteration(w, compute, compute);
+            StartIteration(harness, w);
+          });
       return;
     }
     // Communication round: pull a uniformly random peer; the gradient
@@ -61,18 +74,25 @@ class LazyGossipAlgorithm : public core::TrainingAlgorithm {
     const int m = neighbors[static_cast<size_t>(
         worker.rng.UniformInt(0, static_cast<int64_t>(neighbors.size()) - 1))];
     const double wall = std::max(compute, harness.PullSeconds(m, w));
-    harness.sim().ScheduleAfter(wall, [&harness, w, m, compute, wall, this] {
-      harness.LocalGradientStep(w);
-      auto x_i = harness.worker(w).model->parameters();
-      auto x_m = harness.worker(m).model->parameters();
-      for (size_t j = 0; j < x_i.size(); ++j) {
-        const double mean = 0.5 * (x_i[j] + x_m[j]);
-        x_i[j] = mean;
-        x_m[j] = mean;
-      }
-      harness.AccountIteration(w, compute, wall);
-      StartIteration(harness, w);
-    });
+    harness.sim().ScheduleComputeAfter(
+        wall, w, [&harness, w] { return harness.EvalBatchGradient(w); },
+        [&harness, w, m, compute, wall, this](double loss) {
+          harness.CommitBatchStats(w, loss);
+          harness.ApplyStoredGradient(w);
+          // The pairwise averaging writes both endpoints: declare it so the
+          // parallel runtime invalidates any speculation on them.
+          harness.sim().NotifyStateWrite(w);
+          harness.sim().NotifyStateWrite(m);
+          auto x_i = harness.worker(w).model->parameters();
+          auto x_m = harness.worker(m).model->parameters();
+          for (size_t j = 0; j < x_i.size(); ++j) {
+            const double mean = 0.5 * (x_i[j] + x_m[j]);
+            x_i[j] = mean;
+            x_m[j] = mean;
+          }
+          harness.AccountIteration(w, compute, wall);
+          StartIteration(harness, w);
+        });
   }
 
   int period_;

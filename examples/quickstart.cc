@@ -28,6 +28,10 @@ int main() {
   config.max_epochs = 12;
   config.monitor_period_seconds = 30.0;
   config.seed = 42;
+  // Parallel simulation runtime: 0 = one thread per hardware core (the
+  // default). Results are bit-identical for any value — set 1 to force the
+  // serial dispatch.
+  config.threads = 0;
 
   // 2. Run NetMax and a baseline through the shared registry.
   netmax::TablePrinter table(

@@ -68,21 +68,28 @@ class AdPsgdEngine {
     }
     const double compute = worker.compute_seconds_per_batch;
     const double transfer = harness_.PullSeconds(m, w);
-    // Gradient computation overlaps the pull.
+    // Gradient computation overlaps the pull; the evaluation itself is the
+    // pure compute half and everything stateful commits in event order.
+    harness_.SampleBatch(w);
     const double wall = std::max(compute, transfer);
-    harness_.sim().ScheduleAfter(wall, [this, w, m, compute, wall] {
-      CompleteIteration(w, m, compute, wall);
-    });
+    harness_.sim().ScheduleComputeAfter(
+        wall, w, [this, w] { return harness_.EvalBatchGradient(w); },
+        [this, w, m, compute, wall](double loss) {
+          CompleteIteration(w, m, compute, wall, loss);
+        });
   }
 
-  void CompleteIteration(int w, int m, double compute, double wall) {
+  void CompleteIteration(int w, int m, double compute, double wall,
+                         double loss) {
     core::WorkerRuntime& worker = harness_.worker(w);
     // AD-PSGD order: average with the selected peer, then apply the gradient
     // that was computed concurrently. The averaging is atomic and symmetric —
     // both endpoints adopt (x_i + x_m)/2, as in Lian et al.'s W matrix —
     // which
     // preserves the parameter mean across the fleet.
-    harness_.ComputeGradientOnly(w);
+    harness_.CommitBatchStats(w, loss);
+    harness_.sim().NotifyStateWrite(w);
+    harness_.sim().NotifyStateWrite(m);
     auto x_i = worker.model->parameters();
     auto x_m = harness_.worker(m).model->parameters();
     for (size_t j = 0; j < x_i.size(); ++j) {
@@ -109,7 +116,8 @@ class AdPsgdEngine {
         if (ema.has_value()) times(i, m) = ema.value();
       }
     }
-    StatusOr<core::GeneratedPolicy> generated = monitor_->ComputePolicy(times);
+    StatusOr<core::GeneratedPolicy> generated =
+        monitor_->ComputePolicy(times, harness_.pool());
     if (generated.ok()) {
       policy_ = std::make_unique<CommunicationPolicy>(
           std::move(generated.value().policy));

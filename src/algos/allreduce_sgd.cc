@@ -28,13 +28,28 @@ class AllreduceEngine {
   void RunRound() {
     if (harness_.AllDone()) return;
     const int n = harness_.num_workers();
-    const double now = harness_.sim().Now();
 
-    // Phase 1: all workers compute gradients in parallel.
+    // Phase 1: all workers compute gradients in parallel — now literally: one
+    // compute event per worker at the current time, so the pool evaluates the
+    // whole round concurrently. Commits run in worker order; the last one
+    // reduces and starts the next round.
+    for (int w = 0; w < n; ++w) {
+      harness_.SampleBatch(w);
+      harness_.sim().ScheduleComputeAfter(
+          0.0, w, [this, w] { return harness_.EvalBatchGradient(w); },
+          [this, w, n](double loss) {
+            harness_.CommitBatchStats(w, loss);
+            if (w == n - 1) ReduceAndApply();
+          });
+    }
+  }
+
+  void ReduceAndApply() {
+    const int n = harness_.num_workers();
+    const double now = harness_.sim().Now();
     double max_compute = 0.0;
     std::vector<double> computes(static_cast<size_t>(n));
     for (int w = 0; w < n; ++w) {
-      harness_.ComputeGradientOnly(w);
       computes[static_cast<size_t>(w)] =
           harness_.worker(w).compute_seconds_per_batch;
       max_compute = std::max(max_compute, computes[static_cast<size_t>(w)]);

@@ -28,13 +28,18 @@ class GossipEngine {
   void StartIteration(int w) {
     if (harness_.WorkerDone(w)) return;
     const double compute = harness_.worker(w).compute_seconds_per_batch;
-    harness_.sim().ScheduleAfter(compute, [this, w, compute] {
-      harness_.LocalGradientStep(w);
-      MaybePush(w);
-      // The push does not block the training loop: wall time is compute only.
-      harness_.AccountIteration(w, compute, compute);
-      StartIteration(w);
-    });
+    harness_.SampleBatch(w);
+    harness_.sim().ScheduleComputeAfter(
+        compute, w, [this, w] { return harness_.EvalBatchGradient(w); },
+        [this, w, compute](double loss) {
+          harness_.CommitBatchStats(w, loss);
+          harness_.ApplyStoredGradient(w);
+          MaybePush(w);
+          // The push does not block the training loop: wall time is compute
+          // only.
+          harness_.AccountIteration(w, compute, compute);
+          StartIteration(w);
+        });
   }
 
   void MaybePush(int w) {
@@ -51,6 +56,9 @@ class GossipEngine {
     std::vector<double> snapshot(p.begin(), p.end());
     harness_.sim().ScheduleAfter(
         transfer, [this, m, snapshot = std::move(snapshot)] {
+          // Arrival writes the receiver's parameters — invalidate any
+          // speculated compute m has in flight.
+          harness_.sim().NotifyStateWrite(m);
           auto x_m = harness_.worker(m).model->parameters();
           for (size_t j = 0; j < x_m.size(); ++j) {
             x_m[j] = 0.5 * (x_m[j] + snapshot[j]);

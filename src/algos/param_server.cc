@@ -81,13 +81,27 @@ class PsSyncEngine {
   void RunRound() {
     if (harness_.AllDone()) return;
     const int n = harness_.num_workers();
-    const double t0 = harness_.sim().Now();
 
-    // Phase 1: parallel gradient computation on each worker's own replica.
+    // Phase 1: parallel gradient computation on each worker's own replica,
+    // as one compute event per worker at the current time so the pool runs
+    // the round concurrently; the last commit performs the PS exchange.
+    for (int w = 0; w < n; ++w) {
+      harness_.SampleBatch(w);
+      harness_.sim().ScheduleComputeAfter(
+          0.0, w, [this, w] { return harness_.EvalBatchGradient(w); },
+          [this, w, n](double loss) {
+            harness_.CommitBatchStats(w, loss);
+            if (w == n - 1) ExchangeWithServer();
+          });
+    }
+  }
+
+  void ExchangeWithServer() {
+    const int n = harness_.num_workers();
+    const double t0 = harness_.sim().Now();
     double max_compute = 0.0;
     std::vector<double> computes(static_cast<size_t>(n));
     for (int w = 0; w < n; ++w) {
-      harness_.ComputeGradientOnly(w);
       computes[static_cast<size_t>(w)] =
           harness_.worker(w).compute_seconds_per_batch;
       max_compute = std::max(max_compute, computes[static_cast<size_t>(w)]);
@@ -118,6 +132,7 @@ class PsSyncEngine {
     }
     const auto fresh = ps_->model().parameters();
     for (int w = 0; w < n; ++w) {
+      harness_.sim().NotifyStateWrite(w);
       auto params = harness_.worker(w).model->parameters();
       std::copy(fresh.begin(), fresh.end(), params.begin());
       harness_.AccountIteration(w, computes[static_cast<size_t>(w)],
@@ -149,30 +164,36 @@ class PsAsyncEngine {
     if (harness_.WorkerDone(w)) return;
     const double t0 = harness_.sim().Now();
     const double compute = harness_.worker(w).compute_seconds_per_batch;
-    harness_.sim().ScheduleAfter(compute, [this, w, t0, compute] {
-      // Gradient at the worker's (possibly stale) parameters.
-      harness_.ComputeGradientOnly(w);
-      const double now = harness_.sim().Now();
-      // Upload, then download, both serialized on the PS NIC; the worker
-      // blocks for the round trip (async only across workers).
-      const double upload_done = ps_->ReserveNic(now, ps_->LinkSeconds(w, now));
-      const double download_done =
-          ps_->ReserveNic(upload_done, ps_->LinkSeconds(w, upload_done));
-      harness_.sim().ScheduleAt(upload_done, [this, w] {
-        // Async SGD: apply this worker's gradient immediately.
-        ps_->optimizer().set_learning_rate(
-            harness_.worker(w).optimizer->learning_rate());
-        ps_->optimizer().Step(ps_->model().parameters(),
-                              harness_.worker(w).gradient);
-      });
-      harness_.sim().ScheduleAt(download_done, [this, w, t0, compute] {
-        const auto fresh = ps_->model().parameters();
-        auto params = harness_.worker(w).model->parameters();
-        std::copy(fresh.begin(), fresh.end(), params.begin());
-        harness_.AccountIteration(w, compute, harness_.sim().Now() - t0);
-        StartIteration(w);
-      });
-    });
+    // Gradient at the worker's (possibly stale) parameters: pure compute
+    // half; the NIC reservation and PS interaction commit in event order.
+    harness_.SampleBatch(w);
+    harness_.sim().ScheduleComputeAfter(
+        compute, w, [this, w] { return harness_.EvalBatchGradient(w); },
+        [this, w, t0, compute](double loss) {
+          harness_.CommitBatchStats(w, loss);
+          const double now = harness_.sim().Now();
+          // Upload, then download, both serialized on the PS NIC; the worker
+          // blocks for the round trip (async only across workers).
+          const double upload_done =
+              ps_->ReserveNic(now, ps_->LinkSeconds(w, now));
+          const double download_done =
+              ps_->ReserveNic(upload_done, ps_->LinkSeconds(w, upload_done));
+          harness_.sim().ScheduleAt(upload_done, [this, w] {
+            // Async SGD: apply this worker's gradient immediately.
+            ps_->optimizer().set_learning_rate(
+                harness_.worker(w).optimizer->learning_rate());
+            ps_->optimizer().Step(ps_->model().parameters(),
+                                  harness_.worker(w).gradient);
+          });
+          harness_.sim().ScheduleAt(download_done, [this, w, t0, compute] {
+            harness_.sim().NotifyStateWrite(w);
+            const auto fresh = ps_->model().parameters();
+            auto params = harness_.worker(w).model->parameters();
+            std::copy(fresh.begin(), fresh.end(), params.begin());
+            harness_.AccountIteration(w, compute, harness_.sim().Now() - t0);
+            StartIteration(w);
+          });
+        });
   }
 
   ExperimentHarness harness_;

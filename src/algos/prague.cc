@@ -38,12 +38,16 @@ class PragueEngine {
     }
     iteration_start_[static_cast<size_t>(w)] = harness_.sim().Now();
     const double compute = harness_.worker(w).compute_seconds_per_batch;
-    harness_.sim().ScheduleAfter(compute, [this, w] {
-      // Local SGD step, then wait for a partial-allreduce group.
-      harness_.LocalGradientStep(w);
-      ready_.push_back(w);
-      MaybeFormGroup(/*flush=*/false);
-    });
+    harness_.SampleBatch(w);
+    harness_.sim().ScheduleComputeAfter(
+        compute, w, [this, w] { return harness_.EvalBatchGradient(w); },
+        [this, w](double loss) {
+          // Local SGD step, then wait for a partial-allreduce group.
+          harness_.CommitBatchStats(w, loss);
+          harness_.ApplyStoredGradient(w);
+          ready_.push_back(w);
+          MaybeFormGroup(/*flush=*/false);
+        });
   }
 
   // Number of workers that can still produce a ready event.
@@ -109,6 +113,10 @@ class PragueEngine {
     }
     const std::vector<double> mean = linalg::Mean(params);
     for (int w : group) {
+      // Group members are idle (their next compute event is scheduled only in
+      // FinishGroupMember), but notify anyway: the write contract is cheap
+      // and engine-evolution-proof.
+      harness_.sim().NotifyStateWrite(w);
       auto p = harness_.worker(w).model->parameters();
       std::copy(mean.begin(), mean.end(), p.begin());
     }

@@ -104,19 +104,24 @@ class SapsEngine {
         0, static_cast<int64_t>(neighbors.size()) - 1))];
     const double compute = worker.compute_seconds_per_batch;
     const double transfer = harness_.PullSeconds(m, w);
+    harness_.SampleBatch(w);
     const double wall = std::max(compute, transfer);
-    harness_.sim().ScheduleAfter(wall, [this, w, m, compute, wall] {
-      core::WorkerRuntime& wr = harness_.worker(w);
-      harness_.ComputeGradientOnly(w);
-      auto x_i = wr.model->parameters();
-      const auto x_m = harness_.worker(m).model->parameters();
-      for (size_t j = 0; j < x_i.size(); ++j) {
-        x_i[j] = 0.5 * (x_i[j] + x_m[j]);
-      }
-      harness_.ApplyStoredGradient(w);
-      harness_.AccountIteration(w, compute, wall);
-      StartIteration(w);
-    });
+    harness_.sim().ScheduleComputeAfter(
+        wall, w, [this, w] { return harness_.EvalBatchGradient(w); },
+        [this, w, m, compute, wall](double loss) {
+          core::WorkerRuntime& wr = harness_.worker(w);
+          harness_.CommitBatchStats(w, loss);
+          // One-sided averaging writes only the puller's parameters.
+          harness_.sim().NotifyStateWrite(w);
+          auto x_i = wr.model->parameters();
+          const auto x_m = harness_.worker(m).model->parameters();
+          for (size_t j = 0; j < x_i.size(); ++j) {
+            x_i[j] = 0.5 * (x_i[j] + x_m[j]);
+          }
+          harness_.ApplyStoredGradient(w);
+          harness_.AccountIteration(w, compute, wall);
+          StartIteration(w);
+        });
   }
 
   ExperimentHarness harness_;

@@ -1,5 +1,9 @@
 #include "common/thread_pool.h"
 
+#include <atomic>
+#include <memory>
+#include <utility>
+
 #include "common/logging.h"
 
 namespace netmax {
@@ -28,6 +32,15 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
+}
+
+std::future<void> ThreadPool::Submit(std::packaged_task<void()> task) {
+  // std::function requires copyable targets, so the move-only packaged_task
+  // rides in a shared_ptr.
+  auto boxed = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = boxed->get_future();
+  Submit([boxed] { (*boxed)(); });
+  return future;
 }
 
 void ThreadPool::Wait() {
@@ -64,6 +77,57 @@ void ParallelFor(int num_threads,
   ThreadPool pool(num_threads);
   for (const auto& task : tasks) pool.Submit(task);
   pool.Wait();
+}
+
+namespace {
+
+// Shared state of one index-range ParallelFor call. Helpers claim indices
+// from `next` and count finished calls in `completed`; the owner blocks on
+// `cv` until completed == total. Kept alive by shared_ptr so a helper that
+// loses the race for the last index may still touch it after the owner
+// returned.
+struct ParallelForState {
+  explicit ParallelForState(int n, const std::function<void(int)>& f)
+      : total(n), fn(&f) {}
+  const int total;
+  const std::function<void(int)>* fn;  // owner outlives all fn calls
+  std::atomic<int> next{0};
+  std::atomic<int> completed{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void ClaimLoop(const std::shared_ptr<ParallelForState>& state) {
+  while (true) {
+    const int i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->total) return;
+    (*state->fn)(i);
+    if (state->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state->total) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ParallelFor(ThreadPool& pool, int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  auto state = std::make_shared<ParallelForState>(n, fn);
+  const int helpers = std::min(pool.num_threads(), n - 1);
+  for (int h = 0; h < helpers; ++h) {
+    pool.Submit([state] { ClaimLoop(state); });
+  }
+  ClaimLoop(state);  // the caller works too
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->completed.load(std::memory_order_acquire) == n;
+  });
 }
 
 }  // namespace netmax

@@ -1,13 +1,17 @@
 #ifndef NETMAX_COMMON_THREAD_POOL_H_
 #define NETMAX_COMMON_THREAD_POOL_H_
 
-// Fixed-size worker pool used by the benchmark harnesses to run independent
-// experiment configurations in parallel. The simulation core itself is
-// single-threaded and deterministic; only whole experiments are parallelized.
+// Fixed-size worker pool shared by the parallel simulation runtime and the
+// benchmark harnesses. The event simulator dispatches compute phases of its
+// two-phase compute/commit events onto a pool (net/event_sim.h), the policy
+// generator fans its (rho, t_bar) grid search out on the same pool, and the
+// benches run independent experiment configurations in parallel. Virtual-time
+// ordering stays deterministic: only pure per-worker compute runs here.
 
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -29,6 +33,11 @@ class ThreadPool {
   // has begun.
   void Submit(std::function<void()> task);
 
+  // Waitable overload: enqueues `task` and returns the future of its
+  // completion, so one submission can be awaited without draining the whole
+  // pool (Wait() below blocks on everything in flight).
+  std::future<void> Submit(std::packaged_task<void()> task);
+
   // Blocks until every submitted task has finished.
   void Wait();
 
@@ -47,9 +56,19 @@ class ThreadPool {
 };
 
 // Runs `tasks[i]()` for all i using `num_threads` workers and returns when all
-// have completed. Convenience wrapper for one-shot parallel sections.
+// have completed. Convenience wrapper for one-shot parallel sections that owns
+// a throwaway pool.
 void ParallelFor(int num_threads,
                  const std::vector<std::function<void()>>& tasks);
+
+// Index-range overload on an existing pool: runs fn(0) .. fn(n-1) and
+// returns once all n calls have finished, without materializing one
+// std::function per index. The calling thread participates in the work (a
+// pool of T threads executes with T+1 workers), so the call makes progress
+// even when the pool is busy. Only this call's indices are awaited —
+// concurrent unrelated Submits on the same pool are untouched. Must not be
+// called from inside a pool task of the same pool.
+void ParallelFor(ThreadPool& pool, int n, const std::function<void(int)>& fn);
 
 }  // namespace netmax
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "linalg/vector_ops.h"
 #include "ml/mlp.h"
@@ -53,6 +54,20 @@ Status ExperimentHarness::Init() {
   }
   if (config_.network == NetworkScenario::kWan && config_.num_workers != 6) {
     return InvalidArgumentError("the WAN scenario models exactly 6 regions");
+  }
+  if (config_.threads < 0) return InvalidArgumentError("threads < 0");
+
+  // Parallel runtime: the simulator thread participates in every compute
+  // phase, so a budget of T threads needs a pool of T-1 workers. threads == 1
+  // keeps the pool-free serial dispatch (same code path, inline computes).
+  threads_ = config_.threads;
+  if (threads_ == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads_ = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  if (threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+    sim_.set_thread_pool(pool_.get());
   }
 
   // Dataset and shards.
@@ -157,11 +172,19 @@ double ExperimentHarness::PullSeconds(int src, int dst) const {
                                  config_.profile.message_bytes());
 }
 
-double ExperimentHarness::ComputeGradientOnly(int w) {
+void ExperimentHarness::SampleBatch(int w) {
   WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
   worker.sampler->NextBatch(worker.batch_indices);
-  const double loss = worker.model->LossAndGradient(
+}
+
+double ExperimentHarness::EvalBatchGradient(int w) {
+  WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
+  return worker.model->LossAndGradient(
       worker.shard, worker.batch_indices, worker.gradient, worker.workspace);
+}
+
+void ExperimentHarness::CommitBatchStats(int w, double loss) {
+  WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
   worker.epoch_loss_sum += loss;
   ++worker.epoch_batches;
   ++worker.iterations;
@@ -173,11 +196,18 @@ double ExperimentHarness::ComputeGradientOnly(int w) {
     ++worker.epochs_completed;
     OnEpochCompleted(w, epoch_loss);
   }
+}
+
+double ExperimentHarness::ComputeGradientOnly(int w) {
+  SampleBatch(w);
+  const double loss = EvalBatchGradient(w);
+  CommitBatchStats(w, loss);
   return loss;
 }
 
 void ExperimentHarness::ApplyStoredGradient(int w) {
   WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
+  sim_.NotifyStateWrite(w);
   worker.optimizer->Step(worker.model->parameters(), worker.gradient);
 }
 
@@ -253,6 +283,9 @@ RunResult ExperimentHarness::Finalize() {
   result.accuracy_vs_time = accuracy_vs_time_;
   result.total_virtual_seconds = sim_.Now();
   result.policies_generated = policies_generated_;
+  result.parallel_batches = sim_.parallel_batches();
+  result.computes_speculated = sim_.computes_speculated();
+  result.computes_recomputed = sim_.computes_recomputed();
 
   double loss_sum = 0.0;
   int loss_count = 0;

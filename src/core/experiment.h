@@ -17,6 +17,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/policy_generator.h"
 #include "ml/dataset.h"
 #include "ml/metrics.h"
@@ -104,6 +105,13 @@ struct ExperimentConfig {
   // Evaluate test accuracy every this many global epochs (0 = only at end).
   int eval_every_epochs = 0;
   uint64_t seed = 1;
+
+  // --- execution (real machine, not simulated time) ---
+  // Worker threads for the parallel simulation runtime: compute halves of
+  // ready events run concurrently on a pool while virtual-time ordering (and
+  // therefore every result bit) is unchanged. 0 = one thread per hardware
+  // core; 1 = fully serial dispatch through the same two-phase code path.
+  int threads = 0;
 };
 
 // Per-epoch cost attribution averaged over workers and epochs. Communication
@@ -135,6 +143,13 @@ struct RunResult {
   double consensus_distance = 0.0;
   // NetMax diagnostics: number of policies the monitor produced.
   int64_t policies_generated = 0;
+  // Parallel-runtime diagnostics (all zero on the serial threads=1 path;
+  // excluded from the bit-identity contract, which covers simulation outputs
+  // only): frontier batches dispatched, compute halves speculated on the
+  // pool, and speculations discarded because a commit dirtied their worker.
+  int64_t parallel_batches = 0;
+  int64_t computes_speculated = 0;
+  int64_t computes_recomputed = 0;
 };
 
 // Interface implemented by NetMax and every baseline.
@@ -201,18 +216,41 @@ class ExperimentHarness {
   // Transfer time for one model pull from `src` to `dst` starting now.
   double PullSeconds(int src, int dst) const;
 
-  // Executes one local gradient step on worker w (sample batch, loss +
-  // gradient, optimizer step). Handles epoch bookkeeping: when w finishes an
-  // epoch this records series points, applies the LR schedule, and may mark
-  // the worker finished. Returns the batch loss.
-  double LocalGradientStep(int w);
+  // --- two-phase gradient step (the engines' unit of work) ---
+  // One serial local step splits into three halves that map onto
+  // net::EventSimulator::ScheduleCompute:
+  //   SampleBatch(w)        at schedule time (commit context: advances the
+  //                         worker's sampler stream deterministically),
+  //   EvalBatchGradient(w)  as the pure compute half (reads w's parameters
+  //                         and batch, writes w's gradient/workspace scratch;
+  //                         idempotent, safe on a pool thread),
+  //   CommitBatchStats(w)   in the commit half (epoch bookkeeping, series
+  //                         points, LR schedule — strictly ordered).
 
-  // Like LocalGradientStep but leaves the gradient in worker.gradient without
-  // applying it (engines that apply gradients after communication, e.g.
-  // AD-PSGD's average-then-step order). Epoch bookkeeping still runs.
+  // Draws the next batch for worker w into worker.batch_indices.
+  void SampleBatch(int w);
+
+  // Loss + gradient over the sampled batch at w's current parameters, into
+  // worker.gradient. Touches only worker-local state; re-running it on
+  // unchanged state reproduces the same bits (speculation-safe).
+  double EvalBatchGradient(int w);
+
+  // Epoch bookkeeping for one computed batch of loss `loss`: when w finishes
+  // an epoch this records series points, applies the LR schedule, and may
+  // mark the worker finished.
+  void CommitBatchStats(int w, double loss);
+
+  // Serial convenience: SampleBatch + EvalBatchGradient + CommitBatchStats.
+  // The gradient is left in worker.gradient without applying it (engines that
+  // apply gradients after communication, e.g. AD-PSGD's average-then-step
+  // order).
   double ComputeGradientOnly(int w);
 
-  // Applies worker w's stored gradient through its optimizer.
+  // Serial convenience: ComputeGradientOnly + ApplyStoredGradient.
+  double LocalGradientStep(int w);
+
+  // Applies worker w's stored gradient through its optimizer (and notifies
+  // the simulator of the parameter write for speculation tracking).
   void ApplyStoredGradient(int w);
 
   // Adds one iteration's cost to worker w's account. `wall_seconds` is the
@@ -223,6 +261,13 @@ class ExperimentHarness {
   // cap has been reached.
   bool WorkerDone(int w) const;
   bool AllDone() const;
+
+  // Resolved worker-thread count (config.threads with 0 mapped to the
+  // hardware concurrency) and the pool backing the parallel runtime; the pool
+  // is null when running serially (threads == 1). Engines hand the pool to
+  // the policy generator so monitor ticks parallelize their grid search too.
+  int threads() const { return threads_; }
+  ThreadPool* pool() { return pool_.get(); }
 
   // For NetMax diagnostics.
   void set_policies_generated(int64_t n) { policies_generated_ = n; }
@@ -239,6 +284,8 @@ class ExperimentHarness {
   std::string algorithm_name_;
   bool initialized_ = false;
 
+  int threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // created by Init when threads_ > 1
   net::EventSimulator sim_;
   std::unique_ptr<net::Topology> topology_;
   std::unique_ptr<net::LinkModel> links_;

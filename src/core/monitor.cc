@@ -32,13 +32,13 @@ std::optional<linalg::Matrix> NetworkMonitor::FillMissingTimes(
 }
 
 StatusOr<GeneratedPolicy> NetworkMonitor::ComputePolicy(
-    const linalg::Matrix& ema_times) const {
+    const linalg::Matrix& ema_times, ThreadPool* pool) const {
   std::optional<linalg::Matrix> filled = FillMissingTimes(ema_times);
   if (!filled.has_value()) {
     return FailedPreconditionError(
         "no iteration times measured yet; workers still warming up");
   }
-  StatusOr<GeneratedPolicy> result = generator_.Generate(*filled);
+  StatusOr<GeneratedPolicy> result = generator_.Generate(*filled, pool);
   if (result.ok()) ++policies_generated_;
   return result;
 }

@@ -36,9 +36,10 @@ class NetworkMonitor {
 
   // One monitor tick: assembles the time matrix and runs Algorithm 3.
   // Returns kFailedPrecondition while no link has been measured yet, or the
-  // generator's error if no feasible policy exists.
-  StatusOr<GeneratedPolicy> ComputePolicy(
-      const linalg::Matrix& ema_times) const;
+  // generator's error if no feasible policy exists. A non-null `pool` fans
+  // the generator's (rho, t_bar) grid search out across it (same result).
+  StatusOr<GeneratedPolicy> ComputePolicy(const linalg::Matrix& ema_times,
+                                          ThreadPool* pool = nullptr) const;
 
   const MonitorOptions& options() const { return options_; }
   const net::Topology& topology() const { return generator_.topology(); }

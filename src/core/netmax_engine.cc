@@ -62,28 +62,39 @@ class NetMaxEngine {
     WorkerRuntime& worker = harness_.worker(w);
     const int m = worker.rng.Discrete(policy_->Row(w));
     const double compute = worker.compute_seconds_per_batch;
+    // Two-phase iteration: the peer draw and batch sampling happen here (the
+    // commit context of the previous iteration), the gradient evaluation is
+    // the pure compute half, and CompleteIteration is the ordered commit.
+    harness_.SampleBatch(w);
     if (m == w) {
       // Self-selection: pure local step, no communication this iteration.
-      harness_.sim().ScheduleAfter(compute, [this, w, compute] {
-        harness_.LocalGradientStep(w);
-        harness_.AccountIteration(w, compute, compute);
-        StartIteration(w);
-      });
+      harness_.sim().ScheduleComputeAfter(
+          compute, w, [this, w] { return harness_.EvalBatchGradient(w); },
+          [this, w, compute](double loss) {
+            harness_.CommitBatchStats(w, loss);
+            harness_.ApplyStoredGradient(w);
+            harness_.AccountIteration(w, compute, compute);
+            StartIteration(w);
+          });
       return;
     }
     const double transfer = harness_.PullSeconds(m, w);
     const double wall = config_.overlap_communication
                             ? std::max(compute, transfer)
                             : compute + transfer;
-    harness_.sim().ScheduleAfter(wall, [this, w, m, compute, wall] {
-      CompleteIteration(w, m, compute, wall);
-    });
+    harness_.sim().ScheduleComputeAfter(
+        wall, w, [this, w] { return harness_.EvalBatchGradient(w); },
+        [this, w, m, compute, wall](double loss) {
+          CompleteIteration(w, m, compute, wall, loss);
+        });
   }
 
-  void CompleteIteration(int w, int m, double compute, double wall) {
+  void CompleteIteration(int w, int m, double compute, double wall,
+                         double loss) {
     WorkerRuntime& worker = harness_.worker(w);
     // First-step update: local gradients (Algorithm 2 line 11).
-    harness_.LocalGradientStep(w);
+    harness_.CommitBatchStats(w, loss);
+    harness_.ApplyStoredGradient(w);
     // Second-step update: consensus pull (lines 13-14) against m's current
     // ("freshest") parameters:
     //   x_i <- x_i - alpha * rho/p_{i,m} * (x_i - x_m).
@@ -99,6 +110,10 @@ class NetMaxEngine {
     const double coefficient = std::min(
         config_.symmetric_consensus ? 0.5 : kMaxConsensusCoefficient,
         config_.learning_rate * rho_ / p);
+    // The consensus step writes both endpoints' parameters: invalidate any
+    // in-flight speculation on them (m usually has a pending compute event).
+    harness_.sim().NotifyStateWrite(w);
+    if (config_.symmetric_consensus) harness_.sim().NotifyStateWrite(m);
     auto x_i = worker.model->parameters();
     auto x_m = harness_.worker(m).model->parameters();
     for (size_t j = 0; j < x_i.size(); ++j) {
@@ -123,7 +138,8 @@ class NetMaxEngine {
         if (ema.has_value()) times(i, m) = ema.value();
       }
     }
-    StatusOr<GeneratedPolicy> generated = monitor_->ComputePolicy(times);
+    StatusOr<GeneratedPolicy> generated =
+        monitor_->ComputePolicy(times, harness_.pool());
     if (generated.ok()) {
       policy_ = std::make_unique<CommunicationPolicy>(
           std::move(generated.value().policy));

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "linalg/eigen.h"
 #include "linalg/simplex.h"
 
@@ -146,40 +150,27 @@ StatusOr<double> PolicyGenerator::Lambda2(const CommunicationPolicy& policy,
   return linalg::SecondLargestEigenvalue(y.value());
 }
 
-StatusOr<PolicyGenerator::Candidate> PolicyGenerator::InnerLoop(
-    double rho, const linalg::Matrix& iteration_times) const {
-  const auto [lower, upper] = FeasibleStepTimeInterval(rho, iteration_times);
-  if (!(lower <= upper)) {
-    return InfeasibleError("no feasible t_bar for rho=" + std::to_string(rho));
+StatusOr<PolicyGenerator::Candidate> PolicyGenerator::EvaluateGridPoint(
+    double rho, double t_bar, const linalg::Matrix& iteration_times) const {
+  StatusOr<CommunicationPolicy> policy =
+      SolvePolicyLp(rho, t_bar, iteration_times);
+  if (!policy.ok()) return policy.status();
+  StatusOr<double> lambda2 = Lambda2(policy.value(), rho);
+  if (!lambda2.ok()) return lambda2.status();
+  const double l2 = lambda2.value();
+  if (l2 >= 1.0 - kLambdaFloor) {
+    return InfeasibleError("no contraction at this grid point");
   }
-  const int rounds = options_.inner_rounds;
-  const double delta = (upper - lower) / static_cast<double>(rounds);
-  StatusOr<Candidate> best = InfeasibleError("inner loop found no candidate");
-  for (int r = 1; r <= rounds; ++r) {
-    const double t_bar = lower + delta * static_cast<double>(r);
-    StatusOr<CommunicationPolicy> policy =
-        SolvePolicyLp(rho, t_bar, iteration_times);
-    if (!policy.ok()) continue;
-    StatusOr<double> lambda2 = Lambda2(policy.value(), rho);
-    if (!lambda2.ok()) continue;
-    const double l2 = lambda2.value();
-    if (l2 >= 1.0 - kLambdaFloor) continue;  // no contraction
-    // T_conv = t_bar * ln(eps) / ln(lambda2); for lambda2 <= 0 consensus
-    // mixes in a single step, so t_bar itself is the cost.
-    const double t_convergence =
-        l2 <= kLambdaFloor
-            ? t_bar
-            : t_bar * std::log(options_.epsilon) / std::log(l2);
-    if (!best.ok() || t_convergence < best->t_convergence) {
-      best = Candidate{std::move(policy.value()), rho, l2, t_bar,
-                       t_convergence};
-    }
-  }
-  return best;
+  // T_conv = t_bar * ln(eps) / ln(lambda2); for lambda2 <= 0 consensus
+  // mixes in a single step, so t_bar itself is the cost.
+  const double t_convergence =
+      l2 <= kLambdaFloor ? t_bar
+                         : t_bar * std::log(options_.epsilon) / std::log(l2);
+  return Candidate{std::move(policy.value()), rho, l2, t_bar, t_convergence};
 }
 
 StatusOr<GeneratedPolicy> PolicyGenerator::Generate(
-    const linalg::Matrix& iteration_times) const {
+    const linalg::Matrix& iteration_times, ThreadPool* pool) const {
   const int n = topology_.num_nodes();
   if (iteration_times.rows() != n || iteration_times.cols() != n) {
     return InvalidArgumentError("iteration-time matrix has wrong shape");
@@ -228,21 +219,67 @@ StatusOr<GeneratedPolicy> PolicyGenerator::Generate(
     rho_max = std::min(rho_max, rho_feasible);
   }
 
+  // Flatten the (rho, t_bar) search into independent grid points. The
+  // Appendix-A feasible interval is cheap and computed up front per rho; the
+  // per-point LP solve + lambda_2 scoring dominates and is a pure function of
+  // (rho, t_bar), so the points fan out across the pool.
   const int rounds = averaging ? 1 : options_.outer_rounds;
   const double rho_delta = rho_max / static_cast<double>(rounds);
-  StatusOr<Candidate> best = InfeasibleError("no feasible policy found");
+  const int inner = options_.inner_rounds;
+  struct GridPoint {
+    bool feasible = false;
+    double rho = 0.0;
+    double t_bar = 0.0;
+  };
+  std::vector<GridPoint> grid(static_cast<size_t>(rounds) *
+                              static_cast<size_t>(inner));
   for (int k = 1; k <= rounds; ++k) {
     const double rho = averaging ? 0.0 : rho_delta * static_cast<double>(k);
-    StatusOr<Candidate> candidate = InnerLoop(rho, iteration_times);
-    if (!candidate.ok()) continue;
-    if (!best.ok() || candidate->t_convergence < best->t_convergence) {
-      best = std::move(candidate);
+    const auto [lower, upper] = FeasibleStepTimeInterval(rho, iteration_times);
+    if (!(lower <= upper)) continue;  // this rho admits no feasible t_bar
+    const double delta = (upper - lower) / static_cast<double>(inner);
+    for (int r = 1; r <= inner; ++r) {
+      GridPoint& point =
+          grid[static_cast<size_t>(k - 1) * static_cast<size_t>(inner) +
+               static_cast<size_t>(r - 1)];
+      point.feasible = true;
+      point.rho = rho;
+      point.t_bar = lower + delta * static_cast<double>(r);
     }
   }
-  if (!best.ok()) return best.status();
 
-  GeneratedPolicy out{std::move(best->policy), best->rho, best->lambda2,
-                      best->t_bar, best->t_convergence};
+  std::vector<std::optional<Candidate>> candidates(grid.size());
+  const auto evaluate = [&](int g) {
+    const GridPoint& point = grid[static_cast<size_t>(g)];
+    if (!point.feasible) return;
+    StatusOr<Candidate> candidate =
+        EvaluateGridPoint(point.rho, point.t_bar, iteration_times);
+    if (candidate.ok()) {
+      candidates[static_cast<size_t>(g)] = std::move(candidate.value());
+    }
+  };
+  if (pool != nullptr && grid.size() > 1) {
+    ParallelFor(*pool, static_cast<int>(grid.size()), evaluate);
+  } else {
+    for (int g = 0; g < static_cast<int>(grid.size()); ++g) evaluate(g);
+  }
+
+  // Deterministic argmin regardless of evaluation order: strict less-than
+  // with the lowest grid index winning ties — exactly the first-wins
+  // selection of the original nested (outer rho, inner t_bar) loops.
+  std::optional<size_t> best;
+  for (size_t g = 0; g < candidates.size(); ++g) {
+    if (!candidates[g].has_value()) continue;
+    if (!best.has_value() ||
+        candidates[g]->t_convergence < candidates[*best]->t_convergence) {
+      best = g;
+    }
+  }
+  if (!best.has_value()) return InfeasibleError("no feasible policy found");
+
+  Candidate& winner = *candidates[*best];
+  GeneratedPolicy out{std::move(winner.policy), winner.rho, winner.lambda2,
+                      winner.t_bar, winner.t_convergence};
   return out;
 }
 

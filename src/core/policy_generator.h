@@ -25,6 +25,10 @@
 #include "linalg/matrix.h"
 #include "net/topology.h"
 
+namespace netmax {
+class ThreadPool;
+}  // namespace netmax
+
 namespace netmax::core {
 
 struct PolicyGeneratorOptions {
@@ -68,8 +72,13 @@ class PolicyGenerator {
   // Runs Algorithm 3 on the measured iteration-time matrix [t_{i,m}]
   // (seconds; only entries on edges are read; all edge entries must be
   // positive). Returns kInfeasible if no grid point admits a feasible LP.
-  StatusOr<GeneratedPolicy> Generate(
-      const linalg::Matrix& iteration_times) const;
+  //
+  // The (rho, t_bar) grid points are independent LP solves; when `pool` is
+  // non-null they fan out across it. The selected policy is identical either
+  // way: candidates are scored serially with the argmin tie broken toward the
+  // lowest grid index (outer-then-inner order), matching the serial loops.
+  StatusOr<GeneratedPolicy> Generate(const linalg::Matrix& iteration_times,
+                                     ThreadPool* pool = nullptr) const;
 
   const PolicyGeneratorOptions& options() const { return options_; }
   const net::Topology& topology() const { return topology_; }
@@ -88,9 +97,10 @@ class PolicyGenerator {
     double t_convergence;
   };
 
-  // Inner loop: best candidate for a fixed rho, or error if none feasible.
-  StatusOr<Candidate> InnerLoop(double rho,
-                                const linalg::Matrix& iteration_times) const;
+  // Evaluates one grid point (fixed rho and t_bar): LP solve + lambda_2
+  // scoring. Pure function of its arguments, safe to run concurrently.
+  StatusOr<Candidate> EvaluateGridPoint(
+      double rho, double t_bar, const linalg::Matrix& iteration_times) const;
 
   // Solves the LP of Eq. (14) for fixed (rho, t_bar).
   StatusOr<CommunicationPolicy> SolvePolicyLp(

@@ -13,6 +13,17 @@
 // dot-product-shaped kernels (GemmTransB, Gemv) stay single-version: their
 // accumulator chains cannot widen without reassociating, and the wide codegen
 // for them degrades into gather loads.
+// ThreadSanitizer cannot execute ifunc resolvers (they run during dynamic
+// relocation, before the TSan runtime initializes, and crash at startup), so
+// multiversioning is disabled under TSan builds. No result changes: the
+// baseline clone is bit-identical to the wide ones by construction.
+#if defined(__SANITIZE_THREAD__)
+#define NETMAX_KERNEL_ISA
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NETMAX_KERNEL_ISA
+#endif
+#endif
 #ifndef NETMAX_KERNEL_ISA
 #if defined(__x86_64__) && defined(__has_attribute)
 #if __has_attribute(target_clones)

@@ -1,13 +1,44 @@
 #include "net/event_sim.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "common/thread_pool.h"
+
 namespace netmax::net {
+namespace {
+
+// Frontier scan bounds: how many queue entries to examine and how many
+// speculations to hold per dispatch. The speculation cap scales with the pool
+// so the drain (serial) phase stays short relative to the compute phase; the
+// scan cap bounds the cost of skipping over plain events.
+constexpr int64_t kMaxScannedEvents = 256;
+
+int64_t FrontierCap(const ThreadPool& pool) {
+  // The RunUntilIdle caller participates in the compute phase, hence +1.
+  return 4 * (static_cast<int64_t>(pool.num_threads()) + 1);
+}
+
+}  // namespace
+
+void EventSimulator::Insert(Event event) {
+  NETMAX_CHECK_GE(event.time, now_) << "cannot schedule into the past";
+  event.sequence = next_sequence_++;
+  // Descending order, next event at the back. New events usually land near
+  // the front (far future) or back (immediate follow-ups); either way the
+  // shifted tail is small because queues hold O(workers) events.
+  const auto position = std::upper_bound(
+      queue_.begin(), queue_.end(), event,
+      [](const Event& a, const Event& b) { return b.DispatchesBefore(a); });
+  queue_.insert(position, std::move(event));
+}
 
 void EventSimulator::ScheduleAt(double time, Callback callback) {
-  NETMAX_CHECK_GE(time, now_) << "cannot schedule into the past";
   NETMAX_CHECK(callback != nullptr);
-  queue_.push(Event{time, next_sequence_++, std::move(callback)});
+  Event event;
+  event.time = time;
+  event.plain = std::move(callback);
+  Insert(std::move(event));
 }
 
 void EventSimulator::ScheduleAfter(double delay, Callback callback) {
@@ -15,20 +46,112 @@ void EventSimulator::ScheduleAfter(double delay, Callback callback) {
   ScheduleAt(now_ + delay, std::move(callback));
 }
 
+void EventSimulator::ScheduleCompute(double time, int worker_key,
+                                     ComputeFn compute, CommitFn commit) {
+  NETMAX_CHECK_GE(worker_key, 0) << "worker_key must be non-negative";
+  NETMAX_CHECK(compute != nullptr);
+  NETMAX_CHECK(commit != nullptr);
+  Event event;
+  event.time = time;
+  event.worker_key = worker_key;
+  event.compute = std::move(compute);
+  event.commit = std::move(commit);
+  Insert(std::move(event));
+}
+
+void EventSimulator::ScheduleComputeAfter(double delay, int worker_key,
+                                          ComputeFn compute, CommitFn commit) {
+  NETMAX_CHECK_GE(delay, 0.0);
+  ScheduleCompute(now_ + delay, worker_key, std::move(compute),
+                  std::move(commit));
+}
+
+void EventSimulator::NotifyStateWrite(int worker_key) {
+  if (pending_speculations_ == 0) return;  // nothing to invalidate
+  dirty_keys_.insert(worker_key);
+}
+
 bool EventSimulator::Step() {
   if (queue_.empty()) return false;
-  // Copy out before pop so the callback may schedule new events.
-  Event event = queue_.top();
-  queue_.pop();
+  // Move out before popping so the handlers may schedule new events.
+  Event event = std::move(queue_.back());
+  queue_.pop_back();
   now_ = event.time;
   ++processed_;
-  event.callback();
+  if (event.compute != nullptr) {
+    double value;
+    if (event.speculated &&
+        dirty_keys_.find(event.worker_key) == dirty_keys_.end()) {
+      // Sound speculation: no commit since the frontier formed wrote this
+      // worker's compute-visible state, so the pooled result is exactly what
+      // an inline run would produce now.
+      value = event.speculative_value;
+    } else {
+      if (event.speculated) ++computes_recomputed_;
+      value = event.compute();
+    }
+    if (event.speculated) --pending_speculations_;
+    event.commit(value);
+  } else {
+    event.plain();
+  }
   return true;
+}
+
+int64_t EventSimulator::ParallelDispatch() {
+  // Phase 1 — frontier scan (backwards = dispatch order): the longest prefix
+  // of compute events with pairwise-distinct worker keys. Plain events are
+  // skipped, not barriers: they run at their exact position during the
+  // drain, and any state they write is covered by NotifyStateWrite
+  // invalidation. A duplicate key ends the scan so no two speculations ever
+  // target the same state partition.
+  std::vector<Event*> frontier;
+  std::unordered_set<int> frontier_keys;
+  const int64_t frontier_cap = FrontierCap(*pool_);
+  int64_t scanned = 0;
+  for (auto it = queue_.rbegin();
+       it != queue_.rend() && scanned < kMaxScannedEvents &&
+       static_cast<int64_t>(frontier.size()) < frontier_cap;
+       ++it, ++scanned) {
+    if (it->compute == nullptr) continue;
+    if (!frontier_keys.insert(it->worker_key).second) break;
+    frontier.push_back(&*it);
+  }
+  if (frontier.size() < 2) return Step() ? 1 : 0;
+
+  // Phase 2 — speculative compute: every frontier compute half runs
+  // concurrently on the pool (the caller participates). No commit runs in
+  // parallel with this phase, and each compute half touches only its own
+  // worker's state, so the phase is race-free by construction. The queue is
+  // not mutated here, so the frontier pointers stay valid.
+  ParallelFor(*pool_, static_cast<int>(frontier.size()), [&frontier](int i) {
+    Event* event = frontier[static_cast<size_t>(i)];
+    event->speculative_value = event->compute();
+    event->speculated = true;
+  });
+  ++parallel_batches_;
+  computes_speculated_ += static_cast<int64_t>(frontier.size());
+
+  // Phase 3 — ordered drain: apply events strictly in (time, sequence) order
+  // until every speculation is consumed. Commits may schedule new events
+  // (which run inline at their correct position, even before later frontier
+  // members) and may dirty keys via NotifyStateWrite (which downgrades the
+  // affected speculation to an inline recompute). Speculation state travels
+  // inside the Event objects, so queue shifts from new insertions are safe.
+  dirty_keys_.clear();
+  pending_speculations_ = static_cast<int64_t>(frontier.size());
+  int64_t count = 0;
+  while (pending_speculations_ > 0) {
+    NETMAX_CHECK(!queue_.empty()) << "speculated event vanished from queue";
+    Step();
+    ++count;
+  }
+  return count;
 }
 
 int64_t EventSimulator::RunUntil(double time_limit) {
   int64_t count = 0;
-  while (!queue_.empty() && queue_.top().time <= time_limit) {
+  while (!queue_.empty() && queue_.back().time <= time_limit) {
     Step();
     ++count;
   }
@@ -38,6 +161,10 @@ int64_t EventSimulator::RunUntil(double time_limit) {
 
 int64_t EventSimulator::RunUntilIdle() {
   int64_t count = 0;
+  if (pool_ != nullptr) {
+    while (!queue_.empty()) count += ParallelDispatch();
+    return count;
+  }
   while (Step()) ++count;
   return count;
 }

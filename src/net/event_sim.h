@@ -1,26 +1,70 @@
 #ifndef NETMAX_NET_EVENT_SIM_H_
 #define NETMAX_NET_EVENT_SIM_H_
 
-// Deterministic discrete-event simulator with a virtual clock.
+// Deterministic discrete-event simulator with a virtual clock and a two-phase
+// compute/commit event model.
 //
 // All decentralized-training algorithms in this repo run inside this
 // simulator: compute and communication delays are scheduled as events, so
 // "iteration time = max{compute, communication}" (paper Section II-B) and the
 // asynchrony between workers fall out of the event ordering. Ties in event
 // time are broken by insertion order, which makes every run bit-reproducible.
+//
+// Events come in two kinds:
+//
+//  * Plain events (ScheduleAt/ScheduleAfter): an opaque callback, always run
+//    on the simulator thread in (time, sequence) order.
+//  * Compute events (ScheduleCompute): a pure `compute` half paired with a
+//    `commit` half. The compute half may touch ONLY the state owned by its
+//    `worker_key` (model parameters read-only, gradient/workspace scratch
+//    read-write) plus immutable shared state; it must not query Now(), draw
+//    random numbers, or write anything another worker's compute reads. The
+//    commit half runs on the simulator thread, strictly in (time, sequence)
+//    order, and receives the compute half's result; all bookkeeping, RNG
+//    draws, parameter updates, and scheduling of follow-up events belong
+//    there.
+//
+// When a ThreadPool is attached (set_thread_pool), RunUntilIdle dispatches in
+// frontier batches: it collects the longest prefix of pending compute events
+// with pairwise-distinct worker keys, runs their compute halves concurrently
+// on the pool, then applies every event — plain callbacks, the speculated
+// commits, and anything commits schedule in between — in exact (time,
+// sequence) order. Speculation is kept sound by write tracking: any callback
+// or commit that writes state some compute half might read MUST call
+// NotifyStateWrite(worker_key) for the owning key; a pending speculation on a
+// dirty key is discarded and its compute half re-runs inline at its true
+// position in the event order. Results are therefore bit-identical to the
+// serial dispatch (no pool attached) for any thread count.
+//
+// One asymmetry to respect: a speculated compute half's scratch writes (the
+// worker's gradient buffer, workspace) land at frontier-formation time,
+// possibly before earlier-ordered events run. While a worker has a compute
+// event pending, no OTHER event may read that worker's scratch — only the
+// paired commit (and events it schedules afterwards, e.g. a parameter-server
+// upload consuming the gradient) may. Engines satisfy this naturally by
+// keeping at most one outstanding compute event per worker and consuming
+// scratch only downstream of its commit; new engines must preserve it.
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/logging.h"
+
+namespace netmax {
+class ThreadPool;
+}  // namespace netmax
 
 namespace netmax::net {
 
 class EventSimulator {
  public:
   using Callback = std::function<void()>;
+  // Compute half: returns a scalar payload (engines return the batch loss)
+  // that is handed to the paired commit half.
+  using ComputeFn = std::function<double()>;
+  using CommitFn = std::function<void(double)>;
 
   EventSimulator() = default;
   EventSimulator(const EventSimulator&) = delete;
@@ -35,37 +79,98 @@ class EventSimulator {
   // Schedules `callback` `delay` seconds from now (delay >= 0).
   void ScheduleAfter(double delay, Callback callback);
 
-  // Pops and runs the earliest event. Returns false when no events remain.
+  // Schedules a two-phase compute/commit event at absolute virtual time
+  // `time` (>= Now()). `worker_key` (>= 0) names the state partition the
+  // compute half touches; at most one compute event per key joins a parallel
+  // frontier, and a same-key duplicate ends the frontier scan, so adversarial
+  // interleavings degrade to serial order instead of racing.
+  void ScheduleCompute(double time, int worker_key, ComputeFn compute,
+                       CommitFn commit);
+
+  // Relative-time convenience (delay >= 0).
+  void ScheduleComputeAfter(double delay, int worker_key, ComputeFn compute,
+                            CommitFn commit);
+
+  // Declares that the caller (an event callback or commit half) writes state
+  // owned by `worker_key` that a compute half may read — model parameters,
+  // chiefly. Invalidates any not-yet-committed speculation for that key.
+  // Redundant calls (own key, keys without pending computes) are harmless;
+  // forgetting a call breaks parallel determinism, so write sites should
+  // over- rather than under-notify.
+  void NotifyStateWrite(int worker_key);
+
+  // Attaches the pool used for parallel compute dispatch; nullptr (default)
+  // keeps the fully serial path. The pool is borrowed, not owned, and must
+  // outlive the simulator (or be detached first). The calling thread of
+  // RunUntilIdle participates in each compute phase.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
+  // Pops and runs the earliest event (compute half inline unless a valid
+  // speculation exists, then commit). Returns false when no events remain.
   bool Step();
 
   // Runs events until the queue is empty or the next event is later than
   // `time_limit`; advances Now() to min(time of last event, time_limit).
-  // Returns the number of events processed.
+  // Returns the number of events processed. Always serial dispatch.
   int64_t RunUntil(double time_limit);
 
-  // Runs until no events remain. Returns the number of events processed.
+  // Runs until no events remain, in frontier batches when a pool is
+  // attached. Returns the number of events processed.
   int64_t RunUntilIdle();
 
   bool empty() const { return queue_.empty(); }
   int64_t num_events_processed() const { return processed_; }
 
+  // Diagnostics for tests/benches: frontier batches dispatched, compute
+  // halves executed on the pool, and speculations discarded because a
+  // NotifyStateWrite dirtied their key before their commit turn.
+  int64_t parallel_batches() const { return parallel_batches_; }
+  int64_t computes_speculated() const { return computes_speculated_; }
+  int64_t computes_recomputed() const { return computes_recomputed_; }
+
  private:
+  static constexpr int kNoKey = -1;
   struct Event {
-    double time;
-    int64_t sequence;  // tie-breaker: FIFO among equal times
-    Callback callback;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.sequence > b.sequence;
+    double time = 0.0;
+    int64_t sequence = 0;     // tie-breaker: FIFO among equal times
+    int worker_key = kNoKey;  // kNoKey: plain callback event
+    Callback plain;           // plain events only
+    ComputeFn compute;        // compute events only
+    CommitFn commit;          // compute events only
+    bool speculated = false;
+    double speculative_value = 0.0;
+
+    // Dispatch-before: earlier time wins, sequence breaks ties.
+    bool DispatchesBefore(const Event& other) const {
+      if (time != other.time) return time < other.time;
+      return sequence < other.sequence;
     }
   };
+
+  void Insert(Event event);
+  // One frontier batch: speculate the frontier's compute halves on the pool,
+  // then drain events in order until every speculation is consumed. Returns
+  // the number of events processed.
+  int64_t ParallelDispatch();
 
   double now_ = 0.0;
   int64_t next_sequence_ = 0;
   int64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Pending events sorted by descending (time, sequence): the next event to
+  // dispatch is at the back, so pops are O(1) and the in-order frontier scan
+  // iterates backwards. Queue sizes are O(workers), which keeps the shifting
+  // insert cheaper than a node-based container.
+  std::vector<Event> queue_;
+  ThreadPool* pool_ = nullptr;
+
+  // Per-dispatch speculation state (see ParallelDispatch).
+  std::unordered_set<int> dirty_keys_;
+  int64_t pending_speculations_ = 0;
+
+  int64_t parallel_batches_ = 0;
+  int64_t computes_speculated_ = 0;
+  int64_t computes_recomputed_ = 0;
 };
 
 }  // namespace netmax::net

@@ -1,0 +1,132 @@
+// Parallel-runtime determinism: for every registered algorithm the full
+// RunResult — loss series, cost breakdown, consensus distance, accuracy —
+// must be bit-identical between the serial dispatch (threads=1) and the
+// pooled two-phase dispatch (threads=8). This is the contract that lets the
+// benches and golden tests run at any thread count.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "algos/registry.h"
+#include "core/experiment.h"
+
+namespace netmax {
+namespace {
+
+using core::ExperimentConfig;
+using core::NetworkScenario;
+using core::RunResult;
+
+ExperimentConfig BaseConfig() {
+  ExperimentConfig config;
+  config.dataset.name = "determinism";
+  config.dataset.num_classes = 4;
+  config.dataset.feature_dim = 12;
+  config.dataset.num_train = 512;
+  config.dataset.num_test = 128;
+  config.dataset.class_separation = 4.0;
+  config.hidden_layers = {12};
+  config.num_workers = 8;  // enough workers for real frontier batches
+  config.batch_size = 16;
+  config.max_epochs = 2;
+  config.network = NetworkScenario::kHeterogeneousStatic;
+  config.monitor_period_seconds = 5.0;  // several monitor ticks per run
+  config.generator.outer_rounds = 4;
+  config.generator.inner_rounds = 4;
+  config.eval_every_epochs = 1;  // exercise the accuracy series too
+  config.seed = 13;
+  return config;
+}
+
+RunResult RunWithThreads(const std::string& name,
+                         const ExperimentConfig& base, int threads) {
+  ExperimentConfig config = base;
+  config.threads = threads;
+  auto algorithm = algos::MakeAlgorithm(name);
+  NETMAX_CHECK_OK(algorithm.status());
+  auto result = (*algorithm)->Run(config);
+  NETMAX_CHECK_OK(result.status());
+  return std::move(result.value());
+}
+
+void ExpectSeriesIdentical(const ml::Series& a, const ml::Series& b,
+                           const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x) << label << "[" << i << "].x";
+    EXPECT_EQ(a[i].y, b[i].y) << label << "[" << i << "].y";
+  }
+}
+
+void ExpectBitIdentical(const RunResult& a, const RunResult& b) {
+  ExpectSeriesIdentical(a.loss_vs_time, b.loss_vs_time, "loss_vs_time");
+  ExpectSeriesIdentical(a.loss_vs_epoch, b.loss_vs_epoch, "loss_vs_epoch");
+  ExpectSeriesIdentical(a.accuracy_vs_time, b.accuracy_vs_time,
+                        "accuracy_vs_time");
+  EXPECT_EQ(a.final_train_loss, b.final_train_loss);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.total_virtual_seconds, b.total_virtual_seconds);
+  EXPECT_EQ(a.avg_epoch_cost.compute_seconds, b.avg_epoch_cost.compute_seconds);
+  EXPECT_EQ(a.avg_epoch_cost.communication_seconds,
+            b.avg_epoch_cost.communication_seconds);
+  EXPECT_EQ(a.total_local_iterations, b.total_local_iterations);
+  EXPECT_EQ(a.consensus_distance, b.consensus_distance);
+  EXPECT_EQ(a.policies_generated, b.policies_generated);
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelDeterminism, SerialAndEightThreadsBitIdentical) {
+  const ExperimentConfig config = BaseConfig();
+  const RunResult serial = RunWithThreads(GetParam(), config, 1);
+  const RunResult parallel = RunWithThreads(GetParam(), config, 8);
+  ExpectBitIdentical(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ParallelDeterminism,
+                         ::testing::ValuesIn(algos::AlgorithmNames()));
+
+TEST(ParallelDeterminismTest, DynamicHeterogeneousNetworkMatchesToo) {
+  // The dynamic-slowdown scenario re-draws link speeds on a timer (an extra
+  // stream of plain events interleaved with compute events).
+  ExperimentConfig config = BaseConfig();
+  config.network = NetworkScenario::kHeterogeneousDynamic;
+  config.slowdown_period_seconds = 20.0;
+  for (const std::string name : {"netmax", "adpsgd", "gossip"}) {
+    const RunResult serial = RunWithThreads(name, config, 1);
+    const RunResult parallel = RunWithThreads(name, config, 8);
+    ExpectBitIdentical(serial, parallel);
+  }
+}
+
+TEST(ParallelDeterminismTest, ParallelRunsActuallySpeculate) {
+  // Guard against the parallel path silently degrading to serial dispatch:
+  // every engine must put real compute halves on the pool when threads > 1.
+  const ExperimentConfig config = BaseConfig();
+  for (const std::string& name : algos::AlgorithmNames()) {
+    const RunResult serial = RunWithThreads(name, config, 1);
+    const RunResult parallel = RunWithThreads(name, config, 8);
+    EXPECT_EQ(serial.computes_speculated, 0) << name;
+    EXPECT_GT(parallel.parallel_batches, 0) << name;
+    EXPECT_GT(parallel.computes_speculated, 0) << name;
+    // Invalidations are expected (consensus commits dirty their peers) but
+    // must stay a subset of what was speculated.
+    EXPECT_LE(parallel.computes_recomputed, parallel.computes_speculated)
+        << name;
+  }
+}
+
+TEST(ParallelDeterminismTest, ThreadCountsAgreeAmongThemselves) {
+  // 2, 3, and 8 threads all produce the same bits (not just 1 vs 8): the
+  // frontier size and speculation pattern differ, the results must not.
+  const ExperimentConfig config = BaseConfig();
+  const RunResult two = RunWithThreads("netmax", config, 2);
+  const RunResult three = RunWithThreads("netmax", config, 3);
+  const RunResult eight = RunWithThreads("netmax", config, 8);
+  ExpectBitIdentical(two, three);
+  ExpectBitIdentical(two, eight);
+}
+
+}  // namespace
+}  // namespace netmax

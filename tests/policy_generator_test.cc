@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "linalg/eigen.h"
 
 namespace netmax::core {
@@ -188,6 +189,47 @@ TEST(PolicyGeneratorTest, WorksOnRingTopology) {
   auto result = generator.Generate(times);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_TRUE(result->policy.Validate(topo).ok());
+}
+
+TEST(PolicyGeneratorTest, ParallelGridSearchMatchesSerialBitForBit) {
+  // The (rho, t_bar) grid fans out on a pool; selection ties break toward the
+  // lowest grid index, so the chosen policy must be identical to the serial
+  // search down to the last bit.
+  const int n = 6;
+  net::Topology topo = net::Topology::Complete(n);
+  PolicyGenerator generator(topo, DefaultOptions());
+  ThreadPool pool(4);
+  for (const double slow_factor : {1.0, 8.0, 30.0}) {
+    const linalg::Matrix times = TimesWithSlowPair(n, 1, 4, 0.5, slow_factor);
+    auto serial = generator.Generate(times);
+    auto parallel = generator.Generate(times, &pool);
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(serial->rho, parallel->rho);
+    EXPECT_EQ(serial->lambda2, parallel->lambda2);
+    EXPECT_EQ(serial->average_step_seconds, parallel->average_step_seconds);
+    EXPECT_EQ(serial->expected_convergence_seconds,
+              parallel->expected_convergence_seconds);
+    for (int i = 0; i < n; ++i) {
+      for (int m = 0; m < n; ++m) {
+        EXPECT_EQ(serial->policy.probability(i, m),
+                  parallel->policy.probability(i, m))
+            << "(" << i << "," << m << ")";
+      }
+    }
+  }
+}
+
+TEST(PolicyGeneratorTest, ParallelInfeasibleMatchesSerialStatus) {
+  net::Topology topo = net::Topology::Complete(3);
+  PolicyGenerator generator(topo, DefaultOptions());
+  linalg::Matrix times(3, 3, 0.0);
+  ThreadPool pool(2);
+  auto serial = generator.Generate(times);
+  auto parallel = generator.Generate(times, &pool);
+  EXPECT_FALSE(serial.ok());
+  EXPECT_FALSE(parallel.ok());
+  EXPECT_EQ(serial.status().ToString(), parallel.status().ToString());
 }
 
 // Property sweep: random iteration-time matrices on complete graphs; every

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -76,6 +77,78 @@ TEST(ParallelForTest, ExecutesEveryTaskExactlyOnce) {
   }
   ParallelFor(8, tasks);
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, IndexOverloadRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(pool, 100,
+              [&hits](int i) { hits[static_cast<size_t>(i)].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, IndexOverloadIsReusableOnOnePool) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    ParallelFor(pool, 10, [&total](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ParallelForTest, IndexOverloadHandlesEdgeCounts) {
+  ThreadPool pool(4);
+  int zero_calls = 0;
+  ParallelFor(pool, 0, [&zero_calls](int) { ++zero_calls; });
+  EXPECT_EQ(zero_calls, 0);
+  int one_call = 0;
+  ParallelFor(pool, 1, [&one_call](int i) {
+    EXPECT_EQ(i, 0);
+    ++one_call;
+  });
+  EXPECT_EQ(one_call, 1);
+}
+
+TEST(ParallelForTest, IndexOverloadWithMoreIndicesThanThreads) {
+  // n >> threads forces every worker (including the caller) through the
+  // claim loop repeatedly.
+  ThreadPool pool(1);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(pool, 1000, [&sum](int i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+}
+
+TEST(SubmitWaitableTest, FutureResolvesAfterTaskRuns) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  std::future<void> future = pool.Submit(
+      std::packaged_task<void()>([&ran] { ran.store(true); }));
+  future.wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(SubmitWaitableTest, IndividualHandlesDoNotDrainTheWholePool) {
+  // A waitable submission can be awaited while an unrelated slow task is
+  // still running — unlike Wait(), which blocks on everything.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  pool.Submit([&release] {
+    while (!release.load()) {
+      // spin until the end of the test
+    }
+  });
+  std::future<void> fast =
+      pool.Submit(std::packaged_task<void()>([] {}));
+  fast.wait();  // must not deadlock on the spinning task
+  release.store(true);
+  pool.Wait();
+}
+
+TEST(SubmitWaitableTest, PropagatesExceptionsThroughTheFuture) {
+  ThreadPool pool(1);
+  std::future<void> future = pool.Submit(
+      std::packaged_task<void()>([] { throw std::runtime_error("boom"); }));
+  EXPECT_THROW(future.get(), std::runtime_error);
 }
 
 }  // namespace
