@@ -1,12 +1,14 @@
 // Scaling headroom demo for the parallel simulation runtime: a 32-worker
 // heterogeneous-dynamic scenario (8 servers, dynamic slow links) training a
-// wider MLP than the paper-scale benches. Each algorithm runs twice over the
-// identical experiment — serial dispatch (threads=1) and the pooled
-// two-phase compute/commit dispatch — and the bench reports real wall-clock
-// for both plus the speculation efficiency, after verifying the two runs are
-// bit-identical. Virtual-time results never depend on the thread count; only
-// the real seconds column does (expect ~1x on a single-core machine and
-// >= 2x at 8 threads on real multi-core hardware).
+// wider MLP than the paper-scale benches. Each algorithm runs three times
+// over the identical experiment — serial dispatch (threads=1), the pooled
+// two-phase compute/commit dispatch, and the pooled dispatch with
+// intra-worker gradient sharding — and the bench reports real wall-clock for
+// all three plus the speculation/re-dispatch efficiency, after verifying the
+// runs are bit-identical. Virtual-time results never depend on the thread or
+// shard count; only the real seconds columns do (expect ~1x on a single-core
+// machine; on real multi-core hardware the pooled run scales with cores up
+// to the worker count and the sharded run scales past it).
 
 #include <algorithm>
 #include <chrono>
@@ -40,10 +42,11 @@ struct TimedRun {
   double wall_seconds = 0.0;
 };
 
-TimedRun RunWithThreads(const std::string& name,
-                        const core::ExperimentConfig& base, int threads) {
+TimedRun RunWith(const std::string& name, const core::ExperimentConfig& base,
+                 int threads, int shards) {
   core::ExperimentConfig config = base;
   config.threads = threads;
+  config.shards = shards;
   auto algorithm = algos::MakeAlgorithm(name);
   NETMAX_CHECK(algorithm.ok()) << algorithm.status();
   const auto start = std::chrono::steady_clock::now();
@@ -70,35 +73,46 @@ void CheckBitIdentical(const std::string& name, const core::RunResult& a,
 void Run() {
   core::ExperimentConfig config = Scale32Config();
   bench::MaybeApplySmoke(config);
-  // --threads=N pins the parallel leg; otherwise one thread per hardware
+  // --threads=N pins the parallel legs; otherwise one thread per hardware
   // core, floored at 2 so the pooled dispatch is exercised (and measured
-  // honestly) even on a single-core machine.
+  // honestly) even on a single-core machine. --shards=N pins the sharded
+  // leg's shard bound (default 4 = the leaf count of the batch-32 scenario,
+  // the maximum nested parallelism available per worker).
   const unsigned hw = std::thread::hardware_concurrency();
   const int parallel_threads = bench::ThreadsOverride() > 0
                                    ? bench::ThreadsOverride()
                                    : std::max(2, static_cast<int>(hw));
+  // >= 0 so an explicit --shards=0 keeps its documented meaning (harness
+  // auto resolution) instead of being silently pinned to 4.
+  const int sharded_shards =
+      bench::ShardsOverride() >= 0 ? bench::ShardsOverride() : 4;
 
   TablePrinter table({"algorithm", "virtual_s", "serial_wall_s",
-                      "parallel_wall_s", "speedup", "speculated",
-                      "recomputed"});
+                      "parallel_wall_s", "sharded_wall_s", "speedup",
+                      "sharded_speedup", "speculated", "redispatched"});
   for (const std::string name : {"netmax", "adpsgd", "allreduce", "gossip"}) {
-    const TimedRun serial = RunWithThreads(name, config, 1);
-    const TimedRun parallel = RunWithThreads(name, config, parallel_threads);
+    const TimedRun serial = RunWith(name, config, /*threads=*/1, /*shards=*/1);
+    const TimedRun parallel =
+        RunWith(name, config, parallel_threads, /*shards=*/1);
+    const TimedRun sharded =
+        RunWith(name, config, parallel_threads, sharded_shards);
     CheckBitIdentical(name, serial.result, parallel.result);
+    CheckBitIdentical(name, serial.result, sharded.result);
+    const auto speedup = [&serial](double wall) {
+      return wall > 0.0 ? serial.wall_seconds / wall : 0.0;
+    };
     table.AddRow(
         {serial.result.algorithm,
          Fmt(serial.result.total_virtual_seconds, 1),
          Fmt(serial.wall_seconds, 3), Fmt(parallel.wall_seconds, 3),
-         Fmt(parallel.wall_seconds > 0.0
-                 ? serial.wall_seconds / parallel.wall_seconds
-                 : 0.0,
-             2),
-         std::to_string(parallel.result.computes_speculated),
-         std::to_string(parallel.result.computes_recomputed)});
+         Fmt(sharded.wall_seconds, 3), Fmt(speedup(parallel.wall_seconds), 2),
+         Fmt(speedup(sharded.wall_seconds), 2),
+         std::to_string(sharded.result.computes_speculated),
+         std::to_string(sharded.result.computes_redispatched)});
   }
-  std::cout << "\n== Scale-32 parallel runtime (32 workers, hidden=96, "
-               "serial vs pooled dispatch; results verified bit-identical) "
-               "==\n";
+  std::cout << "\n== Scale-32 parallel runtime (32 workers, hidden=96; "
+               "serial vs pooled vs pooled+sharded dispatch; results "
+               "verified bit-identical) ==\n";
   table.Print(std::cout);
   table.PrintCsv(std::cout, "Scale-32 parallel runtime");
 }

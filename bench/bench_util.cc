@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string_view>
 
 #include "algos/registry.h"
+#include "common/flags.h"
 #include "common/logging.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
@@ -21,6 +23,30 @@ int BenchThreads() {
 
 bool smoke_mode = false;
 int threads_override = -1;
+int shards_override = -1;
+
+void PrintUsage(std::ostream& os, const char* binary) {
+  os << "usage: " << binary << " [--smoke] [--threads=N] [--shards=N]\n"
+     << "  --smoke      reduced iterations / corpus (CI smoke run)\n"
+     << "  --threads=N  per-run simulation threads (0 = one per core, 1 = "
+        "serial; results are bit-identical)\n"
+     << "  --shards=N   intra-worker gradient shard tasks (0 = auto from the "
+        "thread budget; results are bit-identical)\n";
+}
+
+// Strict value parse for "--flag=N" style flags and their environment
+// fallbacks: anything but an exact non-negative integer is a usage error.
+int ParseFlagValueOrDie(const char* binary, const std::string& flag_text,
+                        std::string_view value) {
+  int parsed = 0;
+  if (!ParseNonNegativeInt(value, &parsed)) {
+    std::cerr << "bad flag value: " << flag_text
+              << " (expected a non-negative integer)\n";
+    PrintUsage(std::cerr, binary);
+    std::exit(2);
+  }
+  return parsed;
+}
 
 // Splits the machine between `concurrent_runs` simultaneous experiments:
 // every run gets an equal share of the cores for its own compute-event pool
@@ -37,31 +63,44 @@ void ApplyThreads(core::ExperimentConfig& config, size_t concurrent_runs) {
   } else if (config.threads == 0) {
     config.threads = PerRunThreads(concurrent_runs);
   }
+  if (shards_override >= 0) config.shards = shards_override;
 }
 
 }  // namespace
 
 void InitBench(int argc, char** argv) {
+  const char* binary = argc > 0 ? argv[0] : "bench";
   const char* env = std::getenv("NETMAX_SMOKE");
   if (env != nullptr && std::strcmp(env, "1") == 0) smoke_mode = true;
   const char* env_threads = std::getenv("NETMAX_THREADS");
-  if (env_threads != nullptr) threads_override = std::atoi(env_threads);
+  if (env_threads != nullptr) {
+    threads_override =
+        ParseFlagValueOrDie(binary, std::string("NETMAX_THREADS=") +
+                                        env_threads,
+                            env_threads);
+  }
+  const char* env_shards = std::getenv("NETMAX_SHARDS");
+  if (env_shards != nullptr) {
+    shards_override = ParseFlagValueOrDie(
+        binary, std::string("NETMAX_SHARDS=") + env_shards, env_shards);
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke_mode = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
-      threads_override = std::atoi(arg.c_str() + 10);
-      NETMAX_CHECK_GE(threads_override, 0) << "bad --threads value: " << arg;
+      threads_override =
+          ParseFlagValueOrDie(binary, arg, std::string_view(arg).substr(10));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards_override =
+          ParseFlagValueOrDie(binary, arg, std::string_view(arg).substr(9));
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << argv[0] << " [--smoke] [--threads=N]\n"
-                << "  --smoke      reduced iterations / corpus (CI smoke "
-                   "run)\n"
-                << "  --threads=N  per-run simulation threads (0 = one per "
-                   "core, 1 = serial; results are bit-identical)\n";
+      PrintUsage(std::cout, binary);
       std::exit(0);
     } else {
-      NETMAX_CHECK(false) << "unknown bench flag: " << arg;
+      std::cerr << "unknown bench flag: " << arg << "\n";
+      PrintUsage(std::cerr, binary);
+      std::exit(2);
     }
   }
 }
@@ -69,6 +108,8 @@ void InitBench(int argc, char** argv) {
 bool SmokeMode() { return smoke_mode; }
 
 int ThreadsOverride() { return threads_override; }
+
+int ShardsOverride() { return shards_override; }
 
 void MaybeApplySmoke(core::ExperimentConfig& config) {
   if (!smoke_mode) return;

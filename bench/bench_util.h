@@ -27,11 +27,20 @@ namespace netmax::bench {
 //                 threads for every run; N=1 forces the serial dispatch,
 //                 results are bit-identical either way). Also settable via
 //                 NETMAX_THREADS in the environment.
-// Unknown flags are fatal so typos don't silently run the full bench.
+//   --shards=N    intra-worker gradient shard tasks (overrides
+//                 ExperimentConfig::shards; 0 = auto from the per-run thread
+//                 budget, results are bit-identical for any value). Also
+//                 settable via NETMAX_SHARDS in the environment.
+// Unknown flags are fatal, and malformed values (--threads=4x) print a usage
+// message and exit non-zero, so typos don't silently run the full bench on
+// the wrong configuration.
 void InitBench(int argc, char** argv);
 
 // The --threads/NETMAX_THREADS override, or -1 when unset.
 int ThreadsOverride();
+
+// The --shards/NETMAX_SHARDS override, or -1 when unset.
+int ShardsOverride();
 
 // True once InitBench has seen --smoke (or NETMAX_SMOKE=1 in the
 // environment). RunAlgorithms/RunConfigs apply the shrink to their configs

@@ -1,0 +1,19 @@
+#include "common/flags.h"
+
+#include <limits>
+
+namespace netmax {
+
+bool ParseNonNegativeInt(std::string_view text, int* value) {
+  if (text.empty()) return false;
+  long long parsed = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + (c - '0');
+    if (parsed > std::numeric_limits<int>::max()) return false;
+  }
+  *value = static_cast<int>(parsed);
+  return true;
+}
+
+}  // namespace netmax

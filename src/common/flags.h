@@ -1,0 +1,21 @@
+#ifndef NETMAX_COMMON_FLAGS_H_
+#define NETMAX_COMMON_FLAGS_H_
+
+// Minimal strict flag-value parsing shared by the bench binaries. The
+// standard atoi-style parsers silently accept trailing garbage ("4x" -> 4),
+// which once let a typoed --threads flag run an entire bench suite on the
+// wrong configuration; everything here rejects anything but an exact
+// decimal integer.
+
+#include <string_view>
+
+namespace netmax {
+
+// Parses `text` as a non-negative base-10 integer into `*value`. Returns
+// false — leaving `*value` untouched — on an empty string, any non-digit
+// character (signs included), or overflow past int range.
+bool ParseNonNegativeInt(std::string_view text, int* value);
+
+}  // namespace netmax
+
+#endif  // NETMAX_COMMON_FLAGS_H_

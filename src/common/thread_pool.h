@@ -66,8 +66,17 @@ void ParallelFor(int num_threads,
 // std::function per index. The calling thread participates in the work (a
 // pool of T threads executes with T+1 workers), so the call makes progress
 // even when the pool is busy. Only this call's indices are awaited —
-// concurrent unrelated Submits on the same pool are untouched. Must not be
-// called from inside a pool task of the same pool.
+// concurrent unrelated Submits on the same pool are untouched.
+//
+// Nesting on the same pool is safe — a pool task may itself call ParallelFor
+// (the event simulator's sharded gradient evaluation does exactly that,
+// inside frontier compute halves and second-pass re-dispatches): caller
+// participation guarantees progress with every helper queued behind a busy
+// pool, and the wait can only be on indices claimed by threads actively
+// executing them. The one requirement is that `fn` never blocks on pool work
+// other than a nested ParallelFor of its own — a task that waits on an
+// unsubmitted/unclaimed future would reintroduce the deadlock the
+// participation rule removes.
 void ParallelFor(ThreadPool& pool, int n, const std::function<void(int)>& fn);
 
 }  // namespace netmax

@@ -6,6 +6,7 @@
 
 #include "linalg/vector_ops.h"
 #include "ml/mlp.h"
+#include "ml/sharding.h"
 
 namespace netmax::core {
 
@@ -56,6 +57,7 @@ Status ExperimentHarness::Init() {
     return InvalidArgumentError("the WAN scenario models exactly 6 regions");
   }
   if (config_.threads < 0) return InvalidArgumentError("threads < 0");
+  if (config_.shards < 0) return InvalidArgumentError("shards < 0");
 
   // Parallel runtime: the simulator thread participates in every compute
   // phase, so a budget of T threads needs a pool of T-1 workers. threads == 1
@@ -68,6 +70,15 @@ Status ExperimentHarness::Init() {
   if (threads_ > 1) {
     pool_ = std::make_unique<ThreadPool>(threads_ - 1);
     sim_.set_thread_pool(pool_.get());
+  }
+  // Intra-worker sharding bound: auto (0) shards only the cores left over
+  // after the distinct-worker frontier has one thread per worker, so
+  // paper-scale runs (workers >= cores) stay unsharded while wide-model
+  // scale-up runs (cores > workers) split each batch. Purely an execution
+  // choice — results are bit-identical for any value (ml/sharding.h).
+  shards_ = config_.shards;
+  if (shards_ == 0) {
+    shards_ = (threads_ + config_.num_workers - 1) / config_.num_workers;
   }
 
   // Dataset and shards.
@@ -179,8 +190,9 @@ void ExperimentHarness::SampleBatch(int w) {
 
 double ExperimentHarness::EvalBatchGradient(int w) {
   WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
-  return worker.model->LossAndGradient(
-      worker.shard, worker.batch_indices, worker.gradient, worker.workspace);
+  return ml::ShardedLossAndGradient(*worker.model, worker.shard,
+                                    worker.batch_indices, worker.gradient,
+                                    worker.workspace, pool_.get(), shards_);
 }
 
 void ExperimentHarness::CommitBatchStats(int w, double loss) {
@@ -285,6 +297,7 @@ RunResult ExperimentHarness::Finalize() {
   result.policies_generated = policies_generated_;
   result.parallel_batches = sim_.parallel_batches();
   result.computes_speculated = sim_.computes_speculated();
+  result.computes_redispatched = sim_.computes_redispatched();
   result.computes_recomputed = sim_.computes_recomputed();
 
   double loss_sum = 0.0;

@@ -112,6 +112,14 @@ struct ExperimentConfig {
   // therefore every result bit) is unchanged. 0 = one thread per hardware
   // core; 1 = fully serial dispatch through the same two-phase code path.
   int threads = 0;
+  // Intra-worker gradient sharding: upper bound on concurrent shard tasks
+  // per EvalBatchGradient, nested inside the distinct-worker frontier.
+  // 0 = auto (ceil(threads / num_workers), so sharding kicks in exactly when
+  // there are more cores than workers); 1 = one serial shard task. Never
+  // affects results: the gradient is defined over a fixed leaf decomposition
+  // and tree reduction (ml/sharding.h), so RunResult is bit-identical across
+  // the whole {threads, shards} grid.
+  int shards = 0;
 };
 
 // Per-epoch cost attribution averaged over workers and epochs. Communication
@@ -146,9 +154,11 @@ struct RunResult {
   // Parallel-runtime diagnostics (all zero on the serial threads=1 path;
   // excluded from the bit-identity contract, which covers simulation outputs
   // only): frontier batches dispatched, compute halves speculated on the
-  // pool, and speculations discarded because a commit dirtied their worker.
+  // pool, invalidated speculations re-dispatched onto the pool in the second
+  // pass, and the defensive inline recomputes (expected zero).
   int64_t parallel_batches = 0;
   int64_t computes_speculated = 0;
+  int64_t computes_redispatched = 0;
   int64_t computes_recomputed = 0;
 };
 
@@ -232,7 +242,10 @@ class ExperimentHarness {
 
   // Loss + gradient over the sampled batch at w's current parameters, into
   // worker.gradient. Touches only worker-local state; re-running it on
-  // unchanged state reproduces the same bits (speculation-safe).
+  // unchanged state reproduces the same bits (speculation-safe). When the
+  // run has a pool and shards() > 1, the batch's gradient leaves evaluate as
+  // up to shards() concurrent tasks nested inside the compute frontier
+  // (ml/sharding.h) — the result bits never depend on it.
   double EvalBatchGradient(int w);
 
   // Epoch bookkeeping for one computed batch of loss `loss`: when w finishes
@@ -268,6 +281,9 @@ class ExperimentHarness {
   // the policy generator so monitor ticks parallelize their grid search too.
   int threads() const { return threads_; }
   ThreadPool* pool() { return pool_.get(); }
+  // Resolved intra-worker shard-task bound (config.shards with 0 mapped to
+  // ceil(threads / num_workers)).
+  int shards() const { return shards_; }
 
   // For NetMax diagnostics.
   void set_policies_generated(int64_t n) { policies_generated_ = n; }
@@ -285,6 +301,7 @@ class ExperimentHarness {
   bool initialized_ = false;
 
   int threads_ = 1;
+  int shards_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // created by Init when threads_ > 1
   net::EventSimulator sim_;
   std::unique_ptr<net::Topology> topology_;

@@ -7,6 +7,7 @@
 #include "linalg/blas.h"
 #include "linalg/vector_ops.h"
 #include "ml/linear_model.h"
+#include "ml/sharding.h"
 
 namespace netmax::ml {
 namespace {
@@ -132,7 +133,15 @@ double ConvNet::LossAndGradient(const Dataset& data,
                                 std::span<const int> batch_indices,
                                 std::span<double> gradient,
                                 TrainingWorkspace& workspace) const {
-  NETMAX_CHECK(!batch_indices.empty());
+  return ShardedLossAndGradient(*this, data, batch_indices, gradient,
+                                workspace, /*pool=*/nullptr, /*shards=*/1);
+}
+
+double ConvNet::LeafLossAndGradientSums(const Dataset& data,
+                                        std::span<const int> leaf,
+                                        std::span<double> gradient,
+                                        TrainingWorkspace& workspace) const {
+  NETMAX_CHECK(!leaf.empty());
   NETMAX_CHECK_EQ(data.feature_dim(), input_dim_);
   const bool want_gradient = !gradient.empty();
   if (want_gradient) {
@@ -140,25 +149,22 @@ double ConvNet::LossAndGradient(const Dataset& data,
     netmax::linalg::Fill(gradient, 0.0);
   }
 
-  const size_t batch = batch_indices.size();
+  const size_t batch = leaf.size();
   const size_t fc_in = static_cast<size_t>(num_filters_) * conv_len_;
   const size_t num_classes = static_cast<size_t>(num_classes_);
-  std::span<double> logits = ForwardBatch(data, batch_indices, workspace);
+  std::span<double> logits = ForwardBatch(data, leaf, workspace);
 
   double total_loss = 0.0;
   for (size_t s = 0; s < batch; ++s) {
     std::span<double> row = logits.subspan(s * num_classes, num_classes);
     SoftmaxInPlace(row);
-    total_loss +=
-        CrossEntropyFromProbabilities(row, data.label(batch_indices[s]));
+    total_loss += CrossEntropyFromProbabilities(row, data.label(leaf[s]));
   }
-  const double inv_batch = 1.0 / static_cast<double>(batch);
-  if (!want_gradient) return total_loss * inv_batch;
+  if (!want_gradient) return total_loss;
 
   // dL/dlogits in place: p - onehot.
   for (size_t s = 0; s < batch; ++s) {
-    logits[s * num_classes +
-           static_cast<size_t>(data.label(batch_indices[s]))] -= 1.0;
+    logits[s * num_classes + static_cast<size_t>(data.label(leaf[s]))] -= 1.0;
   }
 
   // FC gradients over the whole batch (rank-1 updates in batch order), then
@@ -191,7 +197,7 @@ double ConvNet::LossAndGradient(const Dataset& data,
   double* g_conv_w = gradient.data() + ConvWeightOffset();
   double* g_conv_b = gradient.data() + ConvBiasOffset();
   for (size_t s = 0; s < batch; ++s) {
-    const std::span<const double> x = data.features(batch_indices[s]);
+    const std::span<const double> x = data.features(leaf[s]);
     const double* sample_dconv = dconv.data() + s * fc_in;
     for (int f = 0; f < num_filters_; ++f) {
       double* gk = g_conv_w + static_cast<size_t>(f) * kernel_size_;
@@ -207,8 +213,7 @@ double ConvNet::LossAndGradient(const Dataset& data,
       g_conv_b[f] = bias_acc;
     }
   }
-  netmax::linalg::Scale(inv_batch, gradient);
-  return total_loss * inv_batch;
+  return total_loss;
 }
 
 int ConvNet::Predict(const Dataset& data, int index) const {

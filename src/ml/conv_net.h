@@ -32,10 +32,12 @@ class ConvNet : public Model {
   double LossAndGradient(const Dataset& data,
                          std::span<const int> batch_indices,
                          std::span<double> gradient) const override;
-  // Batched zero-allocation path: conv activations for the whole batch land
-  // in one workspace matrix (per-sample loops — the kernel is tiny and
-  // already streams), the FC head runs as one GEMM over that matrix.
-  // Bit-identical to the per-sample formulation.
+  // Batched zero-allocation path: per gradient leaf (ml/sharding.h), conv
+  // activations land in one workspace matrix (per-sample loops — the kernel
+  // is tiny and already streams) and the FC head runs as one GEMM over that
+  // matrix; leaf partials combine by the fixed pairwise tree, making this
+  // serial call bit-identical to the sharded parallel evaluation. Within a
+  // leaf the summation order is the per-sample formulation's.
   double LossAndGradient(const Dataset& data,
                          std::span<const int> batch_indices,
                          std::span<double> gradient,
@@ -66,6 +68,13 @@ class ConvNet : public Model {
   std::span<double> ForwardBatch(const Dataset& data,
                                  std::span<const int> indices,
                                  TrainingWorkspace& workspace) const;
+
+  // Native unscaled leaf evaluation (accumulates into zero-filled
+  // `gradient`), plugged into the base class's EvalGradientLeaves loop.
+  double LeafLossAndGradientSums(const Dataset& data,
+                                 std::span<const int> leaf,
+                                 std::span<double> gradient,
+                                 TrainingWorkspace& workspace) const override;
 
   int input_dim_;
   int num_filters_;

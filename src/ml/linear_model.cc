@@ -6,6 +6,7 @@
 #include "common/random.h"
 #include "linalg/blas.h"
 #include "linalg/vector_ops.h"
+#include "ml/sharding.h"
 
 namespace netmax::ml {
 namespace {
@@ -104,7 +105,14 @@ double LinearModel::LossAndGradient(const Dataset& data,
                                     std::span<const int> batch_indices,
                                     std::span<double> gradient,
                                     TrainingWorkspace& workspace) const {
-  NETMAX_CHECK(!batch_indices.empty());
+  return ShardedLossAndGradient(*this, data, batch_indices, gradient,
+                                workspace, /*pool=*/nullptr, /*shards=*/1);
+}
+
+double LinearModel::LeafLossAndGradientSums(
+    const Dataset& data, std::span<const int> leaf, std::span<double> gradient,
+    TrainingWorkspace& workspace) const {
+  NETMAX_CHECK(!leaf.empty());
   NETMAX_CHECK_EQ(data.feature_dim(), feature_dim_);
   const bool want_gradient = !gradient.empty();
   if (want_gradient) {
@@ -112,27 +120,24 @@ double LinearModel::LossAndGradient(const Dataset& data,
     netmax::linalg::Fill(gradient, 0.0);
   }
 
-  const size_t batch = batch_indices.size();
+  const size_t batch = leaf.size();
   const size_t d = static_cast<size_t>(feature_dim_);
   const size_t num_classes = static_cast<size_t>(num_classes_);
-  std::span<double> logits = ForwardBatch(data, batch_indices, workspace);
+  std::span<double> logits = ForwardBatch(data, leaf, workspace);
 
   double total_loss = 0.0;
   for (size_t s = 0; s < batch; ++s) {
     std::span<double> row = logits.subspan(s * num_classes, num_classes);
     SoftmaxInPlace(row);
-    total_loss +=
-        CrossEntropyFromProbabilities(row, data.label(batch_indices[s]));
+    total_loss += CrossEntropyFromProbabilities(row, data.label(leaf[s]));
   }
-  const double inv_batch = 1.0 / static_cast<double>(batch);
-  if (!want_gradient) return total_loss * inv_batch;
+  if (!want_gradient) return total_loss;
 
   // dL/dlogits in place (p - onehot), then one rank-1-update GEMM for the
   // weight gradient and column sums for the bias gradient, both accumulating
   // in batch order like the per-sample loop.
   for (size_t s = 0; s < batch; ++s) {
-    logits[s * num_classes +
-           static_cast<size_t>(data.label(batch_indices[s]))] -= 1.0;
+    logits[s * num_classes + static_cast<size_t>(data.label(leaf[s]))] -= 1.0;
   }
   const std::span<const double> x = workspace.Scratch(kSlotInput, batch * d);
   linalg::GemmAtBAccumulate(static_cast<int>(batch), num_classes_,
@@ -143,8 +148,7 @@ double LinearModel::LossAndGradient(const Dataset& data,
                             logits.data(), num_classes_,
                             gradient.data() +
                                 static_cast<size_t>(num_classes_) * d);
-  netmax::linalg::Scale(inv_batch, gradient);
-  return total_loss * inv_batch;
+  return total_loss;
 }
 
 int LinearModel::Predict(const Dataset& data, int index) const {

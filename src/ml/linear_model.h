@@ -28,9 +28,11 @@ class LinearModel : public Model {
   double LossAndGradient(const Dataset& data,
                          std::span<const int> batch_indices,
                          std::span<double> gradient) const override;
-  // Batched zero-allocation path: logits for the whole batch as one GEMM,
-  // gradient as rank-1 updates in batch order. Bit-identical to the
-  // per-sample formulation.
+  // Batched zero-allocation path: per gradient leaf (ml/sharding.h), logits
+  // as one GEMM and gradient as rank-1 updates in batch order; leaf partials
+  // combine by the fixed pairwise tree, making this serial call
+  // bit-identical to the sharded parallel evaluation. Within a leaf the
+  // summation order is the per-sample formulation's.
   double LossAndGradient(const Dataset& data,
                          std::span<const int> batch_indices,
                          std::span<double> gradient,
@@ -50,6 +52,13 @@ class LinearModel : public Model {
   std::span<double> ForwardBatch(const Dataset& data,
                                  std::span<const int> indices,
                                  TrainingWorkspace& workspace) const;
+
+  // Native unscaled leaf evaluation (accumulates into zero-filled
+  // `gradient`), plugged into the base class's EvalGradientLeaves loop.
+  double LeafLossAndGradientSums(const Dataset& data,
+                                 std::span<const int> leaf,
+                                 std::span<double> gradient,
+                                 TrainingWorkspace& workspace) const override;
 
   int feature_dim_;
   int num_classes_;

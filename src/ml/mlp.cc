@@ -7,6 +7,7 @@
 #include "linalg/blas.h"
 #include "linalg/vector_ops.h"
 #include "ml/linear_model.h"
+#include "ml/sharding.h"
 
 namespace netmax::ml {
 namespace {
@@ -113,7 +114,15 @@ double Mlp::LossAndGradient(const Dataset& data,
                             std::span<const int> batch_indices,
                             std::span<double> gradient,
                             TrainingWorkspace& workspace) const {
-  NETMAX_CHECK(!batch_indices.empty());
+  return ShardedLossAndGradient(*this, data, batch_indices, gradient,
+                                workspace, /*pool=*/nullptr, /*shards=*/1);
+}
+
+double Mlp::LeafLossAndGradientSums(const Dataset& data,
+                                    std::span<const int> leaf,
+                                    std::span<double> gradient,
+                                    TrainingWorkspace& workspace) const {
+  NETMAX_CHECK(!leaf.empty());
   NETMAX_CHECK_EQ(data.feature_dim(), layer_sizes_.front());
   const bool want_gradient = !gradient.empty();
   if (want_gradient) {
@@ -121,8 +130,8 @@ double Mlp::LossAndGradient(const Dataset& data,
     netmax::linalg::Fill(gradient, 0.0);
   }
 
-  const size_t batch = batch_indices.size();
-  std::span<double> logits = ForwardBatch(data, batch_indices, workspace);
+  const size_t batch = leaf.size();
+  std::span<double> logits = ForwardBatch(data, leaf, workspace);
   const size_t num_classes =
       static_cast<size_t>(layer_sizes_.back());
 
@@ -132,15 +141,13 @@ double Mlp::LossAndGradient(const Dataset& data,
   for (size_t s = 0; s < batch; ++s) {
     std::span<double> row = logits.subspan(s * num_classes, num_classes);
     SoftmaxInPlace(row);
-    total_loss +=
-        CrossEntropyFromProbabilities(row, data.label(batch_indices[s]));
+    total_loss += CrossEntropyFromProbabilities(row, data.label(leaf[s]));
   }
-  const double inv_batch = 1.0 / static_cast<double>(batch);
-  if (!want_gradient) return total_loss * inv_batch;
+  if (!want_gradient) return total_loss;
 
   // The probability matrix becomes the delta matrix: dL/dlogits = p - onehot.
   for (size_t s = 0; s < batch; ++s) {
-    const size_t label = static_cast<size_t>(data.label(batch_indices[s]));
+    const size_t label = static_cast<size_t>(data.label(leaf[s]));
     logits[s * num_classes + label] -= 1.0;
   }
 
@@ -180,8 +187,7 @@ double Mlp::LossAndGradient(const Dataset& data,
       delta = prev_delta;
     }
   }
-  netmax::linalg::Scale(inv_batch, gradient);
-  return total_loss * inv_batch;
+  return total_loss;
 }
 
 int Mlp::Predict(const Dataset& data, int index) const {

@@ -30,11 +30,13 @@ class Mlp : public Model {
   double LossAndGradient(const Dataset& data,
                          std::span<const int> batch_indices,
                          std::span<double> gradient) const override;
-  // Batched zero-allocation path: the whole batch moves through each layer as
-  // one matrix-matrix product (bias-seeded GemmBias against a transposed
-  // weight copy forward, GemmAtB/Gemm backward), with every buffer carved
-  // from `workspace`. Bit-identical to the per-sample formulation
-  // (ascending-index summation order throughout).
+  // Batched zero-allocation path: each gradient leaf (ml/sharding.h) moves
+  // through the layers as one matrix-matrix product (bias-seeded GemmBias
+  // against a transposed weight copy forward, GemmAtB/Gemm backward), with
+  // every buffer carved from `workspace`; leaf partials combine by the fixed
+  // pairwise tree, so this serial call is bit-identical to the sharded
+  // parallel evaluation at any shard/thread count. Within a leaf the
+  // summation order is the per-sample formulation's (ascending indices).
   double LossAndGradient(const Dataset& data,
                          std::span<const int> batch_indices,
                          std::span<double> gradient,
@@ -60,6 +62,13 @@ class Mlp : public Model {
   std::span<double> ForwardBatch(const Dataset& data,
                                  std::span<const int> indices,
                                  TrainingWorkspace& workspace) const;
+
+  // Native unscaled leaf evaluation (accumulates into zero-filled
+  // `gradient`), plugged into the base class's EvalGradientLeaves loop.
+  double LeafLossAndGradientSums(const Dataset& data,
+                                 std::span<const int> leaf,
+                                 std::span<double> gradient,
+                                 TrainingWorkspace& workspace) const override;
 
   std::vector<int> layer_sizes_;
   std::vector<size_t> layer_offsets_;  // start of each layer's block

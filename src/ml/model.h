@@ -14,6 +14,7 @@
 #include <string>
 
 #include "ml/dataset.h"
+#include "ml/sharding.h"
 #include "ml/workspace.h"
 
 namespace netmax::ml {
@@ -45,14 +46,48 @@ class Model {
   // Workspace overload: the zero-allocation batched hot path. Scratch memory
   // comes from `workspace` (grow-only, reused across batches), and results
   // are bit-identical to the workspace-free overload — implementations keep
-  // the same per-element summation order. The default forwards to the
-  // workspace-free overload for models that have not been batched yet.
+  // the same per-element summation order. The batched models define this
+  // overload through the fixed leaf decomposition of ml/sharding.h (per-leaf
+  // unscaled partials, pairwise tree reduction), which is what makes the
+  // sharded parallel evaluation bit-identical to this serial call. The
+  // default forwards to the workspace-free overload for models that have not
+  // been batched yet.
   virtual double LossAndGradient(const Dataset& data,
                                  std::span<const int> batch_indices,
                                  std::span<double> gradient,
                                  TrainingWorkspace& workspace) const {
     (void)workspace;
     return LossAndGradient(data, batch_indices, gradient);
+  }
+
+  // Shard-range entry point of the leaf decomposition (ml/sharding.h): for
+  // each leaf l in [leaf_begin, leaf_end) of GradientLeafRange(batch, l),
+  // writes the UNSCALED loss sum over the leaf's samples into
+  // loss_sums[l - leaf_begin] and, when `gradient_sums` is non-empty, the
+  // unscaled gradient sum into
+  //   gradient_sums.subspan((l - leaf_begin) * num_parameters(),
+  //                         num_parameters()).
+  // Pure with respect to the model and dataset (safe to run concurrently for
+  // disjoint output slices and distinct workspaces). Non-virtual by design:
+  // this slicing loop defines the bit-identity contract once for every
+  // model; per-model arithmetic plugs in via LeafLossAndGradientSums below.
+  void EvalGradientLeaves(const Dataset& data,
+                          std::span<const int> batch_indices, int leaf_begin,
+                          int leaf_end, std::span<double> loss_sums,
+                          std::span<double> gradient_sums,
+                          TrainingWorkspace& workspace) const {
+    const size_t width = static_cast<size_t>(num_parameters());
+    for (int l = leaf_begin; l < leaf_end; ++l) {
+      const LeafRange range = GradientLeafRange(batch_indices.size(), l);
+      const std::span<const int> leaf =
+          batch_indices.subspan(range.begin, range.size());
+      const size_t k = static_cast<size_t>(l - leaf_begin);
+      loss_sums[k] = LeafLossAndGradientSums(
+          data, leaf,
+          gradient_sums.empty() ? std::span<double>{}
+                                : gradient_sums.subspan(k * width, width),
+          workspace);
+    }
   }
 
   // Predicted class for example `index` of `data`.
@@ -77,6 +112,32 @@ class Model {
 
   // Deep copy (architecture + parameters).
   virtual std::unique_ptr<Model> Clone() const = 0;
+
+ protected:
+  // One leaf of EvalGradientLeaves: the unscaled loss sum over `leaf`, with
+  // the unscaled gradient sums written into `gradient` (size
+  // num_parameters(); empty = loss only). Like the overloads above,
+  // implementations may use only the workspace's double Scratch slots —
+  // ReduceScratch slots belong to the sharding driver and IntScratch slots
+  // to callers. The default evaluates the workspace-FREE LossAndGradient
+  // (whose scratch, the thread-local workspace, cannot alias the driver's
+  // live ReduceScratch partials) and rescales the leaf mean back to sums;
+  // that keeps every determinism guarantee — leaves are fixed regardless of
+  // shards/threads — but is bit-exact against the batched models' native
+  // sums only when the leaf size is a power of two. Models that route their
+  // workspace LossAndGradient through ShardedLossAndGradient MUST override
+  // this with a native unscaled evaluation (all batched models do), or the
+  // default's fallback re-enters the driver per leaf.
+  virtual double LeafLossAndGradientSums(const Dataset& data,
+                                         std::span<const int> leaf,
+                                         std::span<double> gradient,
+                                         TrainingWorkspace& workspace) const {
+    (void)workspace;  // the default deliberately uses thread-local scratch
+    const double mean_loss = LossAndGradient(data, leaf, gradient);
+    const double samples = static_cast<double>(leaf.size());
+    for (double& g : gradient) g *= samples;
+    return mean_loss * samples;
+  }
 };
 
 }  // namespace netmax::ml

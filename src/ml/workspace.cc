@@ -4,18 +4,27 @@
 
 namespace netmax::ml {
 
-std::span<double> TrainingWorkspace::Scratch(int slot, size_t size) {
+std::span<double> TrainingWorkspace::DoubleScratch(
+    std::vector<std::vector<double>>& family, int slot, size_t size) {
   NETMAX_CHECK_GE(slot, 0);
-  if (static_cast<size_t>(slot) >= slots_.size()) {
-    slots_.resize(static_cast<size_t>(slot) + 1);
+  if (static_cast<size_t>(slot) >= family.size()) {
+    family.resize(static_cast<size_t>(slot) + 1);
     ++growth_count_;
   }
-  std::vector<double>& buffer = slots_[static_cast<size_t>(slot)];
+  std::vector<double>& buffer = family[static_cast<size_t>(slot)];
   if (buffer.size() < size) {
     buffer.resize(size);
     ++growth_count_;
   }
   return {buffer.data(), size};
+}
+
+std::span<double> TrainingWorkspace::Scratch(int slot, size_t size) {
+  return DoubleScratch(slots_, slot, size);
+}
+
+std::span<double> TrainingWorkspace::ReduceScratch(int slot, size_t size) {
+  return DoubleScratch(reduce_slots_, slot, size);
 }
 
 std::span<int> TrainingWorkspace::IntScratch(int slot, size_t size) {
@@ -30,6 +39,29 @@ std::span<int> TrainingWorkspace::IntScratch(int slot, size_t size) {
     ++growth_count_;
   }
   return {buffer.data(), size};
+}
+
+TrainingWorkspace& TrainingWorkspace::ShardWorkspace(int shard) {
+  NETMAX_CHECK_GE(shard, 0);
+  if (static_cast<size_t>(shard) >= shard_children_.size()) {
+    shard_children_.resize(static_cast<size_t>(shard) + 1);
+    ++growth_count_;
+  }
+  std::unique_ptr<TrainingWorkspace>& child =
+      shard_children_[static_cast<size_t>(shard)];
+  if (child == nullptr) {
+    child = std::make_unique<TrainingWorkspace>();
+    ++growth_count_;
+  }
+  return *child;
+}
+
+int64_t TrainingWorkspace::growth_count() const {
+  int64_t total = growth_count_;
+  for (const auto& child : shard_children_) {
+    if (child != nullptr) total += child->growth_count();
+  }
+  return total;
 }
 
 TrainingWorkspace& ThreadLocalWorkspace() {

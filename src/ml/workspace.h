@@ -12,9 +12,14 @@
 // sizes the buffers, every later batch (same size or smaller) reuses them.
 //
 // Workspaces are not thread-safe; give each worker its own (see
-// core::WorkerRuntime) or use the per-thread fallback below.
+// core::WorkerRuntime) or use the per-thread fallback below. Intra-worker
+// gradient sharding (ml/sharding.h) evaluates one worker's batch on several
+// threads at once: shard task t borrows the grow-only child workspace
+// ShardWorkspace(t) — children are independent TrainingWorkspaces, so the
+// not-thread-safe rule holds per (child) workspace, not per worker.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -34,14 +39,31 @@ class TrainingWorkspace {
   // Same, for index buffers (batched Predict gathers).
   std::span<int> IntScratch(int slot, size_t size);
 
-  // Number of buffer growths (heap allocations) since construction. A
-  // steady-state training loop must keep this constant after its first batch;
-  // tests assert on it, and it is cheap enough to monitor in production.
-  int64_t growth_count() const { return growth_count_; }
+  // Same, for the sharding driver's per-leaf partial sums. A separate slot
+  // family from Scratch so the driver can hold loss/gradient partials in the
+  // workspace while a model eval running through the same workspace uses its
+  // own Scratch layout; models must never touch these slots.
+  std::span<double> ReduceScratch(int slot, size_t size);
+
+  // The child workspace backing concurrent shard task `shard` (>= 0).
+  // Children are created on first use and persist, so a steady-state sharded
+  // training loop reuses their buffers exactly like the parent's.
+  TrainingWorkspace& ShardWorkspace(int shard);
+
+  // Number of buffer growths (heap allocations) since construction,
+  // including in shard children. A steady-state training loop must keep this
+  // constant after its first batch; tests assert on it, and it is cheap
+  // enough to monitor in production.
+  int64_t growth_count() const;
 
  private:
+  std::span<double> DoubleScratch(std::vector<std::vector<double>>& family,
+                                  int slot, size_t size);
+
   std::vector<std::vector<double>> slots_;
   std::vector<std::vector<int>> int_slots_;
+  std::vector<std::vector<double>> reduce_slots_;
+  std::vector<std::unique_ptr<TrainingWorkspace>> shard_children_;
   int64_t growth_count_ = 0;
 };
 

@@ -68,7 +68,64 @@ void EventSimulator::ScheduleComputeAfter(double delay, int worker_key,
 
 void EventSimulator::NotifyStateWrite(int worker_key) {
   if (pending_speculations_ == 0) return;  // nothing to invalidate
-  dirty_keys_.insert(worker_key);
+  const auto redispatch = redispatches_.find(worker_key);
+  if (redispatch != redispatches_.end() && !redispatch->second->invalidated) {
+    // A second-pass recompute for this key is in flight (or done): finish it
+    // before the caller's write can race its reads, discard its value, and
+    // queue yet another re-dispatch — it will observe the caller's write
+    // once the current handler returns.
+    redispatch->second->done.wait();
+    redispatch->second->invalidated = true;
+    pending_redispatch_keys_.push_back(worker_key);
+    return;
+  }
+  if (!dirty_keys_.insert(worker_key).second) return;  // already dirty
+  // First invalidation of this key in the batch: if its speculated compute
+  // is still awaiting its turn, queue the second-pass re-dispatch (flushed
+  // after the current handler returns, so the recompute reads post-write
+  // state). Without a pending speculation the insert alone records the
+  // write.
+  if (pool_ != nullptr && FindSpeculatedEvent(worker_key) != nullptr) {
+    pending_redispatch_keys_.push_back(worker_key);
+  }
+}
+
+const EventSimulator::Event* EventSimulator::FindSpeculatedEvent(
+    int worker_key) const {
+  // Speculated events live in the frontier region near the back of the
+  // queue; scan from the dispatch end.
+  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+    if (it->speculated && it->worker_key == worker_key) return &*it;
+  }
+  return nullptr;
+}
+
+void EventSimulator::FlushRedispatches() {
+  if (pending_redispatch_keys_.empty()) return;
+  // Submit in (time, sequence) order of the invalidated events so the pool
+  // starts the earliest-committing recompute first.
+  std::vector<const Event*> targets;
+  targets.reserve(pending_redispatch_keys_.size());
+  for (const int key : pending_redispatch_keys_) {
+    const Event* event = FindSpeculatedEvent(key);
+    NETMAX_CHECK(event != nullptr) << "invalidated speculation vanished";
+    targets.push_back(event);
+  }
+  pending_redispatch_keys_.clear();
+  std::sort(targets.begin(), targets.end(),
+            [](const Event* a, const Event* b) {
+              return a->DispatchesBefore(*b);
+            });
+  for (const Event* event : targets) {
+    auto redispatch = std::make_unique<Redispatch>();
+    std::packaged_task<void()> task(
+        [compute = event->compute, result = redispatch.get()] {
+          result->value = compute();
+        });
+    redispatch->done = pool_->Submit(std::move(task));
+    ++computes_redispatched_;
+    redispatches_[event->worker_key] = std::move(redispatch);
+  }
 }
 
 bool EventSimulator::Step() {
@@ -80,21 +137,38 @@ bool EventSimulator::Step() {
   ++processed_;
   if (event.compute != nullptr) {
     double value;
-    if (event.speculated &&
-        dirty_keys_.find(event.worker_key) == dirty_keys_.end()) {
+    if (!event.speculated) {
+      value = event.compute();
+    } else if (dirty_keys_.find(event.worker_key) == dirty_keys_.end()) {
       // Sound speculation: no commit since the frontier formed wrote this
       // worker's compute-visible state, so the pooled result is exactly what
       // an inline run would produce now.
       value = event.speculative_value;
     } else {
-      if (event.speculated) ++computes_recomputed_;
-      value = event.compute();
+      // Invalidated speculation: its second-pass re-dispatch carries the
+      // value an inline recompute would produce (the key has not been
+      // written since the re-dispatch, or NotifyStateWrite would have
+      // invalidated and replaced it). The inline fallback only covers the
+      // defensive no-entry case and is expected to stay cold.
+      const auto redispatch = redispatches_.find(event.worker_key);
+      if (redispatch != redispatches_.end() &&
+          !redispatch->second->invalidated) {
+        redispatch->second->done.wait();
+        value = redispatch->second->value;
+      } else {
+        ++computes_recomputed_;
+        value = event.compute();
+      }
+      if (redispatch != redispatches_.end()) redispatches_.erase(redispatch);
     }
     if (event.speculated) --pending_speculations_;
     event.commit(value);
   } else {
     event.plain();
   }
+  // Handlers queue invalidated keys; the second speculation pass starts here,
+  // after the handler's writes are complete.
+  FlushRedispatches();
   return true;
 }
 
@@ -135,9 +209,11 @@ int64_t EventSimulator::ParallelDispatch() {
   // Phase 3 — ordered drain: apply events strictly in (time, sequence) order
   // until every speculation is consumed. Commits may schedule new events
   // (which run inline at their correct position, even before later frontier
-  // members) and may dirty keys via NotifyStateWrite (which downgrades the
-  // affected speculation to an inline recompute). Speculation state travels
-  // inside the Event objects, so queue shifts from new insertions are safe.
+  // members) and may dirty keys via NotifyStateWrite (which re-dispatches the
+  // affected speculation onto the pool for the second pass). Speculation
+  // state travels inside the Event objects, so queue shifts from new
+  // insertions are safe; re-dispatch results live outside the queue
+  // (redispatches_) because pooled writers need stable addresses.
   dirty_keys_.clear();
   pending_speculations_ = static_cast<int64_t>(frontier.size());
   int64_t count = 0;
@@ -146,6 +222,8 @@ int64_t EventSimulator::ParallelDispatch() {
     Step();
     ++count;
   }
+  NETMAX_CHECK(redispatches_.empty())
+      << "second-pass re-dispatch outlived its batch";
   return count;
 }
 

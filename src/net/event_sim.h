@@ -31,10 +31,23 @@
 // commits, and anything commits schedule in between — in exact (time,
 // sequence) order. Speculation is kept sound by write tracking: any callback
 // or commit that writes state some compute half might read MUST call
-// NotifyStateWrite(worker_key) for the owning key; a pending speculation on a
-// dirty key is discarded and its compute half re-runs inline at its true
-// position in the event order. Results are therefore bit-identical to the
-// serial dispatch (no pool attached) for any thread count.
+// NotifyStateWrite(worker_key) for the owning key, BEFORE performing the
+// write; a pending speculation on a dirty key is discarded. Results are
+// therefore bit-identical to the serial dispatch (no pool attached) for any
+// thread count.
+//
+// Discarded speculations are not recomputed inline: once the invalidating
+// handler returns, the stale compute halves are RE-DISPATCHED onto the pool
+// (a second speculation pass, submitted in (time, sequence) order of their
+// events), so the recompute overlaps the ordered drain of the remaining
+// events instead of stalling it. A re-dispatched compute reads its worker's
+// state as of the invalidating handler's completion; if no later handler
+// dirties the key again before the event's turn, that is exactly the state
+// an inline recompute would have read, so the value is used as-is. A second
+// NotifyStateWrite on the same key first waits for the in-flight re-dispatch
+// (keeping the notify-before-write contract race-free), discards its value,
+// and triggers another re-dispatch — invalidation any number of times deep
+// stays sound and ordered.
 //
 // One asymmetry to respect: a speculated compute half's scratch writes (the
 // worker's gradient buffer, workspace) land at frontier-formation time,
@@ -47,6 +60,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <future>
+#include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -91,12 +107,16 @@ class EventSimulator {
   void ScheduleComputeAfter(double delay, int worker_key, ComputeFn compute,
                             CommitFn commit);
 
-  // Declares that the caller (an event callback or commit half) writes state
-  // owned by `worker_key` that a compute half may read — model parameters,
-  // chiefly. Invalidates any not-yet-committed speculation for that key.
-  // Redundant calls (own key, keys without pending computes) are harmless;
-  // forgetting a call breaks parallel determinism, so write sites should
-  // over- rather than under-notify.
+  // Declares that the caller (an event callback or commit half) is ABOUT to
+  // write state owned by `worker_key` that a compute half may read — model
+  // parameters, chiefly; the call must precede the write. Invalidates any
+  // not-yet-committed speculation for that key (the compute half is
+  // re-dispatched onto the pool after the current handler returns) and, when
+  // a re-dispatched compute for the key is still in flight, blocks until it
+  // finishes so the caller's write cannot race its reads. Redundant calls
+  // (own key, keys without pending computes) are harmless; forgetting a call
+  // breaks parallel determinism, so write sites should over- rather than
+  // under-notify.
   void NotifyStateWrite(int worker_key);
 
   // Attaches the pool used for parallel compute dispatch; nullptr (default)
@@ -123,10 +143,15 @@ class EventSimulator {
   int64_t num_events_processed() const { return processed_; }
 
   // Diagnostics for tests/benches: frontier batches dispatched, compute
-  // halves executed on the pool, and speculations discarded because a
-  // NotifyStateWrite dirtied their key before their commit turn.
+  // halves executed on the pool in the first (frontier) pass, invalidated
+  // speculations re-dispatched onto the pool in the second pass (double
+  // invalidations re-count), and inline recomputes on the simulator thread —
+  // a defensive fallback that is unreachable in the current design (every
+  // invalidated pending speculation gets a re-dispatch entry), asserted to
+  // stay zero by the determinism tests.
   int64_t parallel_batches() const { return parallel_batches_; }
   int64_t computes_speculated() const { return computes_speculated_; }
+  int64_t computes_redispatched() const { return computes_redispatched_; }
   int64_t computes_recomputed() const { return computes_recomputed_; }
 
  private:
@@ -148,11 +173,28 @@ class EventSimulator {
     }
   };
 
+  // One invalidated compute half re-dispatched onto the pool for the second
+  // speculation pass. Heap-allocated so the pooled task's writes target a
+  // stable address while the event queue shifts under insertions; `done`
+  // orders those writes before any read of `value` (and before any state
+  // write by a second invalidator).
+  struct Redispatch {
+    double value = 0.0;
+    bool invalidated = false;  // a later write dirtied the key again
+    std::future<void> done;
+  };
+
   void Insert(Event event);
   // One frontier batch: speculate the frontier's compute halves on the pool,
   // then drain events in order until every speculation is consumed. Returns
   // the number of events processed.
   int64_t ParallelDispatch();
+  // Returns the pending speculated compute event for `worker_key`, or
+  // nullptr. At most one exists: frontier keys are pairwise distinct.
+  const Event* FindSpeculatedEvent(int worker_key) const;
+  // Submits the second-pass recomputes queued by NotifyStateWrite during the
+  // handler that just returned, in (time, sequence) order of their events.
+  void FlushRedispatches();
 
   double now_ = 0.0;
   int64_t next_sequence_ = 0;
@@ -167,9 +209,15 @@ class EventSimulator {
   // Per-dispatch speculation state (see ParallelDispatch).
   std::unordered_set<int> dirty_keys_;
   int64_t pending_speculations_ = 0;
+  // Second-pass state: keys whose speculation the current handler
+  // invalidated (flushed to the pool right after it returns) and the
+  // in-flight re-dispatches by key.
+  std::vector<int> pending_redispatch_keys_;
+  std::unordered_map<int, std::unique_ptr<Redispatch>> redispatches_;
 
   int64_t parallel_batches_ = 0;
   int64_t computes_speculated_ = 0;
+  int64_t computes_redispatched_ = 0;
   int64_t computes_recomputed_ = 0;
 };
 

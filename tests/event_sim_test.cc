@@ -169,7 +169,8 @@ TEST(ComputeEventTest, SameKeyEventsSeeEachOthersCommitsInOrder) {
 TEST(ComputeEventTest, NotifyStateWriteInvalidatesStaleSpeculation) {
   // Event A (earlier) commits a write into the state event B's compute
   // reads. Both are speculated in one frontier; B's speculation is stale and
-  // must be discarded and re-run inline after A's commit.
+  // must be discarded and re-dispatched onto the pool (second pass) after
+  // A's commit, observing A's write.
   ThreadPool pool(4);
   EventSimulator sim;
   sim.set_thread_pool(&pool);
@@ -187,7 +188,69 @@ TEST(ComputeEventTest, NotifyStateWriteInvalidatesStaleSpeculation) {
   sim.RunUntilIdle();
   EXPECT_DOUBLE_EQ(b_saw, 100.0);
   EXPECT_EQ(sim.computes_speculated(), 2);
-  EXPECT_EQ(sim.computes_recomputed(), 1);
+  EXPECT_EQ(sim.computes_redispatched(), 1);
+  EXPECT_EQ(sim.computes_recomputed(), 0);
+}
+
+TEST(ComputeEventTest, RedispatchedComputeInvalidatedAgainStaysOrdered) {
+  // Double invalidation: two earlier commits both write the state event D's
+  // compute reads. The first invalidation re-dispatches D's compute (reading
+  // the first write); the second invalidation must wait out that in-flight
+  // recompute, discard it, and re-dispatch again — D's commit sees exactly
+  // the value a serial run would produce, after the SECOND write.
+  ThreadPool pool(4);
+  EventSimulator sim;
+  sim.set_thread_pool(&pool);
+  double state = 1.0;  // owned by key 3
+  double d_saw = 0.0;
+  sim.ScheduleCompute(
+      1.0, /*worker_key=*/0, [] { return 0.0; },
+      [&](double) {
+        sim.NotifyStateWrite(3);
+        state = 10.0;
+      });
+  sim.ScheduleCompute(
+      2.0, /*worker_key=*/1, [] { return 0.0; },
+      [&](double) {
+        sim.NotifyStateWrite(3);
+        state = 20.0;
+      });
+  sim.ScheduleCompute(
+      3.0, /*worker_key=*/2, [] { return 0.0; }, [](double) {});
+  sim.ScheduleCompute(
+      4.0, /*worker_key=*/3, [&] { return state; },
+      [&](double value) { d_saw = value; });
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(d_saw, 20.0);
+  EXPECT_EQ(sim.computes_speculated(), 4);
+  EXPECT_EQ(sim.computes_redispatched(), 2);  // once per invalidation
+  EXPECT_EQ(sim.computes_recomputed(), 0);
+}
+
+TEST(ComputeEventTest, RedispatchWithinOneHandlerReadsPostHandlerState) {
+  // The notify-before-write contract: a commit notifies BOTH its writes
+  // before performing them, and the single re-dispatch (flushed after the
+  // handler returns) must observe both — not the state mid-handler.
+  ThreadPool pool(4);
+  EventSimulator sim;
+  sim.set_thread_pool(&pool);
+  double b_state = 1.0;  // owned by key 1
+  double b_saw = 0.0;
+  sim.ScheduleCompute(
+      1.0, /*worker_key=*/0, [] { return 0.0; },
+      [&](double) {
+        sim.NotifyStateWrite(1);
+        sim.NotifyStateWrite(1);  // duplicate notify in one handler
+        b_state = 5.0;
+        b_state += 2.0;
+      });
+  sim.ScheduleCompute(
+      2.0, /*worker_key=*/1, [&] { return b_state; },
+      [&](double value) { b_saw = value; });
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(b_saw, 7.0);
+  EXPECT_EQ(sim.computes_redispatched(), 1);  // deduplicated
+  EXPECT_EQ(sim.computes_recomputed(), 0);
 }
 
 TEST(ComputeEventTest, PlainEventsInterleaveAtExactPositions) {

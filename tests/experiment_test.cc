@@ -79,6 +79,42 @@ TEST(HarnessTest, InitValidatesConfig) {
     ExperimentHarness harness(config, "test");
     EXPECT_FALSE(harness.Init().ok());
   }
+  {
+    ExperimentConfig config = TinyConfig();
+    config.shards = -1;
+    ExperimentHarness harness(config, "test");
+    EXPECT_FALSE(harness.Init().ok());
+  }
+}
+
+TEST(HarnessTest, ShardsResolveFromThreadBudget) {
+  {
+    // Auto (0): one shard task per worker's share of the thread budget.
+    ExperimentConfig config = TinyConfig();  // 4 workers
+    config.threads = 8;
+    config.shards = 0;
+    ExperimentHarness harness(config, "test");
+    ASSERT_TRUE(harness.Init().ok());
+    EXPECT_EQ(harness.shards(), 2);  // ceil(8 / 4)
+  }
+  {
+    // Fewer threads than workers: auto stays unsharded.
+    ExperimentConfig config = TinyConfig();
+    config.threads = 2;
+    config.shards = 0;
+    ExperimentHarness harness(config, "test");
+    ASSERT_TRUE(harness.Init().ok());
+    EXPECT_EQ(harness.shards(), 1);
+  }
+  {
+    // Explicit values pass through untouched.
+    ExperimentConfig config = TinyConfig();
+    config.threads = 1;
+    config.shards = 5;
+    ExperimentHarness harness(config, "test");
+    ASSERT_TRUE(harness.Init().ok());
+    EXPECT_EQ(harness.shards(), 5);
+  }
 }
 
 TEST(HarnessTest, InitBuildsWorkersWithIdenticalReplicas) {

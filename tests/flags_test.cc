@@ -1,0 +1,51 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace netmax {
+namespace {
+
+TEST(ParseNonNegativeIntTest, AcceptsExactDecimalIntegers) {
+  int value = -1;
+  EXPECT_TRUE(ParseNonNegativeInt("0", &value));
+  EXPECT_EQ(value, 0);
+  EXPECT_TRUE(ParseNonNegativeInt("4", &value));
+  EXPECT_EQ(value, 4);
+  EXPECT_TRUE(ParseNonNegativeInt("128", &value));
+  EXPECT_EQ(value, 128);
+  EXPECT_TRUE(ParseNonNegativeInt("2147483647", &value));
+  EXPECT_EQ(value, 2147483647);
+  EXPECT_TRUE(ParseNonNegativeInt("007", &value));  // leading zeros are fine
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ParseNonNegativeIntTest, RejectsTrailingGarbage) {
+  // The atoi behavior this parser replaces: "4x" must NOT parse as 4.
+  int value = 42;
+  EXPECT_FALSE(ParseNonNegativeInt("4x", &value));
+  EXPECT_FALSE(ParseNonNegativeInt("4 ", &value));
+  EXPECT_FALSE(ParseNonNegativeInt("4.0", &value));
+  EXPECT_FALSE(ParseNonNegativeInt("4,5", &value));
+  EXPECT_EQ(value, 42) << "failed parses must leave the value untouched";
+}
+
+TEST(ParseNonNegativeIntTest, RejectsNonNumbers) {
+  int value = 42;
+  EXPECT_FALSE(ParseNonNegativeInt("", &value));
+  EXPECT_FALSE(ParseNonNegativeInt("x4", &value));
+  EXPECT_FALSE(ParseNonNegativeInt(" 4", &value));
+  EXPECT_FALSE(ParseNonNegativeInt("-1", &value));
+  EXPECT_FALSE(ParseNonNegativeInt("+1", &value));
+  EXPECT_FALSE(ParseNonNegativeInt("threads", &value));
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ParseNonNegativeIntTest, RejectsIntOverflow) {
+  int value = 42;
+  EXPECT_FALSE(ParseNonNegativeInt("2147483648", &value));  // INT_MAX + 1
+  EXPECT_FALSE(ParseNonNegativeInt("99999999999999999999", &value));
+  EXPECT_EQ(value, 42);
+}
+
+}  // namespace
+}  // namespace netmax

@@ -1,8 +1,10 @@
 // Parallel-runtime determinism: for every registered algorithm the full
 // RunResult — loss series, cost breakdown, consensus distance, accuracy —
 // must be bit-identical between the serial dispatch (threads=1) and the
-// pooled two-phase dispatch (threads=8). This is the contract that lets the
-// benches and golden tests run at any thread count.
+// pooled two-phase dispatch (threads=8), and across every intra-worker
+// shard count (the gradient is defined over a fixed leaf decomposition and
+// tree reduction, ml/sharding.h). This is the contract that lets the benches
+// and golden tests run at any {threads, shards} point.
 
 #include <string>
 
@@ -40,9 +42,11 @@ ExperimentConfig BaseConfig() {
 }
 
 RunResult RunWithThreads(const std::string& name,
-                         const ExperimentConfig& base, int threads) {
+                         const ExperimentConfig& base, int threads,
+                         int shards = 1) {
   ExperimentConfig config = base;
   config.threads = threads;
+  config.shards = shards;
   auto algorithm = algos::MakeAlgorithm(name);
   NETMAX_CHECK_OK(algorithm.status());
   auto result = (*algorithm)->Run(config);
@@ -84,6 +88,24 @@ TEST_P(ParallelDeterminism, SerialAndEightThreadsBitIdentical) {
   ExpectBitIdentical(serial, parallel);
 }
 
+TEST_P(ParallelDeterminism, ThreadShardGridBitIdentical) {
+  // The full {threads, shards} grid against the fully serial unsharded
+  // reference. batch 48 = six gradient leaves, so shards=2 and shards=5
+  // produce genuinely different task splits (2+5 never divides 6 evenly:
+  // uneven contiguous leaf ranges are exercised too).
+  ExperimentConfig config = BaseConfig();
+  config.batch_size = 48;
+  const RunResult reference = RunWithThreads(GetParam(), config, 1, 1);
+  for (const int threads : {1, 8}) {
+    for (const int shards : {1, 2, 5}) {
+      if (threads == 1 && shards == 1) continue;
+      const RunResult run = RunWithThreads(GetParam(), config, threads,
+                                           shards);
+      ExpectBitIdentical(reference, run);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ParallelDeterminism,
                          ::testing::ValuesIn(algos::AlgorithmNames()));
 
@@ -110,11 +132,20 @@ TEST(ParallelDeterminismTest, ParallelRunsActuallySpeculate) {
     EXPECT_EQ(serial.computes_speculated, 0) << name;
     EXPECT_GT(parallel.parallel_batches, 0) << name;
     EXPECT_GT(parallel.computes_speculated, 0) << name;
-    // Invalidations are expected (consensus commits dirty their peers) but
-    // must stay a subset of what was speculated.
-    EXPECT_LE(parallel.computes_recomputed, parallel.computes_speculated)
-        << name;
+    // Invalidations are expected (consensus commits dirty their peers), but
+    // every one must resolve through the second-pass re-dispatch — the
+    // inline fallback is defensive only.
+    EXPECT_EQ(parallel.computes_recomputed, 0) << name;
   }
+}
+
+TEST(ParallelDeterminismTest, ConsensusInvalidationsAreRedispatched) {
+  // NetMax's symmetric consensus dirties the pulled peer, whose compute is
+  // usually speculated: the run must actually exercise the second pass.
+  const ExperimentConfig config = BaseConfig();
+  const RunResult parallel = RunWithThreads("netmax", config, 8);
+  EXPECT_GT(parallel.computes_redispatched, 0);
+  EXPECT_EQ(parallel.computes_recomputed, 0);
 }
 
 TEST(ParallelDeterminismTest, ThreadCountsAgreeAmongThemselves) {

@@ -1,0 +1,231 @@
+// Intra-worker gradient sharding (ml/sharding.h): the leaf geometry is a
+// fixed function of the batch size, and ShardedLossAndGradient returns the
+// exact same bits — loss and every gradient coordinate — for any (pool,
+// shards) combination, because sharding only changes which task evaluates a
+// leaf, never the summation shape.
+
+#include "ml/sharding.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "ml/conv_net.h"
+#include "ml/dataset.h"
+#include "ml/linear_model.h"
+#include "ml/mlp.h"
+#include "ml/model.h"
+#include "ml/workspace.h"
+
+namespace netmax::ml {
+namespace {
+
+Dataset RandomDataset(int feature_dim, int num_classes, int count,
+                      uint64_t seed) {
+  SyntheticSpec spec;
+  spec.feature_dim = feature_dim;
+  spec.num_classes = num_classes;
+  spec.num_train = count;
+  spec.num_test = 1;
+  spec.seed = seed;
+  return GenerateSynthetic(spec).train;
+}
+
+std::vector<int> RandomBatch(int batch, int dataset_size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> indices(static_cast<size_t>(batch));
+  for (int& v : indices) {
+    v = static_cast<int>(rng.UniformInt(0, dataset_size - 1));
+  }
+  return indices;
+}
+
+TEST(ShardingGeometryTest, LeafCountAndRangesAreFixedChunks) {
+  EXPECT_EQ(GradientLeafCount(1), 1);
+  EXPECT_EQ(GradientLeafCount(kGradientLeafSamples), 1);
+  EXPECT_EQ(GradientLeafCount(kGradientLeafSamples + 1), 2);
+  EXPECT_EQ(GradientLeafCount(4 * kGradientLeafSamples), 4);
+
+  const size_t batch = 3 * kGradientLeafSamples + 2;
+  ASSERT_EQ(GradientLeafCount(batch), 4);
+  size_t covered = 0;
+  for (int l = 0; l < 4; ++l) {
+    const LeafRange range = GradientLeafRange(batch, l);
+    EXPECT_EQ(range.begin, covered) << "leaf " << l;
+    EXPECT_GT(range.size(), 0u) << "leaf " << l;
+    EXPECT_LE(range.size(), kGradientLeafSamples) << "leaf " << l;
+    covered = range.end;
+  }
+  EXPECT_EQ(covered, batch);  // leaves tile the batch exactly
+  EXPECT_EQ(GradientLeafRange(batch, 3).size(), 2u);  // remainder leaf
+}
+
+// Runs the serial reference and every (pool_threads, shards) variant on the
+// same model/batch and demands exact equality.
+void ExpectShardingInvariant(const Model& model, const Dataset& data,
+                             std::span<const int> batch) {
+  const size_t width = static_cast<size_t>(model.num_parameters());
+  TrainingWorkspace reference_workspace;
+  std::vector<double> reference_gradient(width);
+  const double reference_loss =
+      model.LossAndGradient(data, batch, reference_gradient,
+                            reference_workspace);
+
+  for (const int pool_threads : {1, 3}) {
+    ThreadPool pool(pool_threads);
+    for (const int shards : {1, 2, 3, 5, 100}) {
+      TrainingWorkspace workspace;
+      std::vector<double> gradient(width);
+      const double loss = ShardedLossAndGradient(
+          model, data, batch, gradient, workspace, &pool, shards);
+      EXPECT_EQ(loss, reference_loss)
+          << model.name() << " pool=" << pool_threads
+          << " shards=" << shards;
+      for (size_t i = 0; i < width; ++i) {
+        ASSERT_EQ(gradient[i], reference_gradient[i])
+            << model.name() << " pool=" << pool_threads
+            << " shards=" << shards << " coordinate " << i;
+      }
+      // Loss-only mode reproduces the same loss bits too.
+      const double loss_only = ShardedLossAndGradient(
+          model, data, batch, {}, workspace, &pool, shards);
+      EXPECT_EQ(loss_only, reference_loss);
+    }
+  }
+}
+
+TEST(ShardedLossAndGradientTest, MlpBitIdenticalAcrossPoolAndShardCounts) {
+  Dataset data = RandomDataset(12, 5, 96, 11);
+  Mlp model({12, 16, 5});
+  model.InitializeParameters(13);
+  // Uneven tail leaf (35 = 4*8 + 3) and an exact multiple.
+  for (const int batch_size : {5, 32, 35}) {
+    ExpectShardingInvariant(model, data,
+                            RandomBatch(batch_size, 96, 17 + batch_size));
+  }
+}
+
+TEST(ShardedLossAndGradientTest, ConvNetBitIdenticalAcrossPoolAndShardCounts) {
+  Dataset data = RandomDataset(20, 4, 96, 19);
+  ConvNet model(20, 6, 5, 4);
+  model.InitializeParameters(23);
+  for (const int batch_size : {8, 33}) {
+    ExpectShardingInvariant(model, data,
+                            RandomBatch(batch_size, 96, 29 + batch_size));
+  }
+}
+
+TEST(ShardedLossAndGradientTest, LinearBitIdenticalAcrossPoolAndShardCounts) {
+  Dataset data = RandomDataset(10, 3, 96, 31);
+  LinearModel model(10, 3);
+  model.InitializeParameters(37);
+  ExpectShardingInvariant(model, data, RandomBatch(40, 96, 41));
+}
+
+TEST(ShardedLossAndGradientTest, SingleLeafBatchMatchesWholeBatchPath) {
+  // A batch no larger than one leaf degenerates to exactly one unsharded
+  // evaluation: the tree is trivial, so this pins the pre-sharding
+  // arithmetic for small batches.
+  Dataset data = RandomDataset(8, 3, 64, 43);
+  Mlp model({8, 6, 3});
+  model.InitializeParameters(47);
+  const std::vector<int> batch =
+      RandomBatch(static_cast<int>(kGradientLeafSamples), 64, 53);
+
+  TrainingWorkspace workspace;
+  std::vector<double> sums(static_cast<size_t>(model.num_parameters()));
+  std::vector<double> loss_sum(1);
+  model.EvalGradientLeaves(data, batch, 0, 1, loss_sum, sums, workspace);
+
+  std::vector<double> gradient(sums.size());
+  const double loss =
+      model.LossAndGradient(data, batch, gradient, workspace);
+  const double inv = 1.0 / static_cast<double>(batch.size());
+  EXPECT_EQ(loss, loss_sum[0] * inv);
+  for (size_t i = 0; i < sums.size(); ++i) {
+    EXPECT_EQ(gradient[i], sums[i] * inv);
+  }
+}
+
+// A model implementing only the workspace-free LossAndGradient: exercises
+// the default EvalGradientLeaves (per-leaf mean rescaled to sums), which
+// must still be deterministic across every shard/pool combination.
+class NaiveOnlyModel : public Model {
+ public:
+  NaiveOnlyModel() : inner_(6, 3) {}
+  std::string name() const override { return "naive-only"; }
+  int num_parameters() const override { return inner_.num_parameters(); }
+  std::span<double> parameters() override { return inner_.parameters(); }
+  std::span<const double> parameters() const override {
+    return inner_.parameters();
+  }
+  void InitializeParameters(uint64_t seed) override {
+    inner_.InitializeParameters(seed);
+  }
+  double LossAndGradient(const Dataset& data,
+                         std::span<const int> batch_indices,
+                         std::span<double> gradient) const override {
+    return inner_.LossAndGradient(data, batch_indices, gradient);
+  }
+  int Predict(const Dataset& data, int index) const override {
+    return inner_.Predict(data, index);
+  }
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<NaiveOnlyModel>(*this);
+  }
+
+ private:
+  LinearModel inner_;
+};
+
+TEST(ShardedLossAndGradientTest, DefaultLeafFallbackIsDeterministic) {
+  Dataset data = RandomDataset(6, 3, 64, 59);
+  NaiveOnlyModel model;
+  model.InitializeParameters(61);
+  const std::vector<int> batch = RandomBatch(20, 64, 67);
+  const size_t width = static_cast<size_t>(model.num_parameters());
+
+  TrainingWorkspace serial_workspace;
+  std::vector<double> serial_gradient(width);
+  const double serial_loss = ShardedLossAndGradient(
+      model, data, batch, serial_gradient, serial_workspace,
+      /*pool=*/nullptr, /*shards=*/1);
+
+  ThreadPool pool(2);
+  for (const int shards : {2, 3}) {
+    TrainingWorkspace workspace;
+    std::vector<double> gradient(width);
+    const double loss = ShardedLossAndGradient(model, data, batch, gradient,
+                                               workspace, &pool, shards);
+    EXPECT_EQ(loss, serial_loss);
+    for (size_t i = 0; i < width; ++i) {
+      EXPECT_EQ(gradient[i], serial_gradient[i]) << i;
+    }
+  }
+}
+
+TEST(ShardedLossAndGradientTest, ShardedSteadyStateIsAllocationFree) {
+  // After the first sharded batch sized the parent, reduce, and child-shard
+  // buffers, later batches of the same size must not grow anything.
+  Dataset data = RandomDataset(12, 5, 96, 71);
+  Mlp model({12, 16, 5});
+  model.InitializeParameters(73);
+  const std::vector<int> batch = RandomBatch(32, 96, 79);
+  ThreadPool pool(3);
+  TrainingWorkspace workspace;
+  std::vector<double> gradient(static_cast<size_t>(model.num_parameters()));
+
+  ShardedLossAndGradient(model, data, batch, gradient, workspace, &pool, 4);
+  const int64_t after_first = workspace.growth_count();
+  EXPECT_GT(after_first, 0);
+  for (int i = 0; i < 5; ++i) {
+    ShardedLossAndGradient(model, data, batch, gradient, workspace, &pool, 4);
+  }
+  EXPECT_EQ(workspace.growth_count(), after_first);
+}
+
+}  // namespace
+}  // namespace netmax::ml

@@ -118,6 +118,40 @@ TEST(ParallelForTest, IndexOverloadWithMoreIndicesThanThreads) {
   EXPECT_EQ(sum.load(), 999 * 1000 / 2);
 }
 
+TEST(ParallelForTest, NestsOnTheSamePool) {
+  // The sharded-gradient pattern: outer ParallelFor tasks (frontier compute
+  // halves) each run an inner ParallelFor on the SAME pool. Caller
+  // participation must keep every level live even with far more outer tasks
+  // than threads.
+  ThreadPool pool(3);
+  constexpr int kOuter = 16;
+  constexpr int kInner = 32;
+  std::vector<std::atomic<int64_t>> sums(kOuter);
+  ParallelFor(pool, kOuter, [&pool, &sums](int outer) {
+    ParallelFor(pool, kInner, [&sums, outer](int inner) {
+      sums[static_cast<size_t>(outer)].fetch_add(inner + 1);
+    });
+  });
+  for (int outer = 0; outer < kOuter; ++outer) {
+    EXPECT_EQ(sums[static_cast<size_t>(outer)].load(),
+              kInner * (kInner + 1) / 2)
+        << outer;
+  }
+}
+
+TEST(ParallelForTest, NestsTwoLevelsDeepOnOneThread) {
+  // Degenerate pool: a single worker thread plus caller participation must
+  // still finish doubly nested loops (pure progress, no deadlock).
+  ThreadPool pool(1);
+  std::atomic<int64_t> total{0};
+  ParallelFor(pool, 4, [&pool, &total](int) {
+    ParallelFor(pool, 4, [&pool, &total](int) {
+      ParallelFor(pool, 4, [&total](int) { total.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
 TEST(SubmitWaitableTest, FutureResolvesAfterTaskRuns) {
   ThreadPool pool(2);
   std::atomic<bool> ran{false};

@@ -99,13 +99,47 @@ TEST(TrainingWorkspaceTest, SlotsAreIndependent) {
   std::span<double> a = workspace.Scratch(0, 16);
   std::span<double> b = workspace.Scratch(3, 16);
   std::span<int> c = workspace.IntScratch(0, 16);
+  std::span<double> r = workspace.ReduceScratch(0, 16);
   EXPECT_NE(a.data(), b.data());
+  EXPECT_NE(a.data(), r.data());
   a[0] = 1.0;
   b[0] = 2.0;
   c[0] = 3;
+  r[0] = 4.0;
   EXPECT_EQ(workspace.Scratch(0, 16)[0], 1.0);
   EXPECT_EQ(workspace.Scratch(3, 16)[0], 2.0);
   EXPECT_EQ(workspace.IntScratch(0, 16)[0], 3);
+  EXPECT_EQ(workspace.ReduceScratch(0, 16)[0], 4.0);
+}
+
+TEST(TrainingWorkspaceTest, ShardChildrenArePersistentAndIndependent) {
+  TrainingWorkspace workspace;
+  TrainingWorkspace& first = workspace.ShardWorkspace(0);
+  TrainingWorkspace& second = workspace.ShardWorkspace(1);
+  EXPECT_NE(&first, &second);
+  EXPECT_NE(&first, &workspace);
+  // Children persist: the same object comes back, with its buffers.
+  first.Scratch(0, 8)[0] = 5.0;
+  workspace.Scratch(0, 8)[0] = 6.0;
+  EXPECT_EQ(&workspace.ShardWorkspace(0), &first);
+  EXPECT_EQ(workspace.ShardWorkspace(0).Scratch(0, 8)[0], 5.0);
+  EXPECT_EQ(workspace.Scratch(0, 8)[0], 6.0);
+}
+
+TEST(TrainingWorkspaceTest, GrowthCountIncludesShardChildren) {
+  TrainingWorkspace workspace;
+  workspace.Scratch(0, 8);
+  const int64_t before_children = workspace.growth_count();
+  TrainingWorkspace& child = workspace.ShardWorkspace(0);
+  const int64_t after_child = workspace.growth_count();
+  EXPECT_GT(after_child, before_children);  // child creation is a growth
+  child.Scratch(0, 64);
+  EXPECT_GT(workspace.growth_count(), after_child);
+  // Steady state across parent + child: no further growth.
+  const int64_t steady = workspace.growth_count();
+  workspace.Scratch(0, 8);
+  workspace.ShardWorkspace(0).Scratch(0, 64);
+  EXPECT_EQ(workspace.growth_count(), steady);
 }
 
 // The tentpole contract: steady-state batches allocate nothing, for every
