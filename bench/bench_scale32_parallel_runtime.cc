@@ -1,14 +1,16 @@
 // Scaling headroom demo for the parallel simulation runtime: a 32-worker
 // heterogeneous-dynamic scenario (8 servers, dynamic slow links) training a
-// wider MLP than the paper-scale benches. Each algorithm runs three times
-// over the identical experiment — serial dispatch (threads=1), the pooled
-// two-phase compute/commit dispatch, and the pooled dispatch with
-// intra-worker gradient sharding — and the bench reports real wall-clock for
-// all three plus the speculation/re-dispatch efficiency, after verifying the
-// runs are bit-identical. Virtual-time results never depend on the thread or
-// shard count; only the real seconds columns do (expect ~1x on a single-core
-// machine; on real multi-core hardware the pooled run scales with cores up
-// to the worker count and the sharded run scales past it).
+// wider MLP than the paper-scale benches. Each algorithm runs the identical
+// experiment through all three execution backends — serial dispatch
+// (threads=1), the pooled speculative frontier dispatch with intra-worker
+// gradient sharding, and the async bounded-reorder commit pipeline — and the
+// bench reports real wall-clock for all three plus the speculation /
+// re-dispatch / window-health counters, after verifying the runs are
+// bit-identical. Virtual-time results never depend on the backend, thread,
+// shard, or window choice; only the real seconds columns do (expect ~1x on a
+// single-core machine; on real multi-core hardware the pooled backends scale
+// with cores, and the async pipeline additionally stops paying the frontier
+// barrier when per-worker compute times diverge).
 
 #include <algorithm>
 #include <chrono>
@@ -21,6 +23,7 @@
 #include "bench/bench_util.h"
 #include "common/logging.h"
 #include "common/table.h"
+#include "core/execution_backend.h"
 
 namespace netmax {
 namespace {
@@ -43,10 +46,13 @@ struct TimedRun {
 };
 
 TimedRun RunWith(const std::string& name, const core::ExperimentConfig& base,
-                 int threads, int shards) {
+                 int threads, int shards, core::ExecutionBackendKind backend,
+                 int reorder_window) {
   core::ExperimentConfig config = base;
   config.threads = threads;
   config.shards = shards;
+  config.backend = backend;
+  config.reorder_window = reorder_window;
   auto algorithm = algos::MakeAlgorithm(name);
   NETMAX_CHECK(algorithm.ok()) << algorithm.status();
   const auto start = std::chrono::steady_clock::now();
@@ -73,46 +79,60 @@ void CheckBitIdentical(const std::string& name, const core::RunResult& a,
 void Run() {
   core::ExperimentConfig config = Scale32Config();
   bench::MaybeApplySmoke(config);
-  // --threads=N pins the parallel legs; otherwise one thread per hardware
-  // core, floored at 2 so the pooled dispatch is exercised (and measured
-  // honestly) even on a single-core machine. --shards=N pins the sharded
-  // leg's shard bound (default 4 = the leaf count of the batch-32 scenario,
-  // the maximum nested parallelism available per worker).
+  // --threads=N pins the pooled legs; otherwise one thread per hardware
+  // core, floored at 2 so the pooled backends are exercised (and measured
+  // honestly) even on a single-core machine. --shards=N pins both pooled
+  // legs' shard bound (default 4 = the leaf count of the batch-32 scenario,
+  // the maximum nested parallelism available per worker), and
+  // --reorder-window=N pins the async leg's window (default 2x the thread
+  // budget: enough slack that a straggling compute never idles the pool).
   const unsigned hw = std::thread::hardware_concurrency();
   const int parallel_threads = bench::ThreadsOverride() > 0
                                    ? bench::ThreadsOverride()
                                    : std::max(2, static_cast<int>(hw));
-  // >= 0 so an explicit --shards=0 keeps its documented meaning (harness
-  // auto resolution) instead of being silently pinned to 4.
+  // >= 0 so an explicit --shards=0 / --reorder-window=0 keeps its documented
+  // meaning (harness auto resolution / synchronous window) instead of being
+  // silently pinned to the bench default.
   const int sharded_shards =
       bench::ShardsOverride() >= 0 ? bench::ShardsOverride() : 4;
+  const int reorder_window = bench::ReorderWindowOverride() >= 0
+                                 ? bench::ReorderWindowOverride()
+                                 : 2 * parallel_threads;
 
   TablePrinter table({"algorithm", "virtual_s", "serial_wall_s",
-                      "parallel_wall_s", "sharded_wall_s", "speedup",
-                      "sharded_speedup", "speculated", "redispatched"});
+                      "speculative_wall_s", "async_wall_s", "spec_speedup",
+                      "async_speedup", "speculated", "redispatched", "stalls",
+                      "backpressure"});
   for (const std::string name : {"netmax", "adpsgd", "allreduce", "gossip"}) {
-    const TimedRun serial = RunWith(name, config, /*threads=*/1, /*shards=*/1);
-    const TimedRun parallel =
-        RunWith(name, config, parallel_threads, /*shards=*/1);
-    const TimedRun sharded =
-        RunWith(name, config, parallel_threads, sharded_shards);
-    CheckBitIdentical(name, serial.result, parallel.result);
-    CheckBitIdentical(name, serial.result, sharded.result);
+    const TimedRun serial =
+        RunWith(name, config, /*threads=*/1, /*shards=*/1,
+                core::ExecutionBackendKind::kSerial, /*reorder_window=*/0);
+    const TimedRun speculative =
+        RunWith(name, config, parallel_threads, sharded_shards,
+                core::ExecutionBackendKind::kSpeculative,
+                /*reorder_window=*/0);
+    const TimedRun async =
+        RunWith(name, config, parallel_threads, sharded_shards,
+                core::ExecutionBackendKind::kAsyncPipeline, reorder_window);
+    CheckBitIdentical(name, serial.result, speculative.result);
+    CheckBitIdentical(name, serial.result, async.result);
     const auto speedup = [&serial](double wall) {
       return wall > 0.0 ? serial.wall_seconds / wall : 0.0;
     };
     table.AddRow(
         {serial.result.algorithm,
          Fmt(serial.result.total_virtual_seconds, 1),
-         Fmt(serial.wall_seconds, 3), Fmt(parallel.wall_seconds, 3),
-         Fmt(sharded.wall_seconds, 3), Fmt(speedup(parallel.wall_seconds), 2),
-         Fmt(speedup(sharded.wall_seconds), 2),
-         std::to_string(sharded.result.computes_speculated),
-         std::to_string(sharded.result.computes_redispatched)});
+         Fmt(serial.wall_seconds, 3), Fmt(speculative.wall_seconds, 3),
+         Fmt(async.wall_seconds, 3), Fmt(speedup(speculative.wall_seconds), 2),
+         Fmt(speedup(async.wall_seconds), 2),
+         std::to_string(async.result.computes_speculated),
+         std::to_string(async.result.computes_redispatched),
+         std::to_string(async.result.window_stalls),
+         std::to_string(async.result.window_backpressure)});
   }
   std::cout << "\n== Scale-32 parallel runtime (32 workers, hidden=96; "
-               "serial vs pooled vs pooled+sharded dispatch; results "
-               "verified bit-identical) ==\n";
+               "serial vs speculative+sharded vs async reorder-window "
+               "backends; results verified bit-identical) ==\n";
   table.Print(std::cout);
   table.PrintCsv(std::cout, "Scale-32 parallel runtime");
 }

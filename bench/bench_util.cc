@@ -24,14 +24,30 @@ int BenchThreads() {
 bool smoke_mode = false;
 int threads_override = -1;
 int shards_override = -1;
+bool backend_override_set = false;
+core::ExecutionBackendKind backend_override =
+    core::ExecutionBackendKind::kSpeculative;
+int reorder_window_override = -1;
 
 void PrintUsage(std::ostream& os, const char* binary) {
-  os << "usage: " << binary << " [--smoke] [--threads=N] [--shards=N]\n"
-     << "  --smoke      reduced iterations / corpus (CI smoke run)\n"
-     << "  --threads=N  per-run simulation threads (0 = one per core, 1 = "
-        "serial; results are bit-identical)\n"
-     << "  --shards=N   intra-worker gradient shard tasks (0 = auto from the "
-        "thread budget; results are bit-identical)\n";
+  os << "usage: " << binary
+     << " [--smoke] [--threads=N] [--shards=N] [--backend=K]"
+        " [--reorder-window=N]\n"
+     << "  --smoke              reduced iterations / corpus (CI smoke run)\n"
+     << "  --threads=N          per-run simulation threads (0 = one per "
+        "core, 1 = serial; results are bit-identical)\n"
+     << "  --shards=N           intra-worker gradient shard tasks (0 = auto "
+        "from the thread budget; results are bit-identical)\n"
+     << "  --backend=K          execution backend: serial | speculative | "
+        "async (results are bit-identical)\n"
+     << "  --reorder-window=N   async backend in-flight compute bound "
+        "(0 = synchronous; results are bit-identical)\n"
+     << "environment overrides (a flag beats its variable):\n"
+     << "  NETMAX_SMOKE=1            same as --smoke\n"
+     << "  NETMAX_THREADS=N          same as --threads=N\n"
+     << "  NETMAX_SHARDS=N           same as --shards=N\n"
+     << "  NETMAX_BACKEND=K          same as --backend=K\n"
+     << "  NETMAX_REORDER_WINDOW=N   same as --reorder-window=N\n";
 }
 
 // Strict value parse for "--flag=N" style flags and their environment
@@ -48,6 +64,21 @@ int ParseFlagValueOrDie(const char* binary, const std::string& flag_text,
   return parsed;
 }
 
+// Strict value parse for "--backend=K" and NETMAX_BACKEND: anything but a
+// known backend name is a usage error.
+core::ExecutionBackendKind ParseBackendOrDie(const char* binary,
+                                             const std::string& flag_text,
+                                             std::string_view value) {
+  core::ExecutionBackendKind kind;
+  if (!core::ParseExecutionBackendKind(value, &kind)) {
+    std::cerr << "bad flag value: " << flag_text
+              << " (expected serial, speculative, or async)\n";
+    PrintUsage(std::cerr, binary);
+    std::exit(2);
+  }
+  return kind;
+}
+
 // Splits the machine between `concurrent_runs` simultaneous experiments:
 // every run gets an equal share of the cores for its own compute-event pool
 // (at least one). Applied only when the config asks for the automatic
@@ -57,13 +88,18 @@ int PerRunThreads(size_t concurrent_runs) {
                                                            concurrent_runs)));
 }
 
-void ApplyThreads(core::ExperimentConfig& config, size_t concurrent_runs) {
+void ApplyExecutionOverrides(core::ExperimentConfig& config,
+                             size_t concurrent_runs) {
   if (threads_override >= 0) {
     config.threads = threads_override;
   } else if (config.threads == 0) {
     config.threads = PerRunThreads(concurrent_runs);
   }
   if (shards_override >= 0) config.shards = shards_override;
+  if (backend_override_set) config.backend = backend_override;
+  if (reorder_window_override >= 0) {
+    config.reorder_window = reorder_window_override;
+  }
 }
 
 }  // namespace
@@ -84,6 +120,18 @@ void InitBench(int argc, char** argv) {
     shards_override = ParseFlagValueOrDie(
         binary, std::string("NETMAX_SHARDS=") + env_shards, env_shards);
   }
+  const char* env_backend = std::getenv("NETMAX_BACKEND");
+  if (env_backend != nullptr) {
+    backend_override = ParseBackendOrDie(
+        binary, std::string("NETMAX_BACKEND=") + env_backend, env_backend);
+    backend_override_set = true;
+  }
+  const char* env_window = std::getenv("NETMAX_REORDER_WINDOW");
+  if (env_window != nullptr) {
+    reorder_window_override = ParseFlagValueOrDie(
+        binary, std::string("NETMAX_REORDER_WINDOW=") + env_window,
+        env_window);
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -94,6 +142,13 @@ void InitBench(int argc, char** argv) {
     } else if (arg.rfind("--shards=", 0) == 0) {
       shards_override =
           ParseFlagValueOrDie(binary, arg, std::string_view(arg).substr(9));
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      backend_override =
+          ParseBackendOrDie(binary, arg, std::string_view(arg).substr(10));
+      backend_override_set = true;
+    } else if (arg.rfind("--reorder-window=", 0) == 0) {
+      reorder_window_override =
+          ParseFlagValueOrDie(binary, arg, std::string_view(arg).substr(17));
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(std::cout, binary);
       std::exit(0);
@@ -110,6 +165,8 @@ bool SmokeMode() { return smoke_mode; }
 int ThreadsOverride() { return threads_override; }
 
 int ShardsOverride() { return shards_override; }
+
+int ReorderWindowOverride() { return reorder_window_override; }
 
 void MaybeApplySmoke(core::ExperimentConfig& config) {
   if (!smoke_mode) return;
@@ -136,7 +193,7 @@ std::vector<NamedResult> RunAlgorithms(const std::vector<std::string>& names,
   // after PaperBaseConfig() (epochs, corpus size, ...) cannot undo --smoke.
   core::ExperimentConfig run_config = config;
   MaybeApplySmoke(run_config);
-  ApplyThreads(run_config, names.size());
+  ApplyExecutionOverrides(run_config, names.size());
   std::vector<NamedResult> results(names.size());
   ThreadPool pool(BenchThreads());
   ParallelFor(pool, static_cast<int>(names.size()),
@@ -150,6 +207,7 @@ std::vector<NamedResult> RunAlgorithms(const std::vector<std::string>& names,
                 results[n] =
                     NamedResult{result->algorithm, std::move(result.value())};
               });
+  PrintExecutionDiagnostics(std::cerr, results);
   return results;
 }
 
@@ -161,7 +219,7 @@ std::vector<NamedResult> RunConfigs(
   std::vector<core::ExperimentConfig> run_configs = configs;
   for (core::ExperimentConfig& run_config : run_configs) {
     MaybeApplySmoke(run_config);
-    ApplyThreads(run_config, configs.size());
+    ApplyExecutionOverrides(run_config, configs.size());
   }
   std::vector<NamedResult> results(configs.size());
   ThreadPool pool(BenchThreads());
@@ -175,6 +233,7 @@ std::vector<NamedResult> RunConfigs(
                     << labels[n] << ": " << result.status().ToString();
                 results[n] = NamedResult{labels[n], std::move(result.value())};
               });
+  PrintExecutionDiagnostics(std::cerr, results);
   return results;
 }
 
@@ -273,6 +332,24 @@ void PrintEpochCostSplit(std::ostream& os, const std::string& title,
   os << "\n== " << title << " ==\n";
   table.Print(os);
   table.PrintCsv(os, title);
+}
+
+void PrintExecutionDiagnostics(std::ostream& os,
+                               const std::vector<NamedResult>& results) {
+  TablePrinter table({"run", "backend", "batches", "speculated",
+                      "redispatched", "recomputed", "stalls", "backpressure"});
+  for (const NamedResult& entry : results) {
+    const core::RunResult& r = entry.result;
+    table.AddRow({entry.name, r.backend, std::to_string(r.parallel_batches),
+                  std::to_string(r.computes_speculated),
+                  std::to_string(r.computes_redispatched),
+                  std::to_string(r.computes_recomputed),
+                  std::to_string(r.window_stalls),
+                  std::to_string(r.window_backpressure)});
+  }
+  os << "\n== Execution diagnostics (real-machine dispatch; never affects "
+        "results) ==\n";
+  table.Print(os);
 }
 
 core::ExperimentConfig PaperBaseConfig() {

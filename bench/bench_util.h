@@ -21,19 +21,28 @@ namespace netmax::bench {
 // Parses bench command-line flags; call first from the main() of every
 // figure/table bench (bench_micro_substrates is Google-Benchmark-driven and
 // uses its own flags instead). Recognized flags:
-//   --smoke       shrink experiments (corpus, epochs, policy refinement) so
-//                 the bench finishes in seconds; CI runs benches this way.
-//   --threads=N   per-run simulation threads (overrides ExperimentConfig::
-//                 threads for every run; N=1 forces the serial dispatch,
-//                 results are bit-identical either way). Also settable via
-//                 NETMAX_THREADS in the environment.
-//   --shards=N    intra-worker gradient shard tasks (overrides
-//                 ExperimentConfig::shards; 0 = auto from the per-run thread
-//                 budget, results are bit-identical for any value). Also
-//                 settable via NETMAX_SHARDS in the environment.
-// Unknown flags are fatal, and malformed values (--threads=4x) print a usage
-// message and exit non-zero, so typos don't silently run the full bench on
-// the wrong configuration.
+//   --smoke              shrink experiments (corpus, epochs, policy
+//                        refinement) so the bench finishes in seconds; CI
+//                        runs benches this way.
+//   --threads=N          per-run simulation threads (overrides
+//                        ExperimentConfig::threads for every run; N=1 forces
+//                        the serial dispatch, results are bit-identical
+//                        either way).
+//   --shards=N           intra-worker gradient shard tasks (overrides
+//                        ExperimentConfig::shards; 0 = auto from the per-run
+//                        thread budget, results are bit-identical for any
+//                        value).
+//   --backend=K          execution backend: serial | speculative | async
+//                        (overrides ExperimentConfig::backend; results are
+//                        bit-identical for every backend).
+//   --reorder-window=N   async backend's in-flight compute bound (overrides
+//                        ExperimentConfig::reorder_window; 0 = synchronous).
+// Every flag has a NETMAX_* environment fallback (see PrintUsage in
+// bench_util.cc for the single authoritative list); an explicit flag wins
+// over its environment variable. Unknown flags are fatal, and malformed
+// values (--threads=4x, --backend=asink) print a usage message and exit
+// non-zero, so typos don't silently run the full bench on the wrong
+// configuration.
 void InitBench(int argc, char** argv);
 
 // The --threads/NETMAX_THREADS override, or -1 when unset.
@@ -41,6 +50,12 @@ int ThreadsOverride();
 
 // The --shards/NETMAX_SHARDS override, or -1 when unset.
 int ShardsOverride();
+
+// The --reorder-window/NETMAX_REORDER_WINDOW override, or -1 when unset.
+// (The --backend override has no accessor: benches that run experiments by
+// hand pin their backends per leg — bench_scale32 compares all three — and
+// RunAlgorithms/RunConfigs apply the override internally.)
+int ReorderWindowOverride();
 
 // True once InitBench has seen --smoke (or NETMAX_SMOKE=1 in the
 // environment). RunAlgorithms/RunConfigs apply the shrink to their configs
@@ -100,6 +115,17 @@ void PrintSpeedups(std::ostream& os, const std::string& title,
 // Prints the per-epoch computation/communication cost split (Fig. 5/6 bars).
 void PrintEpochCostSplit(std::ostream& os, const std::string& title,
                          const std::vector<NamedResult>& results);
+
+// Prints the execution-backend health table for `results`: backend, frontier
+// or window batches, speculated / re-dispatched / inline-recomputed compute
+// halves, and the async window's stall/backpressure counters. RunAlgorithms
+// and RunConfigs emit this to stderr after every batch of runs (so
+// speculation health is visible without a Debug rebuild) — stderr, because
+// the counters vary with the {threads, backend} execution point while the
+// benches' stdout must stay byte-identical across all of them (the CI
+// determinism lane diffs it).
+void PrintExecutionDiagnostics(std::ostream& os,
+                               const std::vector<NamedResult>& results);
 
 // The paper's default Section V-A experiment: 8 workers, heterogeneous
 // dynamic network, CIFAR10-sim, ResNet18 profile, paper hyper-parameters —

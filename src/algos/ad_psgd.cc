@@ -88,6 +88,9 @@ class AdPsgdEngine {
     // which
     // preserves the parameter mean across the fleet.
     harness_.CommitBatchStats(w, loss);
+    // Both endpoints' parameters are written below: notify before either
+    // write so any evaluation the backend ran ahead (m's is usually
+    // window-resident or speculated) is invalidated and re-dispatched.
     harness_.sim().NotifyStateWrite(w);
     harness_.sim().NotifyStateWrite(m);
     auto x_i = worker.model->parameters();

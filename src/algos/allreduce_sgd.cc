@@ -76,6 +76,10 @@ class AllreduceEngine {
         2.0 * (n - 1) * step_seconds + 2.0 * latency_seconds;
 
     // Average the gradients and apply the identical update on every replica.
+    // All of this round's compute events committed before the last worker's
+    // commit reached here and the next round is not scheduled yet, so no
+    // backend holds an evaluation that could read these writes mid-flight;
+    // ApplyStoredGradient still notifies each worker per the contract.
     std::vector<double> mean_gradient(
         harness_.worker(0).gradient.size(), 0.0);
     for (int w = 0; w < n; ++w) {

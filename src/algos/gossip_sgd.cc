@@ -56,8 +56,9 @@ class GossipEngine {
     std::vector<double> snapshot(p.begin(), p.end());
     harness_.sim().ScheduleAfter(
         transfer, [this, m, snapshot = std::move(snapshot)] {
-          // Arrival writes the receiver's parameters — invalidate any
-          // speculated compute m has in flight.
+          // Arrival writes the receiver's parameters — invalidate whatever
+          // the backend ran ahead for m (frontier speculation or async
+          // window entry; an in-flight evaluation is waited out first).
           harness_.sim().NotifyStateWrite(m);
           auto x_m = harness_.worker(m).model->parameters();
           for (size_t j = 0; j < x_m.size(); ++j) {

@@ -132,6 +132,9 @@ class PsSyncEngine {
     }
     const auto fresh = ps_->model().parameters();
     for (int w = 0; w < n; ++w) {
+      // Round-structured like allreduce: nothing is pending, but the
+      // download writes every replica, so notify per the contract (a later
+      // backend that pre-dispatches the next round would depend on it).
       harness_.sim().NotifyStateWrite(w);
       auto params = harness_.worker(w).model->parameters();
       std::copy(fresh.begin(), fresh.end(), params.begin());
@@ -186,6 +189,10 @@ class PsAsyncEngine {
                                   harness_.worker(w).gradient);
           });
           harness_.sim().ScheduleAt(download_done, [this, w, t0, compute] {
+            // The download overwrites w's replica. w's own next compute is
+            // only scheduled below, but OTHER workers' in-flight window
+            // evaluations never read w's parameters, so notifying w alone
+            // satisfies the write contract under every backend.
             harness_.sim().NotifyStateWrite(w);
             const auto fresh = ps_->model().parameters();
             auto params = harness_.worker(w).model->parameters();

@@ -111,7 +111,9 @@ class SapsEngine {
         [this, w, m, compute, wall](double loss) {
           core::WorkerRuntime& wr = harness_.worker(w);
           harness_.CommitBatchStats(w, loss);
-          // One-sided averaging writes only the puller's parameters.
+          // One-sided averaging writes only the puller's parameters (m is
+          // read-only here, and compute halves only read their own worker's
+          // parameters, so no notify is needed for m under any backend).
           harness_.sim().NotifyStateWrite(w);
           auto x_i = wr.model->parameters();
           const auto x_m = harness_.worker(m).model->parameters();

@@ -58,6 +58,9 @@ Status ExperimentHarness::Init() {
   }
   if (config_.threads < 0) return InvalidArgumentError("threads < 0");
   if (config_.shards < 0) return InvalidArgumentError("shards < 0");
+  if (config_.reorder_window < 0) {
+    return InvalidArgumentError("reorder_window < 0");
+  }
 
   // Parallel runtime: the simulator thread participates in every compute
   // phase, so a budget of T threads needs a pool of T-1 workers. threads == 1
@@ -67,10 +70,13 @@ Status ExperimentHarness::Init() {
     const unsigned hw = std::thread::hardware_concurrency();
     threads_ = hw == 0 ? 1 : static_cast<int>(hw);
   }
-  if (threads_ > 1) {
-    pool_ = std::make_unique<ThreadPool>(threads_ - 1);
-    sim_.set_thread_pool(pool_.get());
-  }
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+  // Execution backend: how compute halves overlap the ordered commit drain.
+  // Without a pool every kind degrades to serial dispatch; either way the
+  // result bits are identical (core/execution_backend.h).
+  backend_ = MakeExecutionBackend(config_.backend, pool_.get(),
+                                  config_.reorder_window);
+  sim_.set_backend(backend_.get());
   // Intra-worker sharding bound: auto (0) shards only the cores left over
   // after the distinct-worker frontier has one thread per worker, so
   // paper-scale runs (workers >= cores) stay unsharded while wide-model
@@ -295,10 +301,14 @@ RunResult ExperimentHarness::Finalize() {
   result.accuracy_vs_time = accuracy_vs_time_;
   result.total_virtual_seconds = sim_.Now();
   result.policies_generated = policies_generated_;
-  result.parallel_batches = sim_.parallel_batches();
-  result.computes_speculated = sim_.computes_speculated();
-  result.computes_redispatched = sim_.computes_redispatched();
-  result.computes_recomputed = sim_.computes_recomputed();
+  result.backend = std::string(backend_->name());
+  const net::ExecutionStats stats = sim_.execution_stats();
+  result.parallel_batches = stats.parallel_batches;
+  result.computes_speculated = stats.computes_speculated;
+  result.computes_redispatched = stats.computes_redispatched;
+  result.computes_recomputed = stats.computes_recomputed;
+  result.window_stalls = stats.window_stalls;
+  result.window_backpressure = stats.window_backpressure;
 
   double loss_sum = 0.0;
   int loss_count = 0;

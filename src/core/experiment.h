@@ -18,6 +18,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/execution_backend.h"
 #include "core/policy_generator.h"
 #include "ml/dataset.h"
 #include "ml/metrics.h"
@@ -120,6 +121,17 @@ struct ExperimentConfig {
   // and tree reduction (ml/sharding.h), so RunResult is bit-identical across
   // the whole {threads, shards} grid.
   int shards = 0;
+  // Execution backend for the simulator's compute halves
+  // (core/execution_backend.h): serial dispatch, frontier speculation with a
+  // barrier (default, today's engine), or the async bounded-reorder commit
+  // pipeline. With threads <= 1 there is no pool and every kind degrades to
+  // serial. Like threads/shards, purely an execution choice — RunResult is
+  // bit-identical for every backend.
+  ExecutionBackendKind backend = ExecutionBackendKind::kSpeculative;
+  // Async backend only: bound on in-flight compute evaluations (the reorder
+  // window). 0 (default) = synchronous — nothing is evaluated ahead of its
+  // turn. Ignored by the other backends.
+  int reorder_window = 0;
 };
 
 // Per-epoch cost attribution averaged over workers and epochs. Communication
@@ -151,15 +163,21 @@ struct RunResult {
   double consensus_distance = 0.0;
   // NetMax diagnostics: number of policies the monitor produced.
   int64_t policies_generated = 0;
-  // Parallel-runtime diagnostics (all zero on the serial threads=1 path;
+  // Execution-backend diagnostics (all zero on the serial threads=1 path;
   // excluded from the bit-identity contract, which covers simulation outputs
-  // only): frontier batches dispatched, compute halves speculated on the
-  // pool, invalidated speculations re-dispatched onto the pool in the second
-  // pass, and the defensive inline recomputes (expected zero).
+  // only): the backend that ran the simulation, frontier/window batches
+  // dispatched, compute halves evaluated ahead of their turn, invalidated
+  // evaluations re-dispatched onto the pool, the defensive inline recomputes
+  // (expected zero), and the async pipeline's head-of-window stalls and
+  // full-window backpressure events (stalls are real-timing dependent; the
+  // other counters are deterministic per config).
+  std::string backend;
   int64_t parallel_batches = 0;
   int64_t computes_speculated = 0;
   int64_t computes_redispatched = 0;
   int64_t computes_recomputed = 0;
+  int64_t window_stalls = 0;
+  int64_t window_backpressure = 0;
 };
 
 // Interface implemented by NetMax and every baseline.
@@ -303,6 +321,10 @@ class ExperimentHarness {
   int threads_ = 1;
   int shards_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // created by Init when threads_ > 1
+  // Execution strategy for sim_'s compute halves; owned here, borrowed by
+  // the simulator (declared before sim_ only for grouping — the simulator
+  // never touches the backend after RunUntilIdle returns).
+  std::unique_ptr<net::ExecutionBackend> backend_;
   net::EventSimulator sim_;
   std::unique_ptr<net::Topology> topology_;
   std::unique_ptr<net::LinkModel> links_;

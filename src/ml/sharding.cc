@@ -15,11 +15,15 @@ constexpr int kSlotLossSums = 0;
 constexpr int kSlotGradientSums = 1;
 
 // Fixed-shape pairwise tree reduction over `count` contiguous partials of
-// `width` doubles each, in place; the reduced partial lands in slot 0. Each
-// level sums adjacent pairs (slot 2i + slot 2i+1 -> slot i) and moves an odd
-// leftover down unchanged, so the tree shape — and therefore every rounding
-// step — depends only on `count`, never on who produced the partials.
-void TreeReducePartials(std::span<double> partials, int count, size_t width) {
+// `width` doubles each, restricted to the column slice [col_begin, col_end),
+// in place; the reduced partial lands in slot 0. Each level sums adjacent
+// pairs (slot 2i + slot 2i+1 -> slot i) and moves an odd leftover down
+// unchanged, so the tree shape — and therefore every rounding step — depends
+// only on `count`, never on who produced the partials. The reduction is
+// element-wise across columns, which is what lets disjoint slices run
+// concurrently without touching the per-element arithmetic.
+void TreeReduceColumns(std::span<double> partials, int count, size_t width,
+                       size_t col_begin, size_t col_end) {
   int n = count;
   while (n > 1) {
     const int pairs = n / 2;
@@ -28,15 +32,42 @@ void TreeReducePartials(std::span<double> partials, int count, size_t width) {
       const double* a = partials.data() + width * static_cast<size_t>(2 * i);
       const double* b =
           partials.data() + width * static_cast<size_t>(2 * i + 1);
-      for (size_t j = 0; j < width; ++j) dst[j] = a[j] + b[j];
+      for (size_t j = col_begin; j < col_end; ++j) dst[j] = a[j] + b[j];
     }
     if (n % 2 == 1 && n > 1) {
       double* dst = partials.data() + width * static_cast<size_t>(pairs);
       const double* src = partials.data() + width * static_cast<size_t>(n - 1);
-      if (dst != src) std::copy(src, src + width, dst);  // value move, no FP
+      if (dst != src) {
+        std::copy(src + col_begin, src + col_end,
+                  dst + col_begin);  // value move, no FP
+      }
     }
     n = pairs + n % 2;
   }
+}
+
+// Minimum columns per pooled reduce task: below this the slice is too small
+// to amortize the fan-out.
+constexpr size_t kReduceChunkColumns = 1 << 12;
+
+// Tree-reduces `count` partials of `width` doubles, fanning the column range
+// onto `pool` for wide models (width >= kPooledReduceMinWidth). Bits are
+// identical either way: chunking only changes who reduces a column.
+void TreeReducePartials(std::span<double> partials, int count, size_t width,
+                        ThreadPool* pool) {
+  if (pool != nullptr && count >= 2 && width >= kPooledReduceMinWidth) {
+    const size_t max_tasks = static_cast<size_t>(pool->num_threads()) + 1;
+    const size_t tasks = std::min(max_tasks, width / kReduceChunkColumns);
+    if (tasks >= 2) {
+      ParallelFor(*pool, static_cast<int>(tasks), [&](int t) {
+        const size_t lo = width * static_cast<size_t>(t) / tasks;
+        const size_t hi = width * (static_cast<size_t>(t) + 1) / tasks;
+        TreeReduceColumns(partials, count, width, lo, hi);
+      });
+      return;
+    }
+  }
+  TreeReduceColumns(partials, count, width, 0, width);
 }
 
 }  // namespace
@@ -111,10 +142,10 @@ double ShardedLossAndGradient(const Model& model, const Dataset& data,
     });
   }
 
-  TreeReducePartials(loss_sums, num_leaves, 1);
+  TreeReducePartials(loss_sums, num_leaves, 1, nullptr);
   const double inv_batch = 1.0 / static_cast<double>(batch_indices.size());
   if (want_gradient) {
-    TreeReducePartials(gradient_sums, num_leaves, width);
+    TreeReducePartials(gradient_sums, num_leaves, width, pool);
     for (size_t j = 0; j < width; ++j) {
       gradient[j] = gradient_sums[j] * inv_batch;
     }

@@ -41,6 +41,17 @@ class TrainingWorkspace;
 // silently change every result bit.
 inline constexpr size_t kGradientLeafSamples = 8;
 
+// Gradient width (in doubles) above which the pairwise tree reduction of the
+// leaf partials itself fans out on the pool: the tree is element-wise across
+// the parameter axis, so the columns split into contiguous chunks that each
+// run the full fixed-shape tree independently — same adds, same order, per
+// element, therefore bit-identical to the serial combine for any chunking.
+// Below the threshold the combine stays serial (the fan-out overhead would
+// dominate). Compile-time constant for the same reason as the leaf size:
+// it must never look like a result-affecting knob (it is not — only the
+// real-time cost changes).
+inline constexpr size_t kPooledReduceMinWidth = 1 << 14;
+
 // Number of leaves in the fixed decomposition of a `batch`-sample batch
 // (ceil(batch / kGradientLeafSamples); 0 only for an empty batch).
 int GradientLeafCount(size_t batch);
@@ -60,9 +71,12 @@ LeafRange GradientLeafRange(size_t batch, int leaf);
 // <= 1, or a null pool, means one serial task) each evaluate a contiguous
 // leaf range into per-leaf partial buffers carved from `workspace`
 // (ReduceScratch slots; task t > 0 uses workspace.ShardWorkspace(t) for its
-// model scratch). The partials are tree-reduced on the calling thread.
+// model scratch). The gradient partials are tree-reduced on the calling
+// thread, except for wide models (num_parameters >= kPooledReduceMinWidth
+// with a pool): there the column range fans out onto the pool, each task
+// running the full fixed-shape tree over its contiguous column chunk.
 // Returns the mean loss; results are bit-identical for every (pool, shards)
-// combination, including the serial call.
+// combination, including the serial call and the pooled combine.
 double ShardedLossAndGradient(const Model& model, const Dataset& data,
                               std::span<const int> batch_indices,
                               std::span<double> gradient,

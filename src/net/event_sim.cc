@@ -3,23 +3,7 @@
 #include <algorithm>
 #include <utility>
 
-#include "common/thread_pool.h"
-
 namespace netmax::net {
-namespace {
-
-// Frontier scan bounds: how many queue entries to examine and how many
-// speculations to hold per dispatch. The speculation cap scales with the pool
-// so the drain (serial) phase stays short relative to the compute phase; the
-// scan cap bounds the cost of skipping over plain events.
-constexpr int64_t kMaxScannedEvents = 256;
-
-int64_t FrontierCap(const ThreadPool& pool) {
-  // The RunUntilIdle caller participates in the compute phase, hence +1.
-  return 4 * (static_cast<int64_t>(pool.num_threads()) + 1);
-}
-
-}  // namespace
 
 void EventSimulator::Insert(Event event) {
   NETMAX_CHECK_GE(event.time, now_) << "cannot schedule into the past";
@@ -67,68 +51,27 @@ void EventSimulator::ScheduleComputeAfter(double delay, int worker_key,
 }
 
 void EventSimulator::NotifyStateWrite(int worker_key) {
-  if (pending_speculations_ == 0) return;  // nothing to invalidate
-  const auto redispatch = redispatches_.find(worker_key);
-  if (redispatch != redispatches_.end() && !redispatch->second->invalidated) {
-    // A second-pass recompute for this key is in flight (or done): finish it
-    // before the caller's write can race its reads, discard its value, and
-    // queue yet another re-dispatch — it will observe the caller's write
-    // once the current handler returns.
-    redispatch->second->done.wait();
-    redispatch->second->invalidated = true;
-    pending_redispatch_keys_.push_back(worker_key);
-    return;
-  }
-  if (!dirty_keys_.insert(worker_key).second) return;  // already dirty
-  // First invalidation of this key in the batch: if its speculated compute
-  // is still awaiting its turn, queue the second-pass re-dispatch (flushed
-  // after the current handler returns, so the recompute reads post-write
-  // state). Without a pending speculation the insert alone records the
-  // write.
-  if (pool_ != nullptr && FindSpeculatedEvent(worker_key) != nullptr) {
-    pending_redispatch_keys_.push_back(worker_key);
+  if (backend_ != nullptr) backend_->OnStateWrite(*this, worker_key);
+}
+
+ExecutionStats EventSimulator::execution_stats() const {
+  return backend_ != nullptr ? backend_->stats() : ExecutionStats{};
+}
+
+void EventSimulator::ScanPendingComputes(
+    int64_t max_scan,
+    const std::function<ScanAction(const PendingComputeView&)>& visit) const {
+  int64_t scanned = 0;
+  for (auto it = queue_.rbegin(); it != queue_.rend() && scanned < max_scan;
+       ++it, ++scanned) {
+    if (it->compute == nullptr) continue;
+    const PendingComputeView view{it->time, it->sequence, it->worker_key,
+                                  it->compute};
+    if (visit(view) == ScanAction::kStop) return;
   }
 }
 
-const EventSimulator::Event* EventSimulator::FindSpeculatedEvent(
-    int worker_key) const {
-  // Speculated events live in the frontier region near the back of the
-  // queue; scan from the dispatch end.
-  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
-    if (it->speculated && it->worker_key == worker_key) return &*it;
-  }
-  return nullptr;
-}
-
-void EventSimulator::FlushRedispatches() {
-  if (pending_redispatch_keys_.empty()) return;
-  // Submit in (time, sequence) order of the invalidated events so the pool
-  // starts the earliest-committing recompute first.
-  std::vector<const Event*> targets;
-  targets.reserve(pending_redispatch_keys_.size());
-  for (const int key : pending_redispatch_keys_) {
-    const Event* event = FindSpeculatedEvent(key);
-    NETMAX_CHECK(event != nullptr) << "invalidated speculation vanished";
-    targets.push_back(event);
-  }
-  pending_redispatch_keys_.clear();
-  std::sort(targets.begin(), targets.end(),
-            [](const Event* a, const Event* b) {
-              return a->DispatchesBefore(*b);
-            });
-  for (const Event* event : targets) {
-    auto redispatch = std::make_unique<Redispatch>();
-    std::packaged_task<void()> task(
-        [compute = event->compute, result = redispatch.get()] {
-          result->value = compute();
-        });
-    redispatch->done = pool_->Submit(std::move(task));
-    ++computes_redispatched_;
-    redispatches_[event->worker_key] = std::move(redispatch);
-  }
-}
-
-bool EventSimulator::Step() {
+bool EventSimulator::StepWith(const SpeculationProvider& provider) {
   if (queue_.empty()) return false;
   // Move out before popping so the handlers may schedule new events.
   Event event = std::move(queue_.back());
@@ -137,95 +80,18 @@ bool EventSimulator::Step() {
   ++processed_;
   if (event.compute != nullptr) {
     double value;
-    if (!event.speculated) {
+    if (provider == nullptr ||
+        !provider(event.sequence, event.worker_key, &value)) {
       value = event.compute();
-    } else if (dirty_keys_.find(event.worker_key) == dirty_keys_.end()) {
-      // Sound speculation: no commit since the frontier formed wrote this
-      // worker's compute-visible state, so the pooled result is exactly what
-      // an inline run would produce now.
-      value = event.speculative_value;
-    } else {
-      // Invalidated speculation: its second-pass re-dispatch carries the
-      // value an inline recompute would produce (the key has not been
-      // written since the re-dispatch, or NotifyStateWrite would have
-      // invalidated and replaced it). The inline fallback only covers the
-      // defensive no-entry case and is expected to stay cold.
-      const auto redispatch = redispatches_.find(event.worker_key);
-      if (redispatch != redispatches_.end() &&
-          !redispatch->second->invalidated) {
-        redispatch->second->done.wait();
-        value = redispatch->second->value;
-      } else {
-        ++computes_recomputed_;
-        value = event.compute();
-      }
-      if (redispatch != redispatches_.end()) redispatches_.erase(redispatch);
     }
-    if (event.speculated) --pending_speculations_;
     event.commit(value);
   } else {
     event.plain();
   }
-  // Handlers queue invalidated keys; the second speculation pass starts here,
-  // after the handler's writes are complete.
-  FlushRedispatches();
   return true;
 }
 
-int64_t EventSimulator::ParallelDispatch() {
-  // Phase 1 — frontier scan (backwards = dispatch order): the longest prefix
-  // of compute events with pairwise-distinct worker keys. Plain events are
-  // skipped, not barriers: they run at their exact position during the
-  // drain, and any state they write is covered by NotifyStateWrite
-  // invalidation. A duplicate key ends the scan so no two speculations ever
-  // target the same state partition.
-  std::vector<Event*> frontier;
-  std::unordered_set<int> frontier_keys;
-  const int64_t frontier_cap = FrontierCap(*pool_);
-  int64_t scanned = 0;
-  for (auto it = queue_.rbegin();
-       it != queue_.rend() && scanned < kMaxScannedEvents &&
-       static_cast<int64_t>(frontier.size()) < frontier_cap;
-       ++it, ++scanned) {
-    if (it->compute == nullptr) continue;
-    if (!frontier_keys.insert(it->worker_key).second) break;
-    frontier.push_back(&*it);
-  }
-  if (frontier.size() < 2) return Step() ? 1 : 0;
-
-  // Phase 2 — speculative compute: every frontier compute half runs
-  // concurrently on the pool (the caller participates). No commit runs in
-  // parallel with this phase, and each compute half touches only its own
-  // worker's state, so the phase is race-free by construction. The queue is
-  // not mutated here, so the frontier pointers stay valid.
-  ParallelFor(*pool_, static_cast<int>(frontier.size()), [&frontier](int i) {
-    Event* event = frontier[static_cast<size_t>(i)];
-    event->speculative_value = event->compute();
-    event->speculated = true;
-  });
-  ++parallel_batches_;
-  computes_speculated_ += static_cast<int64_t>(frontier.size());
-
-  // Phase 3 — ordered drain: apply events strictly in (time, sequence) order
-  // until every speculation is consumed. Commits may schedule new events
-  // (which run inline at their correct position, even before later frontier
-  // members) and may dirty keys via NotifyStateWrite (which re-dispatches the
-  // affected speculation onto the pool for the second pass). Speculation
-  // state travels inside the Event objects, so queue shifts from new
-  // insertions are safe; re-dispatch results live outside the queue
-  // (redispatches_) because pooled writers need stable addresses.
-  dirty_keys_.clear();
-  pending_speculations_ = static_cast<int64_t>(frontier.size());
-  int64_t count = 0;
-  while (pending_speculations_ > 0) {
-    NETMAX_CHECK(!queue_.empty()) << "speculated event vanished from queue";
-    Step();
-    ++count;
-  }
-  NETMAX_CHECK(redispatches_.empty())
-      << "second-pass re-dispatch outlived its batch";
-  return count;
-}
+bool EventSimulator::Step() { return StepWith(nullptr); }
 
 int64_t EventSimulator::RunUntil(double time_limit) {
   int64_t count = 0;
@@ -238,12 +104,19 @@ int64_t EventSimulator::RunUntil(double time_limit) {
 }
 
 int64_t EventSimulator::RunUntilIdle() {
+  if (backend_ != nullptr) return backend_->RunUntilIdle(*this);
   int64_t count = 0;
-  if (pool_ != nullptr) {
-    while (!queue_.empty()) count += ParallelDispatch();
-    return count;
-  }
   while (Step()) ++count;
+  return count;
+}
+
+int64_t ExecutionBackend::RunUntilIdle(EventSimulator& sim) {
+  int64_t count = 0;
+  while (!sim.empty()) {
+    Dispatch(sim);
+    count += DrainCommits(sim);
+  }
+  OnIdle(sim);
   return count;
 }
 

@@ -1,8 +1,8 @@
 #ifndef NETMAX_NET_EVENT_SIM_H_
 #define NETMAX_NET_EVENT_SIM_H_
 
-// Deterministic discrete-event simulator with a virtual clock and a two-phase
-// compute/commit event model.
+// Deterministic discrete-event simulator with a virtual clock, a two-phase
+// compute/commit event model, and a pluggable execution backend.
 //
 // All decentralized-training algorithms in this repo run inside this
 // simulator: compute and communication delays are scheduled as events, so
@@ -24,55 +24,67 @@
 //    draws, parameter updates, and scheduling of follow-up events belong
 //    there.
 //
-// When a ThreadPool is attached (set_thread_pool), RunUntilIdle dispatches in
-// frontier batches: it collects the longest prefix of pending compute events
-// with pairwise-distinct worker keys, runs their compute halves concurrently
-// on the pool, then applies every event — plain callbacks, the speculated
-// commits, and anything commits schedule in between — in exact (time,
-// sequence) order. Speculation is kept sound by write tracking: any callback
-// or commit that writes state some compute half might read MUST call
-// NotifyStateWrite(worker_key) for the owning key, BEFORE performing the
-// write; a pending speculation on a dirty key is discarded. Results are
-// therefore bit-identical to the serial dispatch (no pool attached) for any
-// thread count.
+// The simulator owns the queue and the ordering contract only. HOW compute
+// halves are evaluated relative to the strictly ordered commit drain is an
+// ExecutionBackend decision (set_backend): run them inline at their turn
+// (serial), speculate frontier batches of distinct-worker events on a
+// ThreadPool behind a barrier (speculative), or pipeline them through a
+// bounded reorder window with no barrier at all (async). Concrete backends
+// live in core/execution_backend.h; with no backend attached the simulator
+// dispatches fully serially.
 //
-// Discarded speculations are not recomputed inline: once the invalidating
-// handler returns, the stale compute halves are RE-DISPATCHED onto the pool
-// (a second speculation pass, submitted in (time, sequence) order of their
-// events), so the recompute overlaps the ordered drain of the remaining
-// events instead of stalling it. A re-dispatched compute reads its worker's
-// state as of the invalidating handler's completion; if no later handler
-// dirties the key again before the event's turn, that is exactly the state
-// an inline recompute would have read, so the value is used as-is. A second
-// NotifyStateWrite on the same key first waits for the in-flight re-dispatch
-// (keeping the notify-before-write contract race-free), discards its value,
-// and triggers another re-dispatch — invalidation any number of times deep
-// stays sound and ordered.
+// Every backend preserves the same soundness contract, so results are
+// bit-identical across all of them: any callback or commit that writes state
+// some compute half might read MUST call NotifyStateWrite(worker_key) for the
+// owning key BEFORE performing the write. The simulator forwards the call to
+// the backend, which discards (and later re-dispatches) any compute result it
+// evaluated against the pre-write state, first waiting out an in-flight
+// evaluation so the caller's write cannot race its reads.
 //
-// One asymmetry to respect: a speculated compute half's scratch writes (the
-// worker's gradient buffer, workspace) land at frontier-formation time,
-// possibly before earlier-ordered events run. While a worker has a compute
-// event pending, no OTHER event may read that worker's scratch — only the
-// paired commit (and events it schedules afterwards, e.g. a parameter-server
-// upload consuming the gradient) may. Engines satisfy this naturally by
-// keeping at most one outstanding compute event per worker and consuming
-// scratch only downstream of its commit; new engines must preserve it.
+// One asymmetry to respect: a dispatched compute half's scratch writes (the
+// worker's gradient buffer, workspace) may land before earlier-ordered events
+// run. While a worker has a compute event pending, no OTHER event may read
+// that worker's scratch — only the paired commit (and events it schedules
+// afterwards, e.g. a parameter-server upload consuming the gradient) may.
+// Engines satisfy this naturally by keeping at most one outstanding compute
+// event per worker and consuming scratch only downstream of its commit; new
+// engines must preserve it.
 
 #include <cstdint>
 #include <functional>
-#include <future>
-#include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <string_view>
 #include <vector>
 
 #include "common/logging.h"
 
-namespace netmax {
-class ThreadPool;
-}  // namespace netmax
-
 namespace netmax::net {
+
+class ExecutionBackend;
+
+// Diagnostics every backend reports (all zero on the serial path). Excluded
+// from the bit-identity contract, which covers simulation outputs only;
+// `window_stalls` is additionally timing-dependent (it counts real
+// not-ready-yet waits), the other counters are deterministic per config.
+struct ExecutionStats {
+  // Dispatch bursts that put at least two compute halves in flight.
+  int64_t parallel_batches = 0;
+  // Compute halves evaluated ahead of their turn (frontier or window).
+  int64_t computes_speculated = 0;
+  // Invalidated speculations re-dispatched onto the pool after the
+  // invalidating handler returned (double invalidations re-count).
+  int64_t computes_redispatched = 0;
+  // Inline recomputes of an invalidated speculation on the simulator thread —
+  // a defensive fallback that is unreachable in the current backends (every
+  // invalidated in-flight speculation gets a re-dispatch entry), asserted to
+  // stay zero by the determinism tests.
+  int64_t computes_recomputed = 0;
+  // Async backend: commit drain reached a window entry whose compute had not
+  // finished yet and had to wait (head-of-window stall).
+  int64_t window_stalls = 0;
+  // Async backend: the dispatch scan found a runnable compute half but the
+  // reorder window was full (backpressure).
+  int64_t window_backpressure = 0;
+};
 
 class EventSimulator {
  public:
@@ -97,9 +109,9 @@ class EventSimulator {
 
   // Schedules a two-phase compute/commit event at absolute virtual time
   // `time` (>= Now()). `worker_key` (>= 0) names the state partition the
-  // compute half touches; at most one compute event per key joins a parallel
-  // frontier, and a same-key duplicate ends the frontier scan, so adversarial
-  // interleavings degrade to serial order instead of racing.
+  // compute half touches; backends never evaluate two compute halves with the
+  // same key concurrently, so adversarial same-key interleavings degrade to
+  // serial order instead of racing.
   void ScheduleCompute(double time, int worker_key, ComputeFn compute,
                        CommitFn commit);
 
@@ -109,25 +121,26 @@ class EventSimulator {
 
   // Declares that the caller (an event callback or commit half) is ABOUT to
   // write state owned by `worker_key` that a compute half may read — model
-  // parameters, chiefly; the call must precede the write. Invalidates any
-  // not-yet-committed speculation for that key (the compute half is
-  // re-dispatched onto the pool after the current handler returns) and, when
-  // a re-dispatched compute for the key is still in flight, blocks until it
-  // finishes so the caller's write cannot race its reads. Redundant calls
-  // (own key, keys without pending computes) are harmless; forgetting a call
-  // breaks parallel determinism, so write sites should over- rather than
-  // under-notify.
+  // parameters, chiefly; the call must precede the write. Forwarded to the
+  // attached backend, which invalidates any not-yet-committed evaluation for
+  // that key (re-dispatching it onto the pool after the current handler
+  // returns) and blocks until an in-flight evaluation finishes so the
+  // caller's write cannot race its reads. Redundant calls (own key, keys
+  // without pending computes) are harmless; forgetting a call breaks parallel
+  // determinism, so write sites should over- rather than under-notify. A
+  // no-op without a backend (serial dispatch needs no write tracking).
   void NotifyStateWrite(int worker_key);
 
-  // Attaches the pool used for parallel compute dispatch; nullptr (default)
-  // keeps the fully serial path. The pool is borrowed, not owned, and must
-  // outlive the simulator (or be detached first). The calling thread of
-  // RunUntilIdle participates in each compute phase.
-  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
-  ThreadPool* thread_pool() const { return pool_; }
+  // Attaches the execution backend RunUntilIdle delegates to; nullptr
+  // (default) keeps the built-in fully serial dispatch. The backend is
+  // borrowed, not owned, must outlive the simulator (or be detached first),
+  // and must not be swapped while a run is in progress.
+  void set_backend(ExecutionBackend* backend) { backend_ = backend; }
+  ExecutionBackend* backend() const { return backend_; }
 
-  // Pops and runs the earliest event (compute half inline unless a valid
-  // speculation exists, then commit). Returns false when no events remain.
+  // Pops and runs the earliest event fully serially (compute half inline on
+  // this thread, then commit). Returns false when no events remain. Bypasses
+  // the backend: callers driving the queue by hand get serial semantics.
   bool Step();
 
   // Runs events until the queue is empty or the next event is later than
@@ -135,24 +148,64 @@ class EventSimulator {
   // Returns the number of events processed. Always serial dispatch.
   int64_t RunUntil(double time_limit);
 
-  // Runs until no events remain, in frontier batches when a pool is
-  // attached. Returns the number of events processed.
+  // Runs until no events remain, through the attached backend (serially when
+  // none is attached). Returns the number of events processed.
   int64_t RunUntilIdle();
 
   bool empty() const { return queue_.empty(); }
   int64_t num_events_processed() const { return processed_; }
 
-  // Diagnostics for tests/benches: frontier batches dispatched, compute
-  // halves executed on the pool in the first (frontier) pass, invalidated
-  // speculations re-dispatched onto the pool in the second pass (double
-  // invalidations re-count), and inline recomputes on the simulator thread —
-  // a defensive fallback that is unreachable in the current design (every
-  // invalidated pending speculation gets a re-dispatch entry), asserted to
-  // stay zero by the determinism tests.
-  int64_t parallel_batches() const { return parallel_batches_; }
-  int64_t computes_speculated() const { return computes_speculated_; }
-  int64_t computes_redispatched() const { return computes_redispatched_; }
-  int64_t computes_recomputed() const { return computes_recomputed_; }
+  // Backend diagnostics (all zero without a backend). The individual
+  // accessors are kept for the common counters; stats() has the full set.
+  ExecutionStats execution_stats() const;
+  int64_t parallel_batches() const {
+    return execution_stats().parallel_batches;
+  }
+  int64_t computes_speculated() const {
+    return execution_stats().computes_speculated;
+  }
+  int64_t computes_redispatched() const {
+    return execution_stats().computes_redispatched;
+  }
+  int64_t computes_recomputed() const {
+    return execution_stats().computes_recomputed;
+  }
+
+  // --- backend API ---------------------------------------------------------
+  // The surface ExecutionBackend implementations drive the simulator
+  // through. Engine code never calls these.
+
+  // Lightweight view of one pending compute event. `sequence` is the stable
+  // identity (unique, never reused); `compute` references the queue entry and
+  // is only valid during the ScanPendingComputes visit — backends copy it
+  // when they dispatch.
+  struct PendingComputeView {
+    double time = 0.0;
+    int64_t sequence = 0;
+    int worker_key = -1;
+    const ComputeFn& compute;
+  };
+  enum class ScanAction { kContinue, kStop };
+
+  // Visits pending compute events in dispatch order (earliest first),
+  // skipping plain events, examining at most `max_scan` queue entries (plain
+  // events count toward the cap). Stops early when `visit` returns kStop.
+  void ScanPendingComputes(
+      int64_t max_scan,
+      const std::function<ScanAction(const PendingComputeView&)>& visit) const;
+
+  // Value provider consulted when the earliest event is a compute event:
+  // return true and set *value to commit a result the backend evaluated ahead
+  // of time; return false to run the compute half inline on this thread
+  // (plain events never consult it).
+  using SpeculationProvider =
+      std::function<bool(int64_t sequence, int worker_key, double* value)>;
+
+  // Pops and applies the earliest event in (time, sequence) order, consulting
+  // `provider` (may be null) for compute events. Returns false when no events
+  // remain. The handler runs before this returns, so backends flush
+  // invalidation re-dispatches right after the call.
+  bool StepWith(const SpeculationProvider& provider);
 
  private:
   static constexpr int kNoKey = -1;
@@ -163,8 +216,6 @@ class EventSimulator {
     Callback plain;           // plain events only
     ComputeFn compute;        // compute events only
     CommitFn commit;          // compute events only
-    bool speculated = false;
-    double speculative_value = 0.0;
 
     // Dispatch-before: earlier time wins, sequence breaks ties.
     bool DispatchesBefore(const Event& other) const {
@@ -173,52 +224,72 @@ class EventSimulator {
     }
   };
 
-  // One invalidated compute half re-dispatched onto the pool for the second
-  // speculation pass. Heap-allocated so the pooled task's writes target a
-  // stable address while the event queue shifts under insertions; `done`
-  // orders those writes before any read of `value` (and before any state
-  // write by a second invalidator).
-  struct Redispatch {
-    double value = 0.0;
-    bool invalidated = false;  // a later write dirtied the key again
-    std::future<void> done;
-  };
-
   void Insert(Event event);
-  // One frontier batch: speculate the frontier's compute halves on the pool,
-  // then drain events in order until every speculation is consumed. Returns
-  // the number of events processed.
-  int64_t ParallelDispatch();
-  // Returns the pending speculated compute event for `worker_key`, or
-  // nullptr. At most one exists: frontier keys are pairwise distinct.
-  const Event* FindSpeculatedEvent(int worker_key) const;
-  // Submits the second-pass recomputes queued by NotifyStateWrite during the
-  // handler that just returned, in (time, sequence) order of their events.
-  void FlushRedispatches();
 
   double now_ = 0.0;
   int64_t next_sequence_ = 0;
   int64_t processed_ = 0;
   // Pending events sorted by descending (time, sequence): the next event to
-  // dispatch is at the back, so pops are O(1) and the in-order frontier scan
-  // iterates backwards. Queue sizes are O(workers), which keeps the shifting
-  // insert cheaper than a node-based container.
+  // dispatch is at the back, so pops are O(1) and the in-order scans iterate
+  // backwards. Queue sizes are O(workers), which keeps the shifting insert
+  // cheaper than a node-based container.
   std::vector<Event> queue_;
-  ThreadPool* pool_ = nullptr;
+  ExecutionBackend* backend_ = nullptr;
+};
 
-  // Per-dispatch speculation state (see ParallelDispatch).
-  std::unordered_set<int> dirty_keys_;
-  int64_t pending_speculations_ = 0;
-  // Second-pass state: keys whose speculation the current handler
-  // invalidated (flushed to the pool right after it returns) and the
-  // in-flight re-dispatches by key.
-  std::vector<int> pending_redispatch_keys_;
-  std::unordered_map<int, std::unique_ptr<Redispatch>> redispatches_;
+// Strategy interface between the simulation schedule and how compute halves
+// actually get evaluated. One backend instance drives one simulator run:
+// RunUntilIdle alternates Dispatch (offer pending compute halves to the
+// backend — inline, pooled frontier, bounded window, ...) with DrainCommits
+// (apply at least one event in strict (time, sequence) order, consuming
+// dispatched results through the SpeculationProvider). Concrete
+// implementations and the selection plumbing live in
+// core/execution_backend.h; the interface is declared here, beside the
+// simulator it drives, because the net layer cannot depend on core.
+//
+// Contract for implementations:
+//  * Commits and plain callbacks run on the simulator thread, strictly in
+//    (time, sequence) order — only compute halves may run elsewhere.
+//  * Never evaluate two compute halves with the same worker_key
+//    concurrently, and never hold a result across a state write to its key:
+//    OnStateWrite must wait out an in-flight evaluation of that key, discard
+//    the result, and re-evaluate against post-write state (after the writing
+//    handler returns). This is what makes results bit-identical to serial
+//    dispatch for every backend.
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
 
-  int64_t parallel_batches_ = 0;
-  int64_t computes_speculated_ = 0;
-  int64_t computes_redispatched_ = 0;
-  int64_t computes_recomputed_ = 0;
+  // Short stable identifier ("serial", "speculative", "async") used in
+  // RunResult and bench tables.
+  virtual std::string_view name() const = 0;
+
+  // Offers pending compute halves to the backend ahead of the drain. Called
+  // before every drain step; may do nothing.
+  virtual void Dispatch(EventSimulator& sim) = 0;
+
+  // Applies at least one pending event in order (typically via sim.StepWith)
+  // and flushes any invalidation re-dispatches the handler queued. Returns
+  // the number of events processed. Only called while the queue is
+  // non-empty.
+  virtual int64_t DrainCommits(EventSimulator& sim) = 0;
+
+  // The notify-before-write contract, forwarded from
+  // EventSimulator::NotifyStateWrite (see there).
+  virtual void OnStateWrite(EventSimulator& sim, int worker_key) = 0;
+
+  // Runs the simulator to completion: alternates Dispatch and DrainCommits
+  // until the queue is empty, then checks the backend's end-of-run
+  // invariants. Returns the number of events processed.
+  int64_t RunUntilIdle(EventSimulator& sim);
+
+  const ExecutionStats& stats() const { return stats_; }
+
+ protected:
+  // End-of-run invariant hook for RunUntilIdle (e.g. "the window is empty").
+  virtual void OnIdle(EventSimulator& /*sim*/) {}
+
+  ExecutionStats stats_;
 };
 
 }  // namespace netmax::net

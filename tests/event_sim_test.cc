@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
+#include "core/execution_backend.h"
 
 namespace netmax::net {
 namespace {
@@ -123,7 +124,8 @@ TEST(ComputeEventTest, SerialDispatchRunsComputeThenCommit) {
 TEST(ComputeEventTest, CommitsRunInTimeSequenceOrderOnThePool) {
   ThreadPool pool(4);
   EventSimulator sim;
-  sim.set_thread_pool(&pool);
+  core::SpeculativeBackend backend(&pool);
+  sim.set_backend(&backend);
   std::vector<int> commit_order;
   for (int key = 0; key < 8; ++key) {
     sim.ScheduleCompute(
@@ -146,7 +148,8 @@ TEST(ComputeEventTest, SameKeyEventsSeeEachOthersCommitsInOrder) {
   // would return stale values.
   ThreadPool pool(4);
   EventSimulator sim;
-  sim.set_thread_pool(&pool);
+  core::SpeculativeBackend backend(&pool);
+  sim.set_backend(&backend);
   double state = 0.0;  // owned by key 0
   std::vector<double> seen;
   for (int i = 0; i < 3; ++i) {
@@ -173,7 +176,8 @@ TEST(ComputeEventTest, NotifyStateWriteInvalidatesStaleSpeculation) {
   // A's commit, observing A's write.
   ThreadPool pool(4);
   EventSimulator sim;
-  sim.set_thread_pool(&pool);
+  core::SpeculativeBackend backend(&pool);
+  sim.set_backend(&backend);
   double shared_b_state = 1.0;  // owned by key 1
   double b_saw = 0.0;
   sim.ScheduleCompute(
@@ -200,7 +204,8 @@ TEST(ComputeEventTest, RedispatchedComputeInvalidatedAgainStaysOrdered) {
   // the value a serial run would produce, after the SECOND write.
   ThreadPool pool(4);
   EventSimulator sim;
-  sim.set_thread_pool(&pool);
+  core::SpeculativeBackend backend(&pool);
+  sim.set_backend(&backend);
   double state = 1.0;  // owned by key 3
   double d_saw = 0.0;
   sim.ScheduleCompute(
@@ -233,7 +238,8 @@ TEST(ComputeEventTest, RedispatchWithinOneHandlerReadsPostHandlerState) {
   // handler returns) must observe both — not the state mid-handler.
   ThreadPool pool(4);
   EventSimulator sim;
-  sim.set_thread_pool(&pool);
+  core::SpeculativeBackend backend(&pool);
+  sim.set_backend(&backend);
   double b_state = 1.0;  // owned by key 1
   double b_saw = 0.0;
   sim.ScheduleCompute(
@@ -256,7 +262,8 @@ TEST(ComputeEventTest, RedispatchWithinOneHandlerReadsPostHandlerState) {
 TEST(ComputeEventTest, PlainEventsInterleaveAtExactPositions) {
   ThreadPool pool(2);
   EventSimulator sim;
-  sim.set_thread_pool(&pool);
+  core::SpeculativeBackend backend(&pool);
+  sim.set_backend(&backend);
   std::vector<int> order;
   sim.ScheduleCompute(
       1.0, 0, [] { return 1.0; },
@@ -276,7 +283,8 @@ TEST(ComputeEventTest, CommitMayScheduleEarlierThanLaterFrontierMembers) {
   // run before B's commit and invalidate B's speculation.
   ThreadPool pool(4);
   EventSimulator sim;
-  sim.set_thread_pool(&pool);
+  core::SpeculativeBackend backend(&pool);
+  sim.set_backend(&backend);
   double b_state = 1.0;
   double b_saw = 0.0;
   sim.ScheduleCompute(
@@ -297,9 +305,9 @@ TEST(ComputeEventTest, ChainedComputeEventsMatchSerialBits) {
   // A mini workload in both modes: per-key chains whose commits couple
   // neighboring keys (like consensus pulls). The event trace must be
   // identical with and without a pool.
-  const auto run = [](ThreadPool* pool) {
+  const auto run = [](ExecutionBackend* backend) {
     EventSimulator sim;
-    sim.set_thread_pool(pool);
+    sim.set_backend(backend);
     std::vector<double> state(4, 1.0);
     std::vector<double> trace;
     std::function<void(int, int)> chain = [&](int key, int remaining) {
@@ -322,7 +330,8 @@ TEST(ComputeEventTest, ChainedComputeEventsMatchSerialBits) {
   };
   const std::vector<double> serial = run(nullptr);
   ThreadPool pool(4);
-  const std::vector<double> parallel = run(&pool);
+  core::SpeculativeBackend backend(&pool);
+  const std::vector<double> parallel = run(&backend);
   ASSERT_EQ(serial.size(), parallel.size());
   for (size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i], parallel[i]) << i;

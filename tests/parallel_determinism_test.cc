@@ -1,21 +1,25 @@
 // Parallel-runtime determinism: for every registered algorithm the full
 // RunResult — loss series, cost breakdown, consensus distance, accuracy —
 // must be bit-identical between the serial dispatch (threads=1) and the
-// pooled two-phase dispatch (threads=8), and across every intra-worker
-// shard count (the gradient is defined over a fixed leaf decomposition and
-// tree reduction, ml/sharding.h). This is the contract that lets the benches
-// and golden tests run at any {threads, shards} point.
+// pooled two-phase dispatch (threads=8), across every intra-worker shard
+// count (the gradient is defined over a fixed leaf decomposition and tree
+// reduction, ml/sharding.h), and across every execution backend and async
+// reorder-window size (core/execution_backend.h). This is the contract that
+// lets the benches and golden tests run at any {backend, reorder_window,
+// threads, shards} point.
 
 #include <string>
 
 #include <gtest/gtest.h>
 
 #include "algos/registry.h"
+#include "core/execution_backend.h"
 #include "core/experiment.h"
 
 namespace netmax {
 namespace {
 
+using core::ExecutionBackendKind;
 using core::ExperimentConfig;
 using core::NetworkScenario;
 using core::RunResult;
@@ -41,12 +45,16 @@ ExperimentConfig BaseConfig() {
   return config;
 }
 
-RunResult RunWithThreads(const std::string& name,
-                         const ExperimentConfig& base, int threads,
-                         int shards = 1) {
+RunResult RunWithThreads(
+    const std::string& name, const ExperimentConfig& base, int threads,
+    int shards = 1,
+    ExecutionBackendKind backend = ExecutionBackendKind::kSpeculative,
+    int reorder_window = 0) {
   ExperimentConfig config = base;
   config.threads = threads;
   config.shards = shards;
+  config.backend = backend;
+  config.reorder_window = reorder_window;
   auto algorithm = algos::MakeAlgorithm(name);
   NETMAX_CHECK_OK(algorithm.status());
   auto result = (*algorithm)->Run(config);
@@ -106,6 +114,69 @@ TEST_P(ParallelDeterminism, ThreadShardGridBitIdentical) {
   }
 }
 
+TEST_P(ParallelDeterminism, BackendWindowGridBitIdentical) {
+  // The full acceptance grid for the execution-backend seam: backend x
+  // reorder_window x threads x shards, every point bit-identical to the
+  // fully serial unsharded reference. A leaner config than BaseConfig keeps
+  // the 36-point grid affordable; batch 24 = three gradient leaves, so
+  // shards=2 still splits leaf ranges unevenly. reorder_window only matters
+  // for the async backend (and only with a pool), but the grid runs every
+  // combination anyway — that serial/speculative ignore the knob, and that
+  // threads=1 collapses every backend to serial dispatch, is exactly what
+  // the contract promises.
+  ExperimentConfig config = BaseConfig();
+  config.dataset.num_train = 256;
+  config.dataset.num_test = 64;
+  config.batch_size = 24;
+  config.max_epochs = 1;
+  const RunResult reference = RunWithThreads(GetParam(), config, 1, 1);
+  for (const ExecutionBackendKind backend :
+       {ExecutionBackendKind::kSerial, ExecutionBackendKind::kSpeculative,
+        ExecutionBackendKind::kAsyncPipeline}) {
+    for (const int reorder_window : {0, 1, 4}) {
+      for (const int threads : {1, 8}) {
+        for (const int shards : {1, 2}) {
+          const RunResult run = RunWithThreads(
+              GetParam(), config, threads, shards, backend, reorder_window);
+          SCOPED_TRACE(std::string("backend=") + run.backend +
+                       " window=" + std::to_string(reorder_window) +
+                       " threads=" + std::to_string(threads) +
+                       " shards=" + std::to_string(shards));
+          ExpectBitIdentical(reference, run);
+          EXPECT_EQ(run.computes_recomputed, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, AsyncPipelineActuallyOverlapsAndRedispatches) {
+  // The async backend must put real compute halves in the window (not
+  // silently degrade to inline dispatch) and resolve consensus
+  // invalidations through re-dispatch, for a window of any useful size.
+  const ExperimentConfig config = BaseConfig();
+  for (const int reorder_window : {1, 4}) {
+    const RunResult run =
+        RunWithThreads("netmax", config, 8, 1,
+                       ExecutionBackendKind::kAsyncPipeline, reorder_window);
+    SCOPED_TRACE(reorder_window);
+    EXPECT_EQ(run.backend, "async");
+    EXPECT_GT(run.computes_speculated, 0);
+    EXPECT_EQ(run.computes_recomputed, 0);
+    if (reorder_window > 1) {
+      // With real window depth the consensus writes must hit
+      // window-resident entries.
+      EXPECT_GT(run.computes_redispatched, 0);
+      EXPECT_GT(run.parallel_batches, 0);
+    }
+  }
+  // Window 0 is synchronous: the async backend runs everything inline.
+  const RunResult sync = RunWithThreads(
+      "netmax", config, 8, 1, ExecutionBackendKind::kAsyncPipeline, 0);
+  EXPECT_EQ(sync.backend, "async");
+  EXPECT_EQ(sync.computes_speculated, 0);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ParallelDeterminism,
                          ::testing::ValuesIn(algos::AlgorithmNames()));
 
@@ -129,6 +200,8 @@ TEST(ParallelDeterminismTest, ParallelRunsActuallySpeculate) {
   for (const std::string& name : algos::AlgorithmNames()) {
     const RunResult serial = RunWithThreads(name, config, 1);
     const RunResult parallel = RunWithThreads(name, config, 8);
+    EXPECT_EQ(serial.backend, "serial") << name;  // threads=1 degrades
+    EXPECT_EQ(parallel.backend, "speculative") << name;
     EXPECT_EQ(serial.computes_speculated, 0) << name;
     EXPECT_GT(parallel.parallel_batches, 0) << name;
     EXPECT_GT(parallel.computes_speculated, 0) << name;

@@ -125,6 +125,22 @@ TEST(ShardedLossAndGradientTest, LinearBitIdenticalAcrossPoolAndShardCounts) {
   ExpectShardingInvariant(model, data, RandomBatch(40, 96, 41));
 }
 
+TEST(ShardedLossAndGradientTest, WideModelPooledTreeReductionBitIdentical) {
+  // A model wide enough to cross kPooledReduceMinWidth (2048*8 + 8 = 16392
+  // parameters), so the pairwise tree reduction of the gradient partials
+  // itself fans out onto the pool. The combine is element-wise across the
+  // parameter axis with a fixed tree shape, so the pooled column chunks must
+  // reproduce the serial combine bit for bit — this is the test that pins
+  // the "leaf-tree reduction on the pool" path.
+  Dataset data = RandomDataset(2048, 8, 48, 83);
+  LinearModel model(2048, 8);
+  model.InitializeParameters(89);
+  ASSERT_GE(static_cast<size_t>(model.num_parameters()),
+            kPooledReduceMinWidth);
+  // 33 samples = 5 leaves (uneven tail), several shard splits.
+  ExpectShardingInvariant(model, data, RandomBatch(33, 48, 97));
+}
+
 TEST(ShardedLossAndGradientTest, SingleLeafBatchMatchesWholeBatchPath) {
   // A batch no larger than one leaf degenerates to exactly one unsharded
   // evaluation: the tree is trivial, so this pins the pre-sharding
