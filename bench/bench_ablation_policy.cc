@@ -149,11 +149,12 @@ void CompareStrategies(int n, uint64_t seed) {
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::CompareStrategies(8, 1);
-  if (!netmax::bench::SmokeMode()) {
-    netmax::CompareStrategies(8, 2);
-    netmax::CompareStrategies(16, 1);
-  }
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] {
+    netmax::CompareStrategies(8, 1);
+    if (!netmax::bench::SmokeMode()) {
+      netmax::CompareStrategies(8, 2);
+      netmax::CompareStrategies(16, 1);
+    }
+    return netmax::Status::Ok();
+  });
 }

@@ -24,7 +24,7 @@ double IterationSeconds(const ml::ModelProfile& profile,
                   link.TransferSeconds(profile.message_bytes()));
 }
 
-void Run() {
+Status Run() {
   const net::LinkClass intra = net::IntraMachineLinkClass();
   const net::LinkClass inter = net::InterMachineLinkClass();
   TablePrinter table(
@@ -39,13 +39,12 @@ void Run() {
   std::cout << "\n== Fig. 3: intra vs inter-machine iteration time ==\n";
   table.Print(std::cout);
   table.PrintCsv(std::cout, "fig03_iteration_time");
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

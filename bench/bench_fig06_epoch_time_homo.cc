@@ -15,24 +15,22 @@
 namespace netmax {
 namespace {
 
-void Run() {
+Status Run() {
   for (const auto& profile : {ml::ResNet18Profile(), ml::Vgg19Profile()}) {
     core::ExperimentConfig config = bench::PaperBaseConfig();
     config.network = core::NetworkScenario::kHomogeneous;
     config.profile = profile;
     config.max_epochs = 12;
-    const auto results =
-        bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config);
+    NETMAX_ASSIGN_OR_RETURN(const auto results, bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config));
     bench::PrintEpochCostSplit(
         std::cout, "Fig. 6 (" + profile.name + ", homogeneous)", results);
   }
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

@@ -23,7 +23,7 @@
 namespace netmax {
 namespace {
 
-void Run() {
+Status Run() {
   struct Variant {
     bool overlap;
     bool adaptive;
@@ -42,22 +42,21 @@ void Run() {
     for (const Variant& variant : variants) {
       core::NetMaxVariantAlgorithm algorithm(variant.overlap,
                                              variant.adaptive);
-      auto result = algorithm.Run(config);
-      NETMAX_CHECK(result.ok()) << result.status();
-      table.AddRow({result->algorithm,
-                    Fmt(result->avg_epoch_cost.total_seconds(), 2)});
+      NETMAX_ASSIGN_OR_RETURN(const core::RunResult result,
+                              algorithm.Run(config));
+      table.AddRow({result.algorithm,
+                    Fmt(result.avg_epoch_cost.total_seconds(), 2)});
     }
     std::cout << "\n== Fig. 7: NetMax ablation (" << profile.name << ") ==\n";
     table.Print(std::cout);
     table.PrintCsv(std::cout, "fig07_ablation_" + profile.name);
   }
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

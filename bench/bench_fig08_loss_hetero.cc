@@ -14,24 +14,22 @@
 namespace netmax {
 namespace {
 
-void Run() {
+Status Run() {
   for (const auto& profile : {ml::ResNet18Profile(), ml::Vgg19Profile()}) {
     core::ExperimentConfig config = bench::PaperBaseConfig();
     config.profile = profile;
-    const auto results =
-        bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config);
+    NETMAX_ASSIGN_OR_RETURN(const auto results, bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config));
     const std::string title = "Fig. 8 (" + profile.name + ", heterogeneous)";
     bench::PrintSeries(std::cout, title, "time_s", "train_loss", results,
                        &core::RunResult::loss_vs_time);
     bench::PrintSpeedups(std::cout, title + " speedups", results);
   }
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

@@ -17,7 +17,7 @@
 namespace netmax {
 namespace {
 
-void Run() {
+Status Run() {
   const std::vector<int> worker_counts = {4, 6, 8};
   for (const auto& profile : {ml::ResNet18Profile(), ml::Vgg19Profile()}) {
     std::map<std::pair<std::string, int>, double> times;
@@ -33,8 +33,7 @@ void Run() {
       config.monitor_period_seconds = 8.0;  // short runs: keep several ticks
       for (uint64_t seed : seeds) {
         config.seed = seed;
-        const auto results =
-            bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config);
+        NETMAX_ASSIGN_OR_RETURN(const auto results, bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config));
         for (const auto& entry : results) {
           times[{entry.name, workers}] +=
               entry.result.total_virtual_seconds / seeds.size();
@@ -55,13 +54,12 @@ void Run() {
     table.Print(std::cout);
     table.PrintCsv(std::cout, "fig11_scalability_homo_" + profile.name);
   }
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

@@ -15,11 +15,10 @@
 namespace netmax {
 namespace {
 
-void Run() {
+Status Run() {
   const core::ExperimentConfig config =
       bench::NonUniformConfig(ml::Cifar100SimSpec(), ml::ResNet18Profile());
-  const auto results =
-      bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config);
+  NETMAX_ASSIGN_OR_RETURN(const auto results, bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config));
   bench::PrintSeries(std::cout, "Fig. 12a (CIFAR100-sim, loss vs epoch)",
                      "epoch", "train_loss", results,
                      &core::RunResult::loss_vs_epoch);
@@ -27,13 +26,12 @@ void Run() {
                      "time_s", "train_loss", results,
                      &core::RunResult::loss_vs_time);
   bench::PrintSpeedups(std::cout, "Fig. 12 speedups", results);
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

@@ -15,7 +15,7 @@
 namespace netmax {
 namespace {
 
-void Run() {
+Status Run() {
   core::ExperimentConfig config = bench::PaperBaseConfig();
   config.dataset = ml::ImageNetSimSpec();
   // Scaled-down corpus so the full bench suite stays fast; class structure
@@ -31,8 +31,7 @@ void Run() {
   config.hidden_layers = {48};
   config.max_epochs = 16;
   config.lr_milestones = {10};  // paper: decay at epoch 40 of 75
-  const auto results =
-      bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config);
+  NETMAX_ASSIGN_OR_RETURN(const auto results, bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config));
   bench::PrintSeries(std::cout, "Fig. 13a (ImageNet-sim, loss vs epoch)",
                      "epoch", "train_loss", results,
                      &core::RunResult::loss_vs_epoch);
@@ -40,13 +39,12 @@ void Run() {
                      "time_s", "train_loss", results,
                      &core::RunResult::loss_vs_time);
   bench::PrintSpeedups(std::cout, "Fig. 13 speedups", results);
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

@@ -14,12 +14,12 @@
 namespace netmax {
 namespace {
 
-void Run() {
+Status Run() {
   const core::ExperimentConfig config =
       bench::NonUniformConfig(ml::Cifar100SimSpec(), ml::MobileNetProfile());
   const std::vector<std::string> algorithms = {
       "prague", "allreduce", "adpsgd", "ps-sync", "ps-async", "netmax"};
-  const auto results = bench::RunAlgorithms(algorithms, config);
+  NETMAX_ASSIGN_OR_RETURN(const auto results, bench::RunAlgorithms(algorithms, config));
   bench::PrintSeries(std::cout,
                      "Fig. 14a (MobileNet/CIFAR100-sim, loss vs epoch)",
                      "epoch", "train_loss", results,
@@ -29,13 +29,12 @@ void Run() {
                      "time_s", "train_loss", results,
                      &core::RunResult::loss_vs_time);
   bench::PrintSpeedups(std::cout, "Fig. 14 speedups", results);
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

@@ -15,12 +15,12 @@
 namespace netmax {
 namespace {
 
-void Run() {
+Status Run() {
   const core::ExperimentConfig config =
       bench::NonUniformConfig(ml::Cifar100SimSpec(), ml::ResNet18Profile());
   const std::vector<std::string> algorithms = {"adpsgd", "adpsgd+monitor",
                                                "netmax"};
-  const auto results = bench::RunAlgorithms(algorithms, config);
+  NETMAX_ASSIGN_OR_RETURN(const auto results, bench::RunAlgorithms(algorithms, config));
   bench::PrintSeries(std::cout, "Fig. 15a (AD-PSGD extension, loss vs epoch)",
                      "epoch", "train_loss", results,
                      &core::RunResult::loss_vs_epoch);
@@ -28,13 +28,12 @@ void Run() {
                      "time_s", "train_loss", results,
                      &core::RunResult::loss_vs_time);
   bench::PrintSpeedups(std::cout, "Fig. 15 speedups", results);
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

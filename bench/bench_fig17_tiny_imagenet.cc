@@ -14,13 +14,12 @@
 namespace netmax {
 namespace {
 
-void Run() {
+Status Run() {
   core::ExperimentConfig config = bench::NonUniformConfig(
       ml::TinyImageNetSimSpec(), ml::ResNet18Profile());
   config.dataset.num_train = 6000;
   config.dataset.num_test = 1000;
-  const auto results =
-      bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config);
+  NETMAX_ASSIGN_OR_RETURN(const auto results, bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config));
   bench::PrintSeries(std::cout, "Fig. 17a (Tiny-ImageNet-sim, loss vs epoch)",
                      "epoch", "train_loss", results,
                      &core::RunResult::loss_vs_epoch);
@@ -28,13 +27,12 @@ void Run() {
                      "time_s", "train_loss", results,
                      &core::RunResult::loss_vs_time);
   bench::PrintSpeedups(std::cout, "Fig. 17 speedups", results);
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

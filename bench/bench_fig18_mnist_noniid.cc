@@ -15,7 +15,7 @@
 namespace netmax {
 namespace {
 
-void Run() {
+Status Run() {
   core::ExperimentConfig config = bench::PaperBaseConfig();
   config.dataset = ml::MnistSimSpec();
   config.dataset.num_train = 4096;
@@ -27,8 +27,7 @@ void Run() {
   config.batch_size = 32;                      // paper Section V-F
   config.learning_rate = 0.05;
   config.max_epochs = 24;
-  const auto results =
-      bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config);
+  NETMAX_ASSIGN_OR_RETURN(const auto results, bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config));
   bench::PrintSeries(std::cout, "Fig. 18a (MNIST-sim non-IID, loss vs epoch)",
                      "epoch", "train_loss", results,
                      &core::RunResult::loss_vs_epoch);
@@ -36,13 +35,12 @@ void Run() {
                      "time_s", "train_loss", results,
                      &core::RunResult::loss_vs_time);
   bench::PrintSpeedups(std::cout, "Fig. 18 speedups", results);
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

@@ -17,7 +17,7 @@
 namespace netmax {
 namespace {
 
-void Run() {
+Status Run() {
   for (const auto& profile :
        {ml::MobileNetProfile(), ml::GoogLeNetProfile()}) {
     core::ExperimentConfig config = bench::PaperBaseConfig();
@@ -35,7 +35,7 @@ void Run() {
     config.eval_every_epochs = 2;
     const std::vector<std::string> algorithms = {"ps-sync", "ps-async",
                                                  "adpsgd", "netmax"};
-    const auto results = bench::RunAlgorithms(algorithms, config);
+    NETMAX_ASSIGN_OR_RETURN(const auto results, bench::RunAlgorithms(algorithms, config));
     bench::PrintSeries(std::cout,
                        "Fig. 19 (" + profile.name + ", accuracy vs time)",
                        "time_s", "test_accuracy", results,
@@ -67,13 +67,12 @@ void Run() {
     table.Print(std::cout);
     table.PrintCsv(std::cout, "fig19_speedups_" + profile.name);
   }
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

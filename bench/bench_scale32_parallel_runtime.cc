@@ -45,20 +45,23 @@ struct TimedRun {
   double wall_seconds = 0.0;
 };
 
-TimedRun RunWith(const std::string& name, const core::ExperimentConfig& base,
-                 int threads, int shards, core::ExecutionBackendKind backend,
-                 int reorder_window) {
+StatusOr<TimedRun> RunWith(const std::string& name,
+                           const core::ExperimentConfig& base, int threads,
+                           int shards, core::ExecutionBackendKind backend,
+                           int reorder_window) {
   core::ExperimentConfig config = base;
   config.threads = threads;
   config.shards = shards;
   config.backend = backend;
   config.reorder_window = reorder_window;
-  auto algorithm = algos::MakeAlgorithm(name);
-  NETMAX_CHECK(algorithm.ok()) << algorithm.status();
+  NETMAX_ASSIGN_OR_RETURN(const auto algorithm, algos::MakeAlgorithm(name));
   const auto start = std::chrono::steady_clock::now();
-  auto result = (*algorithm)->Run(config);
+  auto result = algorithm->Run(config);
   const auto stop = std::chrono::steady_clock::now();
-  NETMAX_CHECK(result.ok()) << name << ": " << result.status().ToString();
+  if (!result.ok()) {
+    return Status(result.status().code(),
+                  name + ": " + result.status().message());
+  }
   return TimedRun{std::move(result.value()),
                   std::chrono::duration<double>(stop - start).count()};
 }
@@ -76,7 +79,7 @@ void CheckBitIdentical(const std::string& name, const core::RunResult& a,
   NETMAX_CHECK_EQ(a.consensus_distance, b.consensus_distance) << name;
 }
 
-void Run() {
+Status Run() {
   core::ExperimentConfig config = Scale32Config();
   bench::MaybeApplySmoke(config);
   // --threads=N pins the pooled legs; otherwise one thread per hardware
@@ -104,16 +107,19 @@ void Run() {
                       "async_speedup", "speculated", "redispatched", "stalls",
                       "backpressure"});
   for (const std::string name : {"netmax", "adpsgd", "allreduce", "gossip"}) {
-    const TimedRun serial =
+    NETMAX_ASSIGN_OR_RETURN(
+        const TimedRun serial,
         RunWith(name, config, /*threads=*/1, /*shards=*/1,
-                core::ExecutionBackendKind::kSerial, /*reorder_window=*/0);
-    const TimedRun speculative =
+                core::ExecutionBackendKind::kSerial, /*reorder_window=*/0));
+    NETMAX_ASSIGN_OR_RETURN(
+        const TimedRun speculative,
         RunWith(name, config, parallel_threads, sharded_shards,
                 core::ExecutionBackendKind::kSpeculative,
-                /*reorder_window=*/0);
-    const TimedRun async =
+                /*reorder_window=*/0));
+    NETMAX_ASSIGN_OR_RETURN(
+        const TimedRun async,
         RunWith(name, config, parallel_threads, sharded_shards,
-                core::ExecutionBackendKind::kAsyncPipeline, reorder_window);
+                core::ExecutionBackendKind::kAsyncPipeline, reorder_window));
     CheckBitIdentical(name, serial.result, speculative.result);
     CheckBitIdentical(name, serial.result, async.result);
     const auto speedup = [&serial](double wall) {
@@ -135,13 +141,12 @@ void Run() {
                "backends; results verified bit-identical) ==\n";
   table.Print(std::cout);
   table.PrintCsv(std::cout, "Scale-32 parallel runtime");
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

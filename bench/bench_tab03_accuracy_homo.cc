@@ -14,7 +14,7 @@
 namespace netmax {
 namespace {
 
-void Run() {
+Status Run() {
   for (const auto& profile : {ml::ResNet18Profile(), ml::Vgg19Profile()}) {
     TablePrinter table({"workers", "Prague", "Allreduce", "AD-PSGD", "NetMax"});
     for (int workers : {4, 6, 8}) {
@@ -23,8 +23,7 @@ void Run() {
       config.profile = profile;
       config.num_workers = workers;
       config.max_epochs = 20;
-      const auto results =
-          bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config);
+      NETMAX_ASSIGN_OR_RETURN(const auto results, bench::RunAlgorithms(algos::PaperComparisonAlgorithms(), config));
       table.AddRow({Fmt(workers),
                     Fmt(100.0 * results[0].result.final_accuracy, 2) + "%",
                     Fmt(100.0 * results[1].result.final_accuracy, 2) + "%",
@@ -36,13 +35,12 @@ void Run() {
     table.Print(std::cout);
     table.PrintCsv(std::cout, "tab03_accuracy_homo_" + profile.name);
   }
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

@@ -51,7 +51,7 @@ core::ExperimentConfig ImageNetConfig() {
   return config;
 }
 
-void Run() {
+Status Run() {
   struct Workload {
     std::string label;
     core::ExperimentConfig config;
@@ -76,8 +76,8 @@ void Run() {
   TablePrinter table(
       {"dataset/model", "Prague", "Allreduce", "AD-PSGD", "NetMax"});
   for (const Workload& workload : workloads) {
-    const auto results = bench::RunAlgorithms(
-        algos::PaperComparisonAlgorithms(), workload.config);
+    NETMAX_ASSIGN_OR_RETURN(const auto results, bench::RunAlgorithms(
+        algos::PaperComparisonAlgorithms(), workload.config));
     table.AddRow({workload.label,
                   Fmt(100.0 * results[0].result.final_accuracy, 2) + "%",
                   Fmt(100.0 * results[1].result.final_accuracy, 2) + "%",
@@ -87,13 +87,12 @@ void Run() {
   std::cout << "\n== Table V: accuracy, non-uniform partitioning ==\n";
   table.Print(std::cout);
   table.PrintCsv(std::cout, "tab05_accuracy_nonuniform");
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

@@ -14,7 +14,7 @@
 namespace netmax {
 namespace {
 
-void Run() {
+Status Run() {
   core::ExperimentConfig config =
       bench::NonUniformConfig(ml::Cifar100SimSpec(), ml::MobileNetProfile());
   // A smaller trainable proxy stands in for the small model: MobileNet's
@@ -22,7 +22,7 @@ void Run() {
   config.hidden_layers = {12};
   const std::vector<std::string> algorithms = {
       "prague", "allreduce", "adpsgd", "ps-sync", "ps-async", "netmax"};
-  const auto results = bench::RunAlgorithms(algorithms, config);
+  NETMAX_ASSIGN_OR_RETURN(const auto results, bench::RunAlgorithms(algorithms, config));
   TablePrinter table({"algorithm", "accuracy"});
   for (const auto& entry : results) {
     table.AddRow(
@@ -31,13 +31,12 @@ void Run() {
   std::cout << "\n== Table VI: MobileNet/CIFAR100-sim accuracy ==\n";
   table.Print(std::cout);
   table.PrintCsv(std::cout, "tab06_accuracy_mobilenet");
+  return Status::Ok();
 }
 
 }  // namespace
 }  // namespace netmax
 
 int main(int argc, char** argv) {
-  netmax::bench::InitBench(argc, argv);
-  netmax::Run();
-  return 0;
+  return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
 }

@@ -1,6 +1,7 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -28,11 +29,22 @@ bool backend_override_set = false;
 core::ExecutionBackendKind backend_override =
     core::ExecutionBackendKind::kSpeculative;
 int reorder_window_override = -1;
+double checkpoint_at_override = 0.0;
+std::string checkpoint_path_override;
+std::string restore_path_override;
+// Sequence number of the current RunAlgorithms/RunConfigs batch within this
+// process. Benches call the runners several times (one per figure panel,
+// often with the same algorithm names), and the batch index keeps each
+// call's checkpoint files distinct. The numbering is deterministic for a
+// given binary, so a --restore-path pass resolves exactly the files the
+// --checkpoint-path pass wrote.
+int run_batch_counter = 0;
 
 void PrintUsage(std::ostream& os, const char* binary) {
   os << "usage: " << binary
      << " [--smoke] [--threads=N] [--shards=N] [--backend=K]"
         " [--reorder-window=N]\n"
+        "       [--checkpoint-at=S --checkpoint-path=P] [--restore-path=P]\n"
      << "  --smoke              reduced iterations / corpus (CI smoke run)\n"
      << "  --threads=N          per-run simulation threads (0 = one per "
         "core, 1 = serial; results are bit-identical)\n"
@@ -42,6 +54,13 @@ void PrintUsage(std::ostream& os, const char* binary) {
         "async (results are bit-identical)\n"
      << "  --reorder-window=N   async backend in-flight compute bound "
         "(0 = synchronous; results are bit-identical)\n"
+     << "  --checkpoint-at=S    write a checkpoint S virtual seconds into "
+        "every run (requires --checkpoint-path)\n"
+     << "  --checkpoint-path=P  checkpoint file prefix; each run writes "
+        "P.b<batch>.<run name>\n"
+     << "  --restore-path=P     resume every run from its P.b<batch>.<run "
+        "name> checkpoint (results are bit-identical to the uninterrupted "
+        "run)\n"
      << "environment overrides (a flag beats its variable):\n"
      << "  NETMAX_SMOKE=1            same as --smoke\n"
      << "  NETMAX_THREADS=N          same as --threads=N\n"
@@ -52,31 +71,40 @@ void PrintUsage(std::ostream& os, const char* binary) {
 
 // Strict value parse for "--flag=N" style flags and their environment
 // fallbacks: anything but an exact non-negative integer is a usage error.
-int ParseFlagValueOrDie(const char* binary, const std::string& flag_text,
-                        std::string_view value) {
-  int parsed = 0;
-  if (!ParseNonNegativeInt(value, &parsed)) {
-    std::cerr << "bad flag value: " << flag_text
-              << " (expected a non-negative integer)\n";
-    PrintUsage(std::cerr, binary);
-    std::exit(2);
+StatusOr<int> ParseFlagValue(const std::string& flag_text,
+                             std::string_view value) {
+  StatusOr<int> parsed = ParseNonNegativeInt(value);
+  if (!parsed.ok()) {
+    return InvalidArgumentError("bad flag value: " + flag_text +
+                                " (expected a non-negative integer)");
   }
   return parsed;
 }
 
 // Strict value parse for "--backend=K" and NETMAX_BACKEND: anything but a
 // known backend name is a usage error.
-core::ExecutionBackendKind ParseBackendOrDie(const char* binary,
-                                             const std::string& flag_text,
-                                             std::string_view value) {
+StatusOr<core::ExecutionBackendKind> ParseBackend(const std::string& flag_text,
+                                                  std::string_view value) {
   core::ExecutionBackendKind kind;
   if (!core::ParseExecutionBackendKind(value, &kind)) {
-    std::cerr << "bad flag value: " << flag_text
-              << " (expected serial, speculative, or async)\n";
-    PrintUsage(std::cerr, binary);
-    std::exit(2);
+    return InvalidArgumentError("bad flag value: " + flag_text +
+                                " (expected serial, speculative, or async)");
   }
   return kind;
+}
+
+// Strict value parse for "--checkpoint-at=S": a non-negative decimal number
+// of virtual seconds.
+StatusOr<double> ParseSeconds(const std::string& flag_text,
+                              std::string_view value) {
+  const std::string text(value);
+  if (!text.empty() && std::isdigit(static_cast<unsigned char>(text[0]))) {
+    char* end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() + text.size() && parsed >= 0.0) return parsed;
+  }
+  return InvalidArgumentError("bad flag value: " + flag_text +
+                              " (expected a non-negative number of seconds)");
 }
 
 // Splits the machine between `concurrent_runs` simultaneous experiments:
@@ -102,62 +130,142 @@ void ApplyExecutionOverrides(core::ExperimentConfig& config,
   }
 }
 
+// Distinct checkpoint/restore files for every run of a bench:
+// --checkpoint-path / --restore-path name a prefix and each run appends
+// ".<run name>" (separators sanitized), so a bench running several
+// algorithms in parallel never interleaves two runs' bytes in one file and
+// a restore always finds the file whose fingerprint matches the run.
+std::string PerRunPath(const std::string& prefix,
+                       const std::string& run_name) {
+  std::string suffix = run_name;
+  for (char& c : suffix) {
+    if (c == '/' || c == '\\' ||
+        std::isspace(static_cast<unsigned char>(c))) {
+      c = '-';
+    }
+  }
+  return prefix + "." + suffix;
+}
+
+void ApplyCheckpointOverrides(core::ExperimentConfig& config, int batch,
+                              const std::string& run_name) {
+  // Built with += rather than operator+ chaining: GCC 12's -Wrestrict
+  // false-fires on the `literal + temporary` form under -O2.
+  std::string run_key = "b";
+  run_key += std::to_string(batch);
+  run_key += '.';
+  run_key += run_name;
+  if (checkpoint_at_override > 0.0) {
+    config.checkpoint_at_seconds = checkpoint_at_override;
+    config.checkpoint_path = PerRunPath(checkpoint_path_override, run_key);
+  }
+  if (!restore_path_override.empty()) {
+    config.restore_path = PerRunPath(restore_path_override, run_key);
+  }
+}
+
 }  // namespace
 
-void InitBench(int argc, char** argv) {
-  const char* binary = argc > 0 ? argv[0] : "bench";
+StatusOr<bool> InitBench(int argc, char** argv) {
+  // Idempotent: re-parsing from a clean slate lets tests (and any caller)
+  // invoke InitBench more than once without earlier overrides leaking in.
+  smoke_mode = false;
+  threads_override = -1;
+  shards_override = -1;
+  backend_override_set = false;
+  reorder_window_override = -1;
+  checkpoint_at_override = 0.0;
+  checkpoint_path_override.clear();
+  restore_path_override.clear();
+  run_batch_counter = 0;
   const char* env = std::getenv("NETMAX_SMOKE");
   if (env != nullptr && std::strcmp(env, "1") == 0) smoke_mode = true;
   const char* env_threads = std::getenv("NETMAX_THREADS");
   if (env_threads != nullptr) {
-    threads_override =
-        ParseFlagValueOrDie(binary, std::string("NETMAX_THREADS=") +
-                                        env_threads,
-                            env_threads);
+    NETMAX_ASSIGN_OR_RETURN(
+        threads_override,
+        ParseFlagValue(std::string("NETMAX_THREADS=") + env_threads,
+                       env_threads));
   }
   const char* env_shards = std::getenv("NETMAX_SHARDS");
   if (env_shards != nullptr) {
-    shards_override = ParseFlagValueOrDie(
-        binary, std::string("NETMAX_SHARDS=") + env_shards, env_shards);
+    NETMAX_ASSIGN_OR_RETURN(
+        shards_override,
+        ParseFlagValue(std::string("NETMAX_SHARDS=") + env_shards,
+                       env_shards));
   }
   const char* env_backend = std::getenv("NETMAX_BACKEND");
   if (env_backend != nullptr) {
-    backend_override = ParseBackendOrDie(
-        binary, std::string("NETMAX_BACKEND=") + env_backend, env_backend);
+    NETMAX_ASSIGN_OR_RETURN(
+        backend_override,
+        ParseBackend(std::string("NETMAX_BACKEND=") + env_backend,
+                     env_backend));
     backend_override_set = true;
   }
   const char* env_window = std::getenv("NETMAX_REORDER_WINDOW");
   if (env_window != nullptr) {
-    reorder_window_override = ParseFlagValueOrDie(
-        binary, std::string("NETMAX_REORDER_WINDOW=") + env_window,
-        env_window);
+    NETMAX_ASSIGN_OR_RETURN(
+        reorder_window_override,
+        ParseFlagValue(std::string("NETMAX_REORDER_WINDOW=") + env_window,
+                       env_window));
   }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke_mode = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
-      threads_override =
-          ParseFlagValueOrDie(binary, arg, std::string_view(arg).substr(10));
+      NETMAX_ASSIGN_OR_RETURN(
+          threads_override,
+          ParseFlagValue(arg, std::string_view(arg).substr(10)));
     } else if (arg.rfind("--shards=", 0) == 0) {
-      shards_override =
-          ParseFlagValueOrDie(binary, arg, std::string_view(arg).substr(9));
+      NETMAX_ASSIGN_OR_RETURN(
+          shards_override,
+          ParseFlagValue(arg, std::string_view(arg).substr(9)));
     } else if (arg.rfind("--backend=", 0) == 0) {
-      backend_override =
-          ParseBackendOrDie(binary, arg, std::string_view(arg).substr(10));
+      NETMAX_ASSIGN_OR_RETURN(
+          backend_override,
+          ParseBackend(arg, std::string_view(arg).substr(10)));
       backend_override_set = true;
     } else if (arg.rfind("--reorder-window=", 0) == 0) {
-      reorder_window_override =
-          ParseFlagValueOrDie(binary, arg, std::string_view(arg).substr(17));
+      NETMAX_ASSIGN_OR_RETURN(
+          reorder_window_override,
+          ParseFlagValue(arg, std::string_view(arg).substr(17)));
+    } else if (arg.rfind("--checkpoint-at=", 0) == 0) {
+      NETMAX_ASSIGN_OR_RETURN(
+          checkpoint_at_override,
+          ParseSeconds(arg, std::string_view(arg).substr(16)));
+    } else if (arg.rfind("--checkpoint-path=", 0) == 0) {
+      checkpoint_path_override = arg.substr(18);
+    } else if (arg.rfind("--restore-path=", 0) == 0) {
+      restore_path_override = arg.substr(15);
     } else if (arg == "--help" || arg == "-h") {
-      PrintUsage(std::cout, binary);
-      std::exit(0);
+      PrintUsage(std::cout, argc > 0 ? argv[0] : "bench");
+      return false;
     } else {
-      std::cerr << "unknown bench flag: " << arg << "\n";
-      PrintUsage(std::cerr, binary);
-      std::exit(2);
+      return InvalidArgumentError("unknown bench flag: " + arg);
     }
   }
+  if (checkpoint_at_override > 0.0 && checkpoint_path_override.empty()) {
+    return InvalidArgumentError(
+        "--checkpoint-at requires --checkpoint-path");
+  }
+  return true;
+}
+
+int BenchMain(int argc, char** argv, const std::function<Status()>& body) {
+  StatusOr<bool> init = InitBench(argc, argv);
+  if (!init.ok()) {
+    std::cerr << init.status().message() << "\n";
+    PrintUsage(std::cerr, argc > 0 ? argv[0] : "bench");
+    return 2;
+  }
+  if (!*init) return 0;  // --help
+  const Status status = body();
+  if (!status.ok()) {
+    std::cerr << "bench failed: " << status.ToString() << "\n";
+    return 2;
+  }
+  return 0;
 }
 
 bool SmokeMode() { return smoke_mode; }
@@ -187,52 +295,82 @@ void MaybeApplySmoke(core::ExperimentConfig& config) {
   // the plateau-decay scheduler (experiment.cc) — a different experiment.
 }
 
-std::vector<NamedResult> RunAlgorithms(const std::vector<std::string>& names,
-                                       const core::ExperimentConfig& config) {
+StatusOr<std::vector<NamedResult>> RunAlgorithms(
+    const std::vector<std::string>& names,
+    const core::ExperimentConfig& config) {
   // Shrink at the last point before execution so per-bench overrides applied
   // after PaperBaseConfig() (epochs, corpus size, ...) cannot undo --smoke.
   core::ExperimentConfig run_config = config;
   MaybeApplySmoke(run_config);
   ApplyExecutionOverrides(run_config, names.size());
+  const int batch = run_batch_counter++;
   std::vector<NamedResult> results(names.size());
+  std::vector<Status> statuses(names.size());
   ThreadPool pool(BenchThreads());
   ParallelFor(pool, static_cast<int>(names.size()),
-              [&names, &run_config, &results](int i) {
+              [&names, &run_config, &results, &statuses, batch](int i) {
                 const size_t n = static_cast<size_t>(i);
                 auto algorithm = algos::MakeAlgorithm(names[n]);
-                NETMAX_CHECK(algorithm.ok()) << algorithm.status();
-                auto result = (*algorithm)->Run(run_config);
-                NETMAX_CHECK(result.ok())
-                    << names[n] << ": " << result.status().ToString();
+                if (!algorithm.ok()) {
+                  statuses[n] = algorithm.status();
+                  return;
+                }
+                core::ExperimentConfig config_n = run_config;
+                ApplyCheckpointOverrides(config_n, batch, names[n]);
+                auto result = (*algorithm)->Run(config_n);
+                if (!result.ok()) {
+                  statuses[n] = Status(
+                      result.status().code(),
+                      names[n] + ": " + result.status().message());
+                  return;
+                }
                 results[n] =
                     NamedResult{result->algorithm, std::move(result.value())};
               });
+  for (const Status& status : statuses) {
+    NETMAX_RETURN_IF_ERROR(status);
+  }
   PrintExecutionDiagnostics(std::cerr, results);
   return results;
 }
 
-std::vector<NamedResult> RunConfigs(
+StatusOr<std::vector<NamedResult>> RunConfigs(
     const std::string& algorithm,
     const std::vector<core::ExperimentConfig>& configs,
     const std::vector<std::string>& labels) {
-  NETMAX_CHECK_EQ(configs.size(), labels.size());
+  if (configs.size() != labels.size()) {
+    return InvalidArgumentError("RunConfigs: configs/labels size mismatch");
+  }
   std::vector<core::ExperimentConfig> run_configs = configs;
-  for (core::ExperimentConfig& run_config : run_configs) {
-    MaybeApplySmoke(run_config);
-    ApplyExecutionOverrides(run_config, configs.size());
+  const int batch = run_batch_counter++;
+  for (size_t n = 0; n < run_configs.size(); ++n) {
+    MaybeApplySmoke(run_configs[n]);
+    ApplyExecutionOverrides(run_configs[n], configs.size());
+    ApplyCheckpointOverrides(run_configs[n], batch, labels[n]);
   }
   std::vector<NamedResult> results(configs.size());
+  std::vector<Status> statuses(configs.size());
   ThreadPool pool(BenchThreads());
   ParallelFor(pool, static_cast<int>(configs.size()),
-              [&algorithm, &run_configs, &labels, &results](int i) {
+              [&algorithm, &run_configs, &labels, &results, &statuses](int i) {
                 const size_t n = static_cast<size_t>(i);
                 auto algo = algos::MakeAlgorithm(algorithm);
-                NETMAX_CHECK(algo.ok()) << algo.status();
+                if (!algo.ok()) {
+                  statuses[n] = algo.status();
+                  return;
+                }
                 auto result = (*algo)->Run(run_configs[n]);
-                NETMAX_CHECK(result.ok())
-                    << labels[n] << ": " << result.status().ToString();
+                if (!result.ok()) {
+                  statuses[n] = Status(
+                      result.status().code(),
+                      labels[n] + ": " + result.status().message());
+                  return;
+                }
                 results[n] = NamedResult{labels[n], std::move(result.value())};
               });
+  for (const Status& status : statuses) {
+    NETMAX_RETURN_IF_ERROR(status);
+  }
   PrintExecutionDiagnostics(std::cerr, results);
   return results;
 }

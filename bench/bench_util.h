@@ -9,10 +9,12 @@
 // runtime (bit-identical to serial dispatch at any thread count; the machine
 // budget is split between concurrent runs).
 
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/experiment.h"
 #include "ml/metrics.h"
 
@@ -37,13 +39,37 @@ namespace netmax::bench {
 //                        bit-identical for every backend).
 //   --reorder-window=N   async backend's in-flight compute bound (overrides
 //                        ExperimentConfig::reorder_window; 0 = synchronous).
+//   --checkpoint-at=S    arm a checkpoint S virtual seconds into every run
+//                        (overrides ExperimentConfig::checkpoint_at_seconds;
+//                        pair with --checkpoint-path).
+//   --checkpoint-path=P  checkpoint file prefix: each run writes
+//                        P.b<batch>.<run name> (sanitized), where <batch>
+//                        numbers the bench's RunAlgorithms/RunConfigs calls,
+//                        so several parallel runs — and several panels using
+//                        the same algorithm names — keep their checkpoints
+//                        apart.
+//   --restore-path=P     start every run from its P.b<batch>.<run name>
+//                        checkpoint instead of from scratch.
 // Every flag has a NETMAX_* environment fallback (see PrintUsage in
 // bench_util.cc for the single authoritative list); an explicit flag wins
-// over its environment variable. Unknown flags are fatal, and malformed
-// values (--threads=4x, --backend=asink) print a usage message and exit
-// non-zero, so typos don't silently run the full bench on the wrong
-// configuration.
-void InitBench(int argc, char** argv);
+// over its environment variable.
+//
+// Returns true to proceed, false when --help was printed (the caller should
+// exit 0), and kInvalidArgument — naming the offending flag — on an unknown
+// flag or a malformed value (--threads=4x, --backend=asink), so typos don't
+// silently run the full bench on the wrong configuration. Never exits or
+// aborts; BenchMain below turns the outcome into the process exit code.
+StatusOr<bool> InitBench(int argc, char** argv);
+
+// The standard fallible-bench main: parses flags via InitBench, runs `body`,
+// and maps the outcomes to exit codes — 0 on success (or --help), 2 with the
+// error and usage on stderr for flag errors, 2 with the error on stderr when
+// `body` fails. The only place a bench process turns a Status into an exit
+// code:
+//   int main(int argc, char** argv) {
+//     return netmax::bench::BenchMain(argc, argv, [] { return netmax::Run(); });
+//   }
+int BenchMain(int argc, char** argv, const std::function<Status()>& body);
 
 // The --threads/NETMAX_THREADS override, or -1 when unset.
 int ThreadsOverride();
@@ -74,13 +100,15 @@ struct NamedResult {
 };
 
 // Runs the registry algorithms named in `names` on `config`, in parallel;
-// results come back in input order. Fatal on unknown names or failed runs
-// (bench configs are supposed to be valid).
-std::vector<NamedResult> RunAlgorithms(const std::vector<std::string>& names,
-                                       const core::ExperimentConfig& config);
+// results come back in input order. Returns the first failure — an unknown
+// name (kNotFound) or a failed run, prefixed with the run's name — with no
+// partial results.
+StatusOr<std::vector<NamedResult>> RunAlgorithms(
+    const std::vector<std::string>& names,
+    const core::ExperimentConfig& config);
 
 // Runs one registry algorithm per config variant (paired by index).
-std::vector<NamedResult> RunConfigs(
+StatusOr<std::vector<NamedResult>> RunConfigs(
     const std::string& algorithm,
     const std::vector<core::ExperimentConfig>& configs,
     const std::vector<std::string>& labels);

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
+#include "core/checkpoint.h"
 #include "core/monitor.h"
 #include "core/policy.h"
 
@@ -46,12 +49,26 @@ class AdPsgdEngine {
           std::vector<ExponentialMovingAverage>(
               static_cast<size_t>(n),
               ExponentialMovingAverage(config_.ema_beta)));
-      harness_.sim().ScheduleAfter(config_.monitor_period_seconds,
-                                   [this] { MonitorTick(); });
     }
 
-    for (int w = 0; w < n; ++w) StartIteration(w);
+    builder_ = [this](const net::SavedEvent& event) {
+      return BuildEvent(event);
+    };
+    if (harness_.restore_requested()) {
+      NETMAX_RETURN_IF_ERROR(harness_.Restore(
+          [this](Deserializer& in) { return RestoreEngineState(in); },
+          builder_));
+    } else {
+      if (with_monitor_) {
+        Emit(config_.monitor_period_seconds, core::kPlainEvent,
+             {kMonitorTick, {}});
+      }
+      for (int w = 0; w < n; ++w) StartIteration(w);
+    }
+    harness_.ArmCheckpoint(
+        [this](Serializer& out) { return SaveEngineState(out); });
     harness_.sim().RunUntilIdle();
+    NETMAX_RETURN_IF_ERROR(harness_.checkpoint_status());
     if (monitor_ != nullptr) {
       harness_.set_policies_generated(monitor_->policies_generated());
     }
@@ -59,6 +76,73 @@ class AdPsgdEngine {
   }
 
  private:
+  // Checkpoint reification tags (core/checkpoint.h).
+  enum Tag : int64_t {
+    kIterate = 0,      // compute event: args [peer, compute_secs, wall_secs]
+    kMonitorTick = 1,  // plain event: args []
+  };
+
+  void Emit(double delay, int worker_key, net::EventPayload payload) {
+    core::ScheduleReified(harness_.sim(), delay, worker_key,
+                          std::move(payload), builder_);
+  }
+
+  StatusOr<net::RebuiltEvent> BuildEvent(const net::SavedEvent& event) {
+    const std::vector<double>& args = event.payload.args;
+    net::RebuiltEvent rebuilt;
+    switch (event.payload.tag) {
+      case kIterate: {
+        const int w = event.worker_key;
+        if (w < 0 || w >= harness_.num_workers() || args.size() != 3) break;
+        const int m = static_cast<int>(args[0]);
+        const double compute = args[1];
+        const double wall = args[2];
+        if (m < 0 || m >= harness_.num_workers() || m == w) break;
+        rebuilt.compute = [this, w] { return harness_.EvalBatchGradient(w); };
+        rebuilt.commit = [this, w, m, compute, wall](double loss) {
+          CompleteIteration(w, m, compute, wall, loss);
+        };
+        return rebuilt;
+      }
+      case kMonitorTick: {
+        if (event.worker_key >= 0 || !args.empty() || !with_monitor_) break;
+        rebuilt.plain = [this] { MonitorTick(); };
+        return rebuilt;
+      }
+      default:
+        break;
+    }
+    return InvalidArgumentError("malformed AD-PSGD event (tag " +
+                                std::to_string(event.payload.tag) + ")");
+  }
+
+  Status SaveEngineState(Serializer& out) {
+    core::SaveMatrix(out, policy_->matrix());
+    if (with_monitor_) {
+      core::SaveEmaGrid(out, ema_times_);
+      out.WriteI64(monitor_->policies_generated());
+    }
+    return Status::Ok();
+  }
+
+  Status RestoreEngineState(Deserializer& in) {
+    NETMAX_ASSIGN_OR_RETURN(linalg::Matrix matrix, core::LoadMatrix(in));
+    const int n = harness_.num_workers();
+    if (matrix.rows() != n || matrix.cols() != n) {
+      return InvalidArgumentError("checkpoint policy matrix shape mismatch");
+    }
+    policy_ = std::make_unique<CommunicationPolicy>(std::move(matrix));
+    if (with_monitor_) {
+      NETMAX_RETURN_IF_ERROR(core::RestoreEmaGrid(in, &ema_times_));
+      NETMAX_ASSIGN_OR_RETURN(const int64_t generated, in.ReadI64());
+      if (generated < 0) {
+        return InvalidArgumentError("negative policies_generated count");
+      }
+      monitor_->set_policies_generated(generated);
+    }
+    return Status::Ok();
+  }
+
   void StartIteration(int w) {
     if (harness_.WorkerDone(w)) return;
     core::WorkerRuntime& worker = harness_.worker(w);
@@ -72,11 +156,7 @@ class AdPsgdEngine {
     // pure compute half and everything stateful commits in event order.
     harness_.SampleBatch(w);
     const double wall = std::max(compute, transfer);
-    harness_.sim().ScheduleComputeAfter(
-        wall, w, [this, w] { return harness_.EvalBatchGradient(w); },
-        [this, w, m, compute, wall](double loss) {
-          CompleteIteration(w, m, compute, wall, loss);
-        });
+    Emit(wall, w, {kIterate, {static_cast<double>(m), compute, wall}});
   }
 
   void CompleteIteration(int w, int m, double compute, double wall,
@@ -125,8 +205,8 @@ class AdPsgdEngine {
       policy_ = std::make_unique<CommunicationPolicy>(
           std::move(generated.value().policy));
     }
-    harness_.sim().ScheduleAfter(config_.monitor_period_seconds,
-                                 [this] { MonitorTick(); });
+    Emit(config_.monitor_period_seconds, core::kPlainEvent,
+         {kMonitorTick, {}});
   }
 
   ExperimentHarness harness_;
@@ -136,6 +216,7 @@ class AdPsgdEngine {
   std::unique_ptr<CommunicationPolicy> policy_;
   std::unique_ptr<core::NetworkMonitor> monitor_;
   std::vector<std::vector<ExponentialMovingAverage>> ema_times_;
+  net::EventRebuilder builder_;
 };
 
 }  // namespace

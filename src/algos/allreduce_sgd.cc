@@ -1,8 +1,11 @@
 #include "algos/allreduce_sgd.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "linalg/vector_ops.h"
 
 namespace netmax::algos {
@@ -19,12 +22,62 @@ class AllreduceEngine {
 
   StatusOr<RunResult> Run() {
     NETMAX_RETURN_IF_ERROR(harness_.Init());
-    harness_.sim().ScheduleAfter(0.0, [this] { RunRound(); });
+    builder_ = [this](const net::SavedEvent& event) {
+      return BuildEvent(event);
+    };
+    if (harness_.restore_requested()) {
+      // The engine keeps no state of its own; the restored queue and worker
+      // state carry the whole round structure.
+      NETMAX_RETURN_IF_ERROR(harness_.Restore(
+          [](Deserializer&) { return Status::Ok(); }, builder_));
+    } else {
+      Emit(0.0, core::kPlainEvent, {kRunRound, {}});
+    }
+    harness_.ArmCheckpoint([](Serializer&) { return Status::Ok(); });
     harness_.sim().RunUntilIdle();
+    NETMAX_RETURN_IF_ERROR(harness_.checkpoint_status());
     return harness_.Finalize();
   }
 
  private:
+  // Checkpoint reification tags (core/checkpoint.h).
+  enum Tag : int64_t {
+    kRoundCompute = 0,  // compute event: one worker's gradient, args []
+    kRunRound = 1,      // plain event: start the next round, args []
+  };
+
+  void Emit(double delay, int worker_key, net::EventPayload payload) {
+    core::ScheduleReified(harness_.sim(), delay, worker_key,
+                          std::move(payload), builder_);
+  }
+
+  StatusOr<net::RebuiltEvent> BuildEvent(const net::SavedEvent& event) {
+    const std::vector<double>& args = event.payload.args;
+    net::RebuiltEvent rebuilt;
+    switch (event.payload.tag) {
+      case kRoundCompute: {
+        const int w = event.worker_key;
+        const int n = harness_.num_workers();
+        if (w < 0 || w >= n || !args.empty()) break;
+        rebuilt.compute = [this, w] { return harness_.EvalBatchGradient(w); };
+        rebuilt.commit = [this, w, n](double loss) {
+          harness_.CommitBatchStats(w, loss);
+          if (w == n - 1) ReduceAndApply();
+        };
+        return rebuilt;
+      }
+      case kRunRound: {
+        if (event.worker_key >= 0 || !args.empty()) break;
+        rebuilt.plain = [this] { RunRound(); };
+        return rebuilt;
+      }
+      default:
+        break;
+    }
+    return InvalidArgumentError("malformed Allreduce event (tag " +
+                                std::to_string(event.payload.tag) + ")");
+  }
+
   void RunRound() {
     if (harness_.AllDone()) return;
     const int n = harness_.num_workers();
@@ -35,12 +88,7 @@ class AllreduceEngine {
     // reduces and starts the next round.
     for (int w = 0; w < n; ++w) {
       harness_.SampleBatch(w);
-      harness_.sim().ScheduleComputeAfter(
-          0.0, w, [this, w] { return harness_.EvalBatchGradient(w); },
-          [this, w, n](double loss) {
-            harness_.CommitBatchStats(w, loss);
-            if (w == n - 1) ReduceAndApply();
-          });
+      Emit(0.0, w, {kRoundCompute, {}});
     }
   }
 
@@ -96,10 +144,11 @@ class AllreduceEngine {
     for (int w = 0; w < n; ++w) {
       harness_.AccountIteration(w, computes[static_cast<size_t>(w)], wall);
     }
-    harness_.sim().ScheduleAfter(wall, [this] { RunRound(); });
+    Emit(wall, core::kPlainEvent, {kRunRound, {}});
   }
 
   ExperimentHarness harness_;
+  net::EventRebuilder builder_;
 };
 
 }  // namespace

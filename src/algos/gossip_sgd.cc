@@ -1,7 +1,11 @@
 #include "algos/gossip_sgd.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 #include <vector>
+
+#include "core/checkpoint.h"
 
 namespace netmax::algos {
 namespace {
@@ -19,19 +23,49 @@ class GossipEngine {
     NETMAX_RETURN_IF_ERROR(harness_.Init());
     const int n = harness_.num_workers();
     push_busy_until_.assign(static_cast<size_t>(n), 0.0);
-    for (int w = 0; w < n; ++w) StartIteration(w);
+    builder_ = [this](const net::SavedEvent& event) {
+      return BuildEvent(event);
+    };
+    if (harness_.restore_requested()) {
+      NETMAX_RETURN_IF_ERROR(harness_.Restore(
+          [this](Deserializer& in) {
+            return in.ReadDoubleSpan(push_busy_until_);
+          },
+          builder_));
+    } else {
+      for (int w = 0; w < n; ++w) StartIteration(w);
+    }
+    harness_.ArmCheckpoint([this](Serializer& out) {
+      out.WriteDoubleVec(push_busy_until_);
+      return Status::Ok();
+    });
     harness_.sim().RunUntilIdle();
+    NETMAX_RETURN_IF_ERROR(harness_.checkpoint_status());
     return harness_.Finalize();
   }
 
  private:
-  void StartIteration(int w) {
-    if (harness_.WorkerDone(w)) return;
-    const double compute = harness_.worker(w).compute_seconds_per_batch;
-    harness_.SampleBatch(w);
-    harness_.sim().ScheduleComputeAfter(
-        compute, w, [this, w] { return harness_.EvalBatchGradient(w); },
-        [this, w, compute](double loss) {
+  // Checkpoint reification tags (core/checkpoint.h).
+  enum Tag : int64_t {
+    kIterate = 0,  // compute event: args [compute_seconds]
+    kArrival = 1,  // plain event: args [receiver, sender snapshot...]
+  };
+
+  void Emit(double delay, int worker_key, net::EventPayload payload) {
+    core::ScheduleReified(harness_.sim(), delay, worker_key,
+                          std::move(payload), builder_);
+  }
+
+  StatusOr<net::RebuiltEvent> BuildEvent(const net::SavedEvent& event) {
+    const std::vector<double>& args = event.payload.args;
+    net::RebuiltEvent rebuilt;
+    switch (event.payload.tag) {
+      case kIterate: {
+        const int w = event.worker_key;
+        if (w < 0 || w >= harness_.num_workers() || args.size() != 1) break;
+        const double compute = args[0];
+        rebuilt.compute = [this, w] { return harness_.EvalBatchGradient(w); };
+        rebuilt.commit = [this, w, compute](double loss) {
           harness_.CommitBatchStats(w, loss);
           harness_.ApplyStoredGradient(w);
           MaybePush(w);
@@ -39,7 +73,40 @@ class GossipEngine {
           // only.
           harness_.AccountIteration(w, compute, compute);
           StartIteration(w);
-        });
+        };
+        return rebuilt;
+      }
+      case kArrival: {
+        const size_t num_params = harness_.worker(0).gradient.size();
+        if (event.worker_key >= 0 || args.size() != 1 + num_params) break;
+        const int m = static_cast<int>(args[0]);
+        if (m < 0 || m >= harness_.num_workers()) break;
+        rebuilt.plain = [this, m,
+                         snapshot = std::vector<double>(args.begin() + 1,
+                                                        args.end())] {
+          // Arrival writes the receiver's parameters — invalidate whatever
+          // the backend ran ahead for m (frontier speculation or async
+          // window entry; an in-flight evaluation is waited out first).
+          harness_.sim().NotifyStateWrite(m);
+          auto x_m = harness_.worker(m).model->parameters();
+          for (size_t j = 0; j < x_m.size(); ++j) {
+            x_m[j] = 0.5 * (x_m[j] + snapshot[j]);
+          }
+        };
+        return rebuilt;
+      }
+      default:
+        break;
+    }
+    return InvalidArgumentError("malformed GoSGD event (tag " +
+                                std::to_string(event.payload.tag) + ")");
+  }
+
+  void StartIteration(int w) {
+    if (harness_.WorkerDone(w)) return;
+    const double compute = harness_.worker(w).compute_seconds_per_batch;
+    harness_.SampleBatch(w);
+    Emit(compute, w, {kIterate, {compute}});
   }
 
   void MaybePush(int w) {
@@ -51,24 +118,19 @@ class GossipEngine {
         0, static_cast<int64_t>(neighbors.size()) - 1))];
     const double transfer = harness_.PullSeconds(w, m);  // w -> m push
     push_busy_until_[static_cast<size_t>(w)] = now + transfer;
-    // Snapshot the sender's parameters at push time.
+    // Snapshot the sender's parameters at push time; the snapshot rides in
+    // the event payload so an in-flight push checkpoints/restores losslessly.
     const auto p = worker.model->parameters();
-    std::vector<double> snapshot(p.begin(), p.end());
-    harness_.sim().ScheduleAfter(
-        transfer, [this, m, snapshot = std::move(snapshot)] {
-          // Arrival writes the receiver's parameters — invalidate whatever
-          // the backend ran ahead for m (frontier speculation or async
-          // window entry; an in-flight evaluation is waited out first).
-          harness_.sim().NotifyStateWrite(m);
-          auto x_m = harness_.worker(m).model->parameters();
-          for (size_t j = 0; j < x_m.size(); ++j) {
-            x_m[j] = 0.5 * (x_m[j] + snapshot[j]);
-          }
-        });
+    std::vector<double> args;
+    args.reserve(1 + p.size());
+    args.push_back(static_cast<double>(m));
+    args.insert(args.end(), p.begin(), p.end());
+    Emit(transfer, core::kPlainEvent, {kArrival, std::move(args)});
   }
 
   ExperimentHarness harness_;
   std::vector<double> push_busy_until_;
+  net::EventRebuilder builder_;
 };
 
 }  // namespace

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "linalg/vector_ops.h"
 
 namespace netmax::algos {
@@ -56,6 +59,19 @@ class PsState {
   ml::Model& model() { return *model_; }
   ml::SgdOptimizer& optimizer() { return *optimizer_; }
 
+  void SaveState(Serializer& out) const {
+    out.WriteDoubleVec(model_->parameters());
+    optimizer_->SaveState(out);
+    out.WriteDouble(nic_free_);
+  }
+
+  Status RestoreState(Deserializer& in) {
+    NETMAX_RETURN_IF_ERROR(in.ReadDoubleSpan(model_->parameters()));
+    NETMAX_RETURN_IF_ERROR(optimizer_->RestoreState(in));
+    NETMAX_ASSIGN_OR_RETURN(nic_free_, in.ReadDouble());
+    return Status::Ok();
+  }
+
  private:
   ExperimentHarness* harness_ = nullptr;
   std::unique_ptr<ml::Model> model_;
@@ -72,12 +88,64 @@ class PsSyncEngine {
     NETMAX_RETURN_IF_ERROR(harness_.Init());
     ps_ = std::make_unique<PsState>(harness_, harness_.config(),
                                     /*use_momentum=*/true);
-    harness_.sim().ScheduleAfter(0.0, [this] { RunRound(); });
+    builder_ = [this](const net::SavedEvent& event) {
+      return BuildEvent(event);
+    };
+    if (harness_.restore_requested()) {
+      NETMAX_RETURN_IF_ERROR(harness_.Restore(
+          [this](Deserializer& in) { return ps_->RestoreState(in); },
+          builder_));
+    } else {
+      Emit(0.0, core::kPlainEvent, {kRunRound, {}});
+    }
+    harness_.ArmCheckpoint([this](Serializer& out) {
+      ps_->SaveState(out);
+      return Status::Ok();
+    });
     harness_.sim().RunUntilIdle();
+    NETMAX_RETURN_IF_ERROR(harness_.checkpoint_status());
     return harness_.Finalize();
   }
 
  private:
+  // Checkpoint reification tags (core/checkpoint.h).
+  enum Tag : int64_t {
+    kRoundCompute = 0,  // compute event: one worker's gradient, args []
+    kRunRound = 1,      // plain event: start the next round, args []
+  };
+
+  void Emit(double delay, int worker_key, net::EventPayload payload) {
+    core::ScheduleReified(harness_.sim(), delay, worker_key,
+                          std::move(payload), builder_);
+  }
+
+  StatusOr<net::RebuiltEvent> BuildEvent(const net::SavedEvent& event) {
+    const std::vector<double>& args = event.payload.args;
+    net::RebuiltEvent rebuilt;
+    switch (event.payload.tag) {
+      case kRoundCompute: {
+        const int w = event.worker_key;
+        const int n = harness_.num_workers();
+        if (w < 0 || w >= n || !args.empty()) break;
+        rebuilt.compute = [this, w] { return harness_.EvalBatchGradient(w); };
+        rebuilt.commit = [this, w, n](double loss) {
+          harness_.CommitBatchStats(w, loss);
+          if (w == n - 1) ExchangeWithServer();
+        };
+        return rebuilt;
+      }
+      case kRunRound: {
+        if (event.worker_key >= 0 || !args.empty()) break;
+        rebuilt.plain = [this] { RunRound(); };
+        return rebuilt;
+      }
+      default:
+        break;
+    }
+    return InvalidArgumentError("malformed PS-syn event (tag " +
+                                std::to_string(event.payload.tag) + ")");
+  }
+
   void RunRound() {
     if (harness_.AllDone()) return;
     const int n = harness_.num_workers();
@@ -87,12 +155,7 @@ class PsSyncEngine {
     // the round concurrently; the last commit performs the PS exchange.
     for (int w = 0; w < n; ++w) {
       harness_.SampleBatch(w);
-      harness_.sim().ScheduleComputeAfter(
-          0.0, w, [this, w] { return harness_.EvalBatchGradient(w); },
-          [this, w, n](double loss) {
-            harness_.CommitBatchStats(w, loss);
-            if (w == n - 1) ExchangeWithServer();
-          });
+      Emit(0.0, w, {kRoundCompute, {}});
     }
   }
 
@@ -141,11 +204,13 @@ class PsSyncEngine {
       harness_.AccountIteration(w, computes[static_cast<size_t>(w)],
                                 clock - t0);
     }
-    harness_.sim().ScheduleAt(clock, [this] { RunRound(); });
+    core::ScheduleReifiedAt(harness_.sim(), clock, core::kPlainEvent,
+                            {kRunRound, {}}, builder_);
   }
 
   ExperimentHarness harness_;
   std::unique_ptr<PsState> ps_;
+  net::EventRebuilder builder_;
 };
 
 class PsAsyncEngine {
@@ -157,22 +222,54 @@ class PsAsyncEngine {
     NETMAX_RETURN_IF_ERROR(harness_.Init());
     ps_ = std::make_unique<PsState>(harness_, harness_.config(),
                                     /*use_momentum=*/false);
-    for (int w = 0; w < harness_.num_workers(); ++w) StartIteration(w);
+    builder_ = [this](const net::SavedEvent& event) {
+      return BuildEvent(event);
+    };
+    if (harness_.restore_requested()) {
+      NETMAX_RETURN_IF_ERROR(harness_.Restore(
+          [this](Deserializer& in) { return ps_->RestoreState(in); },
+          builder_));
+    } else {
+      for (int w = 0; w < harness_.num_workers(); ++w) StartIteration(w);
+    }
+    harness_.ArmCheckpoint([this](Serializer& out) {
+      ps_->SaveState(out);
+      return Status::Ok();
+    });
     harness_.sim().RunUntilIdle();
+    NETMAX_RETURN_IF_ERROR(harness_.checkpoint_status());
     return harness_.Finalize();
   }
 
  private:
-  void StartIteration(int w) {
-    if (harness_.WorkerDone(w)) return;
-    const double t0 = harness_.sim().Now();
-    const double compute = harness_.worker(w).compute_seconds_per_batch;
-    // Gradient at the worker's (possibly stale) parameters: pure compute
-    // half; the NIC reservation and PS interaction commit in event order.
-    harness_.SampleBatch(w);
-    harness_.sim().ScheduleComputeAfter(
-        compute, w, [this, w] { return harness_.EvalBatchGradient(w); },
-        [this, w, t0, compute](double loss) {
+  // Checkpoint reification tags (core/checkpoint.h). An in-flight PS round
+  // trip checkpoints as its pending upload/download events: the NIC
+  // reservations already happened at commit time and live in PsState's
+  // nic_free_, and the worker's gradient rides in the worker snapshot, so the
+  // pending events only need (w, t0, compute) to replay exactly.
+  enum Tag : int64_t {
+    kCompute = 0,   // compute event: args [t0, compute_seconds]
+    kUpload = 1,    // plain event: args [worker]
+    kDownload = 2,  // plain event: args [worker, t0, compute_seconds]
+  };
+
+  void Emit(double delay, int worker_key, net::EventPayload payload) {
+    core::ScheduleReified(harness_.sim(), delay, worker_key,
+                          std::move(payload), builder_);
+  }
+
+  StatusOr<net::RebuiltEvent> BuildEvent(const net::SavedEvent& event) {
+    const std::vector<double>& args = event.payload.args;
+    const int n = harness_.num_workers();
+    net::RebuiltEvent rebuilt;
+    switch (event.payload.tag) {
+      case kCompute: {
+        const int w = event.worker_key;
+        if (w < 0 || w >= n || args.size() != 2) break;
+        const double t0 = args[0];
+        const double compute = args[1];
+        rebuilt.compute = [this, w] { return harness_.EvalBatchGradient(w); };
+        rebuilt.commit = [this, w, t0, compute](double loss) {
           harness_.CommitBatchStats(w, loss);
           const double now = harness_.sim().Now();
           // Upload, then download, both serialized on the PS NIC; the worker
@@ -181,30 +278,69 @@ class PsAsyncEngine {
               ps_->ReserveNic(now, ps_->LinkSeconds(w, now));
           const double download_done =
               ps_->ReserveNic(upload_done, ps_->LinkSeconds(w, upload_done));
-          harness_.sim().ScheduleAt(upload_done, [this, w] {
-            // Async SGD: apply this worker's gradient immediately.
-            ps_->optimizer().set_learning_rate(
-                harness_.worker(w).optimizer->learning_rate());
-            ps_->optimizer().Step(ps_->model().parameters(),
-                                  harness_.worker(w).gradient);
-          });
-          harness_.sim().ScheduleAt(download_done, [this, w, t0, compute] {
-            // The download overwrites w's replica. w's own next compute is
-            // only scheduled below, but OTHER workers' in-flight window
-            // evaluations never read w's parameters, so notifying w alone
-            // satisfies the write contract under every backend.
-            harness_.sim().NotifyStateWrite(w);
-            const auto fresh = ps_->model().parameters();
-            auto params = harness_.worker(w).model->parameters();
-            std::copy(fresh.begin(), fresh.end(), params.begin());
-            harness_.AccountIteration(w, compute, harness_.sim().Now() - t0);
-            StartIteration(w);
-          });
-        });
+          core::ScheduleReifiedAt(harness_.sim(), upload_done,
+                                  core::kPlainEvent,
+                                  {kUpload, {static_cast<double>(w)}},
+                                  builder_);
+          core::ScheduleReifiedAt(
+              harness_.sim(), download_done, core::kPlainEvent,
+              {kDownload, {static_cast<double>(w), t0, compute}}, builder_);
+        };
+        return rebuilt;
+      }
+      case kUpload: {
+        if (event.worker_key >= 0 || args.size() != 1) break;
+        const int w = static_cast<int>(args[0]);
+        if (w < 0 || w >= n) break;
+        rebuilt.plain = [this, w] {
+          // Async SGD: apply this worker's gradient immediately.
+          ps_->optimizer().set_learning_rate(
+              harness_.worker(w).optimizer->learning_rate());
+          ps_->optimizer().Step(ps_->model().parameters(),
+                                harness_.worker(w).gradient);
+        };
+        return rebuilt;
+      }
+      case kDownload: {
+        if (event.worker_key >= 0 || args.size() != 3) break;
+        const int w = static_cast<int>(args[0]);
+        if (w < 0 || w >= n) break;
+        const double t0 = args[1];
+        const double compute = args[2];
+        rebuilt.plain = [this, w, t0, compute] {
+          // The download overwrites w's replica. w's own next compute is
+          // only scheduled below, but OTHER workers' in-flight window
+          // evaluations never read w's parameters, so notifying w alone
+          // satisfies the write contract under every backend.
+          harness_.sim().NotifyStateWrite(w);
+          const auto fresh = ps_->model().parameters();
+          auto params = harness_.worker(w).model->parameters();
+          std::copy(fresh.begin(), fresh.end(), params.begin());
+          harness_.AccountIteration(w, compute, harness_.sim().Now() - t0);
+          StartIteration(w);
+        };
+        return rebuilt;
+      }
+      default:
+        break;
+    }
+    return InvalidArgumentError("malformed PS-asyn event (tag " +
+                                std::to_string(event.payload.tag) + ")");
+  }
+
+  void StartIteration(int w) {
+    if (harness_.WorkerDone(w)) return;
+    const double t0 = harness_.sim().Now();
+    const double compute = harness_.worker(w).compute_seconds_per_batch;
+    // Gradient at the worker's (possibly stale) parameters: pure compute
+    // half; the NIC reservation and PS interaction commit in event order.
+    harness_.SampleBatch(w);
+    Emit(compute, w, {kCompute, {t0, compute}});
   }
 
   ExperimentHarness harness_;
   std::unique_ptr<PsState> ps_;
+  net::EventRebuilder builder_;
 };
 
 }  // namespace

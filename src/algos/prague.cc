@@ -1,8 +1,11 @@
 #include "algos/prague.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "linalg/vector_ops.h"
 
 namespace netmax::algos {
@@ -23,12 +26,100 @@ class PragueEngine {
     if (group_size_ <= 1) group_size_ = n <= 4 ? 2 : 4;
     group_size_ = std::min(group_size_, n);
     iteration_start_.assign(static_cast<size_t>(n), 0.0);
-    for (int w = 0; w < n; ++w) StartIteration(w);
+    builder_ = [this](const net::SavedEvent& event) {
+      return BuildEvent(event);
+    };
+    if (harness_.restore_requested()) {
+      NETMAX_RETURN_IF_ERROR(harness_.Restore(
+          [this](Deserializer& in) { return RestoreEngineState(in); },
+          builder_));
+    } else {
+      for (int w = 0; w < n; ++w) StartIteration(w);
+    }
+    harness_.ArmCheckpoint([this](Serializer& out) {
+      out.WriteIntVec(ready_);
+      out.WriteDoubleVec(iteration_start_);
+      out.WriteInt(active_groups_);
+      return Status::Ok();
+    });
     harness_.sim().RunUntilIdle();
+    NETMAX_RETURN_IF_ERROR(harness_.checkpoint_status());
     return harness_.Finalize();
   }
 
  private:
+  // Checkpoint reification tags (core/checkpoint.h). An in-flight group
+  // reduce checkpoints as its kGroupFinish event (the member models were
+  // already averaged at launch); the waiting room (`ready_`), per-worker
+  // iteration starts, and the in-flight group count ride in the engine blob.
+  enum Tag : int64_t {
+    kCompute = 0,      // compute event: args []
+    kGroupFinish = 1,  // plain event: args [reduce_seconds, members...]
+  };
+
+  void Emit(double delay, int worker_key, net::EventPayload payload) {
+    core::ScheduleReified(harness_.sim(), delay, worker_key,
+                          std::move(payload), builder_);
+  }
+
+  StatusOr<net::RebuiltEvent> BuildEvent(const net::SavedEvent& event) {
+    const std::vector<double>& args = event.payload.args;
+    const int n = harness_.num_workers();
+    net::RebuiltEvent rebuilt;
+    switch (event.payload.tag) {
+      case kCompute: {
+        const int w = event.worker_key;
+        if (w < 0 || w >= n || !args.empty()) break;
+        rebuilt.compute = [this, w] { return harness_.EvalBatchGradient(w); };
+        rebuilt.commit = [this, w](double loss) {
+          // Local SGD step, then wait for a partial-allreduce group.
+          harness_.CommitBatchStats(w, loss);
+          harness_.ApplyStoredGradient(w);
+          ready_.push_back(w);
+          MaybeFormGroup(/*flush=*/false);
+        };
+        return rebuilt;
+      }
+      case kGroupFinish: {
+        if (event.worker_key >= 0 || args.size() < 2) break;
+        const double reduce_seconds = args[0];
+        std::vector<int> group;
+        group.reserve(args.size() - 1);
+        bool valid = true;
+        for (size_t i = 1; i < args.size(); ++i) {
+          const int w = static_cast<int>(args[i]);
+          if (w < 0 || w >= n) valid = false;
+          group.push_back(w);
+        }
+        if (!valid) break;
+        rebuilt.plain = [this, group = std::move(group), reduce_seconds] {
+          --active_groups_;
+          for (int w : group) FinishGroupMember(w, reduce_seconds);
+        };
+        return rebuilt;
+      }
+      default:
+        break;
+    }
+    return InvalidArgumentError("malformed Prague event (tag " +
+                                std::to_string(event.payload.tag) + ")");
+  }
+
+  Status RestoreEngineState(Deserializer& in) {
+    NETMAX_RETURN_IF_ERROR(in.ReadIntVec(&ready_));
+    for (int w : ready_) {
+      if (w < 0 || w >= harness_.num_workers()) {
+        return InvalidArgumentError("ready worker out of range");
+      }
+    }
+    NETMAX_RETURN_IF_ERROR(in.ReadDoubleSpan(iteration_start_));
+    NETMAX_ASSIGN_OR_RETURN(active_groups_, in.ReadInt());
+    if (active_groups_ < 0) {
+      return InvalidArgumentError("negative active group count");
+    }
+    return Status::Ok();
+  }
+
   void StartIteration(int w) {
     if (harness_.WorkerDone(w)) {
       // A finished worker no longer joins groups; flush stragglers so the
@@ -39,15 +130,7 @@ class PragueEngine {
     iteration_start_[static_cast<size_t>(w)] = harness_.sim().Now();
     const double compute = harness_.worker(w).compute_seconds_per_batch;
     harness_.SampleBatch(w);
-    harness_.sim().ScheduleComputeAfter(
-        compute, w, [this, w] { return harness_.EvalBatchGradient(w); },
-        [this, w](double loss) {
-          // Local SGD step, then wait for a partial-allreduce group.
-          harness_.CommitBatchStats(w, loss);
-          harness_.ApplyStoredGradient(w);
-          ready_.push_back(w);
-          MaybeFormGroup(/*flush=*/false);
-        });
+    Emit(compute, w, {kCompute, {}});
   }
 
   // Number of workers that can still produce a ready event.
@@ -122,10 +205,12 @@ class PragueEngine {
       std::copy(mean.begin(), mean.end(), p.begin());
     }
 
-    harness_.sim().ScheduleAfter(reduce_seconds, [this, group, reduce_seconds] {
-      --active_groups_;
-      for (int w : group) FinishGroupMember(w, reduce_seconds);
-    });
+    std::vector<double> finish_args;
+    finish_args.reserve(1 + group.size());
+    finish_args.push_back(reduce_seconds);
+    for (int w : group) finish_args.push_back(static_cast<double>(w));
+    Emit(reduce_seconds, core::kPlainEvent,
+         {kGroupFinish, std::move(finish_args)});
   }
 
   void FinishGroupMember(int w, double /*reduce_seconds*/) {
@@ -141,6 +226,7 @@ class PragueEngine {
   std::vector<int> ready_;
   std::vector<double> iteration_start_;
   int active_groups_ = 0;
+  net::EventRebuilder builder_;
 };
 
 }  // namespace

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
+#include <utility>
 #include <vector>
+
+#include "core/checkpoint.h"
 
 namespace netmax::algos {
 
@@ -90,12 +94,71 @@ class SapsEngine {
     }
     subgraph_ = std::make_unique<net::Topology>(BuildFastLinkSubgraph(cost));
     NETMAX_CHECK(subgraph_->IsConnected());
-    for (int w = 0; w < n; ++w) StartIteration(w);
+    builder_ = [this](const net::SavedEvent& event) {
+      return BuildEvent(event);
+    };
+    if (harness_.restore_requested()) {
+      // The subgraph above is rebuilt deterministically from the t = 0 link
+      // costs, so the queue and worker state are the only mutable state.
+      NETMAX_RETURN_IF_ERROR(harness_.Restore(
+          [](Deserializer&) { return Status::Ok(); }, builder_));
+    } else {
+      for (int w = 0; w < n; ++w) StartIteration(w);
+    }
+    harness_.ArmCheckpoint([](Serializer&) { return Status::Ok(); });
     harness_.sim().RunUntilIdle();
+    NETMAX_RETURN_IF_ERROR(harness_.checkpoint_status());
     return harness_.Finalize();
   }
 
  private:
+  // Checkpoint reification tags (core/checkpoint.h).
+  enum Tag : int64_t {
+    kIterate = 0,  // compute event: args [peer, compute_seconds, wall_seconds]
+  };
+
+  void Emit(double delay, int worker_key, net::EventPayload payload) {
+    core::ScheduleReified(harness_.sim(), delay, worker_key,
+                          std::move(payload), builder_);
+  }
+
+  StatusOr<net::RebuiltEvent> BuildEvent(const net::SavedEvent& event) {
+    const std::vector<double>& args = event.payload.args;
+    net::RebuiltEvent rebuilt;
+    if (event.payload.tag == kIterate) {
+      const int w = event.worker_key;
+      if (w >= 0 && w < harness_.num_workers() && args.size() == 3) {
+        const int m = static_cast<int>(args[0]);
+        const double compute = args[1];
+        const double wall = args[2];
+        if (m >= 0 && m < harness_.num_workers() && m != w) {
+          rebuilt.compute = [this, w] {
+            return harness_.EvalBatchGradient(w);
+          };
+          rebuilt.commit = [this, w, m, compute, wall](double loss) {
+            core::WorkerRuntime& wr = harness_.worker(w);
+            harness_.CommitBatchStats(w, loss);
+            // One-sided averaging writes only the puller's parameters (m is
+            // read-only here, and compute halves only read their own worker's
+            // parameters, so no notify is needed for m under any backend).
+            harness_.sim().NotifyStateWrite(w);
+            auto x_i = wr.model->parameters();
+            const auto x_m = harness_.worker(m).model->parameters();
+            for (size_t j = 0; j < x_i.size(); ++j) {
+              x_i[j] = 0.5 * (x_i[j] + x_m[j]);
+            }
+            harness_.ApplyStoredGradient(w);
+            harness_.AccountIteration(w, compute, wall);
+            StartIteration(w);
+          };
+          return rebuilt;
+        }
+      }
+    }
+    return InvalidArgumentError("malformed SAPS-PSGD event (tag " +
+                                std::to_string(event.payload.tag) + ")");
+  }
+
   void StartIteration(int w) {
     if (harness_.WorkerDone(w)) return;
     core::WorkerRuntime& worker = harness_.worker(w);
@@ -106,28 +169,12 @@ class SapsEngine {
     const double transfer = harness_.PullSeconds(m, w);
     harness_.SampleBatch(w);
     const double wall = std::max(compute, transfer);
-    harness_.sim().ScheduleComputeAfter(
-        wall, w, [this, w] { return harness_.EvalBatchGradient(w); },
-        [this, w, m, compute, wall](double loss) {
-          core::WorkerRuntime& wr = harness_.worker(w);
-          harness_.CommitBatchStats(w, loss);
-          // One-sided averaging writes only the puller's parameters (m is
-          // read-only here, and compute halves only read their own worker's
-          // parameters, so no notify is needed for m under any backend).
-          harness_.sim().NotifyStateWrite(w);
-          auto x_i = wr.model->parameters();
-          const auto x_m = harness_.worker(m).model->parameters();
-          for (size_t j = 0; j < x_i.size(); ++j) {
-            x_i[j] = 0.5 * (x_i[j] + x_m[j]);
-          }
-          harness_.ApplyStoredGradient(w);
-          harness_.AccountIteration(w, compute, wall);
-          StartIteration(w);
-        });
+    Emit(wall, w, {kIterate, {static_cast<double>(m), compute, wall}});
   }
 
   ExperimentHarness harness_;
   std::unique_ptr<net::Topology> subgraph_;
+  net::EventRebuilder builder_;
 };
 
 }  // namespace

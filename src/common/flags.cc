@@ -1,19 +1,27 @@
 #include "common/flags.h"
 
 #include <limits>
+#include <string>
 
 namespace netmax {
 
-bool ParseNonNegativeInt(std::string_view text, int* value) {
-  if (text.empty()) return false;
+StatusOr<int> ParseNonNegativeInt(std::string_view text) {
+  if (text.empty()) {
+    return InvalidArgumentError("expected a non-negative integer, got \"\"");
+  }
   long long parsed = 0;
   for (const char c : text) {
-    if (c < '0' || c > '9') return false;
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError("expected a non-negative integer, got \"" +
+                                  std::string(text) + "\"");
+    }
     parsed = parsed * 10 + (c - '0');
-    if (parsed > std::numeric_limits<int>::max()) return false;
+    if (parsed > std::numeric_limits<int>::max()) {
+      return InvalidArgumentError("integer out of range: \"" +
+                                  std::string(text) + "\"");
+    }
   }
-  *value = static_cast<int>(parsed);
-  return true;
+  return static_cast<int>(parsed);
 }
 
 }  // namespace netmax

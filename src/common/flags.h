@@ -9,12 +9,14 @@
 
 #include <string_view>
 
+#include "common/status.h"
+
 namespace netmax {
 
-// Parses `text` as a non-negative base-10 integer into `*value`. Returns
-// false — leaving `*value` untouched — on an empty string, any non-digit
-// character (signs included), or overflow past int range.
-bool ParseNonNegativeInt(std::string_view text, int* value);
+// Parses `text` as a non-negative base-10 integer. Returns kInvalidArgument
+// — naming the offending text — on an empty string, any non-digit character
+// (signs included), or overflow past int range.
+StatusOr<int> ParseNonNegativeInt(std::string_view text);
 
 }  // namespace netmax
 

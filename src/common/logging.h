@@ -6,6 +6,18 @@
 // The project does not use C++ exceptions (see DESIGN.md); programmer errors
 // and violated invariants abort the process through NETMAX_CHECK, while
 // recoverable errors travel through Status/StatusOr (see common/status.h).
+//
+// Which is which, as a policy:
+//  * NETMAX_CHECK guards conditions no input can trigger — contract
+//    violations between layers, broken internal invariants, out-of-range
+//    indices into structures this code built itself. A firing check is a bug
+//    in this repository, and aborting with the site is the best diagnostic.
+//  * Status/StatusOr covers everything a user, flag, environment variable,
+//    config field, or on-disk file can cause: malformed flag values, invalid
+//    experiment configs, unknown algorithm/dataset names, truncated
+//    checkpoints. These paths must return the error to a caller that can
+//    report it (benches exit non-zero from main; a long-running service
+//    keeps serving), never abort mid-stack.
 
 #include <cstdlib>
 #include <iostream>

@@ -9,6 +9,7 @@
 // discrete sampling from an arbitrary probability vector (used to pick
 // neighbors from a communication-policy row).
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -67,6 +68,11 @@ class Rng {
 
   // Raw 64 random bits.
   uint64_t Next64();
+
+  // Raw engine state (seed + the four xoshiro256** words) for checkpointing;
+  // RestoreState reproduces the exact stream position SaveState captured.
+  std::array<uint64_t, 5> SaveState() const;
+  void RestoreState(const std::array<uint64_t, 5>& state);
 
  private:
   uint64_t seed_;

@@ -32,6 +32,13 @@ class ExponentialMovingAverage {
 
   void Reset();
 
+  // Checkpoint support: overwrites the running estimate with saved state
+  // (beta stays whatever this instance was constructed with).
+  void RestoreState(double value, int64_t count) {
+    value_ = value;
+    count_ = count;
+  }
+
  private:
   double beta_;
   double value_ = 0.0;

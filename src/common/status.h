@@ -112,6 +112,18 @@ class StatusOr {
   std::optional<T> value_;
 };
 
+namespace status_internal {
+
+// Normalizes Status / StatusOr<T> expressions to a Status for the test and
+// check macros below.
+inline const Status& ToStatus(const Status& status) { return status; }
+template <typename T>
+const Status& ToStatus(const StatusOr<T>& status_or) {
+  return status_or.status();
+}
+
+}  // namespace status_internal
+
 }  // namespace netmax
 
 // Propagates an error Status from an expression, absl-style:
@@ -122,11 +134,40 @@ class StatusOr {
     if (!status_macro_.ok()) return status_macro_; \
   } while (false)
 
+// Unwraps a StatusOr expression into `lhs`, returning the error to the
+// caller's scope when it is not OK (the TRY pattern, without the GCC
+// statement-expression extension so it stays portable):
+//   NETMAX_ASSIGN_OR_RETURN(const int threads, ParseNonNegativeInt(text));
+#define NETMAX_STATUS_MACROS_CONCAT_INNER(x, y) x##y
+#define NETMAX_STATUS_MACROS_CONCAT(x, y) \
+  NETMAX_STATUS_MACROS_CONCAT_INNER(x, y)
+// Variadic so the expression may contain unparenthesized commas
+// (function calls with several arguments).
+#define NETMAX_ASSIGN_OR_RETURN(lhs, ...)                              \
+  NETMAX_ASSIGN_OR_RETURN_IMPL(                                        \
+      NETMAX_STATUS_MACROS_CONCAT(status_or_macro_, __LINE__), lhs,    \
+      __VA_ARGS__)
+#define NETMAX_ASSIGN_OR_RETURN_IMPL(status_or, lhs, ...) \
+  auto status_or = (__VA_ARGS__);                         \
+  if (!status_or.ok()) return status_or.status();         \
+  lhs = std::move(status_or).value()
+
 // Aborts if `expr` is an error Status.
 #define NETMAX_CHECK_OK(expr)                                              \
   do {                                                                    \
     ::netmax::Status status_macro_ = (expr);                               \
     NETMAX_CHECK(status_macro_.ok()) << status_macro_.ToString();          \
+  } while (false)
+
+// gtest helper: expects that a Status (or StatusOr) expression is OK and
+// prints the full status message on failure instead of `false`. Only usable
+// in files that also include <gtest/gtest.h>; the macro expands to
+// EXPECT_TRUE at the use site, so this header needs no gtest dependency.
+#define NETMAX_EXPECT_OK(expr)                                             \
+  do {                                                                     \
+    const ::netmax::Status status_macro_ =                                 \
+        ::netmax::status_internal::ToStatus((expr));                       \
+    EXPECT_TRUE(status_macro_.ok()) << status_macro_.ToString();           \
   } while (false)
 
 #endif  // NETMAX_COMMON_STATUS_H_

@@ -1,0 +1,367 @@
+#include "core/checkpoint.h"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "core/experiment.h"
+#include "ml/metrics.h"
+
+namespace netmax::core {
+
+Status WriteCheckpointFile(const std::string& path,
+                           const std::vector<uint8_t>& bytes) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return InvalidArgumentError("cannot open \"" + tmp_path +
+                                  "\" for writing");
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      return InternalError("short write to \"" + tmp_path + "\"");
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return InternalError("cannot rename \"" + tmp_path + "\" to \"" + path +
+                         "\"");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> ReadCheckpointFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return NotFoundError("cannot open checkpoint file \"" + path + "\"");
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    return InternalError("short read from checkpoint file \"" + path + "\"");
+  }
+  return bytes;
+}
+
+void SaveMatrix(Serializer& out, const linalg::Matrix& matrix) {
+  out.WriteInt(matrix.rows());
+  out.WriteInt(matrix.cols());
+  out.WriteDoubleVec(matrix.data());
+}
+
+StatusOr<linalg::Matrix> LoadMatrix(Deserializer& in) {
+  NETMAX_ASSIGN_OR_RETURN(const int rows, in.ReadInt());
+  NETMAX_ASSIGN_OR_RETURN(const int cols, in.ReadInt());
+  if (rows < 0 || cols < 0) {
+    return InvalidArgumentError("checkpointed matrix has negative shape");
+  }
+  linalg::Matrix matrix(rows, cols);
+  NETMAX_RETURN_IF_ERROR(in.ReadDoubleSpan(matrix.mutable_data()));
+  return matrix;
+}
+
+void SaveEmaGrid(
+    Serializer& out,
+    const std::vector<std::vector<ExponentialMovingAverage>>& grid) {
+  out.WriteU64(grid.size());
+  for (const auto& row : grid) {
+    out.WriteU64(row.size());
+    for (const ExponentialMovingAverage& ema : row) {
+      out.WriteDouble(ema.value());
+      out.WriteI64(ema.count());
+    }
+  }
+}
+
+Status RestoreEmaGrid(
+    Deserializer& in,
+    std::vector<std::vector<ExponentialMovingAverage>>* grid) {
+  NETMAX_ASSIGN_OR_RETURN(const uint64_t rows, in.ReadU64());
+  if (rows != grid->size()) {
+    return InvalidArgumentError("checkpointed EMA grid row count mismatch");
+  }
+  for (auto& row : *grid) {
+    NETMAX_ASSIGN_OR_RETURN(const uint64_t cols, in.ReadU64());
+    if (cols != row.size()) {
+      return InvalidArgumentError("checkpointed EMA grid column count "
+                                  "mismatch");
+    }
+    for (ExponentialMovingAverage& ema : row) {
+      NETMAX_ASSIGN_OR_RETURN(const double value, in.ReadDouble());
+      NETMAX_ASSIGN_OR_RETURN(const int64_t count, in.ReadI64());
+      if (count < 0) {
+        return InvalidArgumentError("checkpointed EMA count is negative");
+      }
+      ema.RestoreState(value, count);
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+void SaveSeries(Serializer& out, const ml::Series& series) {
+  out.WriteU64(series.size());
+  for (const ml::SeriesPoint& point : series) {
+    out.WriteDouble(point.x);
+    out.WriteDouble(point.y);
+  }
+}
+
+Status LoadSeries(Deserializer& in, ml::Series* series) {
+  NETMAX_ASSIGN_OR_RETURN(const uint64_t size, in.ReadU64());
+  if (size * 16 > in.remaining()) {
+    return OutOfRangeError("checkpointed series is truncated");
+  }
+  series->clear();
+  series->reserve(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    ml::SeriesPoint point;
+    NETMAX_ASSIGN_OR_RETURN(point.x, in.ReadDouble());
+    NETMAX_ASSIGN_OR_RETURN(point.y, in.ReadDouble());
+    series->push_back(point);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void ExperimentHarness::ArmCheckpoint(EngineStateSaver save_engine) {
+  NETMAX_CHECK(initialized_) << "ArmCheckpoint before Init";
+  const double at = config_.checkpoint_at_seconds;
+  if (at <= 0.0 || at <= sim_.Now()) return;
+  // Untagged plain event: it is popped (and so no longer pending) by the
+  // time its callback snapshots the queue, so SaveQueue never sees it.
+  sim_.ScheduleAt(at, [this, at, save = std::move(save_engine)]() {
+    if (sim_.empty()) {
+      // Nothing left to run: the checkpoint time lies beyond the run's last
+      // event, so popping this event has dragged the virtual clock past the
+      // run's true end, and a checkpoint here could only restore into an
+      // already-finished run. Fail the run loudly rather than write a dead
+      // checkpoint and distort total_virtual_seconds.
+      checkpoint_status_ = FailedPreconditionError(
+          "checkpoint_at_seconds=" + std::to_string(at) +
+          " is past the end of the run");
+      return;
+    }
+    checkpoint_status_ = SaveCheckpoint(save);
+  });
+}
+
+Status ExperimentHarness::SaveCheckpoint(const EngineStateSaver& save_engine) {
+  // Quiesce: invalidate every speculated compute evaluation so all state
+  // below is at its committed value. The backend re-dispatches the
+  // invalidated evaluations after this handler returns; compute halves are
+  // pure, so the re-evaluations reproduce the same bits and the run
+  // continues unperturbed.
+  for (int w = 0; w < config_.num_workers; ++w) sim_.NotifyStateWrite(w);
+
+  Serializer out;
+  out.WriteU32(kCheckpointMagic);
+  out.WriteU32(kCheckpointVersion);
+  // Fingerprint, so a restore into a mismatched experiment fails loudly.
+  out.WriteString(algorithm_name_);
+  out.WriteInt(config_.num_workers);
+  out.WriteU64(config_.seed);
+  out.WriteInt(config_.max_epochs);
+  out.WriteI64(workers_[0]->model->num_parameters());
+  // The cost profile drives every event time; restoring into a different
+  // profile would silently graft this run's state onto another time scale.
+  out.WriteString(config_.profile.name);
+  out.WriteI64(config_.profile.num_parameters);
+  out.WriteDouble(config_.profile.compute_seconds);
+
+  out.WriteDouble(sim_.Now());
+  out.WriteI64(sim_.next_sequence());
+  out.WriteI64(sim_.num_events_processed());
+  NETMAX_ASSIGN_OR_RETURN(const std::vector<net::SavedEvent> events,
+                          sim_.SaveQueue());
+  out.WriteU64(events.size());
+  for (const net::SavedEvent& event : events) {
+    out.WriteDouble(event.time);
+    out.WriteI64(event.sequence);
+    out.WriteInt(event.worker_key);
+    out.WriteI64(event.payload.tag);
+    out.WriteDoubleVec(event.payload.args);
+  }
+
+  for (const auto& worker : workers_) SaveWorker(out, *worker);
+
+  SaveSeries(out, loss_vs_time_);
+  SaveSeries(out, loss_vs_epoch_);
+  SaveSeries(out, accuracy_vs_time_);
+  out.WriteI64(total_epochs_completed_);
+  out.WriteI64(policies_generated_);
+
+  NETMAX_RETURN_IF_ERROR(save_engine(out));
+  out.WriteU32(kCheckpointEndMarker);
+
+  if (config_.checkpoint_sink != nullptr) {
+    *config_.checkpoint_sink = out.bytes();
+  }
+  if (!config_.checkpoint_path.empty()) {
+    NETMAX_RETURN_IF_ERROR(WriteCheckpointFile(config_.checkpoint_path,
+                                               out.bytes()));
+  }
+  return Status::Ok();
+}
+
+Status ExperimentHarness::Restore(const EngineStateRestorer& restore_engine,
+                                  const net::EventRebuilder& rebuilder) {
+  NETMAX_CHECK(initialized_) << "Restore before Init";
+  NETMAX_CHECK(sim_.empty()) << "Restore after events were scheduled";
+  std::vector<uint8_t> file_bytes;
+  std::span<const uint8_t> bytes;
+  if (config_.restore_source != nullptr) {
+    bytes = *config_.restore_source;
+  } else if (!config_.restore_path.empty()) {
+    NETMAX_ASSIGN_OR_RETURN(file_bytes,
+                            ReadCheckpointFile(config_.restore_path));
+    bytes = file_bytes;
+  } else {
+    return FailedPreconditionError(
+        "Restore called without a configured restore source");
+  }
+  Deserializer in(bytes);
+
+  NETMAX_ASSIGN_OR_RETURN(const uint32_t magic, in.ReadU32());
+  if (magic != kCheckpointMagic) {
+    return InvalidArgumentError("not a NetMax checkpoint (bad magic)");
+  }
+  NETMAX_ASSIGN_OR_RETURN(const uint32_t version, in.ReadU32());
+  if (version != kCheckpointVersion) {
+    return InvalidArgumentError("unsupported checkpoint version " +
+                                std::to_string(version));
+  }
+  NETMAX_ASSIGN_OR_RETURN(const std::string algorithm, in.ReadString());
+  if (algorithm != algorithm_name_) {
+    return FailedPreconditionError("checkpoint was written by \"" + algorithm +
+                                   "\", restoring into \"" + algorithm_name_ +
+                                   "\"");
+  }
+  NETMAX_ASSIGN_OR_RETURN(const int num_workers, in.ReadInt());
+  if (num_workers != config_.num_workers) {
+    return FailedPreconditionError(
+        "checkpoint has " + std::to_string(num_workers) + " workers, config " +
+        std::to_string(config_.num_workers));
+  }
+  NETMAX_ASSIGN_OR_RETURN(const uint64_t seed, in.ReadU64());
+  if (seed != config_.seed) {
+    return FailedPreconditionError("checkpoint seed mismatch");
+  }
+  NETMAX_ASSIGN_OR_RETURN(const int max_epochs, in.ReadInt());
+  if (max_epochs != config_.max_epochs) {
+    return FailedPreconditionError("checkpoint max_epochs mismatch");
+  }
+  NETMAX_ASSIGN_OR_RETURN(const int64_t num_parameters, in.ReadI64());
+  if (num_parameters != workers_[0]->model->num_parameters()) {
+    return FailedPreconditionError("checkpoint model size mismatch");
+  }
+  NETMAX_ASSIGN_OR_RETURN(const std::string profile_name, in.ReadString());
+  NETMAX_ASSIGN_OR_RETURN(const int64_t profile_params, in.ReadI64());
+  NETMAX_ASSIGN_OR_RETURN(const double profile_compute, in.ReadDouble());
+  if (profile_name != config_.profile.name ||
+      profile_params != config_.profile.num_parameters ||
+      profile_compute != config_.profile.compute_seconds) {
+    return FailedPreconditionError("checkpoint was written under the \"" +
+                                   profile_name + "\" cost profile, config " +
+                                   "uses \"" + config_.profile.name + "\"");
+  }
+
+  NETMAX_ASSIGN_OR_RETURN(const double now, in.ReadDouble());
+  NETMAX_ASSIGN_OR_RETURN(const int64_t next_sequence, in.ReadI64());
+  NETMAX_ASSIGN_OR_RETURN(const int64_t processed, in.ReadI64());
+  NETMAX_ASSIGN_OR_RETURN(const uint64_t event_count, in.ReadU64());
+  if (event_count > in.remaining()) {  // every event takes > 1 byte
+    return OutOfRangeError("checkpointed event queue is truncated");
+  }
+  std::vector<net::SavedEvent> events;
+  events.reserve(event_count);
+  for (uint64_t i = 0; i < event_count; ++i) {
+    net::SavedEvent event;
+    NETMAX_ASSIGN_OR_RETURN(event.time, in.ReadDouble());
+    NETMAX_ASSIGN_OR_RETURN(event.sequence, in.ReadI64());
+    NETMAX_ASSIGN_OR_RETURN(event.worker_key, in.ReadInt());
+    NETMAX_ASSIGN_OR_RETURN(event.payload.tag, in.ReadI64());
+    NETMAX_RETURN_IF_ERROR(in.ReadDoubleVec(&event.payload.args));
+    events.push_back(std::move(event));
+  }
+  sim_.RestoreClock(now, next_sequence, processed);
+  NETMAX_RETURN_IF_ERROR(sim_.RestoreQueue(events, rebuilder));
+
+  for (auto& worker : workers_) {
+    NETMAX_RETURN_IF_ERROR(RestoreWorker(in, *worker));
+  }
+
+  NETMAX_RETURN_IF_ERROR(LoadSeries(in, &loss_vs_time_));
+  NETMAX_RETURN_IF_ERROR(LoadSeries(in, &loss_vs_epoch_));
+  NETMAX_RETURN_IF_ERROR(LoadSeries(in, &accuracy_vs_time_));
+  NETMAX_ASSIGN_OR_RETURN(total_epochs_completed_, in.ReadI64());
+  NETMAX_ASSIGN_OR_RETURN(policies_generated_, in.ReadI64());
+
+  NETMAX_RETURN_IF_ERROR(restore_engine(in));
+  NETMAX_ASSIGN_OR_RETURN(const uint32_t end_marker, in.ReadU32());
+  if (end_marker != kCheckpointEndMarker) {
+    return InvalidArgumentError("checkpoint end marker mismatch");
+  }
+  if (!in.AtEnd()) {
+    return InvalidArgumentError("trailing bytes after checkpoint end marker");
+  }
+  return Status::Ok();
+}
+
+void ExperimentHarness::SaveWorker(Serializer& out,
+                                   const WorkerRuntime& worker) const {
+  for (const uint64_t word : worker.rng.SaveState()) out.WriteU64(word);
+  out.WriteDoubleVec(worker.model->parameters());
+  worker.optimizer->SaveState(out);
+  worker.sampler->SaveState(out);
+  worker.lr_schedule->SaveState(out);
+  // The gradient scratch buffer IS part of the run's future: e.g. the
+  // parameter-server upload event reads it after the commit that filled it,
+  // and a checkpoint can land between the two. (Workspace is pure scratch
+  // and batch_indices pairs with the gradient, both rewritten before any
+  // read that follows a pending compute's re-evaluation.)
+  out.WriteDoubleVec(worker.gradient);
+  out.WriteIntVec(worker.batch_indices);
+  out.WriteDouble(worker.epoch_loss_sum);
+  out.WriteI64(worker.epoch_batches);
+  out.WriteI64(worker.epochs_completed);
+  out.WriteDouble(worker.latest_epoch_loss);
+  out.WriteBool(worker.has_epoch_loss);
+  out.WriteDouble(worker.compute_cost_total);
+  out.WriteDouble(worker.comm_cost_total);
+  out.WriteI64(worker.iterations);
+  out.WriteBool(worker.finished);
+}
+
+Status ExperimentHarness::RestoreWorker(Deserializer& in,
+                                        WorkerRuntime& worker) {
+  std::array<uint64_t, 5> rng_state;
+  for (uint64_t& word : rng_state) {
+    NETMAX_ASSIGN_OR_RETURN(word, in.ReadU64());
+  }
+  worker.rng.RestoreState(rng_state);
+  NETMAX_RETURN_IF_ERROR(in.ReadDoubleSpan(worker.model->parameters()));
+  NETMAX_RETURN_IF_ERROR(worker.optimizer->RestoreState(in));
+  NETMAX_RETURN_IF_ERROR(worker.sampler->RestoreState(in));
+  NETMAX_RETURN_IF_ERROR(worker.lr_schedule->RestoreState(in));
+  NETMAX_RETURN_IF_ERROR(in.ReadDoubleSpan(worker.gradient));
+  NETMAX_RETURN_IF_ERROR(in.ReadIntVec(&worker.batch_indices));
+  NETMAX_ASSIGN_OR_RETURN(worker.epoch_loss_sum, in.ReadDouble());
+  NETMAX_ASSIGN_OR_RETURN(worker.epoch_batches, in.ReadI64());
+  NETMAX_ASSIGN_OR_RETURN(worker.epochs_completed, in.ReadI64());
+  NETMAX_ASSIGN_OR_RETURN(worker.latest_epoch_loss, in.ReadDouble());
+  NETMAX_ASSIGN_OR_RETURN(worker.has_epoch_loss, in.ReadBool());
+  NETMAX_ASSIGN_OR_RETURN(worker.compute_cost_total, in.ReadDouble());
+  NETMAX_ASSIGN_OR_RETURN(worker.comm_cost_total, in.ReadDouble());
+  NETMAX_ASSIGN_OR_RETURN(worker.iterations, in.ReadI64());
+  NETMAX_ASSIGN_OR_RETURN(worker.finished, in.ReadBool());
+  return Status::Ok();
+}
+
+}  // namespace netmax::core

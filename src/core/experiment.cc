@@ -39,28 +39,58 @@ int WorkerBatchSize(const ExperimentConfig& config, int worker) {
   return config.batch_size;
 }
 
+Status ExperimentConfig::Validate() const {
+  if (num_workers < 2) {
+    return InvalidArgumentError("need at least 2 workers");
+  }
+  if (batch_size < 1) return InvalidArgumentError("batch_size < 1");
+  if (max_epochs < 1) return InvalidArgumentError("max_epochs < 1");
+  if (learning_rate <= 0.0) {
+    return InvalidArgumentError("learning_rate <= 0");
+  }
+  // The dataset spec comes straight from bench/user config; reject it here so
+  // the generator's internal NETMAX_CHECKs stay pure programmer-error guards.
+  if (dataset.feature_dim < 1) {
+    return InvalidArgumentError("dataset.feature_dim < 1");
+  }
+  if (dataset.num_classes < 2) {
+    return InvalidArgumentError(
+        "dataset.num_classes < 2 (need a classification task)");
+  }
+  if (dataset.num_train < 1) {
+    return InvalidArgumentError("dataset.num_train < 1");
+  }
+  if (dataset.num_test < 1) {
+    return InvalidArgumentError("dataset.num_test < 1");
+  }
+  if (network == NetworkScenario::kWan && num_workers != 6) {
+    return InvalidArgumentError("the WAN scenario models exactly 6 regions");
+  }
+  if (threads < 0) return InvalidArgumentError("threads < 0");
+  if (shards < 0) return InvalidArgumentError("shards < 0");
+  if (reorder_window < 0) {
+    return InvalidArgumentError("reorder_window < 0");
+  }
+  if (checkpoint_at_seconds > 0.0 && checkpoint_path.empty() &&
+      checkpoint_sink == nullptr) {
+    return InvalidArgumentError(
+        "checkpoint_at_seconds is set but neither checkpoint_path nor "
+        "checkpoint_sink is");
+  }
+  if (!restore_path.empty() && restore_source != nullptr) {
+    return InvalidArgumentError(
+        "restore_path and restore_source are mutually exclusive");
+  }
+  return Status::Ok();
+}
+
 ExperimentHarness::ExperimentHarness(const ExperimentConfig& config,
                                      std::string algorithm_name)
     : config_(config), algorithm_name_(std::move(algorithm_name)) {}
 
 Status ExperimentHarness::Init() {
   NETMAX_CHECK(!initialized_) << "Init called twice";
-  if (config_.num_workers < 2) {
-    return InvalidArgumentError("need at least 2 workers");
-  }
-  if (config_.batch_size < 1) return InvalidArgumentError("batch_size < 1");
-  if (config_.max_epochs < 1) return InvalidArgumentError("max_epochs < 1");
-  if (config_.learning_rate <= 0.0) {
-    return InvalidArgumentError("learning_rate <= 0");
-  }
-  if (config_.network == NetworkScenario::kWan && config_.num_workers != 6) {
-    return InvalidArgumentError("the WAN scenario models exactly 6 regions");
-  }
-  if (config_.threads < 0) return InvalidArgumentError("threads < 0");
-  if (config_.shards < 0) return InvalidArgumentError("shards < 0");
-  if (config_.reorder_window < 0) {
-    return InvalidArgumentError("reorder_window < 0");
-  }
+  NETMAX_RETURN_IF_ERROR(config_.Validate());
 
   // Parallel runtime: the simulator thread participates in every compute
   // phase, so a budget of T threads needs a pool of T-1 workers. threads == 1

@@ -11,11 +11,14 @@
 // epoch-time cost split, accuracy) so that NetMax and all baselines are
 // compared on identical footing — the paper's "same runtime environment".
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/serialize.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/execution_backend.h"
@@ -132,6 +135,26 @@ struct ExperimentConfig {
   // window). 0 (default) = synchronous — nothing is evaluated ahead of its
   // turn. Ignored by the other backends.
   int reorder_window = 0;
+
+  // --- checkpoint / restore (core/checkpoint.h) ---
+  // When > 0, the harness arms a checkpoint at this virtual time: the run is
+  // quiesced, the full experiment state (workers, RNG streams, event queue,
+  // series) is serialized, and the run continues. Resuming from that state
+  // finishes with a bit-identical RunResult.
+  double checkpoint_at_seconds = 0.0;
+  // Where the checkpoint bytes go: a file path, an in-memory buffer, or both
+  // (ignored when checkpoint_at_seconds is unset).
+  std::string checkpoint_path;
+  std::vector<uint8_t>* checkpoint_sink = nullptr;
+  // When either is set, the engine restores from the checkpoint instead of
+  // scheduling its initial events. At most one may be set.
+  std::string restore_path;
+  const std::vector<uint8_t>* restore_source = nullptr;
+
+  // Checks every config invariant Init depends on; Init calls this first, so
+  // benches can validate up front and report the error without building
+  // anything.
+  Status Validate() const;
 };
 
 // Per-epoch cost attribution averaged over workers and epochs. Communication
@@ -305,6 +328,38 @@ class ExperimentHarness {
 
   // For NetMax diagnostics.
   void set_policies_generated(int64_t n) { policies_generated_ = n; }
+  int64_t policies_generated() const { return policies_generated_; }
+
+  // --- checkpoint / restore (implemented in core/checkpoint.cc) ---
+  // Serializes/restores the engine's own state blob within the checkpoint.
+  using EngineStateSaver = std::function<Status(Serializer&)>;
+  using EngineStateRestorer = std::function<Status(Deserializer&)>;
+
+  // True when the config asks this run to resume from a checkpoint.
+  bool restore_requested() const {
+    return !config_.restore_path.empty() || config_.restore_source != nullptr;
+  }
+
+  // Restores harness + simulator + engine state from the configured source.
+  // The engine calls this after Init() and after rebuilding its deterministic
+  // setup (policies, monitors, topologies), INSTEAD of scheduling its initial
+  // events: the restored queue already holds them. `restore_engine` reads the
+  // engine state blob; `rebuilder` maps saved events back to closures.
+  Status Restore(const EngineStateRestorer& restore_engine,
+                 const net::EventRebuilder& rebuilder);
+
+  // Arms a checkpoint at config.checkpoint_at_seconds (no-op when unset or
+  // not in the future): schedules a plain event that quiesces in-flight
+  // speculation, serializes the full experiment state plus the engine blob
+  // from `save_engine`, and writes it to the configured sink/path. The run
+  // continues afterwards. Failures surface through checkpoint_status(),
+  // which engines propagate after the run completes; a checkpoint time that
+  // turns out to lie past the run's last event fails the same way rather
+  // than write a dead checkpoint.
+  void ArmCheckpoint(EngineStateSaver save_engine);
+
+  // Ok unless an armed checkpoint failed to serialize or write.
+  const Status& checkpoint_status() const { return checkpoint_status_; }
 
   // Assembles the RunResult (final accuracy over all worker models, cost
   // averages, consensus distance).
@@ -313,6 +368,11 @@ class ExperimentHarness {
  private:
   void OnEpochCompleted(int w, double epoch_loss);
   void RecordGlobalEpochPoint();
+
+  // core/checkpoint.cc.
+  Status SaveCheckpoint(const EngineStateSaver& save_engine);
+  void SaveWorker(Serializer& out, const WorkerRuntime& worker) const;
+  Status RestoreWorker(Deserializer& in, WorkerRuntime& worker);
 
   ExperimentConfig config_;
   std::string algorithm_name_;
@@ -341,6 +401,9 @@ class ExperimentHarness {
   ml::Series accuracy_vs_time_;
   int64_t total_epochs_completed_ = 0;
   int64_t policies_generated_ = 0;
+
+  // Outcome of the armed checkpoint, if any.
+  Status checkpoint_status_;
 };
 
 // Helper shared by benches/examples: builds the per-worker shards for the

@@ -46,6 +46,8 @@ class NetworkMonitor {
 
   // Number of successful policy computations so far (diagnostics).
   int64_t policies_generated() const { return policies_generated_; }
+  // Checkpoint support: restores the diagnostic counter.
+  void set_policies_generated(int64_t count) { policies_generated_ = count; }
 
  private:
   MonitorOptions options_;

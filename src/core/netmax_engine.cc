@@ -1,9 +1,12 @@
 #include "core/netmax_engine.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
+#include "core/checkpoint.h"
 #include "core/monitor.h"
 #include "linalg/vector_ops.h"
 
@@ -46,17 +49,108 @@ class NetMaxEngine {
             static_cast<size_t>(n),
             ExponentialMovingAverage(config_.ema_beta)));
 
-    for (int w = 0; w < n; ++w) StartIteration(w);
-    if (config_.adaptive_policy) {
-      harness_.sim().ScheduleAfter(config_.monitor_period_seconds,
-                                   [this] { MonitorTick(); });
+    builder_ = [this](const net::SavedEvent& event) {
+      return BuildEvent(event);
+    };
+    if (harness_.restore_requested()) {
+      NETMAX_RETURN_IF_ERROR(harness_.Restore(
+          [this](Deserializer& in) { return RestoreEngineState(in); },
+          builder_));
+    } else {
+      for (int w = 0; w < n; ++w) StartIteration(w);
+      if (config_.adaptive_policy) {
+        Emit(config_.monitor_period_seconds, kPlainEvent, {kMonitorTick, {}});
+      }
     }
+    harness_.ArmCheckpoint(
+        [this](Serializer& out) { return SaveEngineState(out); });
     harness_.sim().RunUntilIdle();
+    NETMAX_RETURN_IF_ERROR(harness_.checkpoint_status());
     harness_.set_policies_generated(monitor_->policies_generated());
     return harness_.Finalize();
   }
 
  private:
+  // Checkpoint reification tags (core/checkpoint.h).
+  enum Tag : int64_t {
+    kSelfStep = 0,     // compute event: args [compute_seconds]
+    kPull = 1,         // compute event: args [peer, compute_secs, wall_secs]
+    kMonitorTick = 2,  // plain event: args []
+  };
+
+  void Emit(double delay, int worker_key, net::EventPayload payload) {
+    ScheduleReified(harness_.sim(), delay, worker_key, std::move(payload),
+                    builder_);
+  }
+
+  StatusOr<net::RebuiltEvent> BuildEvent(const net::SavedEvent& event) {
+    const std::vector<double>& args = event.payload.args;
+    const int n = harness_.num_workers();
+    net::RebuiltEvent rebuilt;
+    switch (event.payload.tag) {
+      case kSelfStep: {
+        const int w = event.worker_key;
+        if (w < 0 || w >= n || args.size() != 1) break;
+        const double compute = args[0];
+        rebuilt.compute = [this, w] { return harness_.EvalBatchGradient(w); };
+        rebuilt.commit = [this, w, compute](double loss) {
+          harness_.CommitBatchStats(w, loss);
+          harness_.ApplyStoredGradient(w);
+          harness_.AccountIteration(w, compute, compute);
+          StartIteration(w);
+        };
+        return rebuilt;
+      }
+      case kPull: {
+        const int w = event.worker_key;
+        if (w < 0 || w >= n || args.size() != 3) break;
+        const int m = static_cast<int>(args[0]);
+        const double compute = args[1];
+        const double wall = args[2];
+        if (m < 0 || m >= n || m == w) break;
+        rebuilt.compute = [this, w] { return harness_.EvalBatchGradient(w); };
+        rebuilt.commit = [this, w, m, compute, wall](double loss) {
+          CompleteIteration(w, m, compute, wall, loss);
+        };
+        return rebuilt;
+      }
+      case kMonitorTick: {
+        if (event.worker_key >= 0 || !args.empty()) break;
+        rebuilt.plain = [this] { MonitorTick(); };
+        return rebuilt;
+      }
+      default:
+        break;
+    }
+    return InvalidArgumentError("malformed NetMax event (tag " +
+                                std::to_string(event.payload.tag) + ")");
+  }
+
+  Status SaveEngineState(Serializer& out) {
+    SaveMatrix(out, policy_->matrix());
+    out.WriteDouble(rho_);
+    SaveEmaGrid(out, ema_times_);
+    out.WriteI64(monitor_->policies_generated());
+    return Status::Ok();
+  }
+
+  Status RestoreEngineState(Deserializer& in) {
+    NETMAX_ASSIGN_OR_RETURN(linalg::Matrix matrix, LoadMatrix(in));
+    const int n = harness_.num_workers();
+    if (matrix.rows() != n || matrix.cols() != n) {
+      return InvalidArgumentError("checkpoint policy matrix shape mismatch");
+    }
+    policy_ = std::make_unique<CommunicationPolicy>(std::move(matrix));
+    NETMAX_ASSIGN_OR_RETURN(rho_, in.ReadDouble());
+    NETMAX_RETURN_IF_ERROR(RestoreEmaGrid(in, &ema_times_));
+    NETMAX_ASSIGN_OR_RETURN(const int64_t generated, in.ReadI64());
+    if (generated < 0) {
+      return InvalidArgumentError("negative policies_generated count");
+    }
+    monitor_->set_policies_generated(generated);
+    return Status::Ok();
+  }
+
   void StartIteration(int w) {
     if (harness_.WorkerDone(w)) return;
     WorkerRuntime& worker = harness_.worker(w);
@@ -68,25 +162,14 @@ class NetMaxEngine {
     harness_.SampleBatch(w);
     if (m == w) {
       // Self-selection: pure local step, no communication this iteration.
-      harness_.sim().ScheduleComputeAfter(
-          compute, w, [this, w] { return harness_.EvalBatchGradient(w); },
-          [this, w, compute](double loss) {
-            harness_.CommitBatchStats(w, loss);
-            harness_.ApplyStoredGradient(w);
-            harness_.AccountIteration(w, compute, compute);
-            StartIteration(w);
-          });
+      Emit(compute, w, {kSelfStep, {compute}});
       return;
     }
     const double transfer = harness_.PullSeconds(m, w);
     const double wall = config_.overlap_communication
                             ? std::max(compute, transfer)
                             : compute + transfer;
-    harness_.sim().ScheduleComputeAfter(
-        wall, w, [this, w] { return harness_.EvalBatchGradient(w); },
-        [this, w, m, compute, wall](double loss) {
-          CompleteIteration(w, m, compute, wall, loss);
-        });
+    Emit(wall, w, {kPull, {static_cast<double>(m), compute, wall}});
   }
 
   void CompleteIteration(int w, int m, double compute, double wall,
@@ -150,8 +233,7 @@ class NetMaxEngine {
     }
     // Warm-up (no measurements yet) or infeasible configurations keep the
     // previous policy; either way the monitor keeps running.
-    harness_.sim().ScheduleAfter(config_.monitor_period_seconds,
-                                 [this] { MonitorTick(); });
+    Emit(config_.monitor_period_seconds, kPlainEvent, {kMonitorTick, {}});
   }
 
   ExperimentHarness harness_;
@@ -161,6 +243,7 @@ class NetMaxEngine {
   std::unique_ptr<NetworkMonitor> monitor_;
   double rho_ = 0.0;
   std::vector<std::vector<ExponentialMovingAverage>> ema_times_;
+  net::EventRebuilder builder_;
 };
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "ml/dataset.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "linalg/vector_ops.h"
@@ -335,6 +336,38 @@ void BatchSampler::NextBatch(std::vector<int>& batch) {
 
 int64_t BatchSampler::batches_per_epoch() const {
   return (dataset_->size() + batch_size_ - 1) / batch_size_;
+}
+
+void BatchSampler::SaveState(Serializer& out) const {
+  for (const uint64_t word : rng_.SaveState()) out.WriteU64(word);
+  out.WriteIntVec(order_);
+  out.WriteU64(cursor_);
+  out.WriteI64(epochs_completed_);
+}
+
+Status BatchSampler::RestoreState(Deserializer& in) {
+  std::array<uint64_t, 5> rng_state;
+  for (uint64_t& word : rng_state) {
+    NETMAX_ASSIGN_OR_RETURN(word, in.ReadU64());
+  }
+  std::vector<int> order;
+  NETMAX_RETURN_IF_ERROR(in.ReadIntVec(&order));
+  if (order.size() != order_.size()) {
+    return InvalidArgumentError(
+        "checkpointed sampler permutation covers " +
+        std::to_string(order.size()) + " examples, shard has " +
+        std::to_string(order_.size()));
+  }
+  NETMAX_ASSIGN_OR_RETURN(const uint64_t cursor, in.ReadU64());
+  if (cursor > order.size()) {
+    return InvalidArgumentError("checkpointed sampler cursor out of range");
+  }
+  NETMAX_ASSIGN_OR_RETURN(const int64_t epochs, in.ReadI64());
+  rng_.RestoreState(rng_state);
+  order_ = std::move(order);
+  cursor_ = static_cast<size_t>(cursor);
+  epochs_completed_ = epochs;
+  return Status::Ok();
 }
 
 }  // namespace netmax::ml

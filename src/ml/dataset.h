@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/serialize.h"
 #include "common/status.h"
 
 namespace netmax::ml {
@@ -135,6 +136,13 @@ class BatchSampler {
   int64_t epochs_completed() const { return epochs_completed_; }
   int64_t batches_per_epoch() const;
   int batch_size() const { return batch_size_; }
+
+  // Checkpoint support: serializes/restores the shuffle RNG, the current
+  // epoch's permutation, and the position within it. The dataset pointer and
+  // batch size stay whatever this instance was constructed with; RestoreState
+  // rejects a saved permutation whose length differs from the shard size.
+  void SaveState(Serializer& out) const;
+  Status RestoreState(Deserializer& in);
 
  private:
   void Reshuffle();

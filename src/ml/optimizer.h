@@ -10,6 +10,9 @@
 #include <span>
 #include <vector>
 
+#include "common/serialize.h"
+#include "common/status.h"
+
 namespace netmax::ml {
 
 struct SgdOptions {
@@ -36,6 +39,12 @@ class SgdOptimizer {
   // wholesale and stale velocity would be misleading).
   void ResetMomentum();
 
+  // Checkpoint support: serializes/restores the velocity buffer and current
+  // learning rate. RestoreState rejects a velocity vector whose length
+  // differs from this optimizer's parameter count.
+  void SaveState(Serializer& out) const;
+  Status RestoreState(Deserializer& in);
+
  private:
   SgdOptions options_;
   std::vector<double> velocity_;
@@ -49,6 +58,12 @@ class LrSchedule {
   virtual double OnEpochEnd(int64_t epoch, double epoch_loss) = 0;
   virtual double initial_learning_rate() const = 0;
   virtual std::unique_ptr<LrSchedule> Clone() const = 0;
+
+  // Checkpoint support. Stateless schedules inherit the no-op defaults;
+  // stateful ones serialize their mutable fields (not their construction
+  // parameters, which the harness rebuilds from the config).
+  virtual void SaveState(Serializer&) const {}
+  virtual Status RestoreState(Deserializer&) { return Status::Ok(); }
 };
 
 // Constant learning rate.
@@ -76,6 +91,8 @@ class StepDecayLr : public LrSchedule {
   std::unique_ptr<LrSchedule> Clone() const override {
     return std::make_unique<StepDecayLr>(*this);
   }
+  void SaveState(Serializer& out) const override;
+  Status RestoreState(Deserializer& in) override;
 
  private:
   double initial_lr_;
@@ -96,6 +113,8 @@ class PlateauDecayLr : public LrSchedule {
   std::unique_ptr<LrSchedule> Clone() const override {
     return std::make_unique<PlateauDecayLr>(*this);
   }
+  void SaveState(Serializer& out) const override;
+  Status RestoreState(Deserializer& in) override;
 
  private:
   double initial_lr_;

@@ -1,6 +1,7 @@
 #include "net/event_sim.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 namespace netmax::net {
@@ -48,6 +49,47 @@ void EventSimulator::ScheduleComputeAfter(double delay, int worker_key,
   NETMAX_CHECK_GE(delay, 0.0);
   ScheduleCompute(now_ + delay, worker_key, std::move(compute),
                   std::move(commit));
+}
+
+void EventSimulator::ScheduleAt(double time, EventPayload payload,
+                                Callback callback) {
+  NETMAX_CHECK(callback != nullptr);
+  NETMAX_CHECK_GE(payload.tag, 0) << "tagged overload requires a tag";
+  Event event;
+  event.time = time;
+  event.plain = std::move(callback);
+  event.payload = std::move(payload);
+  Insert(std::move(event));
+}
+
+void EventSimulator::ScheduleAfter(double delay, EventPayload payload,
+                                   Callback callback) {
+  NETMAX_CHECK_GE(delay, 0.0);
+  ScheduleAt(now_ + delay, std::move(payload), std::move(callback));
+}
+
+void EventSimulator::ScheduleCompute(double time, int worker_key,
+                                     EventPayload payload, ComputeFn compute,
+                                     CommitFn commit) {
+  NETMAX_CHECK_GE(worker_key, 0) << "worker_key must be non-negative";
+  NETMAX_CHECK(compute != nullptr);
+  NETMAX_CHECK(commit != nullptr);
+  NETMAX_CHECK_GE(payload.tag, 0) << "tagged overload requires a tag";
+  Event event;
+  event.time = time;
+  event.worker_key = worker_key;
+  event.compute = std::move(compute);
+  event.commit = std::move(commit);
+  event.payload = std::move(payload);
+  Insert(std::move(event));
+}
+
+void EventSimulator::ScheduleComputeAfter(double delay, int worker_key,
+                                          EventPayload payload,
+                                          ComputeFn compute, CommitFn commit) {
+  NETMAX_CHECK_GE(delay, 0.0);
+  ScheduleCompute(now_ + delay, worker_key, std::move(payload),
+                  std::move(compute), std::move(commit));
 }
 
 void EventSimulator::NotifyStateWrite(int worker_key) {
@@ -101,6 +143,95 @@ int64_t EventSimulator::RunUntil(double time_limit) {
   }
   if (now_ < time_limit) now_ = time_limit;
   return count;
+}
+
+StatusOr<std::vector<SavedEvent>> EventSimulator::SaveQueue() const {
+  std::vector<SavedEvent> events;
+  events.reserve(queue_.size());
+  // Walk backwards so the snapshot lists events in dispatch order.
+  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+    if (it->payload.tag < 0) {
+      return FailedPreconditionError(
+          "cannot checkpoint: pending event at t=" + std::to_string(it->time) +
+          " (sequence " + std::to_string(it->sequence) +
+          ") was scheduled without a payload tag");
+    }
+    events.push_back(
+        SavedEvent{it->time, it->sequence, it->worker_key, it->payload});
+  }
+  return events;
+}
+
+Status EventSimulator::RestoreQueue(const std::vector<SavedEvent>& events,
+                                    const EventRebuilder& rebuilder) {
+  if (!queue_.empty()) {
+    return FailedPreconditionError(
+        "RestoreQueue requires an empty event queue");
+  }
+  NETMAX_CHECK(rebuilder != nullptr);
+  std::vector<Event> queue;
+  queue.reserve(events.size());
+  for (const SavedEvent& saved : events) {
+    const std::string where = "event tag " + std::to_string(saved.payload.tag) +
+                              " (sequence " + std::to_string(saved.sequence) +
+                              ")";
+    if (saved.time < now_) {
+      return InvalidArgumentError("checkpointed " + where +
+                                  " is scheduled before the restored clock");
+    }
+    if (saved.sequence < 0 || saved.sequence >= next_sequence_) {
+      return InvalidArgumentError("checkpointed " + where +
+                                  " has a sequence outside the restored "
+                                  "counter range");
+    }
+    NETMAX_ASSIGN_OR_RETURN(RebuiltEvent rebuilt, rebuilder(saved));
+    Event event;
+    event.time = saved.time;
+    event.sequence = saved.sequence;
+    event.worker_key = saved.worker_key < 0 ? kNoKey : saved.worker_key;
+    event.payload = saved.payload;
+    if (event.worker_key == kNoKey) {
+      if (rebuilt.plain == nullptr || rebuilt.compute != nullptr ||
+          rebuilt.commit != nullptr) {
+        return InternalError("rebuilder returned a non-plain closure set for "
+                             "plain " +
+                             where);
+      }
+      event.plain = std::move(rebuilt.plain);
+    } else {
+      if (rebuilt.compute == nullptr || rebuilt.commit == nullptr ||
+          rebuilt.plain != nullptr) {
+        return InternalError(
+            "rebuilder returned an incomplete closure set for compute " +
+            where);
+      }
+      event.compute = std::move(rebuilt.compute);
+      event.commit = std::move(rebuilt.commit);
+    }
+    queue.push_back(std::move(event));
+  }
+  // Descending (time, sequence), next event at the back — the same invariant
+  // Insert maintains.
+  std::sort(queue.begin(), queue.end(), [](const Event& a, const Event& b) {
+    return b.DispatchesBefore(a);
+  });
+  for (size_t i = 1; i < queue.size(); ++i) {
+    if (queue[i].sequence == queue[i - 1].sequence) {
+      return InvalidArgumentError(
+          "checkpointed queue contains duplicate sequence " +
+          std::to_string(queue[i].sequence));
+    }
+  }
+  queue_ = std::move(queue);
+  return Status::Ok();
+}
+
+void EventSimulator::RestoreClock(double now, int64_t next_sequence,
+                                  int64_t processed) {
+  NETMAX_CHECK(queue_.empty()) << "restore the clock before the queue";
+  now_ = now;
+  next_sequence_ = next_sequence;
+  processed_ = processed;
 }
 
 int64_t EventSimulator::RunUntilIdle() {

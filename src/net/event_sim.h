@@ -56,10 +56,50 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 
 namespace netmax::net {
 
 class ExecutionBackend;
+
+// --- Checkpointable event descriptions --------------------------------------
+//
+// Closures cannot be serialized, so checkpointing the queue relies on each
+// engine tagging every event it schedules with a reified description: a
+// small engine-defined `tag` naming the event kind plus the doubles its
+// closure captured. At restore time the engine's rebuilder maps the saved
+// description back to closures identical to the ones it schedules live.
+
+struct EventPayload {
+  // Engine-defined event kind; -1 marks an untagged event, which cannot be
+  // checkpointed (SaveQueue fails if one is pending).
+  int64_t tag = -1;
+  // Engine-defined arguments (captured scalars; ints are stored exactly as
+  // doubles up to 2^53).
+  std::vector<double> args;
+};
+
+// One pending event as captured by SaveQueue: full (time, sequence) identity
+// plus the engine payload. Restoring with the exact saved sequence numbers is
+// what keeps post-restore tie-breaking bit-identical to the original run.
+struct SavedEvent {
+  double time = 0.0;
+  int64_t sequence = 0;
+  int worker_key = -1;  // -1: plain callback event
+  EventPayload payload;
+};
+
+// Closures rebuilt from one SavedEvent. Plain events (worker_key < 0) set
+// only `plain`; compute events set `compute` and `commit`.
+struct RebuiltEvent {
+  std::function<void()> plain;
+  std::function<double()> compute;
+  std::function<void(double)> commit;
+};
+
+// Maps a SavedEvent back to live closures; returns an error for unknown tags
+// or malformed args (a corrupted or version-skewed checkpoint).
+using EventRebuilder = std::function<StatusOr<RebuiltEvent>(const SavedEvent&)>;
 
 // Diagnostics every backend reports (all zero on the serial path). Excluded
 // from the bit-identity contract, which covers simulation outputs only;
@@ -119,6 +159,16 @@ class EventSimulator {
   void ScheduleComputeAfter(double delay, int worker_key, ComputeFn compute,
                             CommitFn commit);
 
+  // Tagged variants: identical scheduling semantics, but the event also
+  // carries a checkpointable description (see EventPayload above). Engines
+  // that support checkpoint/restore schedule exclusively through these.
+  void ScheduleAt(double time, EventPayload payload, Callback callback);
+  void ScheduleAfter(double delay, EventPayload payload, Callback callback);
+  void ScheduleCompute(double time, int worker_key, EventPayload payload,
+                       ComputeFn compute, CommitFn commit);
+  void ScheduleComputeAfter(double delay, int worker_key, EventPayload payload,
+                            ComputeFn compute, CommitFn commit);
+
   // Declares that the caller (an event callback or commit half) is ABOUT to
   // write state owned by `worker_key` that a compute half may read — model
   // parameters, chiefly; the call must precede the write. Forwarded to the
@@ -154,6 +204,27 @@ class EventSimulator {
 
   bool empty() const { return queue_.empty(); }
   int64_t num_events_processed() const { return processed_; }
+  int64_t next_sequence() const { return next_sequence_; }
+
+  // --- checkpoint support --------------------------------------------------
+
+  // Snapshots the pending queue in dispatch order. Fails with
+  // kFailedPrecondition if any pending event is untagged — the caller (an
+  // engine that opted into checkpointing) scheduled an event outside the
+  // tagged overloads.
+  StatusOr<std::vector<SavedEvent>> SaveQueue() const;
+
+  // Repopulates an EMPTY queue from `events`, mapping each through
+  // `rebuilder`. Times and sequence numbers are restored exactly as saved
+  // (bypassing Insert), so relative (time, sequence) ordering — and with it
+  // every tie-break — replays bit-identically. Call RestoreClock first:
+  // events are validated against the restored clock (time >= Now(),
+  // sequence < next_sequence(), no duplicate sequences).
+  Status RestoreQueue(const std::vector<SavedEvent>& events,
+                      const EventRebuilder& rebuilder);
+
+  // Restores the clock and counters saved alongside the queue.
+  void RestoreClock(double now, int64_t next_sequence, int64_t processed);
 
   // Backend diagnostics (all zero without a backend). The individual
   // accessors are kept for the common counters; stats() has the full set.
@@ -216,6 +287,7 @@ class EventSimulator {
     Callback plain;           // plain events only
     ComputeFn compute;        // compute events only
     CommitFn commit;          // compute events only
+    EventPayload payload;     // checkpointable description; tag -1 = untagged
 
     // Dispatch-before: earlier time wins, sequence breaks ties.
     bool DispatchesBefore(const Event& other) const {

@@ -1,0 +1,308 @@
+// Bit-exact checkpoint/restore (core/checkpoint.h): for every registered
+// algorithm and every execution backend, a run that (a) checkpoints mid-run
+// and keeps going, or (b) restores from that checkpoint and finishes, must
+// produce a RunResult bit-identical to the uninterrupted run. Also covers the
+// wire-format error paths: truncation, corruption, fingerprint mismatches,
+// and the file round trip.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algos/registry.h"
+#include "core/checkpoint.h"
+#include "core/execution_backend.h"
+#include "core/experiment.h"
+
+namespace netmax {
+namespace {
+
+using core::ExecutionBackendKind;
+using core::ExperimentConfig;
+using core::NetworkScenario;
+using core::RunResult;
+
+// Lean but representative: heterogeneous static network, monitor ticks, an
+// accuracy series, and enough iterations that the checkpoint lands between
+// events with a non-trivial queue.
+ExperimentConfig BaseConfig() {
+  ExperimentConfig config;
+  config.dataset.name = "checkpoint";
+  config.dataset.num_classes = 4;
+  config.dataset.feature_dim = 12;
+  config.dataset.num_train = 256;
+  config.dataset.num_test = 64;
+  config.dataset.class_separation = 4.0;
+  config.hidden_layers = {12};
+  config.num_workers = 8;
+  config.batch_size = 16;
+  config.max_epochs = 2;
+  config.network = NetworkScenario::kHeterogeneousStatic;
+  config.monitor_period_seconds = 5.0;
+  config.generator.outer_rounds = 4;
+  config.generator.inner_rounds = 4;
+  config.eval_every_epochs = 1;
+  config.seed = 13;
+  config.threads = 1;
+  return config;
+}
+
+RunResult MustRun(const std::string& name, const ExperimentConfig& config) {
+  auto algorithm = algos::MakeAlgorithm(name);
+  NETMAX_CHECK_OK(algorithm.status());
+  auto result = (*algorithm)->Run(config);
+  NETMAX_CHECK_OK(result.status());
+  return std::move(result.value());
+}
+
+Status TryRun(const std::string& name, const ExperimentConfig& config) {
+  auto algorithm = algos::MakeAlgorithm(name);
+  NETMAX_CHECK_OK(algorithm.status());
+  return (*algorithm)->Run(config).status();
+}
+
+void ExpectSeriesIdentical(const ml::Series& a, const ml::Series& b,
+                           const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x) << label << "[" << i << "].x";
+    EXPECT_EQ(a[i].y, b[i].y) << label << "[" << i << "].y";
+  }
+}
+
+// The simulation-output subset of RunResult (exec-stat counters depend on the
+// backend by design and are excluded, as in parallel_determinism_test).
+void ExpectBitIdentical(const RunResult& a, const RunResult& b) {
+  ExpectSeriesIdentical(a.loss_vs_time, b.loss_vs_time, "loss_vs_time");
+  ExpectSeriesIdentical(a.loss_vs_epoch, b.loss_vs_epoch, "loss_vs_epoch");
+  ExpectSeriesIdentical(a.accuracy_vs_time, b.accuracy_vs_time,
+                        "accuracy_vs_time");
+  EXPECT_EQ(a.final_train_loss, b.final_train_loss);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.total_virtual_seconds, b.total_virtual_seconds);
+  EXPECT_EQ(a.avg_epoch_cost.compute_seconds, b.avg_epoch_cost.compute_seconds);
+  EXPECT_EQ(a.avg_epoch_cost.communication_seconds,
+            b.avg_epoch_cost.communication_seconds);
+  EXPECT_EQ(a.total_local_iterations, b.total_local_iterations);
+  EXPECT_EQ(a.consensus_distance, b.consensus_distance);
+  EXPECT_EQ(a.policies_generated, b.policies_generated);
+}
+
+class CheckpointRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+// The acceptance grid: for each algorithm, each backend's checkpointed run
+// and its restored continuation must match the uninterrupted serial
+// reference bit for bit.
+TEST_P(CheckpointRoundTrip, AllBackendsBitIdentical) {
+  const ExperimentConfig base = BaseConfig();
+  const RunResult reference = MustRun(GetParam(), base);
+  ASSERT_GT(reference.total_virtual_seconds, 0.0);
+  const double checkpoint_at = 0.5 * reference.total_virtual_seconds;
+
+  struct BackendPoint {
+    ExecutionBackendKind backend;
+    int threads;
+    int reorder_window;
+  };
+  const BackendPoint points[] = {
+      {ExecutionBackendKind::kSerial, 1, 0},
+      {ExecutionBackendKind::kSpeculative, 8, 0},
+      {ExecutionBackendKind::kAsyncPipeline, 8, 4},
+  };
+  for (const BackendPoint& point : points) {
+    SCOPED_TRACE(static_cast<int>(point.backend));
+    std::vector<uint8_t> checkpoint;
+    ExperimentConfig with_checkpoint = base;
+    with_checkpoint.backend = point.backend;
+    with_checkpoint.threads = point.threads;
+    with_checkpoint.reorder_window = point.reorder_window;
+    with_checkpoint.checkpoint_at_seconds = checkpoint_at;
+    with_checkpoint.checkpoint_sink = &checkpoint;
+    const RunResult checkpointed = MustRun(GetParam(), with_checkpoint);
+    ExpectBitIdentical(reference, checkpointed);
+    ASSERT_FALSE(checkpoint.empty());
+
+    ExperimentConfig resumed = base;
+    resumed.backend = point.backend;
+    resumed.threads = point.threads;
+    resumed.reorder_window = point.reorder_window;
+    resumed.restore_source = &checkpoint;
+    const RunResult restored = MustRun(GetParam(), resumed);
+    ExpectBitIdentical(reference, restored);
+  }
+}
+
+// A checkpoint written by the serial backend restores bit-identically on the
+// pooled backends (and vice versa): the bytes carry no execution-strategy
+// state.
+TEST_P(CheckpointRoundTrip, CheckpointsAreBackendPortable) {
+  const ExperimentConfig base = BaseConfig();
+  const RunResult reference = MustRun(GetParam(), base);
+  std::vector<uint8_t> checkpoint;
+  ExperimentConfig with_checkpoint = base;
+  with_checkpoint.checkpoint_at_seconds =
+      0.5 * reference.total_virtual_seconds;
+  with_checkpoint.checkpoint_sink = &checkpoint;
+  MustRun(GetParam(), with_checkpoint);
+
+  ExperimentConfig resumed = base;
+  resumed.backend = ExecutionBackendKind::kAsyncPipeline;
+  resumed.threads = 8;
+  resumed.reorder_window = 4;
+  resumed.restore_source = &checkpoint;
+  ExpectBitIdentical(reference, MustRun(GetParam(), resumed));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CheckpointRoundTrip,
+                         ::testing::ValuesIn(algos::AlgorithmNames()));
+
+// --- wire-format and plumbing error paths (one algorithm suffices) ---
+
+std::vector<uint8_t> MakeCheckpoint(const ExperimentConfig& base,
+                                    const std::string& name = "gossip") {
+  const RunResult reference = MustRun(name, base);
+  std::vector<uint8_t> checkpoint;
+  ExperimentConfig with_checkpoint = base;
+  with_checkpoint.checkpoint_at_seconds =
+      0.5 * reference.total_virtual_seconds;
+  with_checkpoint.checkpoint_sink = &checkpoint;
+  MustRun(name, with_checkpoint);
+  NETMAX_CHECK(!checkpoint.empty());
+  return checkpoint;
+}
+
+TEST(CheckpointErrors, TruncatedBytesAreRejected) {
+  const ExperimentConfig base = BaseConfig();
+  std::vector<uint8_t> checkpoint = MakeCheckpoint(base);
+  checkpoint.resize(checkpoint.size() / 2);
+  ExperimentConfig resumed = base;
+  resumed.restore_source = &checkpoint;
+  const Status status = TryRun("gossip", resumed);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(CheckpointErrors, BadMagicIsRejected) {
+  const ExperimentConfig base = BaseConfig();
+  std::vector<uint8_t> checkpoint = MakeCheckpoint(base);
+  checkpoint[0] ^= 0xFF;
+  ExperimentConfig resumed = base;
+  resumed.restore_source = &checkpoint;
+  const Status status = TryRun("gossip", resumed);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("magic"), std::string::npos);
+}
+
+TEST(CheckpointErrors, TrailingGarbageIsRejected) {
+  const ExperimentConfig base = BaseConfig();
+  std::vector<uint8_t> checkpoint = MakeCheckpoint(base);
+  checkpoint.push_back(0x00);
+  ExperimentConfig resumed = base;
+  resumed.restore_source = &checkpoint;
+  const Status status = TryRun("gossip", resumed);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointErrors, AlgorithmFingerprintMismatch) {
+  const ExperimentConfig base = BaseConfig();
+  const std::vector<uint8_t> checkpoint = MakeCheckpoint(base, "gossip");
+  ExperimentConfig resumed = base;
+  resumed.restore_source = &checkpoint;
+  const Status status = TryRun("adpsgd", resumed);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointErrors, ConfigFingerprintMismatches) {
+  const ExperimentConfig base = BaseConfig();
+  const std::vector<uint8_t> checkpoint = MakeCheckpoint(base);
+
+  ExperimentConfig wrong_seed = base;
+  wrong_seed.seed = base.seed + 1;
+  wrong_seed.restore_source = &checkpoint;
+  EXPECT_EQ(TryRun("gossip", wrong_seed).code(),
+            StatusCode::kFailedPrecondition);
+
+  ExperimentConfig wrong_workers = base;
+  wrong_workers.num_workers = base.num_workers / 2;
+  wrong_workers.restore_source = &checkpoint;
+  EXPECT_EQ(TryRun("gossip", wrong_workers).code(),
+            StatusCode::kFailedPrecondition);
+
+  ExperimentConfig wrong_epochs = base;
+  wrong_epochs.max_epochs = base.max_epochs + 1;
+  wrong_epochs.restore_source = &checkpoint;
+  EXPECT_EQ(TryRun("gossip", wrong_epochs).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointErrors, RestorePathAndSourceAreMutuallyExclusive) {
+  const ExperimentConfig base = BaseConfig();
+  const std::vector<uint8_t> checkpoint = MakeCheckpoint(base);
+  ExperimentConfig resumed = base;
+  resumed.restore_source = &checkpoint;
+  resumed.restore_path = "/nonexistent/also-set";
+  EXPECT_FALSE(TryRun("gossip", resumed).ok());
+}
+
+TEST(CheckpointFiles, FileRoundTripRestoresBitIdentically) {
+  const ExperimentConfig base = BaseConfig();
+  const RunResult reference = MustRun("gossip", base);
+  const std::string path =
+      ::testing::TempDir() + "/netmax_checkpoint_test.ckpt";
+
+  ExperimentConfig with_checkpoint = base;
+  with_checkpoint.checkpoint_at_seconds =
+      0.5 * reference.total_virtual_seconds;
+  with_checkpoint.checkpoint_path = path;
+  ExpectBitIdentical(reference, MustRun("gossip", with_checkpoint));
+
+  ExperimentConfig resumed = base;
+  resumed.restore_path = path;
+  ExpectBitIdentical(reference, MustRun("gossip", resumed));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFiles, MissingFileIsNotFound) {
+  ExperimentConfig resumed = BaseConfig();
+  resumed.restore_path = "/nonexistent/netmax.ckpt";
+  EXPECT_EQ(TryRun("gossip", resumed).code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointFiles, WriteToUnwritablePathSurfacesThroughRunStatus) {
+  // An armed checkpoint that cannot write its file must fail the run (via
+  // Harness::checkpoint_status), not crash it or silently drop the bytes.
+  ExperimentConfig config = BaseConfig();
+  config.checkpoint_at_seconds = 1.0;
+  config.checkpoint_path = "/nonexistent-dir/netmax.ckpt";
+  const Status status = TryRun("gossip", config);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(CheckpointFiles, RawFileHelpersRoundTrip) {
+  const std::vector<uint8_t> bytes = {0x01, 0x02, 0xFF, 0x00, 0x7E};
+  const std::string path = ::testing::TempDir() + "/netmax_raw_bytes.bin";
+  NETMAX_EXPECT_OK(core::WriteCheckpointFile(path, bytes));
+  auto read_back = core::ReadCheckpointFile(path);
+  NETMAX_EXPECT_OK(read_back);
+  EXPECT_EQ(*read_back, bytes);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointArming, CheckpointPastEndOfRunFailsLoudly) {
+  // A checkpoint time beyond the end of training would produce a dead
+  // checkpoint and (when past the last event) drag the virtual clock with
+  // it; the harness fails the run instead of doing either silently.
+  std::vector<uint8_t> checkpoint;
+  ExperimentConfig late = BaseConfig();
+  late.checkpoint_at_seconds = 1e6;  // beyond the run's end, below the cap
+  late.checkpoint_sink = &checkpoint;
+  const Status status = TryRun("gossip", late);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("past the end"), std::string::npos);
+  EXPECT_TRUE(checkpoint.empty());
+}
+
+}  // namespace
+}  // namespace netmax

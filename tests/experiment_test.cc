@@ -87,6 +87,33 @@ TEST(HarnessTest, InitValidatesConfig) {
   }
 }
 
+TEST(HarnessTest, InitValidatesDatasetSpec) {
+  {
+    ExperimentConfig config = TinyConfig();
+    config.dataset.num_classes = 1;  // not a classification task
+    ExperimentHarness harness(config, "test");
+    EXPECT_FALSE(harness.Init().ok());
+  }
+  {
+    ExperimentConfig config = TinyConfig();
+    config.dataset.feature_dim = 0;
+    ExperimentHarness harness(config, "test");
+    EXPECT_FALSE(harness.Init().ok());
+  }
+  {
+    ExperimentConfig config = TinyConfig();
+    config.dataset.num_train = 0;
+    ExperimentHarness harness(config, "test");
+    EXPECT_FALSE(harness.Init().ok());
+  }
+  {
+    ExperimentConfig config = TinyConfig();
+    config.dataset.num_test = 0;
+    ExperimentHarness harness(config, "test");
+    EXPECT_FALSE(harness.Init().ok());
+  }
+}
+
 TEST(HarnessTest, ShardsResolveFromThreadBudget) {
   {
     // Auto (0): one shard task per worker's share of the thread budget.

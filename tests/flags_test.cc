@@ -2,49 +2,49 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/status.h"
+
 namespace netmax {
 namespace {
 
 TEST(ParseNonNegativeIntTest, AcceptsExactDecimalIntegers) {
-  int value = -1;
-  EXPECT_TRUE(ParseNonNegativeInt("0", &value));
-  EXPECT_EQ(value, 0);
-  EXPECT_TRUE(ParseNonNegativeInt("4", &value));
-  EXPECT_EQ(value, 4);
-  EXPECT_TRUE(ParseNonNegativeInt("128", &value));
-  EXPECT_EQ(value, 128);
-  EXPECT_TRUE(ParseNonNegativeInt("2147483647", &value));
-  EXPECT_EQ(value, 2147483647);
-  EXPECT_TRUE(ParseNonNegativeInt("007", &value));  // leading zeros are fine
-  EXPECT_EQ(value, 7);
+  NETMAX_EXPECT_OK(ParseNonNegativeInt("0"));
+  EXPECT_EQ(ParseNonNegativeInt("0").value(), 0);
+  EXPECT_EQ(ParseNonNegativeInt("4").value(), 4);
+  EXPECT_EQ(ParseNonNegativeInt("128").value(), 128);
+  EXPECT_EQ(ParseNonNegativeInt("2147483647").value(), 2147483647);
+  EXPECT_EQ(ParseNonNegativeInt("007").value(), 7);  // leading zeros are fine
 }
 
 TEST(ParseNonNegativeIntTest, RejectsTrailingGarbage) {
   // The atoi behavior this parser replaces: "4x" must NOT parse as 4.
-  int value = 42;
-  EXPECT_FALSE(ParseNonNegativeInt("4x", &value));
-  EXPECT_FALSE(ParseNonNegativeInt("4 ", &value));
-  EXPECT_FALSE(ParseNonNegativeInt("4.0", &value));
-  EXPECT_FALSE(ParseNonNegativeInt("4,5", &value));
-  EXPECT_EQ(value, 42) << "failed parses must leave the value untouched";
+  EXPECT_EQ(ParseNonNegativeInt("4x").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ParseNonNegativeInt("4 ").ok());
+  EXPECT_FALSE(ParseNonNegativeInt("4.0").ok());
+  EXPECT_FALSE(ParseNonNegativeInt("4,5").ok());
 }
 
 TEST(ParseNonNegativeIntTest, RejectsNonNumbers) {
-  int value = 42;
-  EXPECT_FALSE(ParseNonNegativeInt("", &value));
-  EXPECT_FALSE(ParseNonNegativeInt("x4", &value));
-  EXPECT_FALSE(ParseNonNegativeInt(" 4", &value));
-  EXPECT_FALSE(ParseNonNegativeInt("-1", &value));
-  EXPECT_FALSE(ParseNonNegativeInt("+1", &value));
-  EXPECT_FALSE(ParseNonNegativeInt("threads", &value));
-  EXPECT_EQ(value, 42);
+  EXPECT_FALSE(ParseNonNegativeInt("").ok());
+  EXPECT_FALSE(ParseNonNegativeInt("x4").ok());
+  EXPECT_FALSE(ParseNonNegativeInt(" 4").ok());
+  EXPECT_FALSE(ParseNonNegativeInt("-1").ok());
+  EXPECT_FALSE(ParseNonNegativeInt("+1").ok());
+  EXPECT_FALSE(ParseNonNegativeInt("threads").ok());
 }
 
 TEST(ParseNonNegativeIntTest, RejectsIntOverflow) {
-  int value = 42;
-  EXPECT_FALSE(ParseNonNegativeInt("2147483648", &value));  // INT_MAX + 1
-  EXPECT_FALSE(ParseNonNegativeInt("99999999999999999999", &value));
-  EXPECT_EQ(value, 42);
+  EXPECT_EQ(ParseNonNegativeInt("2147483648").status().code(),  // INT_MAX + 1
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ParseNonNegativeInt("99999999999999999999").ok());
+}
+
+TEST(ParseNonNegativeIntTest, ErrorNamesTheOffendingText) {
+  const Status status = ParseNonNegativeInt("bogus").status();
+  EXPECT_NE(status.message().find("bogus"), std::string::npos) << status;
 }
 
 }  // namespace

@@ -1,5 +1,11 @@
 #include "common/status.h"
 
+#include <iterator>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace netmax {
@@ -97,6 +103,85 @@ TEST(StatusMacroTest, ReturnIfErrorPassesThroughOk) {
 
 TEST(StatusMacroTest, CheckOkDiesOnError) {
   EXPECT_DEATH({ NETMAX_CHECK_OK(InternalError("kaput")); }, "kaput");
+}
+
+TEST(StatusTest, CodeToStringRoundTripsEveryCode) {
+  // Every code has a distinct, non-empty name (no fallthrough to a shared
+  // "UNKNOWN" string), so error text always identifies the code.
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kOutOfRange,   StatusCode::kUnimplemented,
+      StatusCode::kInternal,     StatusCode::kInfeasible,
+      StatusCode::kUnbounded,
+  };
+  std::set<std::string> names;
+  for (const StatusCode code : codes) {
+    const std::string name = StatusCodeToString(code);
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), std::size(codes));
+}
+
+TEST(StatusOrTest, CopyAndMoveSemantics) {
+  StatusOr<std::vector<int>> original = std::vector<int>{1, 2, 3};
+  StatusOr<std::vector<int>> copy = original;  // copy keeps the source intact
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy.value(), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(original.value(), (std::vector<int>{1, 2, 3}));
+
+  StatusOr<std::vector<int>> moved = std::move(original);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.value(), (std::vector<int>{1, 2, 3}));
+
+  StatusOr<std::vector<int>> error = NotFoundError("gone");
+  StatusOr<std::vector<int>> error_copy = error;
+  EXPECT_FALSE(error_copy.ok());
+  EXPECT_EQ(error_copy.status(), error.status());
+}
+
+TEST(StatusOrTest, ConstAccessors) {
+  const StatusOr<int> v = 7;
+  EXPECT_EQ(v.value(), 7);
+  EXPECT_EQ(*v, 7);
+  const StatusOr<std::string> s = std::string("abc");
+  EXPECT_EQ(s->size(), 3u);
+}
+
+StatusOr<int> ParseEven(int n) {
+  if (n % 2 != 0) return InvalidArgumentError("odd");
+  return n;
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwrapsAndPropagates) {
+  auto doubled = [](int n) -> StatusOr<int> {
+    NETMAX_ASSIGN_OR_RETURN(const int even, ParseEven(n));
+    return even * 2;
+  };
+  ASSERT_TRUE(doubled(4).ok());
+  EXPECT_EQ(doubled(4).value(), 8);
+  EXPECT_EQ(doubled(3).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(doubled(3).status().message(), "odd");
+}
+
+StatusOr<int> SumPair(int a, int b) { return a + b; }
+
+TEST(StatusMacroTest, AssignOrReturnAcceptsTopLevelCommas) {
+  // The variadic form: the unwrapped expression may be a call with several
+  // arguments without extra parentheses.
+  auto fn = []() -> StatusOr<int> {
+    NETMAX_ASSIGN_OR_RETURN(const int sum, SumPair(20, 22));
+    return sum;
+  };
+  EXPECT_EQ(fn().value(), 42);
+}
+
+TEST(StatusMacroTest, ExpectOkAcceptsStatusAndStatusOr) {
+  NETMAX_EXPECT_OK(Status::Ok());
+  NETMAX_EXPECT_OK(SumPair(1, 2));
+  NETMAX_EXPECT_OK(ParseEven(2));
 }
 
 }  // namespace

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Golden-trace gate: byte-compare every algorithm's canonical simulation
+trace against the pinned files in tests/golden_trace/.
+
+The traces are produced by tools/trace_dump (every double printed as its
+exact IEEE-754 hexfloat), so ANY bit of drift in simulation output — event
+ordering, RNG streams, kernel arithmetic, policy generation — shows up as a
+diff and fails CI. Execution-level changes (threads, shards, backends,
+checkpointing machinery) must NOT move the traces; that is the determinism
+contract this gate enforces end to end.
+
+Usage:
+  tools/golden_trace.py --bin build/tools/trace_dump            # compare
+  tools/golden_trace.py --bin build/tools/trace_dump --regenerate
+
+After an INTENTIONAL simulation-output change (new algorithm step math, a
+config default, RNG layout), regenerate and commit the updated traces in the
+same PR, with the reason in the PR description.
+"""
+
+import argparse
+import difflib
+import pathlib
+import subprocess
+import sys
+
+DEFAULT_TRACE_DIR = pathlib.Path(__file__).resolve().parent.parent / (
+    "tests/golden_trace"
+)
+
+
+def trace_path(trace_dir: pathlib.Path, algorithm: str) -> pathlib.Path:
+    # Keep names filesystem-safe ("adpsgd+monitor" stays readable).
+    safe = algorithm.replace("/", "-").replace(" ", "-")
+    return trace_dir / f"{safe}.trace"
+
+
+def run_dump(binary: str, algorithm: str) -> str:
+    result = subprocess.run(
+        [binary, algorithm], capture_output=True, text=True, check=False
+    )
+    if result.returncode != 0:
+        sys.exit(
+            f"error: {binary} {algorithm} exited "
+            f"{result.returncode}:\n{result.stderr}"
+        )
+    return result.stdout
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bin", required=True, help="path to the trace_dump binary"
+    )
+    parser.add_argument(
+        "--traces",
+        type=pathlib.Path,
+        default=DEFAULT_TRACE_DIR,
+        help=f"pinned trace directory (default: {DEFAULT_TRACE_DIR})",
+    )
+    parser.add_argument(
+        "--regenerate",
+        action="store_true",
+        help="rewrite the pinned traces instead of comparing",
+    )
+    args = parser.parse_args()
+
+    listing = subprocess.run(
+        [args.bin, "--list"], capture_output=True, text=True, check=False
+    )
+    if listing.returncode != 0:
+        sys.exit(f"error: {args.bin} --list failed:\n{listing.stderr}")
+    algorithms = listing.stdout.split()
+    if not algorithms:
+        sys.exit("error: trace_dump --list printed no algorithms")
+
+    if args.regenerate:
+        args.traces.mkdir(parents=True, exist_ok=True)
+        for algorithm in algorithms:
+            path = trace_path(args.traces, algorithm)
+            path.write_text(run_dump(args.bin, algorithm))
+            print(f"regenerated {path}")
+        stale = set(args.traces.glob("*.trace")) - {
+            trace_path(args.traces, a) for a in algorithms
+        }
+        for path in sorted(stale):
+            print(f"warning: {path} matches no registered algorithm")
+        return 0
+
+    failed = []
+    for algorithm in algorithms:
+        path = trace_path(args.traces, algorithm)
+        if not path.exists():
+            print(f"MISSING {path} (run with --regenerate to pin)")
+            failed.append(algorithm)
+            continue
+        current = run_dump(args.bin, algorithm)
+        pinned = path.read_text()
+        if current == pinned:
+            print(f"ok {algorithm}")
+            continue
+        failed.append(algorithm)
+        print(f"MISMATCH {algorithm}: simulation output drifted from {path}")
+        diff = difflib.unified_diff(
+            pinned.splitlines(keepends=True),
+            current.splitlines(keepends=True),
+            fromfile=str(path),
+            tofile=f"{algorithm} (current)",
+        )
+        sys.stdout.writelines(list(diff)[:60])
+    if failed:
+        print(
+            f"\ngolden-trace gate FAILED for: {', '.join(failed)}\n"
+            "If the change is intentional, regenerate the traces "
+            "(tools/golden_trace.py --bin <trace_dump> --regenerate) and "
+            "commit them with this PR."
+        )
+        return 1
+    print(f"golden-trace gate passed ({len(algorithms)} algorithms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

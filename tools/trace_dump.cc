@@ -1,0 +1,103 @@
+// Canonical golden-trace dump: runs one registered algorithm on the pinned
+// golden-trace experiment and prints the deterministic subset of its
+// RunResult — every double as an exact IEEE-754 hexfloat — so the output is
+// byte-comparable across compilers, optimization levels, thread counts, and
+// execution backends (the contract the determinism test suite enforces).
+//
+// tools/golden_trace.py drives this binary against the pinned traces in
+// tests/golden_trace/: any bit of drift in simulation output fails CI, and
+// `golden_trace.py --regenerate` re-pins after an intentional change.
+//
+// usage:
+//   trace_dump --list          print registered algorithm names, one per line
+//   trace_dump <algorithm>     print the canonical trace on stdout
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "algos/registry.h"
+#include "common/status.h"
+#include "core/experiment.h"
+#include "ml/metrics.h"
+
+namespace netmax {
+namespace {
+
+// Pinned config: small enough to run in well under a second per algorithm,
+// rich enough to exercise the heterogeneous network, several monitor ticks,
+// the accuracy series, and every engine's event machinery. Changing ANY
+// field here invalidates every pinned trace — regenerate them all.
+core::ExperimentConfig GoldenConfig() {
+  core::ExperimentConfig config;
+  config.dataset.name = "golden";
+  config.dataset.num_classes = 4;
+  config.dataset.feature_dim = 12;
+  config.dataset.num_train = 512;
+  config.dataset.num_test = 128;
+  config.dataset.class_separation = 4.0;
+  config.hidden_layers = {12};
+  config.num_workers = 8;
+  config.batch_size = 16;
+  config.max_epochs = 2;
+  config.network = core::NetworkScenario::kHeterogeneousStatic;
+  config.monitor_period_seconds = 5.0;
+  config.generator.outer_rounds = 4;
+  config.generator.inner_rounds = 4;
+  config.eval_every_epochs = 1;
+  config.seed = 13;
+  config.threads = 1;
+  return config;
+}
+
+void PrintSeries(const char* label, const ml::Series& series) {
+  std::printf("%s %zu\n", label, series.size());
+  for (const auto& point : series) std::printf("%a %a\n", point.x, point.y);
+}
+
+Status DumpTrace(const std::string& name) {
+  NETMAX_ASSIGN_OR_RETURN(const auto algorithm, algos::MakeAlgorithm(name));
+  NETMAX_ASSIGN_OR_RETURN(const core::RunResult result,
+                          algorithm->Run(GoldenConfig()));
+  std::printf("netmax-golden-trace v1\n");
+  std::printf("algorithm %s\n", result.algorithm.c_str());
+  PrintSeries("loss_vs_time", result.loss_vs_time);
+  PrintSeries("loss_vs_epoch", result.loss_vs_epoch);
+  PrintSeries("accuracy_vs_time", result.accuracy_vs_time);
+  std::printf("final_train_loss %a\n", result.final_train_loss);
+  std::printf("final_accuracy %a\n", result.final_accuracy);
+  std::printf("total_virtual_seconds %a\n", result.total_virtual_seconds);
+  std::printf("avg_epoch_compute_seconds %a\n",
+              result.avg_epoch_cost.compute_seconds);
+  std::printf("avg_epoch_communication_seconds %a\n",
+              result.avg_epoch_cost.communication_seconds);
+  std::printf("total_local_iterations %" PRId64 "\n",
+              result.total_local_iterations);
+  std::printf("consensus_distance %a\n", result.consensus_distance);
+  std::printf("policies_generated %" PRId64 "\n", result.policies_generated);
+  return Status::Ok();
+}
+
+}  // namespace
+}  // namespace netmax
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s --list | %s <algorithm>\n", argv[0],
+                 argv[0]);
+    return 2;
+  }
+  const std::string arg = argv[1];
+  if (arg == "--list") {
+    for (const std::string& name : netmax::algos::AlgorithmNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  const netmax::Status status = netmax::DumpTrace(arg);
+  if (!status.ok()) {
+    std::fprintf(stderr, "trace_dump failed: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  return 0;
+}
