@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "net/fault_schedule.h"
 
 namespace netmax::bench {
 namespace {
@@ -30,8 +31,23 @@ core::ExecutionBackendKind backend_override =
     core::ExecutionBackendKind::kSpeculative;
 int reorder_window_override = -1;
 double checkpoint_at_override = 0.0;
+double checkpoint_every_override = 0.0;
 std::string checkpoint_path_override;
 std::string restore_path_override;
+// --faults: either a scripted schedule parsed up front, or a "seed:K" form
+// resolved per run (FromSeed needs the run's worker count).
+bool faults_override_set = false;
+bool faults_from_seed = false;
+uint64_t faults_seed = 0;
+net::FaultSchedule faults_override;
+bool peer_policy_override_set = false;
+core::PeerPolicy peer_policy_override = core::PeerPolicy::kWait;
+bool adaptive_window_override = false;
+// Seed-derived schedules ("--faults=seed:K") place their events inside
+// (0.1, 0.75) x this horizon: 40 virtual seconds lands the churn well inside
+// every bench run, smoke or full.
+constexpr double kSeedFaultHorizonSeconds = 40.0;
+constexpr int kSeedFaultCount = 4;
 // Sequence number of the current RunAlgorithms/RunConfigs batch within this
 // process. Benches call the runners several times (one per figure panel,
 // often with the same algorithm names), and the batch index keeps each
@@ -45,6 +61,8 @@ void PrintUsage(std::ostream& os, const char* binary) {
      << " [--smoke] [--threads=N] [--shards=N] [--backend=K]"
         " [--reorder-window=N]\n"
         "       [--checkpoint-at=S --checkpoint-path=P] [--restore-path=P]\n"
+        "       [--faults=SPEC] [--peer-policy=P] [--checkpoint-every=S]"
+        " [--adaptive-window]\n"
      << "  --smoke              reduced iterations / corpus (CI smoke run)\n"
      << "  --threads=N          per-run simulation threads (0 = one per "
         "core, 1 = serial; results are bit-identical)\n"
@@ -61,12 +79,27 @@ void PrintUsage(std::ostream& os, const char* binary) {
      << "  --restore-path=P     resume every run from its P.b<batch>.<run "
         "name> checkpoint (results are bit-identical to the uninterrupted "
         "run)\n"
+     << "  --faults=SPEC        inject a deterministic fault schedule into "
+        "every run: 'leave@T:wN', 'join@T:wN', 'crash@T', 'slow@T+DURxF:wN' "
+        "joined by ';',\n"
+        "                       or 'seed:K' for a seed-derived churn mix "
+        "(results are bit-identical for any schedule)\n"
+     << "  --peer-policy=P      dead/stalled-peer handling: wait (block and "
+        "re-probe) or timeout (degrade after the deadline and continue)\n"
+     << "  --checkpoint-every=S rewrite each run's checkpoint every S "
+        "virtual seconds (rotating history; requires --checkpoint-path)\n"
+     << "  --adaptive-window    async backend re-sizes its reorder window "
+        "at runtime (results are bit-identical)\n"
      << "environment overrides (a flag beats its variable):\n"
      << "  NETMAX_SMOKE=1            same as --smoke\n"
      << "  NETMAX_THREADS=N          same as --threads=N\n"
      << "  NETMAX_SHARDS=N           same as --shards=N\n"
      << "  NETMAX_BACKEND=K          same as --backend=K\n"
-     << "  NETMAX_REORDER_WINDOW=N   same as --reorder-window=N\n";
+     << "  NETMAX_REORDER_WINDOW=N   same as --reorder-window=N\n"
+     << "  NETMAX_FAULTS=SPEC        same as --faults=SPEC\n"
+     << "  NETMAX_PEER_POLICY=P      same as --peer-policy=P\n"
+     << "  NETMAX_CHECKPOINT_EVERY=S same as --checkpoint-every=S\n"
+     << "  NETMAX_ADAPTIVE_WINDOW=1  same as --adaptive-window\n";
 }
 
 // Strict value parse for "--flag=N" style flags and their environment
@@ -107,6 +140,47 @@ StatusOr<double> ParseSeconds(const std::string& flag_text,
                               " (expected a non-negative number of seconds)");
 }
 
+// Strict value parse for "--faults=SPEC" and NETMAX_FAULTS. A "seed:K" spec
+// is recorded for per-run resolution (FromSeed needs the run's worker
+// count); anything else must parse under the scripted grammar now so a typo
+// fails before any experiment runs.
+Status ParseFaults(const std::string& flag_text, std::string_view value) {
+  faults_from_seed = false;
+  if (value.rfind("seed:", 0) == 0) {
+    StatusOr<int> seed = ParseNonNegativeInt(value.substr(5));
+    if (!seed.ok()) {
+      return InvalidArgumentError("bad flag value: " + flag_text +
+                                  " (expected seed:K with K a non-negative "
+                                  "integer)");
+    }
+    faults_from_seed = true;
+    faults_seed = static_cast<uint64_t>(*seed);
+    faults_override_set = true;
+    return Status::Ok();
+  }
+  StatusOr<net::FaultSchedule> parsed = net::FaultSchedule::Parse(value);
+  if (!parsed.ok()) {
+    return InvalidArgumentError("bad flag value: " + flag_text + " (" +
+                                parsed.status().message() + ")");
+  }
+  faults_override = std::move(parsed.value());
+  faults_override_set = true;
+  return Status::Ok();
+}
+
+// Strict value parse for "--peer-policy=P" and NETMAX_PEER_POLICY.
+Status ParsePeerPolicyFlag(const std::string& flag_text,
+                           std::string_view value) {
+  core::PeerPolicy policy;
+  if (!core::ParsePeerPolicy(value, &policy)) {
+    return InvalidArgumentError("bad flag value: " + flag_text +
+                                " (expected wait or timeout)");
+  }
+  peer_policy_override = policy;
+  peer_policy_override_set = true;
+  return Status::Ok();
+}
+
 // Splits the machine between `concurrent_runs` simultaneous experiments:
 // every run gets an equal share of the cores for its own compute-event pool
 // (at least one). Applied only when the config asks for the automatic
@@ -128,6 +202,16 @@ void ApplyExecutionOverrides(core::ExperimentConfig& config,
   if (reorder_window_override >= 0) {
     config.reorder_window = reorder_window_override;
   }
+  if (faults_override_set) {
+    config.faults =
+        faults_from_seed
+            ? net::FaultSchedule::FromSeed(faults_seed, config.num_workers,
+                                           kSeedFaultHorizonSeconds,
+                                           kSeedFaultCount)
+            : faults_override;
+  }
+  if (peer_policy_override_set) config.peer_policy = peer_policy_override;
+  if (adaptive_window_override) config.adaptive_reorder_window = true;
 }
 
 // Distinct checkpoint/restore files for every run of a bench:
@@ -159,6 +243,10 @@ void ApplyCheckpointOverrides(core::ExperimentConfig& config, int batch,
     config.checkpoint_at_seconds = checkpoint_at_override;
     config.checkpoint_path = PerRunPath(checkpoint_path_override, run_key);
   }
+  if (checkpoint_every_override > 0.0) {
+    config.checkpoint_every_seconds = checkpoint_every_override;
+    config.checkpoint_path = PerRunPath(checkpoint_path_override, run_key);
+  }
   if (!restore_path_override.empty()) {
     config.restore_path = PerRunPath(restore_path_override, run_key);
   }
@@ -175,11 +263,22 @@ StatusOr<bool> InitBench(int argc, char** argv) {
   backend_override_set = false;
   reorder_window_override = -1;
   checkpoint_at_override = 0.0;
+  checkpoint_every_override = 0.0;
   checkpoint_path_override.clear();
   restore_path_override.clear();
+  faults_override_set = false;
+  faults_from_seed = false;
+  faults_seed = 0;
+  faults_override = net::FaultSchedule();
+  peer_policy_override_set = false;
+  adaptive_window_override = false;
   run_batch_counter = 0;
   const char* env = std::getenv("NETMAX_SMOKE");
   if (env != nullptr && std::strcmp(env, "1") == 0) smoke_mode = true;
+  const char* env_adaptive = std::getenv("NETMAX_ADAPTIVE_WINDOW");
+  if (env_adaptive != nullptr && std::strcmp(env_adaptive, "1") == 0) {
+    adaptive_window_override = true;
+  }
   const char* env_threads = std::getenv("NETMAX_THREADS");
   if (env_threads != nullptr) {
     NETMAX_ASSIGN_OR_RETURN(
@@ -209,6 +308,23 @@ StatusOr<bool> InitBench(int argc, char** argv) {
         ParseFlagValue(std::string("NETMAX_REORDER_WINDOW=") + env_window,
                        env_window));
   }
+  const char* env_faults = std::getenv("NETMAX_FAULTS");
+  if (env_faults != nullptr) {
+    NETMAX_RETURN_IF_ERROR(ParseFaults(
+        std::string("NETMAX_FAULTS=") + env_faults, env_faults));
+  }
+  const char* env_policy = std::getenv("NETMAX_PEER_POLICY");
+  if (env_policy != nullptr) {
+    NETMAX_RETURN_IF_ERROR(ParsePeerPolicyFlag(
+        std::string("NETMAX_PEER_POLICY=") + env_policy, env_policy));
+  }
+  const char* env_every = std::getenv("NETMAX_CHECKPOINT_EVERY");
+  if (env_every != nullptr) {
+    NETMAX_ASSIGN_OR_RETURN(
+        checkpoint_every_override,
+        ParseSeconds(std::string("NETMAX_CHECKPOINT_EVERY=") + env_every,
+                     env_every));
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -234,10 +350,22 @@ StatusOr<bool> InitBench(int argc, char** argv) {
       NETMAX_ASSIGN_OR_RETURN(
           checkpoint_at_override,
           ParseSeconds(arg, std::string_view(arg).substr(16)));
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      NETMAX_ASSIGN_OR_RETURN(
+          checkpoint_every_override,
+          ParseSeconds(arg, std::string_view(arg).substr(19)));
     } else if (arg.rfind("--checkpoint-path=", 0) == 0) {
       checkpoint_path_override = arg.substr(18);
     } else if (arg.rfind("--restore-path=", 0) == 0) {
       restore_path_override = arg.substr(15);
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      NETMAX_RETURN_IF_ERROR(
+          ParseFaults(arg, std::string_view(arg).substr(9)));
+    } else if (arg.rfind("--peer-policy=", 0) == 0) {
+      NETMAX_RETURN_IF_ERROR(
+          ParsePeerPolicyFlag(arg, std::string_view(arg).substr(14)));
+    } else if (arg == "--adaptive-window") {
+      adaptive_window_override = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(std::cout, argc > 0 ? argv[0] : "bench");
       return false;
@@ -248,6 +376,10 @@ StatusOr<bool> InitBench(int argc, char** argv) {
   if (checkpoint_at_override > 0.0 && checkpoint_path_override.empty()) {
     return InvalidArgumentError(
         "--checkpoint-at requires --checkpoint-path");
+  }
+  if (checkpoint_every_override > 0.0 && checkpoint_path_override.empty()) {
+    return InvalidArgumentError(
+        "--checkpoint-every requires --checkpoint-path");
   }
   return true;
 }
@@ -474,16 +606,44 @@ void PrintEpochCostSplit(std::ostream& os, const std::string& title,
 
 void PrintExecutionDiagnostics(std::ostream& os,
                                const std::vector<NamedResult>& results) {
-  TablePrinter table({"run", "backend", "batches", "speculated",
-                      "redispatched", "recomputed", "stalls", "backpressure"});
+  // Fault and adaptive-window columns appear only when some run has activity
+  // to report: fault-free batches keep the exact pre-fault table shape, so
+  // scripts diffing a bench's stderr across revisions see no churn.
+  bool any_faults = false;
   for (const NamedResult& entry : results) {
     const core::RunResult& r = entry.result;
-    table.AddRow({entry.name, r.backend, std::to_string(r.parallel_batches),
-                  std::to_string(r.computes_speculated),
-                  std::to_string(r.computes_redispatched),
-                  std::to_string(r.computes_recomputed),
-                  std::to_string(r.window_stalls),
-                  std::to_string(r.window_backpressure)});
+    if (r.window_resizes != 0 || r.faults_injected != 0 ||
+        r.rounds_degraded != 0 || r.peers_timed_out != 0) {
+      any_faults = true;
+      break;
+    }
+  }
+  std::vector<std::string> header = {"run",          "backend",
+                                     "batches",      "speculated",
+                                     "redispatched", "recomputed",
+                                     "stalls",       "backpressure"};
+  if (any_faults) {
+    header.insert(header.end(),
+                  {"resizes", "faults", "degraded", "timeouts"});
+  }
+  TablePrinter table(header);
+  for (const NamedResult& entry : results) {
+    const core::RunResult& r = entry.result;
+    std::vector<std::string> row = {entry.name,
+                                    r.backend,
+                                    std::to_string(r.parallel_batches),
+                                    std::to_string(r.computes_speculated),
+                                    std::to_string(r.computes_redispatched),
+                                    std::to_string(r.computes_recomputed),
+                                    std::to_string(r.window_stalls),
+                                    std::to_string(r.window_backpressure)};
+    if (any_faults) {
+      row.insert(row.end(), {std::to_string(r.window_resizes),
+                             std::to_string(r.faults_injected),
+                             std::to_string(r.rounds_degraded),
+                             std::to_string(r.peers_timed_out)});
+    }
+    table.AddRow(std::move(row));
   }
   os << "\n== Execution diagnostics (real-machine dispatch; never affects "
         "results) ==\n";

@@ -50,6 +50,31 @@ namespace netmax::bench {
 //                        apart.
 //   --restore-path=P     start every run from its P.b<batch>.<run name>
 //                        checkpoint instead of from scratch.
+//   --faults=SPEC        inject a deterministic worker-lifecycle fault
+//                        schedule into every run (ExperimentConfig::faults).
+//                        SPEC is either the scripted grammar of
+//                        net::FaultSchedule::Parse — e.g.
+//                        "slow@2+6x4:w1;leave@4:w2;join@9:w2" — or "seed:K"
+//                        for a seed-derived churn/straggler mix
+//                        (FaultSchedule::FromSeed with the run's worker
+//                        count). Results stay bit-identical across backends,
+//                        threads, and shards for any schedule.
+//   --peer-policy=P      how engines treat a dead or stalled peer: "wait"
+//                        (block and re-probe; the paper's synchronous
+//                        semantics) or "timeout" (degrade after
+//                        ExperimentConfig::peer_timeout_seconds and
+//                        continue without the peer).
+//   --checkpoint-every=S arm the periodic checkpoint cadence: every S
+//                        virtual seconds each run rewrites its
+//                        P.b<batch>.<run name> file (plus a rotating .t<k>
+//                        history; pair with --checkpoint-path). This is the
+//                        crash-recovery workflow: a crash@T fault halts the
+//                        run, and --restore-path resumes from the newest
+//                        periodic checkpoint bit-identically.
+//   --adaptive-window    let the async backend re-size its reorder window at
+//                        runtime from stall/backpressure counters
+//                        (ExperimentConfig::adaptive_reorder_window; results
+//                        are bit-identical either way).
 // Every flag has a NETMAX_* environment fallback (see PrintUsage in
 // bench_util.cc for the single authoritative list); an explicit flag wins
 // over its environment variable.
@@ -146,12 +171,16 @@ void PrintEpochCostSplit(std::ostream& os, const std::string& title,
 
 // Prints the execution-backend health table for `results`: backend, frontier
 // or window batches, speculated / re-dispatched / inline-recomputed compute
-// halves, and the async window's stall/backpressure counters. RunAlgorithms
-// and RunConfigs emit this to stderr after every batch of runs (so
-// speculation health is visible without a Debug rebuild) — stderr, because
-// the counters vary with the {threads, backend} execution point while the
-// benches' stdout must stay byte-identical across all of them (the CI
-// determinism lane diffs it).
+// halves, and the async window's stall/backpressure counters. When any run
+// reports fault or adaptive-window activity (window_resizes,
+// faults_injected, rounds_degraded, peers_timed_out), four extra columns
+// carry those counters; fault-free batches suppress the all-zero columns so
+// their stderr table keeps the exact pre-fault shape. RunAlgorithms and
+// RunConfigs emit this to stderr after every batch of runs (so speculation
+// health is visible without a Debug rebuild) — stderr, because the counters
+// vary with the {threads, backend} execution point while the benches' stdout
+// must stay byte-identical across all of them (the CI determinism lane
+// diffs it).
 void PrintExecutionDiagnostics(std::ostream& os,
                                const std::vector<NamedResult>& results);
 

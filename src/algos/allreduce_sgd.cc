@@ -26,14 +26,24 @@ class AllreduceEngine {
       return BuildEvent(event);
     };
     if (harness_.restore_requested()) {
-      // The engine keeps no state of its own; the restored queue and worker
-      // state carry the whole round structure.
+      // The restored queue carries the round's pending compute events; the
+      // engine blob carries its membership and the outstanding-commit count.
       NETMAX_RETURN_IF_ERROR(harness_.Restore(
-          [](Deserializer&) { return Status::Ok(); }, builder_));
+          [this](Deserializer& in) { return RestoreEngineState(in); },
+          builder_));
     } else {
       Emit(0.0, core::kPlainEvent, {kRunRound, {}});
     }
-    harness_.ArmCheckpoint([](Serializer&) { return Status::Ok(); });
+    harness_.ArmCheckpoint([this](Serializer& out) {
+      out.WriteIntVec(members_);
+      out.WriteInt(pending_);
+      out.WriteBool(round_waiting_);
+      return Status::Ok();
+    });
+    // No fault listener needed: the round loop re-probes on its own while
+    // any worker is dead (kWait) or runs with the live membership
+    // (kTimeoutAndContinue), so a rejoining worker is picked up by the next
+    // kRunRound automatically.
     harness_.sim().RunUntilIdle();
     NETMAX_RETURN_IF_ERROR(harness_.checkpoint_status());
     return harness_.Finalize();
@@ -60,9 +70,12 @@ class AllreduceEngine {
         const int n = harness_.num_workers();
         if (w < 0 || w >= n || !args.empty()) break;
         rebuilt.compute = [this, w] { return harness_.EvalBatchGradient(w); };
-        rebuilt.commit = [this, w, n](double loss) {
+        rebuilt.commit = [this, w](double loss) {
           harness_.CommitBatchStats(w, loss);
-          if (w == n - 1) ReduceAndApply();
+          // Commits run in membership order; the last one reduces. On full
+          // membership this fires at worker n-1's commit, exactly like the
+          // fixed-membership round structure did.
+          if (--pending_ == 0) ReduceAndApply();
         };
         return rebuilt;
       }
@@ -81,73 +94,158 @@ class AllreduceEngine {
   void RunRound() {
     if (harness_.AllDone()) return;
     const int n = harness_.num_workers();
+    const core::ExperimentConfig& config = harness_.config();
 
-    // Phase 1: all workers compute gradients in parallel — now literally: one
-    // compute event per worker at the current time, so the pool evaluates the
-    // whole round concurrently. Commits run in worker order; the last one
-    // reduces and starts the next round.
-    for (int w = 0; w < n; ++w) {
+    // Round membership under faults. kWait keeps the paper's synchronous
+    // semantics: a dead worker blocks the whole round, which re-probes at
+    // the poll cadence until everyone is back (bounded by the run's time
+    // cap). kTimeoutAndContinue runs with whoever is alive and additionally
+    // drops stragglers whose slowed compute would hold the round more than
+    // peer_timeout_seconds past the fastest member. On a fault-free run both
+    // policies yield the full membership.
+    members_.clear();
+    if (config.peer_policy == core::PeerPolicy::kWait) {
+      for (int w = 0; w < n; ++w) {
+        if (!harness_.WorkerAlive(w)) {
+          if (!round_waiting_) {
+            round_waiting_ = true;
+            harness_.CountDegradedRound();
+          }
+          Emit(config.peer_poll_seconds, core::kPlainEvent, {kRunRound, {}});
+          return;
+        }
+      }
+      round_waiting_ = false;
+      for (int w = 0; w < n; ++w) members_.push_back(w);
+    } else {
+      double min_compute = 0.0;
+      bool has_alive = false;
+      for (int w = 0; w < n; ++w) {
+        if (!harness_.WorkerAlive(w)) continue;
+        const double compute = harness_.EffectiveComputeSeconds(w);
+        min_compute = has_alive ? std::min(min_compute, compute) : compute;
+        has_alive = true;
+      }
+      bool degraded = false;
+      for (int w = 0; w < n; ++w) {
+        if (!harness_.WorkerAlive(w)) {
+          degraded = true;
+          continue;
+        }
+        if (harness_.EffectiveComputeSeconds(w) >
+            min_compute + config.peer_timeout_seconds) {
+          // The fastest member never exceeds its own bound, so the
+          // membership is non-empty whenever anyone is alive.
+          degraded = true;
+          harness_.CountPeerTimeout();
+          continue;
+        }
+        members_.push_back(w);
+      }
+      if (members_.empty()) {
+        // Everyone is dead: re-probe until a join revives the round.
+        Emit(config.peer_poll_seconds, core::kPlainEvent, {kRunRound, {}});
+        return;
+      }
+      if (degraded) harness_.CountDegradedRound();
+    }
+
+    // Phase 1: the members compute gradients in parallel — one compute event
+    // per member at the current time, so the pool evaluates the whole round
+    // concurrently. Commits run in order; the last one reduces and starts
+    // the next round.
+    pending_ = static_cast<int>(members_.size());
+    for (int w : members_) {
       harness_.SampleBatch(w);
       Emit(0.0, w, {kRoundCompute, {}});
     }
   }
 
   void ReduceAndApply() {
-    const int n = harness_.num_workers();
+    const int g = static_cast<int>(members_.size());
     const double now = harness_.sim().Now();
     double max_compute = 0.0;
-    std::vector<double> computes(static_cast<size_t>(n));
-    for (int w = 0; w < n; ++w) {
-      computes[static_cast<size_t>(w)] =
-          harness_.worker(w).compute_seconds_per_batch;
-      max_compute = std::max(max_compute, computes[static_cast<size_t>(w)]);
+    std::vector<double> computes(static_cast<size_t>(g));
+    for (int k = 0; k < g; ++k) {
+      computes[static_cast<size_t>(k)] =
+          harness_.EffectiveComputeSeconds(members_[static_cast<size_t>(k)]);
+      max_compute = std::max(max_compute, computes[static_cast<size_t>(k)]);
     }
 
-    // Phase 2: ring allreduce of the gradients. 2(M-1) chunk steps, each
-    // paced by the slowest ring link; the chunks are pipelined, so the
-    // per-message latency is paid once per direction rather than per step
-    // (T(0 bytes) isolates the latency component). Link costs are evaluated
-    // at the current virtual time (dynamic slowdowns apply).
-    const int64_t chunk_bytes =
-        harness_.config().profile.message_bytes() / n;
-    double step_seconds = 0.0;
-    double latency_seconds = 0.0;
-    for (int w = 0; w < n; ++w) {
-      const int succ = (w + 1) % n;
-      const double latency = harness_.links().TransferSeconds(w, succ, now, 0);
-      const double chunk =
-          harness_.links().TransferSeconds(w, succ, now, chunk_bytes);
-      step_seconds = std::max(step_seconds, chunk - latency);
-      latency_seconds = std::max(latency_seconds, latency);
+    // Phase 2: ring allreduce of the gradients over the members. 2(G-1)
+    // chunk steps, each paced by the slowest ring link; the chunks are
+    // pipelined, so the per-message latency is paid once per direction
+    // rather than per step (T(0 bytes) isolates the latency component).
+    // Link costs are evaluated at the current virtual time (dynamic
+    // slowdowns apply). A single surviving member reduces with nobody:
+    // communication-free round.
+    double allreduce_seconds = 0.0;
+    if (g > 1) {
+      const int64_t chunk_bytes =
+          harness_.config().profile.message_bytes() / g;
+      double step_seconds = 0.0;
+      double latency_seconds = 0.0;
+      for (int k = 0; k < g; ++k) {
+        const int a = members_[static_cast<size_t>(k)];
+        const int b = members_[static_cast<size_t>((k + 1) % g)];
+        const double latency = harness_.links().TransferSeconds(a, b, now, 0);
+        const double chunk =
+            harness_.links().TransferSeconds(a, b, now, chunk_bytes);
+        step_seconds = std::max(step_seconds, chunk - latency);
+        latency_seconds = std::max(latency_seconds, latency);
+      }
+      allreduce_seconds =
+          2.0 * (g - 1) * step_seconds + 2.0 * latency_seconds;
     }
-    const double allreduce_seconds =
-        2.0 * (n - 1) * step_seconds + 2.0 * latency_seconds;
 
-    // Average the gradients and apply the identical update on every replica.
-    // All of this round's compute events committed before the last worker's
+    // Average the members' gradients and apply the identical update on each
+    // member replica (dead/dropped workers keep their stale parameters).
+    // All of this round's compute events committed before the last member's
     // commit reached here and the next round is not scheduled yet, so no
     // backend holds an evaluation that could read these writes mid-flight;
     // ApplyStoredGradient still notifies each worker per the contract.
     std::vector<double> mean_gradient(
         harness_.worker(0).gradient.size(), 0.0);
-    for (int w = 0; w < n; ++w) {
+    for (int w : members_) {
       linalg::AddInPlace(harness_.worker(w).gradient, mean_gradient);
     }
-    linalg::Scale(1.0 / static_cast<double>(n), mean_gradient);
-    for (int w = 0; w < n; ++w) {
+    linalg::Scale(1.0 / static_cast<double>(g), mean_gradient);
+    for (int w : members_) {
       harness_.worker(w).gradient = mean_gradient;
       harness_.ApplyStoredGradient(w);
     }
 
     // Gradients must be ready before the reduce: no overlap.
     const double wall = max_compute + allreduce_seconds;
-    for (int w = 0; w < n; ++w) {
-      harness_.AccountIteration(w, computes[static_cast<size_t>(w)], wall);
+    for (int k = 0; k < g; ++k) {
+      harness_.AccountIteration(members_[static_cast<size_t>(k)],
+                                computes[static_cast<size_t>(k)], wall);
     }
     Emit(wall, core::kPlainEvent, {kRunRound, {}});
   }
 
+  Status RestoreEngineState(Deserializer& in) {
+    NETMAX_RETURN_IF_ERROR(in.ReadIntVec(&members_));
+    for (int w : members_) {
+      if (w < 0 || w >= harness_.num_workers()) {
+        return InvalidArgumentError("round member out of range");
+      }
+    }
+    NETMAX_ASSIGN_OR_RETURN(pending_, in.ReadInt());
+    if (pending_ < 0 || pending_ > static_cast<int>(members_.size())) {
+      return InvalidArgumentError("pending commit count out of range");
+    }
+    NETMAX_ASSIGN_OR_RETURN(round_waiting_, in.ReadBool());
+    return Status::Ok();
+  }
+
   ExperimentHarness harness_;
+  // The current round's membership, its outstanding commit count, and
+  // whether a kWait round is currently blocked on a dead worker (so the
+  // degraded-round count increments once per blockage, not per probe).
+  std::vector<int> members_;
+  int pending_ = 0;
+  bool round_waiting_ = false;
   net::EventRebuilder builder_;
 };
 

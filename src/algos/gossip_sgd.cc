@@ -1,11 +1,13 @@
 #include "algos/gossip_sgd.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "net/fault_schedule.h"
 
 namespace netmax::algos {
 namespace {
@@ -23,13 +25,19 @@ class GossipEngine {
     NETMAX_RETURN_IF_ERROR(harness_.Init());
     const int n = harness_.num_workers();
     push_busy_until_.assign(static_cast<size_t>(n), 0.0);
+    parked_.assign(static_cast<size_t>(n), 0);
     builder_ = [this](const net::SavedEvent& event) {
       return BuildEvent(event);
     };
     if (harness_.restore_requested()) {
       NETMAX_RETURN_IF_ERROR(harness_.Restore(
           [this](Deserializer& in) {
-            return in.ReadDoubleSpan(push_busy_until_);
+            NETMAX_RETURN_IF_ERROR(in.ReadDoubleSpan(push_busy_until_));
+            for (size_t w = 0; w < parked_.size(); ++w) {
+              NETMAX_ASSIGN_OR_RETURN(const bool parked, in.ReadBool());
+              parked_[w] = parked ? 1 : 0;
+            }
+            return Status::Ok();
           },
           builder_));
     } else {
@@ -37,7 +45,15 @@ class GossipEngine {
     }
     harness_.ArmCheckpoint([this](Serializer& out) {
       out.WriteDoubleVec(push_busy_until_);
+      for (const uint8_t parked : parked_) out.WriteBool(parked != 0);
       return Status::Ok();
+    });
+    // Restart a rejoining worker's iteration chain iff it parked.
+    harness_.set_fault_listener([this](const net::FaultEvent& fault) {
+      if (fault.kind == net::FaultKind::kJoin &&
+          parked_[static_cast<size_t>(fault.worker)] != 0) {
+        StartIteration(fault.worker);
+      }
     });
     harness_.sim().RunUntilIdle();
     NETMAX_RETURN_IF_ERROR(harness_.checkpoint_status());
@@ -84,6 +100,11 @@ class GossipEngine {
         rebuilt.plain = [this, m,
                          snapshot = std::vector<double>(args.begin() + 1,
                                                         args.end())] {
+          if (!harness_.WorkerAlive(m)) {
+            // The receiver died while the push was in flight: drop it.
+            harness_.CountDegradedRound();
+            return;
+          }
           // Arrival writes the receiver's parameters — invalidate whatever
           // the backend ran ahead for m (frontier speculation or async
           // window entry; an in-flight evaluation is waited out first).
@@ -103,8 +124,12 @@ class GossipEngine {
   }
 
   void StartIteration(int w) {
-    if (harness_.WorkerDone(w)) return;
-    const double compute = harness_.worker(w).compute_seconds_per_batch;
+    if (harness_.WorkerDone(w)) {
+      parked_[static_cast<size_t>(w)] = 1;
+      return;
+    }
+    parked_[static_cast<size_t>(w)] = 0;
+    const double compute = harness_.EffectiveComputeSeconds(w);
     harness_.SampleBatch(w);
     Emit(compute, w, {kIterate, {compute}});
   }
@@ -116,6 +141,12 @@ class GossipEngine {
     const auto& neighbors = harness_.topology().Neighbors(w);
     const int m = neighbors[static_cast<size_t>(worker.rng.UniformInt(
         0, static_cast<int64_t>(neighbors.size()) - 1))];
+    if (!harness_.WorkerAlive(m)) {
+      // Push-gossip never blocks: a dead target just means no push this
+      // iteration (the NIC stays free for the next draw).
+      harness_.CountDegradedRound();
+      return;
+    }
     const double transfer = harness_.PullSeconds(w, m);  // w -> m push
     push_busy_until_[static_cast<size_t>(w)] = now + transfer;
     // Snapshot the sender's parameters at push time; the snapshot rides in
@@ -130,6 +161,8 @@ class GossipEngine {
 
   ExperimentHarness harness_;
   std::vector<double> push_busy_until_;
+  // Per-worker "iteration chain is parked" flag (see the join listener).
+  std::vector<uint8_t> parked_;
   net::EventRebuilder builder_;
 };
 

@@ -1,6 +1,7 @@
 #include "algos/param_server.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -8,6 +9,7 @@
 
 #include "core/checkpoint.h"
 #include "linalg/vector_ops.h"
+#include "net/fault_schedule.h"
 
 namespace netmax::algos {
 namespace {
@@ -93,15 +95,24 @@ class PsSyncEngine {
     };
     if (harness_.restore_requested()) {
       NETMAX_RETURN_IF_ERROR(harness_.Restore(
-          [this](Deserializer& in) { return ps_->RestoreState(in); },
+          [this](Deserializer& in) {
+            NETMAX_RETURN_IF_ERROR(ps_->RestoreState(in));
+            return RestoreRoundState(in);
+          },
           builder_));
     } else {
       Emit(0.0, core::kPlainEvent, {kRunRound, {}});
     }
     harness_.ArmCheckpoint([this](Serializer& out) {
       ps_->SaveState(out);
+      out.WriteIntVec(members_);
+      out.WriteInt(pending_);
+      out.WriteBool(round_waiting_);
       return Status::Ok();
     });
+    // No fault listener needed: the round loop re-probes on its own while a
+    // worker is dead (kWait) or runs with the live membership, so rejoining
+    // workers are picked up by the next kRunRound.
     harness_.sim().RunUntilIdle();
     NETMAX_RETURN_IF_ERROR(harness_.checkpoint_status());
     return harness_.Finalize();
@@ -128,9 +139,12 @@ class PsSyncEngine {
         const int n = harness_.num_workers();
         if (w < 0 || w >= n || !args.empty()) break;
         rebuilt.compute = [this, w] { return harness_.EvalBatchGradient(w); };
-        rebuilt.commit = [this, w, n](double loss) {
+        rebuilt.commit = [this, w](double loss) {
           harness_.CommitBatchStats(w, loss);
-          if (w == n - 1) ExchangeWithServer();
+          // Commits run in membership order; the last one exchanges with the
+          // PS — at worker n-1's commit on full membership, exactly like the
+          // fixed-membership rounds did.
+          if (--pending_ == 0) ExchangeWithServer();
         };
         return rebuilt;
       }
@@ -149,67 +163,140 @@ class PsSyncEngine {
   void RunRound() {
     if (harness_.AllDone()) return;
     const int n = harness_.num_workers();
+    const core::ExperimentConfig& config = harness_.config();
 
-    // Phase 1: parallel gradient computation on each worker's own replica,
-    // as one compute event per worker at the current time so the pool runs
+    // Round membership under faults — same scheme as the allreduce engine:
+    // kWait blocks the round on any dead worker (re-probing at the poll
+    // cadence), kTimeoutAndContinue runs with the live members and drops
+    // stragglers slower than the fastest member by more than the timeout.
+    members_.clear();
+    if (config.peer_policy == core::PeerPolicy::kWait) {
+      for (int w = 0; w < n; ++w) {
+        if (!harness_.WorkerAlive(w)) {
+          if (!round_waiting_) {
+            round_waiting_ = true;
+            harness_.CountDegradedRound();
+          }
+          Emit(config.peer_poll_seconds, core::kPlainEvent, {kRunRound, {}});
+          return;
+        }
+      }
+      round_waiting_ = false;
+      for (int w = 0; w < n; ++w) members_.push_back(w);
+    } else {
+      double min_compute = 0.0;
+      bool has_alive = false;
+      for (int w = 0; w < n; ++w) {
+        if (!harness_.WorkerAlive(w)) continue;
+        const double compute = harness_.EffectiveComputeSeconds(w);
+        min_compute = has_alive ? std::min(min_compute, compute) : compute;
+        has_alive = true;
+      }
+      bool degraded = false;
+      for (int w = 0; w < n; ++w) {
+        if (!harness_.WorkerAlive(w)) {
+          degraded = true;
+          continue;
+        }
+        if (harness_.EffectiveComputeSeconds(w) >
+            min_compute + config.peer_timeout_seconds) {
+          degraded = true;
+          harness_.CountPeerTimeout();
+          continue;
+        }
+        members_.push_back(w);
+      }
+      if (members_.empty()) {
+        Emit(config.peer_poll_seconds, core::kPlainEvent, {kRunRound, {}});
+        return;
+      }
+      if (degraded) harness_.CountDegradedRound();
+    }
+
+    // Phase 1: parallel gradient computation on each member's own replica,
+    // as one compute event per member at the current time so the pool runs
     // the round concurrently; the last commit performs the PS exchange.
-    for (int w = 0; w < n; ++w) {
+    pending_ = static_cast<int>(members_.size());
+    for (int w : members_) {
       harness_.SampleBatch(w);
       Emit(0.0, w, {kRoundCompute, {}});
     }
   }
 
   void ExchangeWithServer() {
-    const int n = harness_.num_workers();
+    const int g = static_cast<int>(members_.size());
     const double t0 = harness_.sim().Now();
     double max_compute = 0.0;
-    std::vector<double> computes(static_cast<size_t>(n));
-    for (int w = 0; w < n; ++w) {
-      computes[static_cast<size_t>(w)] =
-          harness_.worker(w).compute_seconds_per_batch;
-      max_compute = std::max(max_compute, computes[static_cast<size_t>(w)]);
+    std::vector<double> computes(static_cast<size_t>(g));
+    for (int k = 0; k < g; ++k) {
+      computes[static_cast<size_t>(k)] =
+          harness_.EffectiveComputeSeconds(members_[static_cast<size_t>(k)]);
+      max_compute = std::max(max_compute, computes[static_cast<size_t>(k)]);
     }
 
     // Phase 2: uploads, serialized at the PS NIC (central congestion).
     double clock = t0;
-    for (int w = 0; w < n; ++w) {
-      const double ready = t0 + computes[static_cast<size_t>(w)];
+    for (int k = 0; k < g; ++k) {
+      const int w = members_[static_cast<size_t>(k)];
+      const double ready = t0 + computes[static_cast<size_t>(k)];
       const double start = std::max(ready, clock);
       clock = start + ps_->LinkSeconds(w, start);
     }
 
     // PS applies the averaged gradient once.
     std::vector<double> mean_gradient(harness_.worker(0).gradient.size(), 0.0);
-    for (int w = 0; w < n; ++w) {
+    for (int w : members_) {
       linalg::AddInPlace(harness_.worker(w).gradient, mean_gradient);
     }
-    linalg::Scale(1.0 / static_cast<double>(n), mean_gradient);
+    linalg::Scale(1.0 / static_cast<double>(g), mean_gradient);
     ps_->optimizer().set_learning_rate(
         harness_.worker(0).optimizer->learning_rate());
     ps_->optimizer().Step(ps_->model().parameters(), mean_gradient);
 
     // Phase 3: downloads, serialized again; the round ends when the last
-    // worker holds the fresh model.
-    for (int w = 0; w < n; ++w) {
+    // member holds the fresh model (dead/dropped workers keep their stale
+    // replicas until they rejoin a round).
+    for (int w : members_) {
       clock += ps_->LinkSeconds(w, clock);
     }
     const auto fresh = ps_->model().parameters();
-    for (int w = 0; w < n; ++w) {
+    for (int k = 0; k < g; ++k) {
+      const int w = members_[static_cast<size_t>(k)];
       // Round-structured like allreduce: nothing is pending, but the
       // download writes every replica, so notify per the contract (a later
       // backend that pre-dispatches the next round would depend on it).
       harness_.sim().NotifyStateWrite(w);
       auto params = harness_.worker(w).model->parameters();
       std::copy(fresh.begin(), fresh.end(), params.begin());
-      harness_.AccountIteration(w, computes[static_cast<size_t>(w)],
+      harness_.AccountIteration(w, computes[static_cast<size_t>(k)],
                                 clock - t0);
     }
     core::ScheduleReifiedAt(harness_.sim(), clock, core::kPlainEvent,
                             {kRunRound, {}}, builder_);
   }
 
+  Status RestoreRoundState(Deserializer& in) {
+    NETMAX_RETURN_IF_ERROR(in.ReadIntVec(&members_));
+    for (int w : members_) {
+      if (w < 0 || w >= harness_.num_workers()) {
+        return InvalidArgumentError("round member out of range");
+      }
+    }
+    NETMAX_ASSIGN_OR_RETURN(pending_, in.ReadInt());
+    if (pending_ < 0 || pending_ > static_cast<int>(members_.size())) {
+      return InvalidArgumentError("pending commit count out of range");
+    }
+    NETMAX_ASSIGN_OR_RETURN(round_waiting_, in.ReadBool());
+    return Status::Ok();
+  }
+
   ExperimentHarness harness_;
   std::unique_ptr<PsState> ps_;
+  // Current round membership, outstanding commit count, and the once-per-
+  // blockage flag for the kWait degraded-round accounting.
+  std::vector<int> members_;
+  int pending_ = 0;
+  bool round_waiting_ = false;
   net::EventRebuilder builder_;
 };
 
@@ -222,19 +309,38 @@ class PsAsyncEngine {
     NETMAX_RETURN_IF_ERROR(harness_.Init());
     ps_ = std::make_unique<PsState>(harness_, harness_.config(),
                                     /*use_momentum=*/false);
+    parked_.assign(static_cast<size_t>(harness_.num_workers()), 0);
     builder_ = [this](const net::SavedEvent& event) {
       return BuildEvent(event);
     };
     if (harness_.restore_requested()) {
       NETMAX_RETURN_IF_ERROR(harness_.Restore(
-          [this](Deserializer& in) { return ps_->RestoreState(in); },
+          [this](Deserializer& in) {
+            NETMAX_RETURN_IF_ERROR(ps_->RestoreState(in));
+            for (size_t w = 0; w < parked_.size(); ++w) {
+              NETMAX_ASSIGN_OR_RETURN(const bool parked, in.ReadBool());
+              parked_[w] = parked ? 1 : 0;
+            }
+            return Status::Ok();
+          },
           builder_));
     } else {
       for (int w = 0; w < harness_.num_workers(); ++w) StartIteration(w);
     }
     harness_.ArmCheckpoint([this](Serializer& out) {
       ps_->SaveState(out);
+      for (const uint8_t parked : parked_) out.WriteBool(parked != 0);
       return Status::Ok();
+    });
+    // The PS itself never dies (worker faults only target workers); a
+    // rejoining worker's chain restarts iff it parked. A worker that dies
+    // mid round-trip finishes it — its NIC reservations already happened —
+    // and parks at the download's StartIteration.
+    harness_.set_fault_listener([this](const net::FaultEvent& fault) {
+      if (fault.kind == net::FaultKind::kJoin &&
+          parked_[static_cast<size_t>(fault.worker)] != 0) {
+        StartIteration(fault.worker);
+      }
     });
     harness_.sim().RunUntilIdle();
     NETMAX_RETURN_IF_ERROR(harness_.checkpoint_status());
@@ -329,9 +435,13 @@ class PsAsyncEngine {
   }
 
   void StartIteration(int w) {
-    if (harness_.WorkerDone(w)) return;
+    if (harness_.WorkerDone(w)) {
+      parked_[static_cast<size_t>(w)] = 1;
+      return;
+    }
+    parked_[static_cast<size_t>(w)] = 0;
     const double t0 = harness_.sim().Now();
-    const double compute = harness_.worker(w).compute_seconds_per_batch;
+    const double compute = harness_.EffectiveComputeSeconds(w);
     // Gradient at the worker's (possibly stale) parameters: pure compute
     // half; the NIC reservation and PS interaction commit in event order.
     harness_.SampleBatch(w);
@@ -340,6 +450,8 @@ class PsAsyncEngine {
 
   ExperimentHarness harness_;
   std::unique_ptr<PsState> ps_;
+  // Per-worker "iteration chain is parked" flag (see the join listener).
+  std::vector<uint8_t> parked_;
   net::EventRebuilder builder_;
 };
 

@@ -1,12 +1,14 @@
 #include "algos/prague.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/checkpoint.h"
 #include "linalg/vector_ops.h"
+#include "net/fault_schedule.h"
 
 namespace netmax::algos {
 namespace {
@@ -26,6 +28,8 @@ class PragueEngine {
     if (group_size_ <= 1) group_size_ = n <= 4 ? 2 : 4;
     group_size_ = std::min(group_size_, n);
     iteration_start_.assign(static_cast<size_t>(n), 0.0);
+    ready_since_.assign(static_cast<size_t>(n), -1.0);
+    parked_.assign(static_cast<size_t>(n), 0);
     builder_ = [this](const net::SavedEvent& event) {
       return BuildEvent(event);
     };
@@ -40,7 +44,28 @@ class PragueEngine {
       out.WriteIntVec(ready_);
       out.WriteDoubleVec(iteration_start_);
       out.WriteInt(active_groups_);
+      out.WriteDoubleVec(ready_since_);
+      for (const uint8_t parked : parked_) out.WriteBool(parked != 0);
       return Status::Ok();
+    });
+    // A leaving worker is evicted from the waiting room (a dead member must
+    // not be averaged into a group); a rejoining worker's chain restarts iff
+    // it parked. Either way the remaining ready workers are re-examined —
+    // the active-worker count just changed.
+    harness_.set_fault_listener([this](const net::FaultEvent& fault) {
+      const size_t w = static_cast<size_t>(fault.worker);
+      if (fault.kind == net::FaultKind::kLeave) {
+        auto it = std::find(ready_.begin(), ready_.end(), fault.worker);
+        if (it != ready_.end()) {
+          ready_.erase(it);
+          ready_since_[w] = -1.0;
+          parked_[w] = 1;
+          harness_.CountDegradedRound();
+        }
+        MaybeFormGroup(/*flush=*/false);
+      } else if (fault.kind == net::FaultKind::kJoin && parked_[w] != 0) {
+        StartIteration(fault.worker);
+      }
     });
     harness_.sim().RunUntilIdle();
     NETMAX_RETURN_IF_ERROR(harness_.checkpoint_status());
@@ -53,8 +78,9 @@ class PragueEngine {
   // already averaged at launch); the waiting room (`ready_`), per-worker
   // iteration starts, and the in-flight group count ride in the engine blob.
   enum Tag : int64_t {
-    kCompute = 0,      // compute event: args []
-    kGroupFinish = 1,  // plain event: args [reduce_seconds, members...]
+    kCompute = 0,       // compute event: args []
+    kGroupFinish = 1,   // plain event: args [reduce_seconds, members...]
+    kReadyTimeout = 2,  // plain event: args [worker, ready_since]
   };
 
   void Emit(double delay, int worker_key, net::EventPayload payload) {
@@ -75,8 +101,15 @@ class PragueEngine {
           // Local SGD step, then wait for a partial-allreduce group.
           harness_.CommitBatchStats(w, loss);
           harness_.ApplyStoredGradient(w);
-          ready_.push_back(w);
-          MaybeFormGroup(/*flush=*/false);
+          if (!harness_.WorkerAlive(w)) {
+            // The worker left while this batch was in flight: the local step
+            // counts, but it must not enter the waiting room.
+            parked_[static_cast<size_t>(w)] = 1;
+            harness_.CountDegradedRound();
+            MaybeFormGroup(/*flush=*/false);
+            return;
+          }
+          EnterWaitingRoom(w);
         };
         return rebuilt;
       }
@@ -98,6 +131,14 @@ class PragueEngine {
         };
         return rebuilt;
       }
+      case kReadyTimeout: {
+        if (event.worker_key >= 0 || args.size() != 2) break;
+        const int w = static_cast<int>(args[0]);
+        if (w < 0 || w >= n) break;
+        const double since = args[1];
+        rebuilt.plain = [this, w, since] { ReadyTimeout(w, since); };
+        return rebuilt;
+      }
       default:
         break;
     }
@@ -117,20 +158,57 @@ class PragueEngine {
     if (active_groups_ < 0) {
       return InvalidArgumentError("negative active group count");
     }
+    NETMAX_RETURN_IF_ERROR(in.ReadDoubleSpan(ready_since_));
+    for (size_t w = 0; w < parked_.size(); ++w) {
+      NETMAX_ASSIGN_OR_RETURN(const bool parked, in.ReadBool());
+      parked_[w] = parked ? 1 : 0;
+    }
     return Status::Ok();
   }
 
   void StartIteration(int w) {
     if (harness_.WorkerDone(w)) {
+      parked_[static_cast<size_t>(w)] = 1;
       // A finished worker no longer joins groups; flush stragglers so the
       // remaining ready workers are not stranded waiting for it.
       MaybeFormGroup(/*flush=*/true);
       return;
     }
+    parked_[static_cast<size_t>(w)] = 0;
     iteration_start_[static_cast<size_t>(w)] = harness_.sim().Now();
-    const double compute = harness_.worker(w).compute_seconds_per_batch;
+    const double compute = harness_.EffectiveComputeSeconds(w);
     harness_.SampleBatch(w);
     Emit(compute, w, {kCompute, {}});
+  }
+
+  // The worker's local step committed: it waits for a group. Under
+  // kTimeoutAndContinue it also arms a deadline — if it is still waiting
+  // (same episode, identified by the entry time) when the deadline fires, it
+  // gives up on group formation and continues alone.
+  void EnterWaitingRoom(int w) {
+    ready_.push_back(w);
+    ready_since_[static_cast<size_t>(w)] = harness_.sim().Now();
+    if (harness_.config().peer_policy ==
+        core::PeerPolicy::kTimeoutAndContinue) {
+      Emit(harness_.config().peer_timeout_seconds, core::kPlainEvent,
+           {kReadyTimeout,
+            {static_cast<double>(w), ready_since_[static_cast<size_t>(w)]}});
+    }
+    MaybeFormGroup(/*flush=*/false);
+  }
+
+  void ReadyTimeout(int w, double since) {
+    // Stale deadline: the worker was grouped (or evicted) since it was
+    // armed. Entry times are strictly increasing per worker, so equality
+    // identifies the episode exactly.
+    if (ready_since_[static_cast<size_t>(w)] != since) return;
+    auto it = std::find(ready_.begin(), ready_.end(), w);
+    if (it == ready_.end()) return;
+    ready_.erase(it);
+    ready_since_[static_cast<size_t>(w)] = -1.0;
+    harness_.CountPeerTimeout();
+    harness_.CountDegradedRound();
+    FinishGroupMember(w, 0.0);
   }
 
   // Number of workers that can still produce a ready event.
@@ -158,12 +236,14 @@ class PragueEngine {
       if (group.size() >= 2) {
         LaunchGroup(group);
       } else {
+        ready_since_[static_cast<size_t>(group[0])] = -1.0;
         FinishGroupMember(group[0], 0.0);
       }
     }
   }
 
   void LaunchGroup(const std::vector<int>& group) {
+    for (int w : group) ready_since_[static_cast<size_t>(w)] = -1.0;
     const double now = harness_.sim().Now();
     // Ring allreduce within the group: 2(G-1) steps of 1/G model chunks over
     // the slowest intra-group link. Concurrent groups share the physical
@@ -216,8 +296,7 @@ class PragueEngine {
   void FinishGroupMember(int w, double /*reduce_seconds*/) {
     const double wall =
         harness_.sim().Now() - iteration_start_[static_cast<size_t>(w)];
-    harness_.AccountIteration(
-        w, harness_.worker(w).compute_seconds_per_batch, wall);
+    harness_.AccountIteration(w, harness_.EffectiveComputeSeconds(w), wall);
     StartIteration(w);
   }
 
@@ -226,6 +305,11 @@ class PragueEngine {
   std::vector<int> ready_;
   std::vector<double> iteration_start_;
   int active_groups_ = 0;
+  // Waiting-room entry time per worker (-1 while not waiting): the episode
+  // identity for kReadyTimeout deadlines.
+  std::vector<double> ready_since_;
+  // Per-worker "iteration chain is parked" flag (see the fault listener).
+  std::vector<uint8_t> parked_;
   net::EventRebuilder builder_;
 };
 

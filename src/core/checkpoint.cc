@@ -132,27 +132,131 @@ Status LoadSeries(Deserializer& in, ml::Series* series) {
 
 void ExperimentHarness::ArmCheckpoint(EngineStateSaver save_engine) {
   NETMAX_CHECK(initialized_) << "ArmCheckpoint before Init";
+  checkpoint_saver_ = std::move(save_engine);
   const double at = config_.checkpoint_at_seconds;
-  if (at <= 0.0 || at <= sim_.Now()) return;
-  // Untagged plain event: it is popped (and so no longer pending) by the
-  // time its callback snapshots the queue, so SaveQueue never sees it.
-  sim_.ScheduleAt(at, [this, at, save = std::move(save_engine)]() {
-    if (sim_.empty()) {
-      // Nothing left to run: the checkpoint time lies beyond the run's last
-      // event, so popping this event has dragged the virtual clock past the
-      // run's true end, and a checkpoint here could only restore into an
-      // already-finished run. Fail the run loudly rather than write a dead
-      // checkpoint and distort total_virtual_seconds.
-      checkpoint_status_ = FailedPreconditionError(
-          "checkpoint_at_seconds=" + std::to_string(at) +
-          " is past the end of the run");
-      return;
-    }
-    checkpoint_status_ = SaveCheckpoint(save);
-  });
+  if (at > 0.0 && at > sim_.Now()) {
+    net::EventPayload payload;
+    payload.tag = kHarnessCheckpointTag;
+    payload.args = {at};
+    ScheduleHarnessEvent(at, std::move(payload));
+  }
+  // Periodic cadence: arm the next tick — unless this is a restored run
+  // whose queue already carries one (a one-shot checkpoint saved while a
+  // tick was pending). A run restored FROM a cadence tick has no pending
+  // tick — the tick popped itself before saving — so re-arming here consumes
+  // the exact sequence number the uninterrupted run's tick handler consumed
+  // when it scheduled its successor, keeping the two runs bit-identical.
+  const double every = config_.checkpoint_every_seconds;
+  if (every > 0.0 && !cadence_tick_restored_) {
+    net::EventPayload payload;
+    payload.tag = kHarnessCadenceTag;
+    payload.args = {static_cast<double>(cadence_next_index_)};
+    ScheduleHarnessEvent(sim_.Now() + every, std::move(payload));
+  }
 }
 
-Status ExperimentHarness::SaveCheckpoint(const EngineStateSaver& save_engine) {
+void ExperimentHarness::OneShotCheckpoint(double at) {
+  if (sim_.empty()) {
+    // Nothing left to run: the checkpoint time lies beyond the run's last
+    // event, so popping this event has dragged the virtual clock past the
+    // run's true end, and a checkpoint here could only restore into an
+    // already-finished run. Fail the run loudly rather than write a dead
+    // checkpoint and distort total_virtual_seconds.
+    checkpoint_status_ = FailedPreconditionError(
+        "checkpoint_at_seconds=" + std::to_string(at) +
+        " is past the end of the run");
+    return;
+  }
+  checkpoint_status_ = SaveCheckpoint(checkpoint_saver_);
+}
+
+void ExperimentHarness::CadenceTick(int64_t tick_index) {
+  cadence_next_index_ = tick_index + 1;
+  // A tick past the run's last event ends the cadence silently — unlike the
+  // one-shot, the cadence is a standing service, not a user-requested
+  // snapshot of a specific moment. (The pop already advanced the clock to
+  // the tick time; runs with a cadence own that as part of their config.)
+  if (sim_.empty()) return;
+  const Status status = SavePeriodicCheckpoint(tick_index);
+  if (!status.ok()) {
+    checkpoint_status_ = status;
+    return;  // stop the cadence: later ticks would likely fail the same way
+  }
+  // Chain the next tick AFTER the save, so no cadence event is ever pending
+  // inside its own snapshot.
+  net::EventPayload payload;
+  payload.tag = kHarnessCadenceTag;
+  payload.args = {static_cast<double>(cadence_next_index_)};
+  ScheduleHarnessEvent(sim_.Now() + config_.checkpoint_every_seconds,
+                       std::move(payload));
+}
+
+StatusOr<net::RebuiltEvent> ExperimentHarness::BuildHarnessEvent(
+    const net::SavedEvent& saved) {
+  const std::vector<double>& args = saved.payload.args;
+  net::RebuiltEvent rebuilt;
+  switch (saved.payload.tag) {
+    case kHarnessFaultTag: {
+      if (args.size() != 4) {
+        return InvalidArgumentError("harness fault event needs 4 args");
+      }
+      const int kind_index = static_cast<int>(args[0]);
+      if (kind_index < 0 ||
+          kind_index > static_cast<int>(net::FaultKind::kSlowdown)) {
+        return InvalidArgumentError("harness fault event has an unknown kind");
+      }
+      net::FaultEvent fault;
+      fault.time = saved.time;
+      fault.kind = static_cast<net::FaultKind>(kind_index);
+      fault.worker = static_cast<int>(args[1]);
+      fault.factor = args[2];
+      fault.duration = args[3];
+      rebuilt.plain = [this, fault] { ApplyFault(fault); };
+      return rebuilt;
+    }
+    case kHarnessSlowdownEndTag: {
+      if (args.size() != 2) {
+        return InvalidArgumentError("harness slowdown-end event needs 2 args");
+      }
+      const int worker = static_cast<int>(args[0]);
+      const double factor = args[1];
+      rebuilt.plain = [this, worker, factor] { EndSlowdown(worker, factor); };
+      return rebuilt;
+    }
+    case kHarnessCadenceTag: {
+      if (args.size() != 1) {
+        return InvalidArgumentError("harness cadence event needs 1 arg");
+      }
+      const int64_t tick_index = static_cast<int64_t>(args[0]);
+      rebuilt.plain = [this, tick_index] { CadenceTick(tick_index); };
+      return rebuilt;
+    }
+    case kHarnessCheckpointTag: {
+      if (args.size() != 1) {
+        return InvalidArgumentError("harness checkpoint event needs 1 arg");
+      }
+      const double at = args[0];
+      rebuilt.plain = [this, at] { OneShotCheckpoint(at); };
+      return rebuilt;
+    }
+    default:
+      return InvalidArgumentError("unknown harness event tag " +
+                                  std::to_string(saved.payload.tag));
+  }
+}
+
+void ExperimentHarness::ScheduleHarnessEvent(double time,
+                                             net::EventPayload payload) {
+  ScheduleReifiedAt(sim_, time, kPlainEvent, std::move(payload),
+                    [this](const net::SavedEvent& saved) {
+                      return BuildHarnessEvent(saved);
+                    });
+}
+
+StatusOr<std::vector<uint8_t>> ExperimentHarness::SerializeCheckpoint(
+    const EngineStateSaver& save_engine) {
+  NETMAX_CHECK(save_engine != nullptr)
+      << "checkpoint armed without an engine saver";
   // Quiesce: invalidate every speculated compute evaluation so all state
   // below is at its committed value. The backend re-dispatches the
   // invalidated evaluations after this handler returns; compute halves are
@@ -178,8 +282,20 @@ Status ExperimentHarness::SaveCheckpoint(const EngineStateSaver& save_engine) {
   out.WriteDouble(sim_.Now());
   out.WriteI64(sim_.next_sequence());
   out.WriteI64(sim_.num_events_processed());
-  NETMAX_ASSIGN_OR_RETURN(const std::vector<net::SavedEvent> events,
+  NETMAX_ASSIGN_OR_RETURN(std::vector<net::SavedEvent> events,
                           sim_.SaveQueue());
+  // Pending crash faults are dropped from the snapshot: the entire point of
+  // restoring is to finish the run the crash cut short, so the restored run
+  // must be the fault-free-suffix run — which is exactly the uninterrupted
+  // run, because (a) before the crash time the two runs are bit-identical
+  // (a pending crash event influences nothing until it fires) and (b)
+  // RestoreQueue tolerates the sequence-number gap the dropped event leaves.
+  std::erase_if(events, [](const net::SavedEvent& event) {
+    return event.payload.tag == kHarnessFaultTag &&
+           !event.payload.args.empty() &&
+           static_cast<int>(event.payload.args[0]) ==
+               static_cast<int>(net::FaultKind::kCrash);
+  });
   out.WriteU64(events.size());
   for (const net::SavedEvent& event : events) {
     out.WriteDouble(event.time);
@@ -197,15 +313,57 @@ Status ExperimentHarness::SaveCheckpoint(const EngineStateSaver& save_engine) {
   out.WriteI64(total_epochs_completed_);
   out.WriteI64(policies_generated_);
 
+  // Fault-injection state (version 2): the liveness view, active slowdown
+  // factors, the degradation counters, and the cadence tick index.
+  for (int w = 0; w < config_.num_workers; ++w) {
+    out.WriteBool(alive_[static_cast<size_t>(w)]);
+    out.WriteDouble(compute_factor_[static_cast<size_t>(w)]);
+  }
+  out.WriteI64(faults_injected_);
+  out.WriteI64(rounds_degraded_);
+  out.WriteI64(peers_timed_out_);
+  out.WriteI64(cadence_next_index_);
+
   NETMAX_RETURN_IF_ERROR(save_engine(out));
   out.WriteU32(kCheckpointEndMarker);
+  return out.bytes();
+}
 
+Status ExperimentHarness::SaveCheckpoint(const EngineStateSaver& save_engine) {
+  NETMAX_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                          SerializeCheckpoint(save_engine));
   if (config_.checkpoint_sink != nullptr) {
-    *config_.checkpoint_sink = out.bytes();
+    *config_.checkpoint_sink = bytes;
   }
   if (!config_.checkpoint_path.empty()) {
     NETMAX_RETURN_IF_ERROR(WriteCheckpointFile(config_.checkpoint_path,
-                                               out.bytes()));
+                                               bytes));
+  }
+  return Status::Ok();
+}
+
+Status ExperimentHarness::SavePeriodicCheckpoint(int64_t tick_index) {
+  NETMAX_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                          SerializeCheckpoint(checkpoint_saver_));
+  // The sink always holds the newest periodic snapshot (in-memory restores,
+  // tests); the path gets the newest bytes at `<path>` — what --restore-path
+  // naturally points at after a crash — plus a rotating `<path>.t<k>`
+  // history trimmed to config_.checkpoint_retain files.
+  if (config_.checkpoint_sink != nullptr) {
+    *config_.checkpoint_sink = bytes;
+  }
+  if (!config_.checkpoint_path.empty()) {
+    NETMAX_RETURN_IF_ERROR(
+        WriteCheckpointFile(config_.checkpoint_path, bytes));
+    NETMAX_RETURN_IF_ERROR(WriteCheckpointFile(
+        config_.checkpoint_path + ".t" + std::to_string(tick_index), bytes));
+    const int64_t expired = tick_index - config_.checkpoint_retain;
+    if (expired >= 1) {
+      // Best-effort: a missing history file (e.g. after a restore that
+      // skipped ticks) is not an error.
+      std::remove(
+          (config_.checkpoint_path + ".t" + std::to_string(expired)).c_str());
+    }
   }
   return Status::Ok();
 }
@@ -291,7 +449,23 @@ Status ExperimentHarness::Restore(const EngineStateRestorer& restore_engine,
     events.push_back(std::move(event));
   }
   sim_.RestoreClock(now, next_sequence, processed);
-  NETMAX_RETURN_IF_ERROR(sim_.RestoreQueue(events, rebuilder));
+  // Harness-tagged events (pending faults, cadence ticks, the one-shot
+  // checkpoint event) are rebuilt by the harness itself; everything else is
+  // the engine's. Restoring a pending cadence tick also tells ArmCheckpoint
+  // not to arm a duplicate.
+  cadence_tick_restored_ = false;
+  const net::EventRebuilder wrapped_rebuilder =
+      [this, &rebuilder](
+          const net::SavedEvent& saved) -> StatusOr<net::RebuiltEvent> {
+    if (saved.payload.tag >= kHarnessFaultTag) {
+      if (saved.payload.tag == kHarnessCadenceTag) {
+        cadence_tick_restored_ = true;
+      }
+      return BuildHarnessEvent(saved);
+    }
+    return rebuilder(saved);
+  };
+  NETMAX_RETURN_IF_ERROR(sim_.RestoreQueue(events, wrapped_rebuilder));
 
   for (auto& worker : workers_) {
     NETMAX_RETURN_IF_ERROR(RestoreWorker(in, *worker));
@@ -302,6 +476,17 @@ Status ExperimentHarness::Restore(const EngineStateRestorer& restore_engine,
   NETMAX_RETURN_IF_ERROR(LoadSeries(in, &accuracy_vs_time_));
   NETMAX_ASSIGN_OR_RETURN(total_epochs_completed_, in.ReadI64());
   NETMAX_ASSIGN_OR_RETURN(policies_generated_, in.ReadI64());
+
+  for (int w = 0; w < config_.num_workers; ++w) {
+    NETMAX_ASSIGN_OR_RETURN(const bool alive, in.ReadBool());
+    alive_[static_cast<size_t>(w)] = alive;
+    NETMAX_ASSIGN_OR_RETURN(compute_factor_[static_cast<size_t>(w)],
+                            in.ReadDouble());
+  }
+  NETMAX_ASSIGN_OR_RETURN(faults_injected_, in.ReadI64());
+  NETMAX_ASSIGN_OR_RETURN(rounds_degraded_, in.ReadI64());
+  NETMAX_ASSIGN_OR_RETURN(peers_timed_out_, in.ReadI64());
+  NETMAX_ASSIGN_OR_RETURN(cadence_next_index_, in.ReadI64());
 
   NETMAX_RETURN_IF_ERROR(restore_engine(in));
   NETMAX_ASSIGN_OR_RETURN(const uint32_t end_marker, in.ReadU32());

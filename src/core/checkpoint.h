@@ -50,7 +50,9 @@ inline constexpr int kPlainEvent = -1;
 // "NMCP" / "NMCE": header magic and end marker of the checkpoint format.
 inline constexpr uint32_t kCheckpointMagic = 0x4E4D4350;
 inline constexpr uint32_t kCheckpointEndMarker = 0x4E4D4345;
-inline constexpr uint32_t kCheckpointVersion = 1;
+// Version 2 added the fault-injection state (liveness flags, slowdown
+// factors, fault counters) and the periodic-cadence tick index.
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 // Whole-file read/write. Write goes through a temp file + rename so a crash
 // mid-write never leaves a truncated checkpoint at `path`.

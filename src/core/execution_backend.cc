@@ -69,7 +69,8 @@ std::string_view ExecutionBackendKindName(ExecutionBackendKind kind) {
 }
 
 std::unique_ptr<ExecutionBackend> MakeExecutionBackend(
-    ExecutionBackendKind kind, ThreadPool* pool, int reorder_window) {
+    ExecutionBackendKind kind, ThreadPool* pool, int reorder_window,
+    bool adaptive_window) {
   NETMAX_CHECK_GE(reorder_window, 0);
   if (pool == nullptr || kind == ExecutionBackendKind::kSerial) {
     return std::make_unique<SerialBackend>();
@@ -77,7 +78,8 @@ std::unique_ptr<ExecutionBackend> MakeExecutionBackend(
   if (kind == ExecutionBackendKind::kSpeculative) {
     return std::make_unique<SpeculativeBackend>(pool);
   }
-  return std::make_unique<AsyncPipelineBackend>(pool, reorder_window);
+  return std::make_unique<AsyncPipelineBackend>(pool, reorder_window,
+                                                adaptive_window);
 }
 
 // --- SerialBackend ----------------------------------------------------------
@@ -163,10 +165,26 @@ int64_t SpeculativeBackend::DrainCommits(EventSimulator& sim) {
     // here, after the handler's writes are complete.
     FlushRedispatches();
     ++count;
+    // A crash fault mid-batch: stop draining immediately — the uncommitted
+    // speculations are discarded by OnHalt, exactly as if they were never
+    // evaluated.
+    if (sim.halt_requested()) break;
   }
-  NETMAX_CHECK(redispatches_.empty())
+  NETMAX_CHECK(sim.halt_requested() || redispatches_.empty())
       << "second-pass re-dispatch outlived its batch";
   return count;
+}
+
+void SpeculativeBackend::OnHalt(EventSimulator& /*sim*/) {
+  // Wait out the second-pass tasks (their pooled writes target the
+  // heap-stable Redispatch entries being destroyed here), then drop every
+  // uncommitted speculation. Nothing here was committed, so discarding it
+  // cannot perturb the halted run's result.
+  for (auto& [key, redispatch] : redispatches_) redispatch->done.wait();
+  redispatches_.clear();
+  inflight_.clear();
+  dirty_keys_.clear();
+  pending_redispatch_keys_.clear();
 }
 
 bool SpeculativeBackend::ProvideValue(int64_t sequence, int worker_key,
@@ -247,10 +265,19 @@ void SpeculativeBackend::FlushRedispatches() {
 
 // --- AsyncPipelineBackend ---------------------------------------------------
 
-AsyncPipelineBackend::AsyncPipelineBackend(ThreadPool* pool, int reorder_window)
-    : pool_(pool), reorder_window_(reorder_window) {
+AsyncPipelineBackend::AsyncPipelineBackend(ThreadPool* pool, int reorder_window,
+                                           bool adaptive_window)
+    : pool_(pool),
+      reorder_window_(reorder_window),
+      adaptive_window_(adaptive_window) {
   NETMAX_CHECK(pool_ != nullptr) << "AsyncPipelineBackend needs a pool";
   NETMAX_CHECK_GE(reorder_window_, 0);
+  // The adaptive controller needs a live pipeline to measure; a configured
+  // window of 0 (synchronous) starts at 1 instead.
+  if (adaptive_window_ && reorder_window_ < 1) reorder_window_ = 1;
+  if (reorder_window_ > kMaxAdaptiveWindow && adaptive_window_) {
+    reorder_window_ = kMaxAdaptiveWindow;
+  }
 }
 
 void AsyncPipelineBackend::Submit(Entry& entry) {
@@ -289,6 +316,33 @@ void AsyncPipelineBackend::Dispatch(EventSimulator& sim) {
         return EventSimulator::ScanAction::kContinue;
       });
   if (admitted > 0 && window_.size() >= 2) ++stats_.parallel_batches;
+  if (adaptive_window_) MaybeAdaptWindow();
+}
+
+void AsyncPipelineBackend::MaybeAdaptWindow() {
+  // Re-size at a coarse cadence so each decision sees a meaningful sample of
+  // the straggler behaviour, not one noisy dispatch.
+  constexpr int64_t kAdaptPeriod = 64;
+  if (++adapt_dispatches_ < kAdaptPeriod) return;
+  adapt_dispatches_ = 0;
+  const int64_t backpressure =
+      stats_.window_backpressure - adapt_baseline_.window_backpressure;
+  const int64_t stalls = stats_.window_stalls - adapt_baseline_.window_stalls;
+  const int64_t redispatched =
+      stats_.computes_redispatched - adapt_baseline_.computes_redispatched;
+  adapt_baseline_ = stats_;
+  // Backpressure means runnable work sat behind a full window: grow. Stalls
+  // and invalidation re-dispatches mean speculation ran ahead of what the
+  // commit stream could consume: shrink. Window size never affects result
+  // bits (the backend invariant), so this chases throughput only.
+  if (backpressure > stalls + redispatched &&
+      reorder_window_ < kMaxAdaptiveWindow) {
+    ++reorder_window_;
+    ++stats_.window_resizes;
+  } else if (stalls + redispatched > backpressure && reorder_window_ > 1) {
+    --reorder_window_;
+    ++stats_.window_resizes;
+  }
 }
 
 int64_t AsyncPipelineBackend::DrainCommits(EventSimulator& sim) {
@@ -361,6 +415,15 @@ void AsyncPipelineBackend::OnIdle(EventSimulator& /*sim*/) {
   NETMAX_CHECK(window_.empty()) << "window entry outlived its event";
   NETMAX_CHECK(pending_redispatch_keys_.empty())
       << "re-dispatch queued after the last handler";
+}
+
+void AsyncPipelineBackend::OnHalt(EventSimulator& /*sim*/) {
+  // Wait out every window-resident evaluation (their pooled tasks write into
+  // the Entry objects being destroyed here), then discard the window. None of
+  // it was committed, so the halted result is untouched.
+  for (auto& [key, entry] : window_) entry->done.wait();
+  window_.clear();
+  pending_redispatch_keys_.clear();
 }
 
 }  // namespace netmax::core

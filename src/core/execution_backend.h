@@ -65,9 +65,12 @@ std::string_view ExecutionBackendKindName(ExecutionBackendKind kind);
 // Builds the backend for one simulator run. `pool` is borrowed and must
 // outlive the backend; with a null pool every kind degrades to SerialBackend
 // (there is nothing to overlap with). `reorder_window` is the async
-// backend's in-flight bound and is ignored by the other kinds.
+// backend's in-flight bound and `adaptive_window` lets the async backend
+// re-size that bound at runtime from its own stall/backpressure counters;
+// both are ignored by the other kinds.
 std::unique_ptr<ExecutionBackend> MakeExecutionBackend(
-    ExecutionBackendKind kind, ThreadPool* pool, int reorder_window);
+    ExecutionBackendKind kind, ThreadPool* pool, int reorder_window,
+    bool adaptive_window = false);
 
 // Fully serial dispatch: Dispatch is a no-op and every compute half runs
 // inline at its turn. Stats stay zero.
@@ -92,6 +95,9 @@ class SpeculativeBackend : public ExecutionBackend {
   void Dispatch(net::EventSimulator& sim) override;
   int64_t DrainCommits(net::EventSimulator& sim) override;
   void OnStateWrite(net::EventSimulator& sim, int worker_key) override;
+
+ protected:
+  void OnHalt(net::EventSimulator& sim) override;
 
  private:
   // One frontier member, evaluated by the Dispatch barrier. `value` is ready
@@ -140,18 +146,32 @@ class SpeculativeBackend : public ExecutionBackend {
 // window slot. reorder_window == 0 means synchronous: nothing is dispatched
 // ahead and every compute runs inline, which makes the backend equivalent to
 // SerialBackend while keeping its name and counters.
+//
+// With `adaptive_window` set, the backend consumes its own diagnostics to
+// auto-size the window under straggler load: sustained backpressure (runnable
+// work held back by a full window) grows it, sustained head-of-window stalls
+// or invalidation re-dispatches (speculation running ahead of what the commit
+// stream can use) shrink it, within [1, kMaxAdaptiveWindow]. The window size
+// never affects simulation output — that is the backend bit-identity
+// invariant — so the controller is free to chase real-machine throughput.
 class AsyncPipelineBackend : public ExecutionBackend {
  public:
-  AsyncPipelineBackend(ThreadPool* pool, int reorder_window);
+  AsyncPipelineBackend(ThreadPool* pool, int reorder_window,
+                       bool adaptive_window = false);
+
+  // Upper bound the adaptive controller may grow the window to.
+  static constexpr int kMaxAdaptiveWindow = 64;
 
   std::string_view name() const override { return "async"; }
   int reorder_window() const { return reorder_window_; }
+  bool adaptive_window() const { return adaptive_window_; }
   void Dispatch(net::EventSimulator& sim) override;
   int64_t DrainCommits(net::EventSimulator& sim) override;
   void OnStateWrite(net::EventSimulator& sim, int worker_key) override;
 
  protected:
   void OnIdle(net::EventSimulator& sim) override;
+  void OnHalt(net::EventSimulator& sim) override;
 
  private:
   // One window-resident evaluation. Heap-allocated so the pooled task's
@@ -170,9 +190,18 @@ class AsyncPipelineBackend : public ExecutionBackend {
 
   void Submit(Entry& entry);
   void FlushRedispatches();
+  // Adaptive controller step, run once per kAdaptPeriod dispatches: compares
+  // the counter deltas accumulated since the last step and re-sizes the
+  // window.
+  void MaybeAdaptWindow();
 
   ThreadPool* pool_;
   int reorder_window_;
+  const bool adaptive_window_;
+  // Adaptive controller state: dispatch calls since the last adaptation and
+  // the counter values it last saw.
+  int64_t adapt_dispatches_ = 0;
+  ExecutionStats adapt_baseline_;
   // Window entries by worker key: at most one in-flight evaluation per key
   // (a same-key duplicate is skipped by the dispatch scan, preserving the
   // chained-commit order), at most reorder_window_ entries total.

@@ -39,6 +39,28 @@ int WorkerBatchSize(const ExperimentConfig& config, int worker) {
   return config.batch_size;
 }
 
+bool ParsePeerPolicy(std::string_view text, PeerPolicy* policy) {
+  if (text == "wait") {
+    *policy = PeerPolicy::kWait;
+    return true;
+  }
+  if (text == "timeout") {
+    *policy = PeerPolicy::kTimeoutAndContinue;
+    return true;
+  }
+  return false;
+}
+
+std::string_view PeerPolicyName(PeerPolicy policy) {
+  switch (policy) {
+    case PeerPolicy::kWait:
+      return "wait";
+    case PeerPolicy::kTimeoutAndContinue:
+      return "timeout";
+  }
+  return "unknown";
+}
+
 Status ExperimentConfig::Validate() const {
   if (num_workers < 2) {
     return InvalidArgumentError("need at least 2 workers");
@@ -77,9 +99,31 @@ Status ExperimentConfig::Validate() const {
         "checkpoint_at_seconds is set but neither checkpoint_path nor "
         "checkpoint_sink is");
   }
+  if (checkpoint_every_seconds < 0.0) {
+    return InvalidArgumentError("checkpoint_every_seconds < 0");
+  }
+  if (checkpoint_every_seconds > 0.0 && checkpoint_path.empty() &&
+      checkpoint_sink == nullptr) {
+    return InvalidArgumentError(
+        "checkpoint_every_seconds is set but neither checkpoint_path nor "
+        "checkpoint_sink is");
+  }
+  if (checkpoint_retain < 1) {
+    return InvalidArgumentError("checkpoint_retain < 1");
+  }
   if (!restore_path.empty() && restore_source != nullptr) {
     return InvalidArgumentError(
         "restore_path and restore_source are mutually exclusive");
+  }
+  // Fault specs come straight from the --faults flag: reject out-of-range
+  // worker ids and non-monotone event times here, per-entry, rather than
+  // crash (or silently misbehave) mid-run.
+  NETMAX_RETURN_IF_ERROR(faults.Validate(num_workers));
+  if (peer_timeout_seconds <= 0.0) {
+    return InvalidArgumentError("peer_timeout_seconds <= 0");
+  }
+  if (peer_poll_seconds <= 0.0) {
+    return InvalidArgumentError("peer_poll_seconds <= 0");
   }
   return Status::Ok();
 }
@@ -105,7 +149,8 @@ Status ExperimentHarness::Init() {
   // Without a pool every kind degrades to serial dispatch; either way the
   // result bits are identical (core/execution_backend.h).
   backend_ = MakeExecutionBackend(config_.backend, pool_.get(),
-                                  config_.reorder_window);
+                                  config_.reorder_window,
+                                  config_.adaptive_reorder_window);
   sim_.set_backend(backend_.get());
   // Intra-worker sharding bound: auto (0) shards only the cores left over
   // after the distinct-worker frontier has one thread per worker, so
@@ -204,8 +249,64 @@ Status ExperimentHarness::Init() {
     worker->compute_seconds_per_batch = ComputeSeconds(worker->batch_size);
     workers_.push_back(std::move(worker));
   }
+
+  // Fault injection: everyone starts alive at full speed; the configured
+  // schedule goes into the queue as tagged plain events, BEFORE the engine's
+  // initial events so the sequence-number shift relative to a fault-free run
+  // is uniform across every engine event. Restored runs skip this — the
+  // restored queue already carries the pending fault events.
+  alive_.assign(static_cast<size_t>(config_.num_workers), true);
+  compute_factor_.assign(static_cast<size_t>(config_.num_workers), 1.0);
+  if (!config_.faults.empty() && !restore_requested()) ScheduleFaults();
+
   initialized_ = true;
   return Status::Ok();
+}
+
+void ExperimentHarness::ScheduleFaults() {
+  for (const net::FaultEvent& fault : config_.faults.events()) {
+    net::EventPayload payload;
+    payload.tag = kHarnessFaultTag;
+    payload.args = {static_cast<double>(static_cast<int>(fault.kind)),
+                    static_cast<double>(fault.worker), fault.factor,
+                    fault.duration};
+    ScheduleHarnessEvent(fault.time, std::move(payload));
+  }
+}
+
+void ExperimentHarness::ApplyFault(const net::FaultEvent& fault) {
+  ++faults_injected_;
+  switch (fault.kind) {
+    case net::FaultKind::kLeave:
+      alive_[static_cast<size_t>(fault.worker)] = false;
+      break;
+    case net::FaultKind::kJoin:
+      alive_[static_cast<size_t>(fault.worker)] = true;
+      break;
+    case net::FaultKind::kCrash:
+      // The whole run stops at this event: RunUntilIdle discards everything
+      // still pending once this handler returns. Recovery goes through the
+      // periodic checkpoints (checkpoint_every_seconds).
+      sim_.RequestHalt();
+      break;
+    case net::FaultKind::kSlowdown: {
+      compute_factor_[static_cast<size_t>(fault.worker)] *= fault.factor;
+      net::EventPayload payload;
+      payload.tag = kHarnessSlowdownEndTag;
+      payload.args = {static_cast<double>(fault.worker), fault.factor};
+      ScheduleHarnessEvent(sim_.Now() + fault.duration, std::move(payload));
+      break;
+    }
+  }
+  if (fault_listener_) fault_listener_(fault);
+}
+
+void ExperimentHarness::EndSlowdown(int worker, double factor) {
+  // Inverse of the multiply in ApplyFault. For non-overlapping slowdowns the
+  // factor goes 1.0 -> f -> f/f == 1.0 bit-exactly, so an elapsed slowdown
+  // leaves no residue; overlapping same-worker slowdowns may leave rounding
+  // residue, deterministically (the same bits on every backend).
+  compute_factor_[static_cast<size_t>(worker)] /= factor;
 }
 
 double ExperimentHarness::ComputeSeconds(int batch_size) const {
@@ -313,7 +414,8 @@ void ExperimentHarness::RecordGlobalEpochPoint() {
 
 bool ExperimentHarness::WorkerDone(int w) const {
   const WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
-  return worker.finished || sim_.Now() >= config_.max_virtual_seconds;
+  return worker.finished || !alive_[static_cast<size_t>(w)] ||
+         sim_.Now() >= config_.max_virtual_seconds;
 }
 
 bool ExperimentHarness::AllDone() const {
@@ -339,6 +441,10 @@ RunResult ExperimentHarness::Finalize() {
   result.computes_recomputed = stats.computes_recomputed;
   result.window_stalls = stats.window_stalls;
   result.window_backpressure = stats.window_backpressure;
+  result.window_resizes = stats.window_resizes;
+  result.faults_injected = faults_injected_;
+  result.rounds_degraded = rounds_degraded_;
+  result.peers_timed_out = peers_timed_out_;
 
   double loss_sum = 0.0;
   int loss_count = 0;

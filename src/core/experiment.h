@@ -30,10 +30,47 @@
 #include "ml/optimizer.h"
 #include "net/cluster.h"
 #include "net/event_sim.h"
+#include "net/fault_schedule.h"
 #include "net/link_model.h"
 #include "net/topology.h"
 
 namespace netmax::core {
+
+// How an engine treats a neighbor that is dead (left/crashed) or stalled
+// when a round needs it (net/fault_schedule.h faults):
+//  * kWait — block the round on the peer, re-probing at a deterministic
+//    virtual-time cadence (peer_poll_seconds) until it returns. Matches the
+//    synchronous semantics of the paper's algorithms; a peer that never
+//    returns parks the worker until the run's time cap.
+//  * kTimeoutAndContinue — wait at most peer_timeout_seconds of virtual
+//    time, then degrade gracefully: pull-based engines fall back to a local
+//    step, round-based engines drop the peer from the round's membership.
+// Both policies are pure virtual-time control flow, so fault runs stay
+// bit-identical across backends, threads, and shards.
+enum class PeerPolicy {
+  kWait,
+  kTimeoutAndContinue,
+};
+
+// Strict parse of a --peer-policy / NETMAX_PEER_POLICY value ("wait",
+// "timeout"); returns false on anything else, leaving *policy untouched.
+bool ParsePeerPolicy(std::string_view text, PeerPolicy* policy);
+
+// The flag spelling of `policy` (inverse of ParsePeerPolicy).
+std::string_view PeerPolicyName(PeerPolicy policy);
+
+// --- harness-owned event tags ----------------------------------------------
+// Engines tag their events with small non-negative ints; the harness claims
+// a far-away range for the events it schedules itself (fault injections,
+// checkpoint cadence), so the two namespaces can never collide and the
+// harness can route restore-time rebuilding without consulting the engine.
+inline constexpr int64_t kHarnessFaultTag = int64_t{1} << 40;
+// args: [worker, factor] — reverts a slowdown at its end time.
+inline constexpr int64_t kHarnessSlowdownEndTag = kHarnessFaultTag + 1;
+// args: [tick_index] — one periodic-checkpoint cadence tick.
+inline constexpr int64_t kHarnessCadenceTag = kHarnessFaultTag + 2;
+// args: [at_seconds] — the one-shot checkpoint_at_seconds event.
+inline constexpr int64_t kHarnessCheckpointTag = kHarnessFaultTag + 3;
 
 enum class PartitionScheme {
   kUniform,     // Sections V-B..E
@@ -135,6 +172,26 @@ struct ExperimentConfig {
   // window). 0 (default) = synchronous — nothing is evaluated ahead of its
   // turn. Ignored by the other backends.
   int reorder_window = 0;
+  // Async backend only: let the backend re-size the reorder window at
+  // runtime from its own stall/backpressure/re-dispatch counters (useful
+  // under straggler faults, where the profitable window depth changes
+  // mid-run). Still bit-identical — window depth never affects results.
+  bool adaptive_reorder_window = false;
+
+  // --- fault injection / graceful degradation (net/fault_schedule.h) ---
+  // Worker lifecycle faults injected as first-class virtual-time events. An
+  // empty schedule (the default) adds no events, no RNG draws, and no extra
+  // sequence numbers, so fault-free runs are bit-identical to builds without
+  // the subsystem.
+  net::FaultSchedule faults;
+  // How engines treat dead/stalled neighbors (see PeerPolicy above).
+  PeerPolicy peer_policy = PeerPolicy::kWait;
+  // kTimeoutAndContinue: virtual seconds a round waits on a peer before
+  // degrading without it.
+  double peer_timeout_seconds = 30.0;
+  // kWait: virtual-time cadence at which a blocked worker re-probes a dead
+  // peer.
+  double peer_poll_seconds = 5.0;
 
   // --- checkpoint / restore (core/checkpoint.h) ---
   // When > 0, the harness arms a checkpoint at this virtual time: the run is
@@ -142,8 +199,18 @@ struct ExperimentConfig {
   // series) is serialized, and the run continues. Resuming from that state
   // finishes with a bit-identical RunResult.
   double checkpoint_at_seconds = 0.0;
+  // When > 0, the harness also checkpoints periodically, every this many
+  // virtual seconds, to checkpoint_path (always the latest bytes) plus a
+  // rotating `<path>.t<k>` history and/or checkpoint_sink. Crash-restore
+  // recovery builds on this: a run killed by a `crash` fault can resume from
+  // the newest periodic checkpoint and finish bit-identically to a run that
+  // never crashed.
+  double checkpoint_every_seconds = 0.0;
+  // How many `<path>.t<k>` history files the periodic cadence keeps.
+  int checkpoint_retain = 3;
   // Where the checkpoint bytes go: a file path, an in-memory buffer, or both
-  // (ignored when checkpoint_at_seconds is unset).
+  // (ignored when neither checkpoint_at_seconds nor checkpoint_every_seconds
+  // is set).
   std::string checkpoint_path;
   std::vector<uint8_t>* checkpoint_sink = nullptr;
   // When either is set, the engine restores from the checkpoint instead of
@@ -201,6 +268,14 @@ struct RunResult {
   int64_t computes_recomputed = 0;
   int64_t window_stalls = 0;
   int64_t window_backpressure = 0;
+  int64_t window_resizes = 0;
+  // Fault-injection diagnostics (all zero on fault-free runs; part of the
+  // simulation output, so bit-identical across backends/threads/shards):
+  // lifecycle events applied, rounds that degraded because a peer was dead
+  // or stalled, and peers abandoned by a timeout-and-continue deadline.
+  int64_t faults_injected = 0;
+  int64_t rounds_degraded = 0;
+  int64_t peers_timed_out = 0;
 };
 
 // Interface implemented by NetMax and every baseline.
@@ -311,10 +386,45 @@ class ExperimentHarness {
   // iteration duration; compute cost is capped at wall.
   void AccountIteration(int w, double compute_seconds, double wall_seconds);
 
-  // True once worker w has trained for config.max_epochs epochs or the time
-  // cap has been reached.
+  // True once worker w has trained for config.max_epochs epochs, the time
+  // cap has been reached, or the worker is currently dead (left via a fault;
+  // a later join fault revives it and the engine's fault listener restarts
+  // it).
   bool WorkerDone(int w) const;
   bool AllDone() const;
+
+  // --- fault injection / peer liveness (net/fault_schedule.h) ---
+  // The per-engine liveness view: false while worker w is dead (a leave
+  // fault fired and no join has yet). Always true on fault-free runs.
+  bool WorkerAlive(int w) const { return alive_[static_cast<size_t>(w)]; }
+
+  // compute_seconds_per_batch under the worker's current slowdown factor
+  // (exactly equal to worker.compute_seconds_per_batch while no slowdown is
+  // active, so fault-free runs are bit-identical). Engines schedule all
+  // compute delays through this.
+  double EffectiveComputeSeconds(int w) const {
+    return workers_[static_cast<size_t>(w)]->compute_seconds_per_batch *
+           compute_factor_[static_cast<size_t>(w)];
+  }
+
+  // Called by the harness after applying each fault, on the simulator thread
+  // at the fault's virtual time. Engines use it to restart a rejoining
+  // worker (kJoin) or drop a dead one from waiting rooms (kLeave). Must be
+  // (re-)registered on every run, including restored ones — listeners are
+  // not checkpointed.
+  using FaultListener = std::function<void(const net::FaultEvent&)>;
+  void set_fault_listener(FaultListener listener) {
+    fault_listener_ = std::move(listener);
+  }
+
+  // Degradation accounting, surfaced in RunResult. Engines call these when a
+  // round proceeds without (or delayed by) a dead/stalled peer and when a
+  // timeout-and-continue deadline abandons one.
+  void CountDegradedRound() { ++rounds_degraded_; }
+  void CountPeerTimeout() { ++peers_timed_out_; }
+  int64_t faults_injected() const { return faults_injected_; }
+  int64_t rounds_degraded() const { return rounds_degraded_; }
+  int64_t peers_timed_out() const { return peers_timed_out_; }
 
   // Resolved worker-thread count (config.threads with 0 mapped to the
   // hardware concurrency) and the pool backing the parallel runtime; the pool
@@ -348,14 +458,22 @@ class ExperimentHarness {
   Status Restore(const EngineStateRestorer& restore_engine,
                  const net::EventRebuilder& rebuilder);
 
-  // Arms a checkpoint at config.checkpoint_at_seconds (no-op when unset or
-  // not in the future): schedules a plain event that quiesces in-flight
-  // speculation, serializes the full experiment state plus the engine blob
-  // from `save_engine`, and writes it to the configured sink/path. The run
-  // continues afterwards. Failures surface through checkpoint_status(),
-  // which engines propagate after the run completes; a checkpoint time that
-  // turns out to lie past the run's last event fails the same way rather
-  // than write a dead checkpoint.
+  // Arms the configured checkpoints (no-op when none are):
+  //  * one-shot — a tagged plain event at config.checkpoint_at_seconds that
+  //    quiesces in-flight speculation, serializes the full experiment state
+  //    plus the engine blob from `save_engine`, and writes it to the
+  //    configured sink/path. A checkpoint time past the run's last event
+  //    fails via checkpoint_status() rather than write a dead checkpoint.
+  //  * periodic cadence — a self-rechaining tick every
+  //    config.checkpoint_every_seconds that writes the latest bytes to
+  //    checkpoint_path (plus a `<path>.t<k>` history of checkpoint_retain
+  //    files) and/or the sink; a tick that lands past the run's last event
+  //    silently ends the cadence. On restored runs the cadence resumes
+  //    seamlessly: the next tick is re-armed here (or was restored with the
+  //    queue), consuming the exact sequence number the uninterrupted run
+  //    would have, so restored and uninterrupted runs stay bit-identical.
+  // The run continues after every save. Failures surface through
+  // checkpoint_status(), which engines propagate after the run completes.
   void ArmCheckpoint(EngineStateSaver save_engine);
 
   // Ok unless an armed checkpoint failed to serialize or write.
@@ -369,8 +487,28 @@ class ExperimentHarness {
   void OnEpochCompleted(int w, double epoch_loss);
   void RecordGlobalEpochPoint();
 
+  // --- fault injection (experiment.cc) ---
+  // Schedules every config_.faults event as a tagged plain event (skipped on
+  // restored runs: the restored queue already carries the pending ones).
+  void ScheduleFaults();
+  // The fault handlers, run at their virtual time on the simulator thread.
+  void ApplyFault(const net::FaultEvent& fault);
+  void EndSlowdown(int worker, double factor);
+
   // core/checkpoint.cc.
+  // Maps a harness-tagged SavedEvent (faults, cadence ticks, the one-shot
+  // checkpoint event) back to its closure; Restore wraps the engine's
+  // rebuilder with this so engines never see harness tags.
+  StatusOr<net::RebuiltEvent> BuildHarnessEvent(const net::SavedEvent& saved);
+  // Schedules a harness event through BuildHarnessEvent, so live scheduling
+  // and restore-time rebuilding share one closure definition per tag.
+  void ScheduleHarnessEvent(double time, net::EventPayload payload);
+  void OneShotCheckpoint(double at);
+  void CadenceTick(int64_t tick_index);
+  StatusOr<std::vector<uint8_t>> SerializeCheckpoint(
+      const EngineStateSaver& save_engine);
   Status SaveCheckpoint(const EngineStateSaver& save_engine);
+  Status SavePeriodicCheckpoint(int64_t tick_index);
   void SaveWorker(Serializer& out, const WorkerRuntime& worker) const;
   Status RestoreWorker(Deserializer& in, WorkerRuntime& worker);
 
@@ -402,8 +540,25 @@ class ExperimentHarness {
   int64_t total_epochs_completed_ = 0;
   int64_t policies_generated_ = 0;
 
-  // Outcome of the armed checkpoint, if any.
+  // Fault-injection state (checkpointed, so restored fault runs resume with
+  // the same liveness view and counters).
+  std::vector<bool> alive_;
+  std::vector<double> compute_factor_;  // 1.0 while no slowdown is active
+  int64_t faults_injected_ = 0;
+  int64_t rounds_degraded_ = 0;
+  int64_t peers_timed_out_ = 0;
+  FaultListener fault_listener_;  // not checkpointed; re-registered per run
+
+  // Outcome of the armed checkpoint(s), if any.
   Status checkpoint_status_;
+  // Periodic-cadence state: the saver ArmCheckpoint captured, the index the
+  // next tick will carry (checkpointed, so a restored run's `<path>.t<k>`
+  // history continues where the crashed run's left off), and whether the
+  // restored queue already holds a pending tick (in which case ArmCheckpoint
+  // must not arm a duplicate).
+  EngineStateSaver checkpoint_saver_;
+  int64_t cadence_next_index_ = 1;
+  bool cadence_tick_restored_ = false;
 };
 
 // Helper shared by benches/examples: builds the per-worker shards for the

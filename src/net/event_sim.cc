@@ -237,15 +237,24 @@ void EventSimulator::RestoreClock(double now, int64_t next_sequence,
 int64_t EventSimulator::RunUntilIdle() {
   if (backend_ != nullptr) return backend_->RunUntilIdle(*this);
   int64_t count = 0;
-  while (Step()) ++count;
+  while (!halt_requested_ && Step()) ++count;
+  if (halt_requested_) queue_.clear();
   return count;
 }
 
 int64_t ExecutionBackend::RunUntilIdle(EventSimulator& sim) {
   int64_t count = 0;
-  while (!sim.empty()) {
+  while (!sim.halt_requested() && !sim.empty()) {
     Dispatch(sim);
     count += DrainCommits(sim);
+  }
+  if (sim.halt_requested()) {
+    // Crash fault: discard in-flight evaluations (waiting their pooled tasks
+    // out), then drop the pending queue. Everything already committed stays;
+    // nothing else runs.
+    OnHalt(sim);
+    sim.ClearQueue();
+    return count;
   }
   OnIdle(sim);
   return count;

@@ -124,6 +124,10 @@ struct ExecutionStats {
   // Async backend: the dispatch scan found a runnable compute half but the
   // reorder window was full (backpressure).
   int64_t window_backpressure = 0;
+  // Async backend with --adaptive-window: times the reorder window was
+  // re-sized in response to the backpressure/stall/re-dispatch counters
+  // (real-timing dependent, like window_stalls).
+  int64_t window_resizes = 0;
 };
 
 class EventSimulator {
@@ -205,6 +209,22 @@ class EventSimulator {
   bool empty() const { return queue_.empty(); }
   int64_t num_events_processed() const { return processed_; }
   int64_t next_sequence() const { return next_sequence_; }
+
+  // --- halt (crash faults) -------------------------------------------------
+
+  // Requests that the run stop at the current virtual time: the event whose
+  // handler calls this is the last one applied. RunUntilIdle (both the serial
+  // path and every backend) checks the flag after each handler, discards all
+  // pending events, and returns; the clock stays at the halting event's time.
+  // Deterministic by construction — the halting event has a fixed
+  // (time, sequence) position, so every backend stops after the exact same
+  // prefix of commits.
+  void RequestHalt() { halt_requested_ = true; }
+  bool halt_requested() const { return halt_requested_; }
+
+  // Drops every pending event (halt path; backends must have discarded their
+  // in-flight evaluations first — see ExecutionBackend::OnHalt).
+  void ClearQueue() { queue_.clear(); }
 
   // --- checkpoint support --------------------------------------------------
 
@@ -301,6 +321,7 @@ class EventSimulator {
   double now_ = 0.0;
   int64_t next_sequence_ = 0;
   int64_t processed_ = 0;
+  bool halt_requested_ = false;
   // Pending events sorted by descending (time, sequence): the next event to
   // dispatch is at the back, so pops are O(1) and the in-order scans iterate
   // backwards. Queue sizes are O(workers), which keeps the shifting insert
@@ -360,6 +381,13 @@ class ExecutionBackend {
  protected:
   // End-of-run invariant hook for RunUntilIdle (e.g. "the window is empty").
   virtual void OnIdle(EventSimulator& /*sim*/) {}
+
+  // Halt hook for RunUntilIdle: the simulator requested a halt (a crash
+  // fault), so the backend must wait out and discard every in-flight
+  // evaluation — their pooled tasks reference engine state that the caller
+  // is about to tear down — before the pending queue is cleared. Results
+  // stay deterministic because discarded evaluations never committed.
+  virtual void OnHalt(EventSimulator& /*sim*/) {}
 
   ExecutionStats stats_;
 };

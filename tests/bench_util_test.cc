@@ -69,10 +69,20 @@ TEST(InitBenchTest, UnknownFlagNamesTheFlag) {
   EXPECT_NE(init.status().message().find("--frobnicate"), std::string::npos);
 }
 
+TEST(InitBenchTest, ParsesTheFaultFlags) {
+  NETMAX_EXPECT_OK(Init({"--faults=slow@2+6x4:w1;leave@4:w2;join@9:w2",
+                         "--peer-policy=timeout", "--adaptive-window"}));
+  NETMAX_EXPECT_OK(Init({"--faults=seed:42", "--peer-policy=wait"}));
+  NETMAX_EXPECT_OK(Init({"--checkpoint-every=0.5",
+                         "--checkpoint-path=/tmp/x.ckpt"}));
+}
+
 TEST(InitBenchTest, MalformedValuesNameTheOffendingText) {
   for (const std::string arg :
        {"--threads=4x", "--shards=-1", "--reorder-window=", "--backend=asink",
-        "--checkpoint-at=soon", "--checkpoint-at=-1"}) {
+        "--checkpoint-at=soon", "--checkpoint-at=-1",
+        "--faults=explode@1:w0", "--faults=seed:4x", "--peer-policy=retry",
+        "--checkpoint-every=never"}) {
     const StatusOr<bool> init = Init({arg});
     ASSERT_FALSE(init.ok()) << arg;
     EXPECT_EQ(init.status().code(), StatusCode::kInvalidArgument) << arg;
@@ -89,6 +99,14 @@ TEST(InitBenchTest, CheckpointAtRequiresAPath) {
 
   NETMAX_EXPECT_OK(
       Init({"--checkpoint-at=5", "--checkpoint-path=/tmp/x.ckpt"}));
+}
+
+TEST(InitBenchTest, CheckpointEveryRequiresAPath) {
+  const StatusOr<bool> init = Init({"--checkpoint-every=0.5"});
+  ASSERT_FALSE(init.ok());
+  EXPECT_EQ(init.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(init.status().message().find("--checkpoint-path"),
+            std::string::npos);
 }
 
 TEST(RunAlgorithmsTest, UnknownAlgorithmIsNotFound) {

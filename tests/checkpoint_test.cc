@@ -16,6 +16,7 @@
 #include "core/checkpoint.h"
 #include "core/execution_backend.h"
 #include "core/experiment.h"
+#include "net/fault_schedule.h"
 
 namespace netmax {
 namespace {
@@ -156,6 +157,64 @@ TEST_P(CheckpointRoundTrip, CheckpointsAreBackendPortable) {
   ExpectBitIdentical(reference, MustRun(GetParam(), resumed));
 }
 
+// The crash-recovery contract: a run killed by a crash@T fault, restored
+// from the newest periodic (checkpoint_every_seconds) checkpoint, finishes
+// bit-identical to the run that never crashed — for every algorithm. The
+// uninterrupted reference runs the same cadence (ticks are virtual-time
+// events, so the reference must consume them too), and the cadence itself
+// must be transparent: the uninterrupted cadenced run matches the plain run.
+TEST_P(CheckpointRoundTrip, CrashRestoreFromPeriodicCheckpoint) {
+  const ExperimentConfig base = BaseConfig();
+  const RunResult plain = MustRun(GetParam(), base);
+  ASSERT_GT(plain.total_virtual_seconds, 0.0);
+  const double cadence = 0.2 * plain.total_virtual_seconds;
+  const double crash_at = 0.5 * plain.total_virtual_seconds;
+
+  // Uninterrupted reference, cadence armed. The cadence is transparent to
+  // training — same losses, same iterations — but it owns its tick events:
+  // the final tick can stretch total_virtual_seconds past the last real
+  // event, so the clock is compared only between the cadenced runs below.
+  std::vector<uint8_t> reference_sink;
+  ExperimentConfig uninterrupted = base;
+  uninterrupted.checkpoint_every_seconds = cadence;
+  uninterrupted.checkpoint_sink = &reference_sink;
+  const RunResult want = MustRun(GetParam(), uninterrupted);
+  ExpectSeriesIdentical(plain.loss_vs_time, want.loss_vs_time,
+                        "loss_vs_time");
+  ExpectSeriesIdentical(plain.loss_vs_epoch, want.loss_vs_epoch,
+                        "loss_vs_epoch");
+  EXPECT_EQ(plain.final_train_loss, want.final_train_loss);
+  EXPECT_EQ(plain.total_local_iterations, want.total_local_iterations);
+  ASSERT_FALSE(reference_sink.empty());
+
+  // Crashed run: halts at crash_at; the sink keeps the newest periodic
+  // checkpoint written before the crash.
+  std::vector<uint8_t> crash_sink;
+  ExperimentConfig crashed = uninterrupted;
+  net::FaultEvent crash;
+  crash.kind = net::FaultKind::kCrash;
+  crash.time = crash_at;
+  crashed.faults.push_back(crash);
+  crashed.checkpoint_sink = &crash_sink;
+  const RunResult halted = MustRun(GetParam(), crashed);
+  EXPECT_LE(halted.total_virtual_seconds, crash_at);
+  ASSERT_FALSE(crash_sink.empty());
+
+  // Restore into the no-crash config and finish: the crash is absent from
+  // the checkpoint's fingerprint and its pending event was filtered from
+  // the serialized queue, so the continuation must reproduce the
+  // uninterrupted bits — fault counters included.
+  std::vector<uint8_t> restored_sink;
+  ExperimentConfig restored = uninterrupted;
+  restored.checkpoint_sink = &restored_sink;
+  restored.restore_source = &crash_sink;
+  const RunResult got = MustRun(GetParam(), restored);
+  ExpectBitIdentical(want, got);
+  EXPECT_EQ(want.faults_injected, got.faults_injected);
+  EXPECT_EQ(want.rounds_degraded, got.rounds_degraded);
+  EXPECT_EQ(want.peers_timed_out, got.peers_timed_out);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CheckpointRoundTrip,
                          ::testing::ValuesIn(algos::AlgorithmNames()));
 
@@ -262,6 +321,56 @@ TEST(CheckpointFiles, FileRoundTripRestoresBitIdentically) {
   resumed.restore_path = path;
   ExpectBitIdentical(reference, MustRun("gossip", resumed));
   std::remove(path.c_str());
+}
+
+TEST(CheckpointFiles, PeriodicCadenceRotatesHistory) {
+  // The periodic cadence keeps `<path>` pointing at the newest snapshot —
+  // what --restore-path naturally resumes from after a crash — plus a
+  // `<path>.t<k>` history trimmed to checkpoint_retain files.
+  const ExperimentConfig base = BaseConfig();
+  const RunResult reference = MustRun("gossip", base);
+  const std::string path =
+      ::testing::TempDir() + "/netmax_cadence_test.ckpt";
+
+  ExperimentConfig cadenced = base;
+  cadenced.checkpoint_every_seconds = 0.15 * reference.total_virtual_seconds;
+  cadenced.checkpoint_path = path;
+  cadenced.checkpoint_retain = 2;
+  const RunResult want = MustRun("gossip", cadenced);
+  // Transparent to training (the tick chain may stretch the clock itself).
+  ExpectSeriesIdentical(reference.loss_vs_time, want.loss_vs_time,
+                        "loss_vs_time");
+  EXPECT_EQ(reference.final_train_loss, want.final_train_loss);
+
+  auto newest = core::ReadCheckpointFile(path);
+  NETMAX_EXPECT_OK(newest);
+  int kept = 0;
+  std::vector<uint8_t> newest_history;
+  for (int tick = 1; tick <= 32; ++tick) {
+    auto bytes = core::ReadCheckpointFile(path + ".t" + std::to_string(tick));
+    if (!bytes.ok()) continue;
+    ++kept;
+    newest_history = *bytes;
+    std::remove((path + ".t" + std::to_string(tick)).c_str());
+  }
+  // ~6 ticks fired; only the retained tail survives, and `<path>` holds the
+  // same bytes as the newest history file.
+  EXPECT_GT(kept, 0);
+  EXPECT_LE(kept, cadenced.checkpoint_retain);
+  EXPECT_EQ(*newest, newest_history);
+  std::remove(path.c_str());
+
+  // The newest periodic snapshot restores and finishes bit-identically. The
+  // resumed run keeps the cadence armed (into a sink, not the file): the
+  // tick chain consumes simulator sequence numbers, so dropping it would
+  // diverge from the uninterrupted cadenced run.
+  std::vector<uint8_t> snapshot = *newest;
+  std::vector<uint8_t> resumed_sink;
+  ExperimentConfig resumed = cadenced;
+  resumed.checkpoint_path.clear();
+  resumed.checkpoint_sink = &resumed_sink;
+  resumed.restore_source = &snapshot;
+  ExpectBitIdentical(want, MustRun("gossip", resumed));
 }
 
 TEST(CheckpointFiles, MissingFileIsNotFound) {

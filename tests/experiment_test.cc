@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/fault_schedule.h"
+
 namespace netmax::core {
 namespace {
 
@@ -84,6 +86,72 @@ TEST(HarnessTest, InitValidatesConfig) {
     config.shards = -1;
     ExperimentHarness harness(config, "test");
     EXPECT_FALSE(harness.Init().ok());
+  }
+}
+
+TEST(HarnessTest, InitValidatesFaultConfig) {
+  // Fault specs come straight from the --faults flag; Validate rejects the
+  // config-dependent mistakes (worker range, time order) with
+  // InvalidArgument before any simulation state exists.
+  {
+    ExperimentConfig config = TinyConfig();  // 4 workers
+    auto faults = net::FaultSchedule::Parse("leave@1:w4");
+    NETMAX_CHECK_OK(faults.status());
+    config.faults = *faults;
+    ExperimentHarness harness(config, "test");
+    const Status status = harness.Init();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("worker 4"), std::string::npos)
+        << status.message();
+  }
+  {
+    ExperimentConfig config = TinyConfig();
+    auto faults = net::FaultSchedule::Parse("leave@2:w0;join@1:w0");
+    NETMAX_CHECK_OK(faults.status());
+    config.faults = *faults;
+    ExperimentHarness harness(config, "test");
+    const Status status = harness.Init();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("out of order"), std::string::npos)
+        << status.message();
+  }
+  {
+    ExperimentConfig config = TinyConfig();
+    config.peer_timeout_seconds = 0.0;
+    ExperimentHarness harness(config, "test");
+    EXPECT_EQ(harness.Init().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ExperimentConfig config = TinyConfig();
+    config.peer_poll_seconds = -1.0;
+    ExperimentHarness harness(config, "test");
+    EXPECT_EQ(harness.Init().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(HarnessTest, InitValidatesPeriodicCheckpointConfig) {
+  {
+    ExperimentConfig config = TinyConfig();
+    config.checkpoint_every_seconds = -0.5;
+    ExperimentHarness harness(config, "test");
+    EXPECT_EQ(harness.Init().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // An armed cadence needs somewhere to write.
+    ExperimentConfig config = TinyConfig();
+    config.checkpoint_every_seconds = 1.0;
+    ExperimentHarness harness(config, "test");
+    const Status status = harness.Init();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("checkpoint_every_seconds"),
+              std::string::npos)
+        << status.message();
+  }
+  {
+    ExperimentConfig config = TinyConfig();
+    config.checkpoint_retain = 0;
+    ExperimentHarness harness(config, "test");
+    EXPECT_EQ(harness.Init().code(), StatusCode::kInvalidArgument);
   }
 }
 

@@ -1,0 +1,164 @@
+// net::FaultSchedule (net/fault_schedule.h): the scripted grammar parses and
+// round-trips through ToSpec, malformed specs are rejected with the offending
+// entry named, FromSeed replays exactly and is Validate()-clean, and
+// Validate() catches the config-dependent mistakes (worker ids out of range,
+// fault times out of order, degenerate slowdowns) that Parse by design lets
+// through.
+
+#include "net/fault_schedule.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace netmax::net {
+namespace {
+
+FaultSchedule MustParse(const std::string& spec) {
+  auto schedule = FaultSchedule::Parse(spec);
+  NETMAX_CHECK_OK(schedule.status());
+  return std::move(schedule.value());
+}
+
+TEST(FaultScheduleParse, ParsesEveryKind) {
+  const FaultSchedule schedule =
+      MustParse("slow@2+6x4:w1;leave@4:w2;crash@5;join@9:w2");
+  ASSERT_EQ(schedule.events().size(), 4u);
+
+  const FaultEvent& slow = schedule.events()[0];
+  EXPECT_EQ(slow.kind, FaultKind::kSlowdown);
+  EXPECT_EQ(slow.time, 2.0);
+  EXPECT_EQ(slow.duration, 6.0);
+  EXPECT_EQ(slow.factor, 4.0);
+  EXPECT_EQ(slow.worker, 1);
+
+  const FaultEvent& leave = schedule.events()[1];
+  EXPECT_EQ(leave.kind, FaultKind::kLeave);
+  EXPECT_EQ(leave.time, 4.0);
+  EXPECT_EQ(leave.worker, 2);
+
+  const FaultEvent& crash = schedule.events()[2];
+  EXPECT_EQ(crash.kind, FaultKind::kCrash);
+  EXPECT_EQ(crash.time, 5.0);
+  EXPECT_EQ(crash.worker, -1);
+
+  const FaultEvent& join = schedule.events()[3];
+  EXPECT_EQ(join.kind, FaultKind::kJoin);
+  EXPECT_EQ(join.time, 9.0);
+  EXPECT_EQ(join.worker, 2);
+}
+
+TEST(FaultScheduleParse, EmptyAndBlankSegmentsAreTolerated) {
+  EXPECT_TRUE(MustParse("").empty());
+  EXPECT_TRUE(MustParse(";;").empty());
+  EXPECT_EQ(MustParse("leave@1:w0;").events().size(), 1u);
+}
+
+TEST(FaultScheduleParse, FractionalTimesSurviveExactly) {
+  const FaultSchedule schedule = MustParse("slow@0.5+2x4:w1");
+  EXPECT_EQ(schedule.events()[0].time, 0.5);
+  EXPECT_EQ(schedule.events()[0].duration, 2.0);
+}
+
+TEST(FaultScheduleParse, MalformedSpecsNameTheOffendingEntry) {
+  struct BadSpec {
+    const char* spec;
+    const char* why;
+  };
+  const BadSpec bad[] = {
+      {"explode@1:w0", "expected leave@ / join@ / crash@ / slow@"},
+      {"leave@:w0", "cannot parse the event time"},
+      {"leave@1", "expected a :wN worker suffix"},
+      {"leave@1:w1.5", "expected a :wN worker suffix"},
+      {"crash@2:w1", "trailing characters"},
+      {"slow@2:w1", "slow@ needs +DURATION"},
+      {"slow@2+6:w1", "slow@ needs xFACTOR"},
+      {"slow@2+6x:w1", "cannot parse the slowdown factor"},
+      {"leave@1:w0 ", "trailing characters"},
+  };
+  for (const BadSpec& entry : bad) {
+    const auto schedule = FaultSchedule::Parse(entry.spec);
+    SCOPED_TRACE(entry.spec);
+    ASSERT_FALSE(schedule.ok());
+    EXPECT_EQ(schedule.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(schedule.status().message().find(entry.why), std::string::npos)
+        << schedule.status().message();
+  }
+}
+
+TEST(FaultScheduleToSpec, RoundTripsThroughParse) {
+  const std::string spec = "slow@2+6x4:w1;leave@4:w2;crash@5;join@9:w2";
+  const FaultSchedule schedule = MustParse(spec);
+  EXPECT_EQ(schedule.ToSpec(), spec);
+  EXPECT_EQ(MustParse(schedule.ToSpec()).ToSpec(), spec);
+}
+
+TEST(FaultScheduleFromSeed, ReplaysExactlyAndValidates) {
+  const FaultSchedule a = FaultSchedule::FromSeed(7, 8, 40.0, 4);
+  const FaultSchedule b = FaultSchedule::FromSeed(7, 8, 40.0, 4);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.ToSpec(), b.ToSpec());
+  // Already clean for the worker count it was derived for (and any larger).
+  NETMAX_EXPECT_OK(a.Validate(8));
+  NETMAX_EXPECT_OK(a.Validate(16));
+
+  // A different seed draws a different mix.
+  const FaultSchedule c = FaultSchedule::FromSeed(8, 8, 40.0, 4);
+  EXPECT_NE(a.ToSpec(), c.ToSpec());
+}
+
+TEST(FaultScheduleFromSeed, NeverCrashesAndPairsRejoins) {
+  for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const FaultSchedule schedule = FaultSchedule::FromSeed(seed, 4, 100.0, 6);
+    int leaves = 0;
+    int joins = 0;
+    for (const FaultEvent& event : schedule.events()) {
+      EXPECT_NE(event.kind, FaultKind::kCrash);
+      leaves += event.kind == FaultKind::kLeave;
+      joins += event.kind == FaultKind::kJoin;
+    }
+    EXPECT_EQ(leaves, joins) << "seed " << seed;
+  }
+}
+
+TEST(FaultScheduleValidate, AcceptsInRangeMonotoneSchedules) {
+  NETMAX_EXPECT_OK(MustParse("").Validate(2));
+  NETMAX_EXPECT_OK(
+      MustParse("slow@2+6x4:w1;leave@4:w2;join@9:w2").Validate(3));
+  // Equal times are fine — non-decreasing, not strictly increasing.
+  NETMAX_EXPECT_OK(MustParse("leave@4:w0;join@4:w1").Validate(2));
+}
+
+TEST(FaultScheduleValidate, RejectsOutOfRangeWorkers) {
+  const Status status = MustParse("leave@1:w8").Validate(8);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("worker 8"), std::string::npos)
+      << status.message();
+  EXPECT_FALSE(MustParse("join@1:w2").Validate(2).ok());
+}
+
+TEST(FaultScheduleValidate, RejectsNonMonotoneTimes) {
+  const Status status = MustParse("leave@4:w0;join@3:w0").Validate(8);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("out of order"), std::string::npos)
+      << status.message();
+}
+
+TEST(FaultScheduleValidate, RejectsNegativeTimesAndDegenerateSlowdowns) {
+  EXPECT_FALSE(MustParse("leave@-1:w0").Validate(8).ok());
+  // factor/duration must be positive: Parse accepts the syntax, Validate
+  // rejects the values. (The zero duration is spelled "0.0" — a bare "0x4"
+  // would parse as a hexfloat.)
+  EXPECT_FALSE(MustParse("slow@1+0.0x4:w0").Validate(8).ok());
+  EXPECT_FALSE(MustParse("slow@1+6x0:w0").Validate(8).ok());
+  EXPECT_FALSE(MustParse("slow@1+6x-2:w0").Validate(8).ok());
+}
+
+TEST(FaultScheduleValidate, CrashNeedsNoWorker) {
+  NETMAX_EXPECT_OK(MustParse("crash@5").Validate(2));
+}
+
+}  // namespace
+}  // namespace netmax::net

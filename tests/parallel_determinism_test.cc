@@ -15,6 +15,7 @@
 #include "algos/registry.h"
 #include "core/execution_backend.h"
 #include "core/experiment.h"
+#include "net/fault_schedule.h"
 
 namespace netmax {
 namespace {
@@ -177,8 +178,102 @@ TEST(ParallelDeterminismTest, AsyncPipelineActuallyOverlapsAndRedispatches) {
   EXPECT_EQ(sync.computes_speculated, 0);
 }
 
+TEST_P(ParallelDeterminism, FaultScheduleBitIdenticalAcrossExecutionPoints) {
+  // Fault injection rides the simulator's ordinary (time, sequence) event
+  // scheduling, so a faulted run must be exactly as reproducible as a
+  // fault-free one: same bits — including the fault counters themselves —
+  // on every backend, thread count, and shard split, under both dead-peer
+  // policies. The pinned schedule is a straggler plus a leave/rejoin whose
+  // times land inside every engine's run at this scale (the fastest engine
+  // finishes its gradient evaluations within a fraction of a virtual
+  // second), and whose dead window (1.1s) outlives the 1-second deadline so
+  // the timeout policy actually expires it.
+  ExperimentConfig config = BaseConfig();
+  config.dataset.num_train = 256;
+  config.dataset.num_test = 64;
+  config.batch_size = 24;
+  config.max_epochs = 1;
+  auto faults =
+      net::FaultSchedule::Parse("slow@0.05+0.5x4:w1;leave@0.1:w2;join@1.2:w2");
+  NETMAX_CHECK_OK(faults.status());
+  config.faults = *faults;
+  config.peer_timeout_seconds = 1.0;
+  config.peer_poll_seconds = 0.4;
+
+  struct ExecutionPoint {
+    ExecutionBackendKind backend;
+    int threads;
+    int shards;
+    int reorder_window;
+  };
+  const ExecutionPoint points[] = {
+      {ExecutionBackendKind::kSpeculative, 8, 1, 0},
+      {ExecutionBackendKind::kSpeculative, 8, 2, 0},
+      {ExecutionBackendKind::kAsyncPipeline, 8, 1, 4},
+  };
+  for (const core::PeerPolicy policy :
+       {core::PeerPolicy::kWait, core::PeerPolicy::kTimeoutAndContinue}) {
+    config.peer_policy = policy;
+    const RunResult reference = RunWithThreads(
+        GetParam(), config, 1, 1, ExecutionBackendKind::kSerial);
+    // The schedule must actually fire (all three scripted events).
+    EXPECT_EQ(reference.faults_injected, 3);
+    for (const ExecutionPoint& point : points) {
+      SCOPED_TRACE("policy=" + std::string(core::PeerPolicyName(policy)) +
+                   " backend=" + std::to_string(static_cast<int>(
+                         point.backend)) +
+                   " threads=" + std::to_string(point.threads) +
+                   " shards=" + std::to_string(point.shards));
+      const RunResult run =
+          RunWithThreads(GetParam(), config, point.threads, point.shards,
+                         point.backend, point.reorder_window);
+      ExpectBitIdentical(reference, run);
+      EXPECT_EQ(reference.faults_injected, run.faults_injected);
+      EXPECT_EQ(reference.rounds_degraded, run.rounds_degraded);
+      EXPECT_EQ(reference.peers_timed_out, run.peers_timed_out);
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, FaultFreeRunsReportZeroFaultCounters) {
+  // The fault-free path schedules no harness events and touches no extra
+  // RNG: the counters stay zero and (by the fault-free golden traces) the
+  // bits stay identical to the pre-fault-subsystem pins.
+  ExperimentConfig config = BaseConfig();
+  config.max_epochs = 1;
+  const RunResult run = RunWithThreads(GetParam(), config, 8);
+  EXPECT_EQ(run.faults_injected, 0);
+  EXPECT_EQ(run.rounds_degraded, 0);
+  EXPECT_EQ(run.peers_timed_out, 0);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ParallelDeterminism,
                          ::testing::ValuesIn(algos::AlgorithmNames()));
+
+TEST(ParallelDeterminismTest, TimeoutPolicyActuallyExpiresDeadlines) {
+  // Under timeout-and-continue a chain-structured engine whose pull parks on
+  // a dead peer must give up after peer_timeout_seconds and press on: the
+  // run records real expirations, and its bits still agree between serial
+  // and pooled dispatch (the expiry is a virtual-time event like any other).
+  ExperimentConfig config = BaseConfig();
+  config.max_epochs = 1;
+  auto faults = net::FaultSchedule::Parse("leave@0.3:w2;join@4:w2");
+  NETMAX_CHECK_OK(faults.status());
+  config.faults = *faults;
+  config.peer_policy = core::PeerPolicy::kTimeoutAndContinue;
+  config.peer_timeout_seconds = 1.0;
+  config.peer_poll_seconds = 0.4;
+  const RunResult serial = RunWithThreads("netmax", config, 1);
+  EXPECT_GT(serial.peers_timed_out, 0);
+  ExpectBitIdentical(serial, RunWithThreads("netmax", config, 8));
+
+  // The same schedule under the wait policy never expires a deadline: the
+  // parked pulls re-probe until the rejoin.
+  config.peer_policy = core::PeerPolicy::kWait;
+  const RunResult waited = RunWithThreads("netmax", config, 1);
+  EXPECT_EQ(waited.peers_timed_out, 0);
+  EXPECT_GT(waited.rounds_degraded, 0);
+}
 
 TEST(ParallelDeterminismTest, DynamicHeterogeneousNetworkMatchesToo) {
   // The dynamic-slowdown scenario re-draws link speeds on a timer (an extra

@@ -11,6 +11,14 @@
 // usage:
 //   trace_dump --list          print registered algorithm names, one per line
 //   trace_dump <algorithm>     print the canonical trace on stdout
+//
+// Fault variants: "<algorithm>+faults-wait" and "<algorithm>+faults-timeout"
+// run the same pinned experiment under the pinned fault schedule below with
+// the respective dead-peer policy, and append the fault counters to the
+// trace. --list advertises two pinned variants (netmax under wait, allreduce
+// under timeout), so the golden lane also locks down the fault-injection
+// subsystem's bits; plain algorithm traces are byte-identical to before the
+// fault variants existed.
 
 #include <cinttypes>
 #include <cstdio>
@@ -20,6 +28,7 @@
 #include "common/status.h"
 #include "core/experiment.h"
 #include "ml/metrics.h"
+#include "net/fault_schedule.h"
 
 namespace netmax {
 namespace {
@@ -50,15 +59,51 @@ core::ExperimentConfig GoldenConfig() {
   return config;
 }
 
+// Pinned fault schedule for the "+faults-*" variants: a slowdown and a
+// leave/rejoin, early enough to land inside every engine's golden run, with
+// a dead window (2 virtual seconds) that outlives the 1-second deadline so
+// the timeout variant actually expires it. Changing this (or the deadline
+// knobs below) invalidates the pinned fault traces — regenerate them.
+constexpr char kFaultSpec[] = "slow@0.5+2x4:w1;leave@1:w2;join@3:w2";
+constexpr char kWaitSuffix[] = "+faults-wait";
+constexpr char kTimeoutSuffix[] = "+faults-timeout";
+
+bool StripSuffix(std::string& name, const char* suffix) {
+  const std::string tail(suffix);
+  if (name.size() <= tail.size() ||
+      name.compare(name.size() - tail.size(), tail.size(), tail) != 0) {
+    return false;
+  }
+  name.resize(name.size() - tail.size());
+  return true;
+}
+
 void PrintSeries(const char* label, const ml::Series& series) {
   std::printf("%s %zu\n", label, series.size());
   for (const auto& point : series) std::printf("%a %a\n", point.x, point.y);
 }
 
-Status DumpTrace(const std::string& name) {
+Status DumpTrace(const std::string& request) {
+  std::string name = request;
+  bool fault_mode = false;
+  core::PeerPolicy policy = core::PeerPolicy::kWait;
+  if (StripSuffix(name, kWaitSuffix)) {
+    fault_mode = true;
+  } else if (StripSuffix(name, kTimeoutSuffix)) {
+    fault_mode = true;
+    policy = core::PeerPolicy::kTimeoutAndContinue;
+  }
+  core::ExperimentConfig config = GoldenConfig();
+  if (fault_mode) {
+    NETMAX_ASSIGN_OR_RETURN(config.faults,
+                            net::FaultSchedule::Parse(kFaultSpec));
+    config.peer_policy = policy;
+    config.peer_timeout_seconds = 1.0;
+    config.peer_poll_seconds = 0.4;
+  }
   NETMAX_ASSIGN_OR_RETURN(const auto algorithm, algos::MakeAlgorithm(name));
   NETMAX_ASSIGN_OR_RETURN(const core::RunResult result,
-                          algorithm->Run(GoldenConfig()));
+                          algorithm->Run(config));
   std::printf("netmax-golden-trace v1\n");
   std::printf("algorithm %s\n", result.algorithm.c_str());
   PrintSeries("loss_vs_time", result.loss_vs_time);
@@ -75,6 +120,13 @@ Status DumpTrace(const std::string& name) {
               result.total_local_iterations);
   std::printf("consensus_distance %a\n", result.consensus_distance);
   std::printf("policies_generated %" PRId64 "\n", result.policies_generated);
+  if (fault_mode) {
+    // Only the fault variants carry these lines, so the plain traces stay
+    // byte-identical to their pre-fault pins.
+    std::printf("faults_injected %" PRId64 "\n", result.faults_injected);
+    std::printf("rounds_degraded %" PRId64 "\n", result.rounds_degraded);
+    std::printf("peers_timed_out %" PRId64 "\n", result.peers_timed_out);
+  }
   return Status::Ok();
 }
 
@@ -92,6 +144,14 @@ int main(int argc, char** argv) {
     for (const std::string& name : netmax::algos::AlgorithmNames()) {
       std::printf("%s\n", name.c_str());
     }
+    // The pinned fault variants — both policies on the chain-structured
+    // NetMax engine (the timeout one expires real peer deadlines) plus the
+    // round-structured allreduce under timeout (membership exclusion).
+    // Every other "<algorithm>+faults-{wait,timeout}" spelling also runs,
+    // unpinned.
+    std::printf("netmax%s\n", netmax::kWaitSuffix);
+    std::printf("netmax%s\n", netmax::kTimeoutSuffix);
+    std::printf("allreduce%s\n", netmax::kTimeoutSuffix);
     return 0;
   }
   const netmax::Status status = netmax::DumpTrace(arg);
