@@ -97,6 +97,60 @@ Status RunPolicyPanels(core::PeerPolicy policy) {
   return Status::Ok();
 }
 
+// Seed-derived sweep: the scripted panels above pin three hand-written
+// scenarios; this grid instead draws FaultSchedule::FromSeed churn/straggler
+// mixes across several seeds and two intensities, under both dead-peer
+// policies, and reports each run's degradation frontier (how far loss,
+// degraded rounds, and timeouts move as the injected fault count grows).
+// This is the panel behind `--faults=seed:K`: one row here is exactly what
+// that flag injects into a full bench run, so the grid doubles as a map of
+// which seeds produce mild vs hostile schedules.
+constexpr uint64_t kSweepSeeds[] = {1, 2, 3, 5};
+constexpr int kSweepCounts[] = {2, 6};
+// Same horizon the --faults=seed:K flag uses (bench_util.cc), so a grid row
+// reproduces the flag's schedule exactly.
+constexpr double kSweepHorizonSeconds = 40.0;
+
+Status RunSeedSweep() {
+  // Three representative engines keep the 4 seeds x 2 intensities x 2
+  // policies grid affordable: the paper's system, its asynchronous baseline,
+  // and the synchronous collective most exposed to stragglers.
+  const std::vector<std::string> algorithms = {"netmax", "adpsgd",
+                                               "allreduce"};
+  for (const core::PeerPolicy policy :
+       {core::PeerPolicy::kWait, core::PeerPolicy::kTimeoutAndContinue}) {
+    TablePrinter table({"seed", "faults", "algorithm", "final_loss",
+                        "total_time_s", "injected", "degraded", "timeouts"});
+    for (const uint64_t seed : kSweepSeeds) {
+      for (const int count : kSweepCounts) {
+        core::ExperimentConfig config = FaultBaseConfig();
+        config.faults = net::FaultSchedule::FromSeed(
+            seed, config.num_workers, kSweepHorizonSeconds, count);
+        config.peer_policy = policy;
+        NETMAX_ASSIGN_OR_RETURN(
+            const std::vector<bench::NamedResult> results,
+            bench::RunAlgorithms(algorithms, config));
+        for (const bench::NamedResult& entry : results) {
+          const core::RunResult& r = entry.result;
+          table.AddRow({std::to_string(seed), std::to_string(count),
+                        entry.name, Fmt(r.final_train_loss, 4),
+                        Fmt(r.total_virtual_seconds, 1),
+                        std::to_string(r.faults_injected),
+                        std::to_string(r.rounds_degraded),
+                        std::to_string(r.peers_timed_out)});
+        }
+      }
+    }
+    const std::string title =
+        std::string("Seed-derived fault sweep (policy=") +
+        std::string(core::PeerPolicyName(policy)) + ")";
+    std::cout << "\n== " << title << " ==\n";
+    table.Print(std::cout);
+    table.PrintCsv(std::cout, title);
+  }
+  return Status::Ok();
+}
+
 // Status-returning twin of the determinism tests' ExpectBitIdentical: the
 // deterministic subset of RunResult, compared bit-for-bit.
 Status CompareSeries(const std::string& run, const char* label,
@@ -203,6 +257,7 @@ Status RunBench() {
   NETMAX_RETURN_IF_ERROR(RunPolicyPanels(core::PeerPolicy::kWait));
   NETMAX_RETURN_IF_ERROR(
       RunPolicyPanels(core::PeerPolicy::kTimeoutAndContinue));
+  NETMAX_RETURN_IF_ERROR(RunSeedSweep());
   return CheckCrashRestore();
 }
 

@@ -13,7 +13,9 @@
 #include "common/logging.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "net/event_queue.h"
 #include "net/fault_schedule.h"
+#include "net/topology.h"
 
 namespace netmax::bench {
 namespace {
@@ -43,6 +45,11 @@ net::FaultSchedule faults_override;
 bool peer_policy_override_set = false;
 core::PeerPolicy peer_policy_override = core::PeerPolicy::kWait;
 bool adaptive_window_override = false;
+bool event_queue_override_set = false;
+net::EventQueueKind event_queue_override = net::EventQueueKind::kSortedVector;
+int workers_override = -1;
+bool topology_override_set = false;
+net::TopologySpec topology_override;
 // Seed-derived schedules ("--faults=seed:K") place their events inside
 // (0.1, 0.75) x this horizon: 40 virtual seconds lands the churn well inside
 // every bench run, smoke or full.
@@ -90,6 +97,12 @@ void PrintUsage(std::ostream& os, const char* binary) {
         "virtual seconds (rotating history; requires --checkpoint-path)\n"
      << "  --adaptive-window    async backend re-sizes its reorder window "
         "at runtime (results are bit-identical)\n"
+     << "  --event-queue=K      simulator event-queue backend: vector | heap "
+        "| calendar (results are bit-identical)\n"
+     << "  --workers=N          simulated worker count (N >= 2; overrides "
+        "every run's num_workers)\n"
+     << "  --topology=SPEC      gossip topology: complete or "
+        "hier:<cluster_size> (clusters-of-clusters)\n"
      << "environment overrides (a flag beats its variable):\n"
      << "  NETMAX_SMOKE=1            same as --smoke\n"
      << "  NETMAX_THREADS=N          same as --threads=N\n"
@@ -99,7 +112,10 @@ void PrintUsage(std::ostream& os, const char* binary) {
      << "  NETMAX_FAULTS=SPEC        same as --faults=SPEC\n"
      << "  NETMAX_PEER_POLICY=P      same as --peer-policy=P\n"
      << "  NETMAX_CHECKPOINT_EVERY=S same as --checkpoint-every=S\n"
-     << "  NETMAX_ADAPTIVE_WINDOW=1  same as --adaptive-window\n";
+     << "  NETMAX_ADAPTIVE_WINDOW=1  same as --adaptive-window\n"
+     << "  NETMAX_EVENT_QUEUE=K      same as --event-queue=K\n"
+     << "  NETMAX_WORKERS=N          same as --workers=N\n"
+     << "  NETMAX_TOPOLOGY=SPEC      same as --topology=SPEC\n";
 }
 
 // Strict value parse for "--flag=N" style flags and their environment
@@ -181,6 +197,44 @@ Status ParsePeerPolicyFlag(const std::string& flag_text,
   return Status::Ok();
 }
 
+// Strict value parse for "--event-queue=K" and NETMAX_EVENT_QUEUE.
+Status ParseEventQueueFlag(const std::string& flag_text,
+                           std::string_view value) {
+  StatusOr<net::EventQueueKind> kind = net::ParseEventQueueKind(value);
+  if (!kind.ok()) {
+    return InvalidArgumentError("bad flag value: " + flag_text +
+                                " (expected vector, heap, or calendar)");
+  }
+  event_queue_override = *kind;
+  event_queue_override_set = true;
+  return Status::Ok();
+}
+
+// Strict value parse for "--workers=N" and NETMAX_WORKERS: a decentralized
+// run needs at least two workers, so 0 and 1 are usage errors, not configs.
+Status ParseWorkersFlag(const std::string& flag_text, std::string_view value) {
+  StatusOr<int> parsed = ParseNonNegativeInt(value);
+  if (!parsed.ok() || *parsed < 2) {
+    return InvalidArgumentError("bad flag value: " + flag_text +
+                                " (expected an integer worker count >= 2)");
+  }
+  workers_override = *parsed;
+  return Status::Ok();
+}
+
+// Strict value parse for "--topology=SPEC" and NETMAX_TOPOLOGY.
+Status ParseTopologyFlag(const std::string& flag_text,
+                         std::string_view value) {
+  StatusOr<net::TopologySpec> spec = net::ParseTopologySpec(value);
+  if (!spec.ok()) {
+    return InvalidArgumentError("bad flag value: " + flag_text + " (" +
+                                spec.status().message() + ")");
+  }
+  topology_override = *spec;
+  topology_override_set = true;
+  return Status::Ok();
+}
+
 // Splits the machine between `concurrent_runs` simultaneous experiments:
 // every run gets an equal share of the cores for its own compute-event pool
 // (at least one). Applied only when the config asks for the automatic
@@ -202,6 +256,11 @@ void ApplyExecutionOverrides(core::ExperimentConfig& config,
   if (reorder_window_override >= 0) {
     config.reorder_window = reorder_window_override;
   }
+  if (event_queue_override_set) config.event_queue = event_queue_override;
+  if (topology_override_set) config.topology = topology_override;
+  // The worker override must land before a seed-derived fault schedule is
+  // resolved below: FromSeed draws its churn targets from num_workers.
+  if (workers_override >= 0) config.num_workers = workers_override;
   if (faults_override_set) {
     config.faults =
         faults_from_seed
@@ -272,6 +331,11 @@ StatusOr<bool> InitBench(int argc, char** argv) {
   faults_override = net::FaultSchedule();
   peer_policy_override_set = false;
   adaptive_window_override = false;
+  event_queue_override_set = false;
+  event_queue_override = net::EventQueueKind::kSortedVector;
+  workers_override = -1;
+  topology_override_set = false;
+  topology_override = net::TopologySpec();
   run_batch_counter = 0;
   const char* env = std::getenv("NETMAX_SMOKE");
   if (env != nullptr && std::strcmp(env, "1") == 0) smoke_mode = true;
@@ -317,6 +381,21 @@ StatusOr<bool> InitBench(int argc, char** argv) {
   if (env_policy != nullptr) {
     NETMAX_RETURN_IF_ERROR(ParsePeerPolicyFlag(
         std::string("NETMAX_PEER_POLICY=") + env_policy, env_policy));
+  }
+  const char* env_queue = std::getenv("NETMAX_EVENT_QUEUE");
+  if (env_queue != nullptr) {
+    NETMAX_RETURN_IF_ERROR(ParseEventQueueFlag(
+        std::string("NETMAX_EVENT_QUEUE=") + env_queue, env_queue));
+  }
+  const char* env_workers = std::getenv("NETMAX_WORKERS");
+  if (env_workers != nullptr) {
+    NETMAX_RETURN_IF_ERROR(ParseWorkersFlag(
+        std::string("NETMAX_WORKERS=") + env_workers, env_workers));
+  }
+  const char* env_topology = std::getenv("NETMAX_TOPOLOGY");
+  if (env_topology != nullptr) {
+    NETMAX_RETURN_IF_ERROR(ParseTopologyFlag(
+        std::string("NETMAX_TOPOLOGY=") + env_topology, env_topology));
   }
   const char* env_every = std::getenv("NETMAX_CHECKPOINT_EVERY");
   if (env_every != nullptr) {
@@ -366,6 +445,15 @@ StatusOr<bool> InitBench(int argc, char** argv) {
           ParsePeerPolicyFlag(arg, std::string_view(arg).substr(14)));
     } else if (arg == "--adaptive-window") {
       adaptive_window_override = true;
+    } else if (arg.rfind("--event-queue=", 0) == 0) {
+      NETMAX_RETURN_IF_ERROR(
+          ParseEventQueueFlag(arg, std::string_view(arg).substr(14)));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      NETMAX_RETURN_IF_ERROR(
+          ParseWorkersFlag(arg, std::string_view(arg).substr(10)));
+    } else if (arg.rfind("--topology=", 0) == 0) {
+      NETMAX_RETURN_IF_ERROR(
+          ParseTopologyFlag(arg, std::string_view(arg).substr(11)));
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(std::cout, argc > 0 ? argv[0] : "bench");
       return false;
@@ -407,6 +495,8 @@ int ThreadsOverride() { return threads_override; }
 int ShardsOverride() { return shards_override; }
 
 int ReorderWindowOverride() { return reorder_window_override; }
+
+int WorkersOverride() { return workers_override; }
 
 void MaybeApplySmoke(core::ExperimentConfig& config) {
   if (!smoke_mode) return;

@@ -75,6 +75,20 @@ namespace netmax::bench {
 //                        runtime from stall/backpressure counters
 //                        (ExperimentConfig::adaptive_reorder_window; results
 //                        are bit-identical either way).
+//   --event-queue=K      simulator event-queue backend: vector | heap |
+//                        calendar (overrides ExperimentConfig::event_queue;
+//                        pop order — and therefore every result — is
+//                        bit-identical for all three; they differ only in
+//                        real-machine cost, see bench_scale_frontier).
+//   --workers=N          simulated worker count (overrides
+//                        ExperimentConfig::num_workers; N >= 2). Applied
+//                        before a seed-derived --faults=seed:K schedule is
+//                        resolved, so the churn mix targets the overridden
+//                        fleet.
+//   --topology=SPEC      gossip topology: "complete" or "hier:<cluster_size>"
+//                        for the hierarchical clusters-of-clusters graph
+//                        (overrides ExperimentConfig::topology; see
+//                        net/topology.h).
 // Every flag has a NETMAX_* environment fallback (see PrintUsage in
 // bench_util.cc for the single authoritative list); an explicit flag wins
 // over its environment variable.
@@ -107,6 +121,9 @@ int ShardsOverride();
 // hand pin their backends per leg — bench_scale32 compares all three — and
 // RunAlgorithms/RunConfigs apply the override internally.)
 int ReorderWindowOverride();
+
+// The --workers/NETMAX_WORKERS override, or -1 when unset.
+int WorkersOverride();
 
 // True once InitBench has seen --smoke (or NETMAX_SMOKE=1 in the
 // environment). RunAlgorithms/RunConfigs apply the shrink to their configs

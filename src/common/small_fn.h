@@ -1,0 +1,172 @@
+// SmallFn: a copyable type-erased callable with inline storage, used where
+// std::function's heap fallback would put allocations on a hot path. The
+// simulator stores three closures per event (plain / compute / commit);
+// libstdc++'s std::function only inlines trivially-copyable targets up to
+// 16 bytes, so almost every scheduled lambda used to allocate. SmallFn
+// inlines any copyable, nothrow-movable target up to kSmallFnInlineBytes and
+// falls back to the heap only beyond that, which keeps steady-state
+// simulation allocation-free (asserted by tests/event_queue_test.cc).
+//
+// Semantics match the subset of std::function the codebase uses: null
+// default state, comparison against nullptr, explicit bool, copy/move, and
+// a const call operator that may mutate the target's captures.
+
+#ifndef NETMAX_COMMON_SMALL_FN_H_
+#define NETMAX_COMMON_SMALL_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace netmax {
+
+inline constexpr std::size_t kSmallFnInlineBytes = 48;
+
+template <typename Signature, std::size_t InlineBytes = kSmallFnInlineBytes>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class SmallFn<R(Args...), InlineBytes> {
+ public:
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, SmallFn> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn(F&& target) {  // NOLINT(google-explicit-constructor)
+    static_assert(std::is_copy_constructible_v<D>,
+                  "SmallFn targets must be copyable (like std::function)");
+    if constexpr (kStoresInline<D>) {
+      ::new (storage_) D(std::forward<F>(target));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (storage_) D*(new D(std::forward<F>(target)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallFn(const SmallFn& other) {
+    if (other.ops_ != nullptr) other.ops_->copy(storage_, other.storage_);
+    ops_ = other.ops_;
+  }
+
+  SmallFn(SmallFn&& other) noexcept {
+    if (other.ops_ != nullptr) other.ops_->relocate(storage_, other.storage_);
+    ops_ = other.ops_;
+    other.ops_ = nullptr;
+  }
+
+  SmallFn& operator=(const SmallFn& other) {
+    if (this != &other) *this = SmallFn(other);
+    return *this;
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      if (other.ops_ != nullptr) {
+        other.ops_->relocate(storage_, other.storage_);
+      }
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  ~SmallFn() { Reset(); }
+
+  // Const like std::function: the erased target's captures may still mutate.
+  R operator()(Args... args) const {
+    NETMAX_CHECK(ops_ != nullptr);
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  friend bool operator==(const SmallFn& fn, std::nullptr_t) { return !fn; }
+  friend bool operator==(std::nullptr_t, const SmallFn& fn) { return !fn; }
+  friend bool operator!=(const SmallFn& fn, std::nullptr_t) {
+    return static_cast<bool>(fn);
+  }
+  friend bool operator!=(std::nullptr_t, const SmallFn& fn) {
+    return static_cast<bool>(fn);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    void (*copy)(void* dst, const void* src);
+    // Moves src's target into dst and ends src's lifetime (no destroy after).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename D>
+  static constexpr bool kStoresInline =
+      sizeof(D) <= InlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* storage, Args&&... args) -> R {
+        // static_cast<R> discards the target's return when R is void,
+        // matching std::function's INVOKE<R> semantics.
+        return static_cast<R>((*std::launder(reinterpret_cast<D*>(storage)))(
+            std::forward<Args>(args)...));
+      },
+      [](void* dst, const void* src) {
+        ::new (dst) D(*std::launder(reinterpret_cast<const D*>(src)));
+      },
+      [](void* dst, void* src) {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* storage) {
+        std::launder(reinterpret_cast<D*>(storage))->~D();
+      },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* storage, Args&&... args) -> R {
+        return static_cast<R>((**std::launder(reinterpret_cast<D**>(storage)))(
+            std::forward<Args>(args)...));
+      },
+      [](void* dst, const void* src) {
+        ::new (dst)
+            D*(new D(**std::launder(reinterpret_cast<D* const*>(src))));
+      },
+      [](void* dst, void* src) {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* storage) {
+        delete *std::launder(reinterpret_cast<D**>(storage));
+      },
+  };
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) mutable unsigned char storage_[InlineBytes];
+};
+
+}  // namespace netmax
+
+#endif  // NETMAX_COMMON_SMALL_FN_H_

@@ -272,7 +272,7 @@ StatusOr<std::vector<uint8_t>> ExperimentHarness::SerializeCheckpoint(
   out.WriteInt(config_.num_workers);
   out.WriteU64(config_.seed);
   out.WriteInt(config_.max_epochs);
-  out.WriteI64(workers_[0]->model->num_parameters());
+  out.WriteI64(workers_[0].model->num_parameters());
   // The cost profile drives every event time; restoring into a different
   // profile would silently graft this run's state onto another time scale.
   out.WriteString(config_.profile.name);
@@ -305,7 +305,7 @@ StatusOr<std::vector<uint8_t>> ExperimentHarness::SerializeCheckpoint(
     out.WriteDoubleVec(event.payload.args);
   }
 
-  for (const auto& worker : workers_) SaveWorker(out, *worker);
+  for (const WorkerRuntime& worker : workers_) SaveWorker(out, worker);
 
   SaveSeries(out, loss_vs_time_);
   SaveSeries(out, loss_vs_epoch_);
@@ -416,7 +416,7 @@ Status ExperimentHarness::Restore(const EngineStateRestorer& restore_engine,
     return FailedPreconditionError("checkpoint max_epochs mismatch");
   }
   NETMAX_ASSIGN_OR_RETURN(const int64_t num_parameters, in.ReadI64());
-  if (num_parameters != workers_[0]->model->num_parameters()) {
+  if (num_parameters != workers_[0].model->num_parameters()) {
     return FailedPreconditionError("checkpoint model size mismatch");
   }
   NETMAX_ASSIGN_OR_RETURN(const std::string profile_name, in.ReadString());
@@ -468,7 +468,7 @@ Status ExperimentHarness::Restore(const EngineStateRestorer& restore_engine,
   NETMAX_RETURN_IF_ERROR(sim_.RestoreQueue(events, wrapped_rebuilder));
 
   for (auto& worker : workers_) {
-    NETMAX_RETURN_IF_ERROR(RestoreWorker(in, *worker));
+    NETMAX_RETURN_IF_ERROR(RestoreWorker(in, worker));
   }
 
   NETMAX_RETURN_IF_ERROR(LoadSeries(in, &loss_vs_time_));

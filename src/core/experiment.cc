@@ -88,6 +88,25 @@ Status ExperimentConfig::Validate() const {
   if (network == NetworkScenario::kWan && num_workers != 6) {
     return InvalidArgumentError("the WAN scenario models exactly 6 regions");
   }
+  if (topology.shape == net::TopologyShape::kHierarchical) {
+    if (network == NetworkScenario::kWan) {
+      return InvalidArgumentError(
+          "hierarchical topology is incompatible with the WAN scenario "
+          "(its six-region placement is its own shape)");
+    }
+    if (topology.cluster_size < 1 || topology.cluster_size > num_workers) {
+      return InvalidArgumentError(
+          "hierarchical topology cluster_size must be in [1, num_workers], "
+          "got " +
+          std::to_string(topology.cluster_size));
+    }
+  } else if (num_workers > kMaxCompleteTopologyWorkers) {
+    return InvalidArgumentError(
+        "complete topology at " + std::to_string(num_workers) +
+        " workers would build O(n^2) edge and link tables; use a "
+        "hierarchical topology (--topology=hier:<cluster_size>) beyond " +
+        std::to_string(kMaxCompleteTopologyWorkers) + " workers");
+  }
   if (threads < 0) return InvalidArgumentError("threads < 0");
   if (shards < 0) return InvalidArgumentError("shards < 0");
   if (reorder_window < 0) {
@@ -152,6 +171,9 @@ Status ExperimentHarness::Init() {
                                   config_.reorder_window,
                                   config_.adaptive_reorder_window);
   sim_.set_backend(backend_.get());
+  // Event-queue implementation (net/event_queue.h): like the backend, a pure
+  // execution choice — every kind pops the identical (time, sequence) stream.
+  sim_.ReplaceQueue(net::MakeEventQueue(config_.event_queue));
   // Intra-worker sharding bound: auto (0) shards only the cores left over
   // after the distinct-worker frontier has one thread per worker, so
   // paper-scale runs (workers >= cores) stay unsharded while wide-model
@@ -176,39 +198,68 @@ Status ExperimentHarness::Init() {
   }
 
   // Network.
-  switch (config_.network) {
-    case NetworkScenario::kHeterogeneousDynamic: {
+  if (config_.topology.shape == net::TopologyShape::kHierarchical) {
+    // Clusters-of-clusters: complete intra-cluster, hub ring inter-cluster,
+    // over the two-class O(1)-memory link model (the flat presets below
+    // build O(n^2) pairwise tables, intractable at 10^5+ workers). The
+    // machine-local/cross-machine classes of the heterogeneous presets map
+    // onto intra/inter-cluster links; the homogeneous scenario keeps its one
+    // uniform class.
+    const bool homogeneous = config_.network == NetworkScenario::kHomogeneous;
+    const net::LinkClass intra = homogeneous ? net::HomogeneousLinkClass()
+                                             : net::IntraMachineLinkClass();
+    const net::LinkClass inter = homogeneous ? net::HomogeneousLinkClass()
+                                             : net::InterMachineLinkClass();
+    auto base = std::make_unique<net::HierarchicalLinkModel>(
+        config_.num_workers, config_.topology.cluster_size, intra, inter);
+    if (config_.network == NetworkScenario::kHeterogeneousDynamic) {
       net::DynamicSlowdownLinkModel::Options slow;
       slow.change_period_seconds = config_.slowdown_period_seconds;
       slow.min_factor = config_.slowdown_min_factor;
       slow.max_factor = config_.slowdown_max_factor;
       slow.seed = config_.seed * 31 + 7;
-      const net::ClusterConfig cluster =
-          config_.two_server_placement
-              ? net::HeterogeneousClusterTwoServers(config_.num_workers)
-              : net::HeterogeneousCluster(config_.num_workers);
-      links_ = net::BuildDynamicHeterogeneousLinkModel(cluster, slow);
-      break;
+      links_ = std::make_unique<net::DynamicSlowdownLinkModel>(
+          std::move(base), slow);
+    } else {
+      links_ = std::move(base);
     }
-    case NetworkScenario::kHeterogeneousStatic: {
-      const net::ClusterConfig cluster =
-          config_.two_server_placement
-              ? net::HeterogeneousClusterTwoServers(config_.num_workers)
-              : net::HeterogeneousCluster(config_.num_workers);
-      links_ = net::BuildStaticLinkModel(cluster);
-      break;
+    topology_ = std::make_unique<net::Topology>(net::Topology::Hierarchical(
+        config_.num_workers, config_.topology.cluster_size));
+  } else {
+    switch (config_.network) {
+      case NetworkScenario::kHeterogeneousDynamic: {
+        net::DynamicSlowdownLinkModel::Options slow;
+        slow.change_period_seconds = config_.slowdown_period_seconds;
+        slow.min_factor = config_.slowdown_min_factor;
+        slow.max_factor = config_.slowdown_max_factor;
+        slow.seed = config_.seed * 31 + 7;
+        const net::ClusterConfig cluster =
+            config_.two_server_placement
+                ? net::HeterogeneousClusterTwoServers(config_.num_workers)
+                : net::HeterogeneousCluster(config_.num_workers);
+        links_ = net::BuildDynamicHeterogeneousLinkModel(cluster, slow);
+        break;
+      }
+      case NetworkScenario::kHeterogeneousStatic: {
+        const net::ClusterConfig cluster =
+            config_.two_server_placement
+                ? net::HeterogeneousClusterTwoServers(config_.num_workers)
+                : net::HeterogeneousCluster(config_.num_workers);
+        links_ = net::BuildStaticLinkModel(cluster);
+        break;
+      }
+      case NetworkScenario::kHomogeneous:
+        links_ = net::BuildStaticLinkModel(
+            net::HomogeneousCluster(config_.num_workers));
+        break;
+      case NetworkScenario::kWan:
+        links_ = net::BuildCloudWanLinkModel();
+        break;
     }
-    case NetworkScenario::kHomogeneous:
-      links_ = net::BuildStaticLinkModel(
-          net::HomogeneousCluster(config_.num_workers));
-      break;
-    case NetworkScenario::kWan:
-      links_ = net::BuildCloudWanLinkModel();
-      break;
+    topology_ =
+        std::make_unique<net::Topology>(
+            net::Topology::Complete(config_.num_workers));
   }
-  topology_ =
-      std::make_unique<net::Topology>(
-          net::Topology::Complete(config_.num_workers));
 
   // Workers: identical initial replicas (x^0), forked RNG/sampler streams.
   Rng root(config_.seed);
@@ -219,35 +270,37 @@ Status ExperimentHarness::Init() {
   for (int h : config_.hidden_layers) layers.push_back(h);
   layers.push_back(num_classes);
 
+  // One contiguous slab, reserved once: per-worker state stays in a single
+  // allocation at any worker count (no per-worker heap node).
   workers_.clear();
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
   for (int w = 0; w < config_.num_workers; ++w) {
-    auto worker = std::make_unique<WorkerRuntime>(
-        w, std::move((*shards)[static_cast<size_t>(w)]),
-        root.Fork(static_cast<uint64_t>(w)).Next64());
-    worker->model = std::make_unique<ml::Mlp>(layers);
-    worker->model->InitializeParameters(config_.seed);  // same x^0 everywhere
+    workers_.emplace_back(w, std::move((*shards)[static_cast<size_t>(w)]),
+                          root.Fork(static_cast<uint64_t>(w)).Next64());
+    WorkerRuntime& worker = workers_.back();
+    worker.model = std::make_unique<ml::Mlp>(layers);
+    worker.model->InitializeParameters(config_.seed);  // same x^0 everywhere
     ml::SgdOptions sgd;
     sgd.learning_rate = config_.learning_rate;
     sgd.momentum = config_.momentum;
     sgd.weight_decay = config_.weight_decay;
-    worker->optimizer =
-        std::make_unique<ml::SgdOptimizer>(worker->model->num_parameters(),
+    worker.optimizer =
+        std::make_unique<ml::SgdOptimizer>(worker.model->num_parameters(),
                                            sgd);
-    worker->batch_size = WorkerBatchSize(config_, w);
-    worker->sampler = std::make_unique<ml::BatchSampler>(
-        &worker->shard, worker->batch_size,
+    worker.batch_size = WorkerBatchSize(config_, w);
+    worker.sampler = std::make_unique<ml::BatchSampler>(
+        &worker.shard, worker.batch_size,
         root.Fork(1000 + static_cast<uint64_t>(w)).Next64());
     if (!config_.lr_milestones.empty()) {
-      worker->lr_schedule = std::make_unique<ml::StepDecayLr>(
+      worker.lr_schedule = std::make_unique<ml::StepDecayLr>(
           config_.learning_rate, 0.1, config_.lr_milestones);
     } else {
-      worker->lr_schedule = std::make_unique<ml::PlateauDecayLr>(
+      worker.lr_schedule = std::make_unique<ml::PlateauDecayLr>(
           config_.learning_rate, 0.1, config_.plateau_patience);
     }
-    worker->gradient.assign(
-        static_cast<size_t>(worker->model->num_parameters()), 0.0);
-    worker->compute_seconds_per_batch = ComputeSeconds(worker->batch_size);
-    workers_.push_back(std::move(worker));
+    worker.gradient.assign(
+        static_cast<size_t>(worker.model->num_parameters()), 0.0);
+    worker.compute_seconds_per_batch = ComputeSeconds(worker.batch_size);
   }
 
   // Fault injection: everyone starts alive at full speed; the configured
@@ -321,19 +374,19 @@ double ExperimentHarness::PullSeconds(int src, int dst) const {
 }
 
 void ExperimentHarness::SampleBatch(int w) {
-  WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
+  WorkerRuntime& worker = workers_[static_cast<size_t>(w)];
   worker.sampler->NextBatch(worker.batch_indices);
 }
 
 double ExperimentHarness::EvalBatchGradient(int w) {
-  WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
+  WorkerRuntime& worker = workers_[static_cast<size_t>(w)];
   return ml::ShardedLossAndGradient(*worker.model, worker.shard,
                                     worker.batch_indices, worker.gradient,
                                     worker.workspace, pool_.get(), shards_);
 }
 
 void ExperimentHarness::CommitBatchStats(int w, double loss) {
-  WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
+  WorkerRuntime& worker = workers_[static_cast<size_t>(w)];
   worker.epoch_loss_sum += loss;
   ++worker.epoch_batches;
   ++worker.iterations;
@@ -355,7 +408,7 @@ double ExperimentHarness::ComputeGradientOnly(int w) {
 }
 
 void ExperimentHarness::ApplyStoredGradient(int w) {
-  WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
+  WorkerRuntime& worker = workers_[static_cast<size_t>(w)];
   sim_.NotifyStateWrite(w);
   worker.optimizer->Step(worker.model->parameters(), worker.gradient);
 }
@@ -368,14 +421,14 @@ double ExperimentHarness::LocalGradientStep(int w) {
 
 void ExperimentHarness::AccountIteration(int w, double compute_seconds,
                                          double wall_seconds) {
-  WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
+  WorkerRuntime& worker = workers_[static_cast<size_t>(w)];
   const double compute = std::min(compute_seconds, wall_seconds);
   worker.compute_cost_total += compute;
   worker.comm_cost_total += std::max(0.0, wall_seconds - compute);
 }
 
 void ExperimentHarness::OnEpochCompleted(int w, double epoch_loss) {
-  WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
+  WorkerRuntime& worker = workers_[static_cast<size_t>(w)];
   worker.latest_epoch_loss = epoch_loss;
   worker.has_epoch_loss = true;
   const double new_lr =
@@ -392,8 +445,8 @@ void ExperimentHarness::RecordGlobalEpochPoint() {
   double loss_sum = 0.0;
   int count = 0;
   for (const auto& worker : workers_) {
-    if (worker->has_epoch_loss) {
-      loss_sum += worker->latest_epoch_loss;
+    if (worker.has_epoch_loss) {
+      loss_sum += worker.latest_epoch_loss;
       ++count;
     }
   }
@@ -408,12 +461,12 @@ void ExperimentHarness::RecordGlobalEpochPoint() {
       static_cast<int64_t>(global_epoch) % config_.eval_every_epochs == 0) {
     accuracy_vs_time_.push_back(
         {sim_.Now(),
-         ml::Accuracy(*workers_[0]->model, test_set_, eval_workspace_)});
+         ml::Accuracy(*workers_[0].model, test_set_, eval_workspace_)});
   }
 }
 
 bool ExperimentHarness::WorkerDone(int w) const {
-  const WorkerRuntime& worker = *workers_[static_cast<size_t>(w)];
+  const WorkerRuntime& worker = workers_[static_cast<size_t>(w)];
   return worker.finished || !alive_[static_cast<size_t>(w)] ||
          sim_.Now() >= config_.max_virtual_seconds;
 }
@@ -434,6 +487,7 @@ RunResult ExperimentHarness::Finalize() {
   result.total_virtual_seconds = sim_.Now();
   result.policies_generated = policies_generated_;
   result.backend = std::string(backend_->name());
+  result.event_queue = std::string(sim_.queue_name());
   const net::ExecutionStats stats = sim_.execution_stats();
   result.parallel_batches = stats.parallel_batches;
   result.computes_speculated = stats.computes_speculated;
@@ -453,15 +507,15 @@ RunResult ExperimentHarness::Finalize() {
   double comm_total = 0.0;
   int64_t epochs_total = 0;
   for (const auto& worker : workers_) {
-    if (worker->has_epoch_loss) {
-      loss_sum += worker->latest_epoch_loss;
+    if (worker.has_epoch_loss) {
+      loss_sum += worker.latest_epoch_loss;
       ++loss_count;
     }
-    accuracy_sum += ml::Accuracy(*worker->model, test_set_, eval_workspace_);
-    compute_total += worker->compute_cost_total;
-    comm_total += worker->comm_cost_total;
-    epochs_total += worker->epochs_completed;
-    result.total_local_iterations += worker->iterations;
+    accuracy_sum += ml::Accuracy(*worker.model, test_set_, eval_workspace_);
+    compute_total += worker.compute_cost_total;
+    comm_total += worker.comm_cost_total;
+    epochs_total += worker.epochs_completed;
+    result.total_local_iterations += worker.iterations;
   }
   result.final_train_loss =
       loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
@@ -475,16 +529,16 @@ RunResult ExperimentHarness::Finalize() {
   }
 
   // Consensus distance: max_i || x_i - mean(x) ||.
-  const int num_params = workers_[0]->model->num_parameters();
+  const int num_params = workers_[0].model->num_parameters();
   std::vector<double> mean(static_cast<size_t>(num_params), 0.0);
   for (const auto& worker : workers_) {
-    linalg::AddInPlace(worker->model->parameters(), mean);
+    linalg::AddInPlace(worker.model->parameters(), mean);
   }
   linalg::Scale(1.0 / static_cast<double>(config_.num_workers), mean);
   double max_dist = 0.0;
   for (const auto& worker : workers_) {
     const std::vector<double> diff =
-        linalg::Sub(worker->model->parameters(), mean);
+        linalg::Sub(worker.model->parameters(), mean);
     max_dist = std::max(max_dist, linalg::Norm(diff));
   }
   result.consensus_distance = max_dist;

@@ -78,6 +78,11 @@ enum class PartitionScheme {
   kLostLabels,  // Tables IV/VII non-IID
 };
 
+// Largest worker count the flat complete topology accepts before Validate
+// demands a hierarchical shape: beyond this the O(n^2) all-pairs edge and
+// link tables stop being a sane default.
+inline constexpr int kMaxCompleteTopologyWorkers = 4096;
+
 enum class NetworkScenario {
   kHeterogeneousDynamic,  // Section V-A: slow link re-drawn every 5 minutes
   kHeterogeneousStatic,   // same placement, no dynamic slowdown
@@ -108,6 +113,14 @@ struct ExperimentConfig {
   double slowdown_period_seconds = 300.0;
   double slowdown_min_factor = 2.0;
   double slowdown_max_factor = 100.0;
+  // Communication-graph shape (net/topology.h). kComplete is the paper's
+  // flat all-pairs setting and keeps the pairwise StaticLinkModel presets;
+  // kHierarchical builds clusters-of-clusters (complete intra-cluster, hub
+  // ring inter-cluster) over the O(1)-memory HierarchicalLinkModel — the
+  // only shape that scales to 10^5+ workers, where a flat graph's O(n^2)
+  // edge and link tables are intractable. Excludes the kWan scenario (whose
+  // six-region placement is its own shape).
+  net::TopologySpec topology;
 
   // --- optimization (paper defaults) ---
   int batch_size = 32;
@@ -168,6 +181,12 @@ struct ExperimentConfig {
   // serial. Like threads/shards, purely an execution choice — RunResult is
   // bit-identical for every backend.
   ExecutionBackendKind backend = ExecutionBackendKind::kSpeculative;
+  // Priority-queue implementation behind the simulator (net/event_queue.h).
+  // Purely an execution choice: (time, sequence) is a strict total order, so
+  // RunResult is bit-identical for every kind. The sorted-vector default is
+  // fastest at the paper's O(10) worker scale; the calendar queue is the
+  // scale-frontier choice at 10^5+ workers (see bench_scale_frontier).
+  net::EventQueueKind event_queue = net::EventQueueKind::kSortedVector;
   // Async backend only: bound on in-flight compute evaluations (the reorder
   // window). 0 (default) = synchronous — nothing is evaluated ahead of its
   // turn. Ignored by the other backends.
@@ -262,6 +281,9 @@ struct RunResult {
   // full-window backpressure events (stalls are real-timing dependent; the
   // other counters are deterministic per config).
   std::string backend;
+  // Event-queue implementation the run used ("vector", "heap", "calendar");
+  // diagnostics only — the queue never affects simulation output.
+  std::string event_queue;
   int64_t parallel_batches = 0;
   int64_t computes_speculated = 0;
   int64_t computes_redispatched = 0;
@@ -333,7 +355,7 @@ class ExperimentHarness {
   net::LinkModel& links() { return *links_; }
   const net::Topology& topology() const { return *topology_; }
   int num_workers() const { return config_.num_workers; }
-  WorkerRuntime& worker(int w) { return *workers_[static_cast<size_t>(w)]; }
+  WorkerRuntime& worker(int w) { return workers_[static_cast<size_t>(w)]; }
   const ml::Dataset& test_set() const { return test_set_; }
 
   // Compute time for one batch of `batch_size` examples.
@@ -403,7 +425,7 @@ class ExperimentHarness {
   // active, so fault-free runs are bit-identical). Engines schedule all
   // compute delays through this.
   double EffectiveComputeSeconds(int w) const {
-    return workers_[static_cast<size_t>(w)]->compute_seconds_per_batch *
+    return workers_[static_cast<size_t>(w)].compute_seconds_per_batch *
            compute_factor_[static_cast<size_t>(w)];
   }
 
@@ -526,7 +548,11 @@ class ExperimentHarness {
   net::EventSimulator sim_;
   std::unique_ptr<net::Topology> topology_;
   std::unique_ptr<net::LinkModel> links_;
-  std::vector<std::unique_ptr<WorkerRuntime>> workers_;
+  // One contiguous slab (PR-2 workspace discipline applied to the harness):
+  // per-worker state lives in one allocation, reserved once in Init, instead
+  // of num_workers separate heap nodes — at 10^5 workers the pointer chase
+  // and allocator traffic of one-unique_ptr-per-worker are measurable.
+  std::vector<WorkerRuntime> workers_;
   ml::Dataset test_set_{1, 2};
   // Shared by every test-set evaluation (all worker models have identical
   // shapes, so one set of buffers serves Finalize and the periodic

@@ -30,6 +30,10 @@ class TrainingWorkspace {
   TrainingWorkspace() = default;
   TrainingWorkspace(const TrainingWorkspace&) = delete;
   TrainingWorkspace& operator=(const TrainingWorkspace&) = delete;
+  // Movable so owners (e.g. core::WorkerRuntime) can live in contiguous
+  // storage; moving steals the grow-only buffers, it never copies them.
+  TrainingWorkspace(TrainingWorkspace&&) = default;
+  TrainingWorkspace& operator=(TrainingWorkspace&&) = default;
 
   // Returns a span of `size` doubles backed by buffer `slot` (any small dense
   // index; slots are created on first use). Contents are unspecified whenever

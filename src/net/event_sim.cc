@@ -6,21 +6,25 @@
 
 namespace netmax::net {
 
-void EventSimulator::Insert(Event event) {
+EventSimulator::EventSimulator()
+    : queue_(MakeEventQueue(EventQueueKind::kSortedVector)) {}
+
+void EventSimulator::ReplaceQueue(std::unique_ptr<EventQueue> queue) {
+  NETMAX_CHECK(queue != nullptr);
+  NETMAX_CHECK(queue_->empty())
+      << "ReplaceQueue requires an empty event queue";
+  queue_ = std::move(queue);
+}
+
+void EventSimulator::Insert(SimEvent event) {
   NETMAX_CHECK_GE(event.time, now_) << "cannot schedule into the past";
   event.sequence = next_sequence_++;
-  // Descending order, next event at the back. New events usually land near
-  // the front (far future) or back (immediate follow-ups); either way the
-  // shifted tail is small because queues hold O(workers) events.
-  const auto position = std::upper_bound(
-      queue_.begin(), queue_.end(), event,
-      [](const Event& a, const Event& b) { return b.DispatchesBefore(a); });
-  queue_.insert(position, std::move(event));
+  queue_->Push(std::move(event));
 }
 
 void EventSimulator::ScheduleAt(double time, Callback callback) {
   NETMAX_CHECK(callback != nullptr);
-  Event event;
+  SimEvent event;
   event.time = time;
   event.plain = std::move(callback);
   Insert(std::move(event));
@@ -36,7 +40,7 @@ void EventSimulator::ScheduleCompute(double time, int worker_key,
   NETMAX_CHECK_GE(worker_key, 0) << "worker_key must be non-negative";
   NETMAX_CHECK(compute != nullptr);
   NETMAX_CHECK(commit != nullptr);
-  Event event;
+  SimEvent event;
   event.time = time;
   event.worker_key = worker_key;
   event.compute = std::move(compute);
@@ -55,7 +59,7 @@ void EventSimulator::ScheduleAt(double time, EventPayload payload,
                                 Callback callback) {
   NETMAX_CHECK(callback != nullptr);
   NETMAX_CHECK_GE(payload.tag, 0) << "tagged overload requires a tag";
-  Event event;
+  SimEvent event;
   event.time = time;
   event.plain = std::move(callback);
   event.payload = std::move(payload);
@@ -75,7 +79,7 @@ void EventSimulator::ScheduleCompute(double time, int worker_key,
   NETMAX_CHECK(compute != nullptr);
   NETMAX_CHECK(commit != nullptr);
   NETMAX_CHECK_GE(payload.tag, 0) << "tagged overload requires a tag";
-  Event event;
+  SimEvent event;
   event.time = time;
   event.worker_key = worker_key;
   event.compute = std::move(compute);
@@ -103,21 +107,20 @@ ExecutionStats EventSimulator::execution_stats() const {
 void EventSimulator::ScanPendingComputes(
     int64_t max_scan,
     const std::function<ScanAction(const PendingComputeView&)>& visit) const {
-  int64_t scanned = 0;
-  for (auto it = queue_.rbegin(); it != queue_.rend() && scanned < max_scan;
-       ++it, ++scanned) {
-    if (it->compute == nullptr) continue;
-    const PendingComputeView view{it->time, it->sequence, it->worker_key,
-                                  it->compute};
-    if (visit(view) == ScanAction::kStop) return;
-  }
+  queue_->VisitInOrder(max_scan, [&visit](const SimEvent& event) {
+    if (event.compute == nullptr) return EventQueue::VisitAction::kContinue;
+    const PendingComputeView view{event.time, event.sequence,
+                                  event.worker_key, event.compute};
+    return visit(view) == ScanAction::kStop
+               ? EventQueue::VisitAction::kStop
+               : EventQueue::VisitAction::kContinue;
+  });
 }
 
 bool EventSimulator::StepWith(const SpeculationProvider& provider) {
-  if (queue_.empty()) return false;
-  // Move out before popping so the handlers may schedule new events.
-  Event event = std::move(queue_.back());
-  queue_.pop_back();
+  if (queue_->empty()) return false;
+  // Pop by value so the handlers may schedule new events.
+  SimEvent event = queue_->PopNext();
   now_ = event.time;
   ++processed_;
   if (event.compute != nullptr) {
@@ -137,7 +140,7 @@ bool EventSimulator::Step() { return StepWith(nullptr); }
 
 int64_t EventSimulator::RunUntil(double time_limit) {
   int64_t count = 0;
-  while (!queue_.empty() && queue_.back().time <= time_limit) {
+  while (!queue_->empty() && queue_->NextTime() <= time_limit) {
     Step();
     ++count;
   }
@@ -147,30 +150,36 @@ int64_t EventSimulator::RunUntil(double time_limit) {
 
 StatusOr<std::vector<SavedEvent>> EventSimulator::SaveQueue() const {
   std::vector<SavedEvent> events;
-  events.reserve(queue_.size());
-  // Walk backwards so the snapshot lists events in dispatch order.
-  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
-    if (it->payload.tag < 0) {
-      return FailedPreconditionError(
-          "cannot checkpoint: pending event at t=" + std::to_string(it->time) +
-          " (sequence " + std::to_string(it->sequence) +
-          ") was scheduled without a payload tag");
-    }
-    events.push_back(
-        SavedEvent{it->time, it->sequence, it->worker_key, it->payload});
-  }
+  events.reserve(static_cast<size_t>(queue_->size()));
+  Status status = Status::Ok();
+  queue_->VisitInOrder(
+      queue_->size(), [&events, &status](const SimEvent& event) {
+        if (event.payload.tag < 0) {
+          status = FailedPreconditionError(
+              "cannot checkpoint: pending event at t=" +
+              std::to_string(event.time) + " (sequence " +
+              std::to_string(event.sequence) +
+              ") was scheduled without a payload tag");
+          return EventQueue::VisitAction::kStop;
+        }
+        events.push_back(SavedEvent{event.time, event.sequence,
+                                    event.worker_key, event.payload});
+        return EventQueue::VisitAction::kContinue;
+      });
+  NETMAX_RETURN_IF_ERROR(status);
   return events;
 }
 
 Status EventSimulator::RestoreQueue(const std::vector<SavedEvent>& events,
                                     const EventRebuilder& rebuilder) {
-  if (!queue_.empty()) {
+  if (!queue_->empty()) {
     return FailedPreconditionError(
         "RestoreQueue requires an empty event queue");
   }
   NETMAX_CHECK(rebuilder != nullptr);
-  std::vector<Event> queue;
-  queue.reserve(events.size());
+  // Validate before touching the queue, so a failed restore leaves it empty.
+  std::vector<int64_t> sequences;
+  sequences.reserve(events.size());
   for (const SavedEvent& saved : events) {
     const std::string where = "event tag " + std::to_string(saved.payload.tag) +
                               " (sequence " + std::to_string(saved.sequence) +
@@ -184,8 +193,24 @@ Status EventSimulator::RestoreQueue(const std::vector<SavedEvent>& events,
                                   " has a sequence outside the restored "
                                   "counter range");
     }
+    sequences.push_back(saved.sequence);
+  }
+  std::sort(sequences.begin(), sequences.end());
+  for (size_t i = 1; i < sequences.size(); ++i) {
+    if (sequences[i] == sequences[i - 1]) {
+      return InvalidArgumentError(
+          "checkpointed queue contains duplicate sequence " +
+          std::to_string(sequences[i]));
+    }
+  }
+  std::vector<SimEvent> rebuilt_events;
+  rebuilt_events.reserve(events.size());
+  for (const SavedEvent& saved : events) {
+    const std::string where = "event tag " + std::to_string(saved.payload.tag) +
+                              " (sequence " + std::to_string(saved.sequence) +
+                              ")";
     NETMAX_ASSIGN_OR_RETURN(RebuiltEvent rebuilt, rebuilder(saved));
-    Event event;
+    SimEvent event;
     event.time = saved.time;
     event.sequence = saved.sequence;
     event.worker_key = saved.worker_key < 0 ? kNoKey : saved.worker_key;
@@ -208,27 +233,18 @@ Status EventSimulator::RestoreQueue(const std::vector<SavedEvent>& events,
       event.compute = std::move(rebuilt.compute);
       event.commit = std::move(rebuilt.commit);
     }
-    queue.push_back(std::move(event));
+    rebuilt_events.push_back(std::move(event));
   }
-  // Descending (time, sequence), next event at the back — the same invariant
-  // Insert maintains.
-  std::sort(queue.begin(), queue.end(), [](const Event& a, const Event& b) {
-    return b.DispatchesBefore(a);
-  });
-  for (size_t i = 1; i < queue.size(); ++i) {
-    if (queue[i].sequence == queue[i - 1].sequence) {
-      return InvalidArgumentError(
-          "checkpointed queue contains duplicate sequence " +
-          std::to_string(queue[i].sequence));
-    }
-  }
-  queue_ = std::move(queue);
+  // Sequence numbers are restored exactly as saved (Insert is bypassed), so
+  // relative (time, sequence) ordering — and with it every tie-break —
+  // replays bit-identically in any queue implementation.
+  for (SimEvent& event : rebuilt_events) queue_->Push(std::move(event));
   return Status::Ok();
 }
 
 void EventSimulator::RestoreClock(double now, int64_t next_sequence,
                                   int64_t processed) {
-  NETMAX_CHECK(queue_.empty()) << "restore the clock before the queue";
+  NETMAX_CHECK(queue_->empty()) << "restore the clock before the queue";
   now_ = now;
   next_sequence_ = next_sequence;
   processed_ = processed;
@@ -238,7 +254,7 @@ int64_t EventSimulator::RunUntilIdle() {
   if (backend_ != nullptr) return backend_->RunUntilIdle(*this);
   int64_t count = 0;
   while (!halt_requested_ && Step()) ++count;
-  if (halt_requested_) queue_.clear();
+  if (halt_requested_) queue_->Clear();
   return count;
 }
 

@@ -52,11 +52,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string_view>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/status.h"
+#include "net/event_queue.h"
 
 namespace netmax::net {
 
@@ -65,19 +67,11 @@ class ExecutionBackend;
 // --- Checkpointable event descriptions --------------------------------------
 //
 // Closures cannot be serialized, so checkpointing the queue relies on each
-// engine tagging every event it schedules with a reified description: a
-// small engine-defined `tag` naming the event kind plus the doubles its
-// closure captured. At restore time the engine's rebuilder maps the saved
+// engine tagging every event it schedules with a reified description (an
+// EventPayload, defined beside SimEvent in event_queue.h): a small
+// engine-defined `tag` naming the event kind plus the doubles its closure
+// captured. At restore time the engine's rebuilder maps the saved
 // description back to closures identical to the ones it schedules live.
-
-struct EventPayload {
-  // Engine-defined event kind; -1 marks an untagged event, which cannot be
-  // checkpointed (SaveQueue fails if one is pending).
-  int64_t tag = -1;
-  // Engine-defined arguments (captured scalars; ints are stored exactly as
-  // doubles up to 2^53).
-  std::vector<double> args;
-};
 
 // One pending event as captured by SaveQueue: full (time, sequence) identity
 // plus the engine payload. Restoring with the exact saved sequence numbers is
@@ -92,9 +86,9 @@ struct SavedEvent {
 // Closures rebuilt from one SavedEvent. Plain events (worker_key < 0) set
 // only `plain`; compute events set `compute` and `commit`.
 struct RebuiltEvent {
-  std::function<void()> plain;
-  std::function<double()> compute;
-  std::function<void(double)> commit;
+  SimEvent::Callback plain;
+  SimEvent::ComputeFn compute;
+  SimEvent::CommitFn commit;
 };
 
 // Maps a SavedEvent back to live closures; returns an error for unknown tags
@@ -132,13 +126,15 @@ struct ExecutionStats {
 
 class EventSimulator {
  public:
-  using Callback = std::function<void()>;
+  // Inline-storage closures (see SimEvent / common/small_fn.h): scheduling
+  // an event whose captures fit the inline capacity never allocates.
+  using Callback = SimEvent::Callback;
   // Compute half: returns a scalar payload (engines return the batch loss)
   // that is handed to the paired commit half.
-  using ComputeFn = std::function<double()>;
-  using CommitFn = std::function<void(double)>;
+  using ComputeFn = SimEvent::ComputeFn;
+  using CommitFn = SimEvent::CommitFn;
 
-  EventSimulator() = default;
+  EventSimulator();
   EventSimulator(const EventSimulator&) = delete;
   EventSimulator& operator=(const EventSimulator&) = delete;
 
@@ -192,6 +188,14 @@ class EventSimulator {
   void set_backend(ExecutionBackend* backend) { backend_ = backend; }
   ExecutionBackend* backend() const { return backend_; }
 
+  // Swaps in a different priority-queue implementation (see event_queue.h).
+  // Queue choice never changes simulation output — the (time, sequence)
+  // order is a strict total order — only wall-clock scaling. Must be called
+  // while the queue is empty (before scheduling, or after a completed run).
+  void ReplaceQueue(std::unique_ptr<EventQueue> queue);
+  EventQueueKind queue_kind() const { return queue_->kind(); }
+  std::string_view queue_name() const { return queue_->name(); }
+
   // Pops and runs the earliest event fully serially (compute half inline on
   // this thread, then commit). Returns false when no events remain. Bypasses
   // the backend: callers driving the queue by hand get serial semantics.
@@ -206,7 +210,7 @@ class EventSimulator {
   // none is attached). Returns the number of events processed.
   int64_t RunUntilIdle();
 
-  bool empty() const { return queue_.empty(); }
+  bool empty() const { return queue_->empty(); }
   int64_t num_events_processed() const { return processed_; }
   int64_t next_sequence() const { return next_sequence_; }
 
@@ -224,7 +228,7 @@ class EventSimulator {
 
   // Drops every pending event (halt path; backends must have discarded their
   // in-flight evaluations first — see ExecutionBackend::OnHalt).
-  void ClearQueue() { queue_.clear(); }
+  void ClearQueue() { queue_->Clear(); }
 
   // --- checkpoint support --------------------------------------------------
 
@@ -299,34 +303,18 @@ class EventSimulator {
   bool StepWith(const SpeculationProvider& provider);
 
  private:
-  static constexpr int kNoKey = -1;
-  struct Event {
-    double time = 0.0;
-    int64_t sequence = 0;     // tie-breaker: FIFO among equal times
-    int worker_key = kNoKey;  // kNoKey: plain callback event
-    Callback plain;           // plain events only
-    ComputeFn compute;        // compute events only
-    CommitFn commit;          // compute events only
-    EventPayload payload;     // checkpointable description; tag -1 = untagged
+  static constexpr int kNoKey = kNoWorkerKey;
 
-    // Dispatch-before: earlier time wins, sequence breaks ties.
-    bool DispatchesBefore(const Event& other) const {
-      if (time != other.time) return time < other.time;
-      return sequence < other.sequence;
-    }
-  };
-
-  void Insert(Event event);
+  void Insert(SimEvent event);
 
   double now_ = 0.0;
   int64_t next_sequence_ = 0;
   int64_t processed_ = 0;
   bool halt_requested_ = false;
-  // Pending events sorted by descending (time, sequence): the next event to
-  // dispatch is at the back, so pops are O(1) and the in-order scans iterate
-  // backwards. Queue sizes are O(workers), which keeps the shifting insert
-  // cheaper than a node-based container.
-  std::vector<Event> queue_;
+  // Pending events, behind the pluggable EventQueue seam. Defaults to the
+  // sorted vector (fastest at the paper's O(10) worker scale); large-N runs
+  // swap in the heap or calendar queue via ReplaceQueue.
+  std::unique_ptr<EventQueue> queue_;
   ExecutionBackend* backend_ = nullptr;
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "net/topology.h"
 
 namespace netmax::net {
 
@@ -48,6 +49,30 @@ double StaticLinkModel::TransferSeconds(int src, int dst, double /*now*/,
   NETMAX_CHECK_GT(l.bandwidth_bytes_per_second, 0.0)
       << "link " << src << "->" << dst << " was never configured";
   return l.TransferSeconds(bytes);
+}
+
+HierarchicalLinkModel::HierarchicalLinkModel(int num_nodes, int cluster_size,
+                                             LinkClass intra, LinkClass inter)
+    : num_nodes_(num_nodes),
+      cluster_size_(cluster_size),
+      intra_(intra),
+      inter_(inter) {
+  NETMAX_CHECK_GT(num_nodes, 0);
+  NETMAX_CHECK_GE(cluster_size, 1);
+  NETMAX_CHECK_GT(intra_.bandwidth_bytes_per_second, 0.0);
+  NETMAX_CHECK_GE(intra_.latency_seconds, 0.0);
+  NETMAX_CHECK_GT(inter_.bandwidth_bytes_per_second, 0.0);
+  NETMAX_CHECK_GE(inter_.latency_seconds, 0.0);
+}
+
+double HierarchicalLinkModel::TransferSeconds(int src, int dst, double /*now*/,
+                                              int64_t bytes) const {
+  NETMAX_CHECK(src >= 0 && src < num_nodes_);
+  NETMAX_CHECK(dst >= 0 && dst < num_nodes_);
+  if (src == dst) return 0.0;
+  const bool same_cluster =
+      ClusterOf(src, cluster_size_) == ClusterOf(dst, cluster_size_);
+  return (same_cluster ? intra_ : inter_).TransferSeconds(bytes);
 }
 
 DynamicSlowdownLinkModel::DynamicSlowdownLinkModel(

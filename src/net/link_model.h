@@ -71,6 +71,28 @@ class StaticLinkModel : public LinkModel {
   std::vector<LinkClass> links_;  // row-major src * n + dst
 };
 
+// Two-class link model driven by cluster membership: pairs inside the same
+// cluster use the intra class, pairs in different clusters the inter class.
+// O(1) memory at any node count — the scale companion to
+// Topology::Hierarchical, where StaticLinkModel's O(n^2) table would dominate
+// a 10^5-worker run (see net/topology.h for the cluster arithmetic).
+class HierarchicalLinkModel : public LinkModel {
+ public:
+  HierarchicalLinkModel(int num_nodes, int cluster_size, LinkClass intra,
+                        LinkClass inter);
+
+  int num_nodes() const override { return num_nodes_; }
+  int cluster_size() const { return cluster_size_; }
+  double TransferSeconds(int src, int dst, double now,
+                         int64_t bytes) const override;
+
+ private:
+  int num_nodes_;
+  int cluster_size_;
+  LinkClass intra_;
+  LinkClass inter_;
+};
+
 // Wraps a base model; in every window of `change_period_seconds` one random
 // unordered pair of nodes is slowed by a factor drawn uniformly from
 // [min_factor, max_factor] (paper Section V-A: 2x to 100x, re-drawn every 5

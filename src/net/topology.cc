@@ -27,6 +27,29 @@ Topology Topology::Ring(int num_nodes) {
   return topo;
 }
 
+Topology Topology::Hierarchical(int num_workers, int cluster_size) {
+  NETMAX_CHECK_GE(cluster_size, 1);
+  NETMAX_CHECK_LE(cluster_size, num_workers);
+  Topology topo(num_workers);
+  const int clusters = NumClusters(num_workers, cluster_size);
+  for (int c = 0; c < clusters; ++c) {
+    const int begin = c * cluster_size;
+    const int end = std::min(begin + cluster_size, num_workers);
+    for (int a = begin; a < end; ++a) {
+      for (int b = a + 1; b < end; ++b) topo.AddEdge(a, b);
+    }
+  }
+  if (clusters == 2) {
+    topo.AddEdge(HubOf(0, cluster_size), HubOf(1, cluster_size));
+  } else if (clusters >= 3) {
+    for (int c = 0; c < clusters; ++c) {
+      topo.AddEdge(HubOf(c, cluster_size),
+                   HubOf((c + 1) % clusters, cluster_size));
+    }
+  }
+  return topo;
+}
+
 void Topology::AddEdge(int a, int b) {
   NETMAX_CHECK(a >= 0 && a < num_nodes_);
   NETMAX_CHECK(b >= 0 && b < num_nodes_);
@@ -76,6 +99,49 @@ linalg::Matrix Topology::AdjacencyMatrix() const {
     for (int b : Neighbors(a)) d(a, b) = 1.0;
   }
   return d;
+}
+
+int NumClusters(int num_workers, int cluster_size) {
+  NETMAX_CHECK_GE(cluster_size, 1);
+  return (num_workers + cluster_size - 1) / cluster_size;
+}
+
+int ClusterOf(int worker, int cluster_size) {
+  NETMAX_CHECK_GE(cluster_size, 1);
+  NETMAX_CHECK_GE(worker, 0);
+  return worker / cluster_size;
+}
+
+int HubOf(int cluster, int cluster_size) {
+  NETMAX_CHECK_GE(cluster_size, 1);
+  NETMAX_CHECK_GE(cluster, 0);
+  return cluster * cluster_size;
+}
+
+StatusOr<TopologySpec> ParseTopologySpec(std::string_view text) {
+  TopologySpec spec;
+  if (text == "complete") return spec;
+  const std::string_view prefix = "hier:";
+  if (text.substr(0, prefix.size()) == prefix) {
+    const std::string digits(text.substr(prefix.size()));
+    if (!digits.empty() &&
+        digits.find_first_not_of("0123456789") == std::string::npos) {
+      // Clamp absurd sizes rather than overflowing the int parse.
+      if (digits.size() <= 9) spec.cluster_size = std::stoi(digits);
+      if (spec.cluster_size >= 1) {
+        spec.shape = TopologyShape::kHierarchical;
+        return spec;
+      }
+    }
+  }
+  return InvalidArgumentError("unknown topology '" + std::string(text) +
+                              "' (expected complete or hier:<cluster_size> "
+                              "with cluster_size >= 1)");
+}
+
+std::string TopologySpecName(const TopologySpec& spec) {
+  if (spec.shape == TopologyShape::kComplete) return "complete";
+  return "hier:" + std::to_string(spec.cluster_size);
 }
 
 }  // namespace netmax::net

@@ -6,9 +6,19 @@
 // experiments use the complete graph; ring and custom graphs are provided for
 // tests and extensions. Convergence (Theorem 3 / Lemma 3) requires G to be
 // connected, which Topology::IsConnected verifies.
+//
+// For large-N runs the flat complete graph is unrealistic (and O(n^2) in
+// edges), so Hierarchical builds the semi-decentralized clusters-of-clusters
+// shape from the federated-optimization literature: workers are grouped into
+// fixed-size clusters, each cluster is a complete graph internally, and the
+// first worker of each cluster (its "hub") joins a ring over hubs — O(N * C)
+// edges total, connected by construction.
 
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "linalg/matrix.h"
 
 namespace netmax::net {
@@ -23,6 +33,14 @@ class Topology {
 
   // Cycle graph (requires num_nodes >= 3).
   static Topology Ring(int num_nodes);
+
+  // Clusters-of-clusters: clusters of `cluster_size` consecutive workers
+  // (the last cluster may be smaller), complete intra-cluster, hubs (the
+  // first worker of each cluster) connected in a ring. Degenerate shapes are
+  // still valid graphs: one cluster is a plain complete graph, two clusters
+  // link their hubs directly, cluster_size 1 is a ring of all workers.
+  // Requires 1 <= cluster_size <= num_nodes.
+  static Topology Hierarchical(int num_workers, int cluster_size);
 
   int num_nodes() const { return num_nodes_; }
   int num_edges() const { return num_edges_; }
@@ -52,6 +70,37 @@ class Topology {
   int num_edges_ = 0;
   std::vector<std::vector<int>> neighbors_;
 };
+
+// --- hierarchical cluster arithmetic ----------------------------------------
+// Shared by Topology::Hierarchical and HierarchicalLinkModel so both agree on
+// which workers share a cluster without materializing any per-node state.
+
+// Number of clusters covering `num_workers` workers (ceil division).
+int NumClusters(int num_workers, int cluster_size);
+
+// Cluster that `worker` belongs to.
+int ClusterOf(int worker, int cluster_size);
+
+// The hub worker (ring member) of `cluster`.
+int HubOf(int cluster, int cluster_size);
+
+// --- topology selection -----------------------------------------------------
+
+enum class TopologyShape { kComplete, kHierarchical };
+
+// Parsed form of the --topology flag.
+struct TopologySpec {
+  TopologyShape shape = TopologyShape::kComplete;
+  // kHierarchical only; workers per cluster.
+  int cluster_size = 0;
+};
+
+// "complete" | "hier:<cluster_size>" (e.g. "hier:32"); anything else is an
+// InvalidArgument error naming the accepted spellings.
+StatusOr<TopologySpec> ParseTopologySpec(std::string_view text);
+
+// Inverse of ParseTopologySpec, for diagnostics.
+std::string TopologySpecName(const TopologySpec& spec);
 
 }  // namespace netmax::net
 

@@ -90,6 +90,54 @@ TEST(InitBenchTest, MalformedValuesNameTheOffendingText) {
   }
 }
 
+TEST(InitBenchTest, ParsesTheScaleFlags) {
+  NETMAX_EXPECT_OK(Init({"--event-queue=calendar", "--workers=1024",
+                         "--topology=hier:64"}));
+  EXPECT_EQ(WorkersOverride(), 1024);
+  NETMAX_EXPECT_OK(Init({"--event-queue=vector", "--topology=complete"}));
+  NETMAX_EXPECT_OK(Init({"--event-queue=heap", "--workers=2"}));
+  // Reparsing resets the worker override like every other override.
+  NETMAX_EXPECT_OK(Init({}));
+  EXPECT_EQ(WorkersOverride(), -1);
+}
+
+TEST(InitBenchTest, RejectsUnknownEventQueueNamingTheSpellings) {
+  const StatusOr<bool> init = Init({"--event-queue=pagoda"});
+  ASSERT_FALSE(init.ok());
+  EXPECT_EQ(init.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(init.status().message().find("--event-queue=pagoda"),
+            std::string::npos);
+  EXPECT_NE(init.status().message().find("expected vector, heap, or calendar"),
+            std::string::npos);
+}
+
+TEST(InitBenchTest, RejectsWorkerCountsBelowTwo) {
+  for (const std::string arg :
+       {"--workers=0", "--workers=1", "--workers=-4", "--workers=8x"}) {
+    const StatusOr<bool> init = Init({arg});
+    ASSERT_FALSE(init.ok()) << arg;
+    EXPECT_EQ(init.status().code(), StatusCode::kInvalidArgument) << arg;
+    EXPECT_NE(init.status().message().find(arg), std::string::npos) << arg;
+    EXPECT_NE(init.status().message().find("worker count >= 2"),
+              std::string::npos)
+        << arg;
+  }
+}
+
+TEST(InitBenchTest, RejectsMalformedTopologySpecsWithTheGrammar) {
+  for (const std::string arg :
+       {"--topology=ring", "--topology=hier:", "--topology=hier:0"}) {
+    const StatusOr<bool> init = Init({arg});
+    ASSERT_FALSE(init.ok()) << arg;
+    EXPECT_EQ(init.status().code(), StatusCode::kInvalidArgument) << arg;
+    EXPECT_NE(init.status().message().find(arg), std::string::npos) << arg;
+    EXPECT_NE(
+        init.status().message().find("expected complete or hier:<cluster_size>"),
+        std::string::npos)
+        << arg;
+  }
+}
+
 TEST(InitBenchTest, CheckpointAtRequiresAPath) {
   const StatusOr<bool> init = Init({"--checkpoint-at=5"});
   ASSERT_FALSE(init.ok());

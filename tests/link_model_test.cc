@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "net/cluster.h"
+#include "net/topology.h"
 #include "ml/model_profile.h"
 
 namespace netmax::net {
@@ -191,6 +192,76 @@ TEST(ClusterTest, WanModelHasSixRegionsAndHeterogeneousLinks) {
   const double close = model->TransferSeconds(3, 4, 0.0, bytes);
   const double far = model->TransferSeconds(0, 3, 0.0, bytes);
   EXPECT_GT(far / close, 3.0);
+}
+
+TEST(HierarchicalLinkModelTest, ClassifiesPairsByCluster) {
+  const LinkClass intra{/*latency_seconds=*/0.001,
+                        /*bandwidth_bytes_per_second=*/1e9};
+  const LinkClass inter{/*latency_seconds=*/0.05,
+                        /*bandwidth_bytes_per_second=*/1e7};
+  const HierarchicalLinkModel model(/*num_nodes=*/8, /*cluster_size=*/4,
+                                    intra, inter);
+  EXPECT_EQ(model.num_nodes(), 8);
+  EXPECT_EQ(model.cluster_size(), 4);
+  const int64_t bytes = 1 << 20;
+  // Same cluster: intra class; across clusters: inter class; self: free.
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(0, 3, 0.0, bytes),
+                   intra.TransferSeconds(bytes));
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(5, 6, 0.0, bytes),
+                   intra.TransferSeconds(bytes));
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(0, 4, 0.0, bytes),
+                   inter.TransferSeconds(bytes));
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(3, 4, 0.0, bytes),
+                   inter.TransferSeconds(bytes));
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(2, 2, 0.0, bytes), 0.0);
+  // Symmetric by construction.
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(4, 0, 0.0, bytes),
+                   model.TransferSeconds(0, 4, 0.0, bytes));
+}
+
+TEST(HierarchicalLinkModelTest, MatchesAStaticTableBuiltFromTheSameClasses) {
+  // The point of the model is O(1) memory with the same answers a full
+  // StaticLinkModel table would give for the two-class cluster layout.
+  const LinkClass intra = IntraMachineLinkClass();
+  const LinkClass inter = InterMachineLinkClass();
+  const int nodes = 6;
+  const int cluster_size = 2;
+  const HierarchicalLinkModel compact(nodes, cluster_size, intra, inter);
+  StaticLinkModel table(nodes);
+  for (int a = 0; a < nodes; ++a) {
+    for (int b = a + 1; b < nodes; ++b) {
+      table.SetLink(a, b,
+                    ClusterOf(a, cluster_size) == ClusterOf(b, cluster_size)
+                        ? intra
+                        : inter);
+    }
+  }
+  const int64_t bytes = 123456;
+  for (int a = 0; a < nodes; ++a) {
+    for (int b = 0; b < nodes; ++b) {
+      EXPECT_DOUBLE_EQ(compact.TransferSeconds(a, b, 1.0, bytes),
+                       table.TransferSeconds(a, b, 1.0, bytes))
+          << a << "->" << b;
+    }
+  }
+}
+
+TEST(HierarchicalLinkModelTest, WorksUnderTheDynamicSlowdownWrapper) {
+  DynamicSlowdownLinkModel::Options options;
+  options.seed = 3;
+  options.min_factor = 2.0;
+  options.max_factor = 2.0;  // pin the factor so the check is exact
+  auto base = std::make_unique<HierarchicalLinkModel>(
+      /*num_nodes=*/8, /*cluster_size=*/4, IntraMachineLinkClass(),
+      InterMachineLinkClass());
+  const HierarchicalLinkModel plain(
+      /*num_nodes=*/8, /*cluster_size=*/4, IntraMachineLinkClass(),
+      InterMachineLinkClass());
+  DynamicSlowdownLinkModel dynamic(std::move(base), options);
+  const auto [lo, hi] = dynamic.SlowedLinkAt(0.0);
+  const int64_t bytes = 1 << 16;
+  EXPECT_DOUBLE_EQ(dynamic.TransferSeconds(lo, hi, 0.0, bytes),
+                   2.0 * plain.TransferSeconds(lo, hi, 0.0, bytes));
 }
 
 TEST(ClusterTest, DynamicHeterogeneousModelBuilds) {

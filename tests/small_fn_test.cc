@@ -1,0 +1,147 @@
+// SmallFn semantics: the std::function subset the simulator relies on —
+// null default state, nullptr comparisons, invocation with arguments and
+// return values, mutable captures surviving the const call operator, deep
+// copies, relocating moves that null the source, and the heap fallback for
+// targets beyond the inline capacity.
+
+#include "common/small_fn.h"
+
+#include <array>
+#include <memory>
+#include <numeric>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace netmax {
+namespace {
+
+TEST(SmallFnTest, DefaultConstructedIsNull) {
+  SmallFn<void()> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn == nullptr);
+  EXPECT_TRUE(nullptr == fn);
+  EXPECT_FALSE(fn != nullptr);
+  EXPECT_FALSE(nullptr != fn);
+}
+
+TEST(SmallFnTest, InvokesWithArgumentsAndReturn) {
+  SmallFn<int(int, int)> add = [](int a, int b) { return a + b; };
+  ASSERT_TRUE(static_cast<bool>(add));
+  EXPECT_EQ(add(2, 3), 5);
+  EXPECT_EQ(add(-1, 1), 0);
+}
+
+TEST(SmallFnTest, DiscardsTargetReturnLikeStdFunction) {
+  int calls = 0;
+  SmallFn<void()> fn = [&calls] { return ++calls; };
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(SmallFnTest, MutableCapturesPersistAcrossConstCalls) {
+  SmallFn<int()> counter = [n = 0]() mutable { return ++n; };
+  const SmallFn<int()>& const_ref = counter;
+  EXPECT_EQ(const_ref(), 1);
+  EXPECT_EQ(const_ref(), 2);
+  EXPECT_EQ(const_ref(), 3);
+}
+
+TEST(SmallFnTest, CopyDuplicatesCaptureState) {
+  SmallFn<int()> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  SmallFn<int()> copy = counter;
+  // Independent capture state after the copy.
+  EXPECT_EQ(copy(), 2);
+  EXPECT_EQ(copy(), 3);
+  EXPECT_EQ(counter(), 2);
+}
+
+TEST(SmallFnTest, MoveTransfersTargetAndNullsSource) {
+  SmallFn<int()> source = [n = 10]() mutable { return ++n; };
+  EXPECT_EQ(source(), 11);
+  SmallFn<int()> moved = std::move(source);
+  EXPECT_TRUE(source == nullptr);
+  EXPECT_EQ(moved(), 12);
+  SmallFn<int()> assigned;
+  assigned = std::move(moved);
+  EXPECT_TRUE(moved == nullptr);
+  EXPECT_EQ(assigned(), 13);
+}
+
+TEST(SmallFnTest, CopyAssignReplacesExistingTarget) {
+  SmallFn<int()> a = [] { return 1; };
+  SmallFn<int()> b = [] { return 2; };
+  a = b;
+  EXPECT_EQ(a(), 2);
+  EXPECT_EQ(b(), 2);
+}
+
+TEST(SmallFnTest, NullptrAssignmentReleasesTheTarget) {
+  auto token = std::make_shared<int>(7);
+  SmallFn<int()> fn = [token] { return *token; };
+  EXPECT_EQ(token.use_count(), 2);
+  fn = nullptr;
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_TRUE(fn == nullptr);
+}
+
+TEST(SmallFnTest, DestructionReleasesCapturedResources) {
+  auto token = std::make_shared<int>(1);
+  {
+    SmallFn<void()> fn = [token] { (void)*token; };
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SmallFnTest, HeapFallbackHandlesLargeCaptures) {
+  // 128 bytes of capture: far past the inline budget, so this exercises the
+  // heap ops table end to end (invoke, deep copy, relocate, destroy).
+  std::array<double, 16> values{};
+  std::iota(values.begin(), values.end(), 1.0);
+  static_assert(sizeof(values) > kSmallFnInlineBytes);
+  SmallFn<double()> sum = [values]() {
+    double total = 0.0;
+    for (const double v : values) total += v;
+    return total;
+  };
+  EXPECT_DOUBLE_EQ(sum(), 136.0);
+  SmallFn<double()> copy = sum;
+  EXPECT_DOUBLE_EQ(copy(), 136.0);
+  SmallFn<double()> moved = std::move(sum);
+  EXPECT_TRUE(sum == nullptr);
+  EXPECT_DOUBLE_EQ(moved(), 136.0);
+}
+
+TEST(SmallFnTest, HeapTargetCopiesAreIndependent) {
+  struct Big {
+    std::array<int, 40> pad{};
+    int n = 0;
+    int operator()() { return ++n; }
+  };
+  static_assert(sizeof(Big) > kSmallFnInlineBytes);
+  SmallFn<int()> a = Big{};
+  EXPECT_EQ(a(), 1);
+  SmallFn<int()> b = a;
+  EXPECT_EQ(b(), 2);
+  EXPECT_EQ(b(), 3);
+  EXPECT_EQ(a(), 2);
+}
+
+TEST(SmallFnTest, SelfAssignmentIsSafe) {
+  SmallFn<int()> fn = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(fn(), 1);
+  SmallFn<int()>& alias = fn;
+  fn = alias;
+  EXPECT_EQ(fn(), 2);
+}
+
+TEST(SmallFnTest, FunctionPointersWork) {
+  SmallFn<int(int)> fn = +[](int x) { return x * x; };
+  EXPECT_EQ(fn(9), 81);
+}
+
+}  // namespace
+}  // namespace netmax

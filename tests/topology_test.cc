@@ -1,5 +1,7 @@
 #include "net/topology.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace netmax::net {
@@ -68,6 +70,106 @@ TEST(TopologyTest, SingleNodeIsConnected) {
   Topology topo(1);
   EXPECT_TRUE(topo.IsConnected());
   EXPECT_EQ(topo.num_edges(), 0);
+}
+
+TEST(HierarchicalTopologyTest, ClusterArithmetic) {
+  EXPECT_EQ(NumClusters(8, 4), 2);
+  EXPECT_EQ(NumClusters(9, 4), 3);
+  EXPECT_EQ(NumClusters(4, 4), 1);
+  EXPECT_EQ(NumClusters(5, 1), 5);
+  EXPECT_EQ(ClusterOf(0, 4), 0);
+  EXPECT_EQ(ClusterOf(3, 4), 0);
+  EXPECT_EQ(ClusterOf(4, 4), 1);
+  EXPECT_EQ(HubOf(0, 4), 0);
+  EXPECT_EQ(HubOf(2, 4), 8);
+}
+
+TEST(HierarchicalTopologyTest, SingleClusterDegeneratesToComplete) {
+  const Topology topo = Topology::Hierarchical(5, 5);
+  EXPECT_EQ(topo.num_edges(), 10);  // complete K5
+  EXPECT_TRUE(topo.IsConnected());
+  for (int a = 0; a < 5; ++a) {
+    for (int b = a + 1; b < 5; ++b) EXPECT_TRUE(topo.AreNeighbors(a, b));
+  }
+}
+
+TEST(HierarchicalTopologyTest, TwoClustersJoinedByOneHubEdge) {
+  const Topology topo = Topology::Hierarchical(8, 4);
+  // Two complete K4 clusters (6 edges each) plus the single hub-hub edge.
+  EXPECT_EQ(topo.num_edges(), 13);
+  EXPECT_TRUE(topo.IsConnected());
+  EXPECT_TRUE(topo.AreNeighbors(0, 4));    // hubs 0 and 4
+  EXPECT_FALSE(topo.AreNeighbors(1, 5));   // non-hub cross-cluster pair
+  EXPECT_TRUE(topo.AreNeighbors(0, 3));    // intra-cluster
+  EXPECT_TRUE(topo.AreNeighbors(4, 7));
+}
+
+TEST(HierarchicalTopologyTest, ThreePlusClustersUseAHubRing) {
+  const Topology topo = Topology::Hierarchical(12, 4);
+  // Three K4 clusters (18 edges) plus the 3-hub ring (3 edges).
+  EXPECT_EQ(topo.num_edges(), 21);
+  EXPECT_TRUE(topo.IsConnected());
+  EXPECT_TRUE(topo.AreNeighbors(0, 4));
+  EXPECT_TRUE(topo.AreNeighbors(4, 8));
+  EXPECT_TRUE(topo.AreNeighbors(8, 0));
+  EXPECT_FALSE(topo.AreNeighbors(1, 5));
+}
+
+TEST(HierarchicalTopologyTest, ClusterSizeOneIsTheHubRing) {
+  const Topology topo = Topology::Hierarchical(6, 1);
+  // Every worker is its own cluster and its own hub: a plain ring.
+  EXPECT_EQ(topo.num_edges(), 6);
+  EXPECT_TRUE(topo.IsConnected());
+  for (int w = 0; w < 6; ++w) {
+    EXPECT_EQ(topo.Neighbors(w).size(), 2u);
+  }
+}
+
+TEST(HierarchicalTopologyTest, RaggedLastClusterStaysConnected) {
+  // 10 workers, cluster size 4: clusters {0..3}, {4..7}, {8, 9}.
+  const Topology topo = Topology::Hierarchical(10, 4);
+  EXPECT_TRUE(topo.IsConnected());
+  EXPECT_TRUE(topo.AreNeighbors(8, 9));
+  EXPECT_TRUE(topo.AreNeighbors(8, 0));  // last hub closes the ring
+  EXPECT_FALSE(topo.AreNeighbors(9, 0));
+}
+
+TEST(HierarchicalTopologyTest, ScalesLinearlyInMemory) {
+  // 10^4 workers: a complete graph would need ~5*10^7 edges; the
+  // hierarchical topology needs ~2*10^5 and builds instantly.
+  const int workers = 10000;
+  const int cluster_size = 50;
+  const Topology topo = Topology::Hierarchical(workers, cluster_size);
+  EXPECT_TRUE(topo.IsConnected());
+  const int clusters = NumClusters(workers, cluster_size);
+  EXPECT_EQ(topo.num_edges(),
+            clusters * (cluster_size * (cluster_size - 1) / 2) + clusters);
+}
+
+TEST(ParseTopologySpecTest, AcceptsCompleteAndHier) {
+  const auto complete = ParseTopologySpec("complete");
+  ASSERT_TRUE(complete.ok());
+  EXPECT_EQ(complete->shape, TopologyShape::kComplete);
+  EXPECT_EQ(TopologySpecName(*complete), "complete");
+
+  const auto hier = ParseTopologySpec("hier:64");
+  ASSERT_TRUE(hier.ok());
+  EXPECT_EQ(hier->shape, TopologyShape::kHierarchical);
+  EXPECT_EQ(hier->cluster_size, 64);
+  EXPECT_EQ(TopologySpecName(*hier), "hier:64");
+}
+
+TEST(ParseTopologySpecTest, RejectsMalformedSpecsWithTheGrammar) {
+  for (const char* bad : {"ring", "hier:", "hier:0", "hier:-3", "hier:4x",
+                          "hier:9999999999", ""}) {
+    const auto parsed = ParseTopologySpec(bad);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+    const std::string message(parsed.status().message());
+    EXPECT_NE(message.find("expected complete or hier:<cluster_size>"),
+              std::string::npos)
+        << bad;
+  }
 }
 
 TEST(TopologyTest, AdjacencyMatrixMatchesIndicators) {

@@ -22,12 +22,14 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "algos/registry.h"
 #include "common/status.h"
 #include "core/experiment.h"
 #include "ml/metrics.h"
+#include "net/event_queue.h"
 #include "net/fault_schedule.h"
 
 namespace netmax {
@@ -94,6 +96,13 @@ Status DumpTrace(const std::string& request) {
     policy = core::PeerPolicy::kTimeoutAndContinue;
   }
   core::ExperimentConfig config = GoldenConfig();
+  // NETMAX_EVENT_QUEUE selects the event-queue backend without perturbing
+  // the pinned config: every backend must reproduce the same trace bytes,
+  // which is exactly what CI's determinism lane diffs.
+  if (const char* queue_env = std::getenv("NETMAX_EVENT_QUEUE")) {
+    NETMAX_ASSIGN_OR_RETURN(config.event_queue,
+                            net::ParseEventQueueKind(queue_env));
+  }
   if (fault_mode) {
     NETMAX_ASSIGN_OR_RETURN(config.faults,
                             net::FaultSchedule::Parse(kFaultSpec));
