@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "ml/compression.h"
 #include "net/event_queue.h"
 #include "net/fault_schedule.h"
 #include "net/topology.h"
@@ -50,6 +51,8 @@ net::EventQueueKind event_queue_override = net::EventQueueKind::kSortedVector;
 int workers_override = -1;
 bool topology_override_set = false;
 net::TopologySpec topology_override;
+bool compress_override_set = false;
+ml::CompressionSpec compress_override;
 // Seed-derived schedules ("--faults=seed:K") place their events inside
 // (0.1, 0.75) x this horizon: 40 virtual seconds lands the churn well inside
 // every bench run, smoke or full.
@@ -103,6 +106,9 @@ void PrintUsage(std::ostream& os, const char* binary) {
         "every run's num_workers)\n"
      << "  --topology=SPEC      gossip topology: complete or "
         "hier:<cluster_size> (clusters-of-clusters)\n"
+     << "  --compress=SPEC      gradient compression: none | topk:<frac> | "
+        "int8 | layerwise:<period> (results are bit-identical across "
+        "backends)\n"
      << "environment overrides (a flag beats its variable):\n"
      << "  NETMAX_SMOKE=1            same as --smoke\n"
      << "  NETMAX_THREADS=N          same as --threads=N\n"
@@ -115,7 +121,8 @@ void PrintUsage(std::ostream& os, const char* binary) {
      << "  NETMAX_ADAPTIVE_WINDOW=1  same as --adaptive-window\n"
      << "  NETMAX_EVENT_QUEUE=K      same as --event-queue=K\n"
      << "  NETMAX_WORKERS=N          same as --workers=N\n"
-     << "  NETMAX_TOPOLOGY=SPEC      same as --topology=SPEC\n";
+     << "  NETMAX_TOPOLOGY=SPEC      same as --topology=SPEC\n"
+     << "  NETMAX_COMPRESS=SPEC      same as --compress=SPEC\n";
 }
 
 // Strict value parse for "--flag=N" style flags and their environment
@@ -235,6 +242,19 @@ Status ParseTopologyFlag(const std::string& flag_text,
   return Status::Ok();
 }
 
+// Strict value parse for "--compress=SPEC" and NETMAX_COMPRESS.
+Status ParseCompressFlag(const std::string& flag_text,
+                         std::string_view value) {
+  StatusOr<ml::CompressionSpec> spec = ml::ParseCompressionSpec(value);
+  if (!spec.ok()) {
+    return InvalidArgumentError("bad flag value: " + flag_text + " (" +
+                                spec.status().message() + ")");
+  }
+  compress_override = *spec;
+  compress_override_set = true;
+  return Status::Ok();
+}
+
 // Splits the machine between `concurrent_runs` simultaneous experiments:
 // every run gets an equal share of the cores for its own compute-event pool
 // (at least one). Applied only when the config asks for the automatic
@@ -271,6 +291,7 @@ void ApplyExecutionOverrides(core::ExperimentConfig& config,
   }
   if (peer_policy_override_set) config.peer_policy = peer_policy_override;
   if (adaptive_window_override) config.adaptive_reorder_window = true;
+  if (compress_override_set) config.compress = compress_override;
 }
 
 // Distinct checkpoint/restore files for every run of a bench:
@@ -336,6 +357,8 @@ StatusOr<bool> InitBench(int argc, char** argv) {
   workers_override = -1;
   topology_override_set = false;
   topology_override = net::TopologySpec();
+  compress_override_set = false;
+  compress_override = ml::CompressionSpec();
   run_batch_counter = 0;
   const char* env = std::getenv("NETMAX_SMOKE");
   if (env != nullptr && std::strcmp(env, "1") == 0) smoke_mode = true;
@@ -397,6 +420,11 @@ StatusOr<bool> InitBench(int argc, char** argv) {
     NETMAX_RETURN_IF_ERROR(ParseTopologyFlag(
         std::string("NETMAX_TOPOLOGY=") + env_topology, env_topology));
   }
+  const char* env_compress = std::getenv("NETMAX_COMPRESS");
+  if (env_compress != nullptr) {
+    NETMAX_RETURN_IF_ERROR(ParseCompressFlag(
+        std::string("NETMAX_COMPRESS=") + env_compress, env_compress));
+  }
   const char* env_every = std::getenv("NETMAX_CHECKPOINT_EVERY");
   if (env_every != nullptr) {
     NETMAX_ASSIGN_OR_RETURN(
@@ -454,6 +482,9 @@ StatusOr<bool> InitBench(int argc, char** argv) {
     } else if (arg.rfind("--topology=", 0) == 0) {
       NETMAX_RETURN_IF_ERROR(
           ParseTopologyFlag(arg, std::string_view(arg).substr(11)));
+    } else if (arg.rfind("--compress=", 0) == 0) {
+      NETMAX_RETURN_IF_ERROR(
+          ParseCompressFlag(arg, std::string_view(arg).substr(11)));
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(std::cout, argc > 0 ? argv[0] : "bench");
       return false;
@@ -708,6 +739,17 @@ void PrintExecutionDiagnostics(std::ostream& os,
       break;
     }
   }
+  // Wire columns appear only when some run compressed: bytes_saved stays
+  // identically zero on uncompressed runs (headerless dense f32 encoding),
+  // while bytes_sent is nonzero for any communicating run and so cannot
+  // gate the columns without churning every existing bench's stderr.
+  bool any_bytes = false;
+  for (const NamedResult& entry : results) {
+    if (entry.result.bytes_saved != 0) {
+      any_bytes = true;
+      break;
+    }
+  }
   std::vector<std::string> header = {"run",          "backend",
                                      "batches",      "speculated",
                                      "redispatched", "recomputed",
@@ -715,6 +757,9 @@ void PrintExecutionDiagnostics(std::ostream& os,
   if (any_faults) {
     header.insert(header.end(),
                   {"resizes", "faults", "degraded", "timeouts"});
+  }
+  if (any_bytes) {
+    header.insert(header.end(), {"messages", "bytes_sent", "bytes_saved"});
   }
   TablePrinter table(header);
   for (const NamedResult& entry : results) {
@@ -732,6 +777,11 @@ void PrintExecutionDiagnostics(std::ostream& os,
                              std::to_string(r.faults_injected),
                              std::to_string(r.rounds_degraded),
                              std::to_string(r.peers_timed_out)});
+    }
+    if (any_bytes) {
+      row.insert(row.end(), {std::to_string(r.messages_sent),
+                             std::to_string(r.bytes_sent),
+                             std::to_string(r.bytes_saved)});
     }
     table.AddRow(std::move(row));
   }

@@ -89,6 +89,11 @@ namespace netmax::bench {
 //                        for the hierarchical clusters-of-clusters graph
 //                        (overrides ExperimentConfig::topology; see
 //                        net/topology.h).
+//   --compress=SPEC      gradient compression: "none", "topk:<frac>",
+//                        "int8", or "layerwise:<period>" (overrides
+//                        ExperimentConfig::compress; see ml/compression.h).
+//                        Results for a given spec are bit-identical across
+//                        backends, threads, shards, and reorder windows.
 // Every flag has a NETMAX_* environment fallback (see PrintUsage in
 // bench_util.cc for the single authoritative list); an explicit flag wins
 // over its environment variable.
@@ -192,7 +197,10 @@ void PrintEpochCostSplit(std::ostream& os, const std::string& title,
 // reports fault or adaptive-window activity (window_resizes,
 // faults_injected, rounds_degraded, peers_timed_out), four extra columns
 // carry those counters; fault-free batches suppress the all-zero columns so
-// their stderr table keeps the exact pre-fault shape. RunAlgorithms and
+// their stderr table keeps the exact pre-fault shape. Likewise, when any run
+// compressed its gradients (bytes_saved != 0), three extra columns report
+// messages / bytes_sent / bytes_saved; uncompressed batches suppress them so
+// existing benches' stderr tables are unchanged. RunAlgorithms and
 // RunConfigs emit this to stderr after every batch of runs (so speculation
 // health is visible without a Debug rebuild) — stderr, because the counters
 // vary with the {threads, backend} execution point while the benches' stdout

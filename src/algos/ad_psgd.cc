@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -88,7 +89,7 @@ class AdPsgdEngine {
  private:
   // Checkpoint reification tags (core/checkpoint.h).
   enum Tag : int64_t {
-    kIterate = 0,      // compute event: args [peer, compute_secs, wall_secs]
+    kIterate = 0,  // compute event: args [peer, compute_secs, wall_secs, round]
     kMonitorTick = 1,  // plain event: args []
     kLocalStep = 2,    // compute event: args [compute_secs, wall_secs]
     kPeerWait = 3,     // plain event: args [worker, peer, waited_secs]
@@ -106,14 +107,15 @@ class AdPsgdEngine {
     switch (event.payload.tag) {
       case kIterate: {
         const int w = event.worker_key;
-        if (w < 0 || w >= harness_.num_workers() || args.size() != 3) break;
+        if (w < 0 || w >= harness_.num_workers() || args.size() != 4) break;
         const int m = static_cast<int>(args[0]);
         const double compute = args[1];
         const double wall = args[2];
+        const int64_t round = static_cast<int64_t>(args[3]);
         if (m < 0 || m >= harness_.num_workers() || m == w) break;
         rebuilt.compute = [this, w] { return harness_.EvalBatchGradient(w); };
-        rebuilt.commit = [this, w, m, compute, wall](double loss) {
-          CompleteIteration(w, m, compute, wall, loss);
+        rebuilt.commit = [this, w, m, compute, wall, round](double loss) {
+          CompleteIteration(w, m, compute, wall, round, loss);
         };
         return rebuilt;
       }
@@ -212,12 +214,16 @@ class AdPsgdEngine {
       return;
     }
     const double compute = harness_.EffectiveComputeSeconds(w);
-    const double transfer = harness_.PullSeconds(m, w);
+    const int64_t round = harness_.NextCommRound(w);
+    const double transfer = harness_.SendSeconds(m, w, round);
     // Gradient computation overlaps the pull; the evaluation itself is the
     // pure compute half and everything stateful commits in event order.
     harness_.SampleBatch(w);
     const double wall = std::max(compute, transfer);
-    Emit(wall, w, {kIterate, {static_cast<double>(m), compute, wall}});
+    Emit(wall, w,
+         {kIterate,
+          {static_cast<double>(m), compute, wall,
+           static_cast<double>(round)}});
   }
 
   // Dead-peer handling, one episode per StartIteration that drew a dead
@@ -271,15 +277,18 @@ class AdPsgdEngine {
 
   void ResumePull(int w, int m, double waited) {
     const double compute = harness_.EffectiveComputeSeconds(w);
-    const double transfer = harness_.PullSeconds(m, w);
+    const int64_t round = harness_.NextCommRound(w);
+    const double transfer = harness_.SendSeconds(m, w, round);
     harness_.SampleBatch(w);
     const double wall = std::max(compute, transfer);
     Emit(wall, w,
-         {kIterate, {static_cast<double>(m), compute, waited + wall}});
+         {kIterate,
+          {static_cast<double>(m), compute, waited + wall,
+           static_cast<double>(round)}});
   }
 
   void CompleteIteration(int w, int m, double compute, double wall,
-                         double loss) {
+                         int64_t round, double loss) {
     core::WorkerRuntime& worker = harness_.worker(w);
     // AD-PSGD order: average with the selected peer, then apply the gradient
     // that was computed concurrently. The averaging is atomic and symmetric —
@@ -304,10 +313,25 @@ class AdPsgdEngine {
     harness_.sim().NotifyStateWrite(m);
     auto x_i = worker.model->parameters();
     auto x_m = harness_.worker(m).model->parameters();
-    for (size_t j = 0; j < x_i.size(); ++j) {
-      const double mean = 0.5 * (x_i[j] + x_m[j]);
-      x_i[j] = mean;
-      x_m[j] = mean;
+    if (!harness_.compression_enabled()) {
+      for (size_t j = 0; j < x_i.size(); ++j) {
+        const double mean = 0.5 * (x_i[j] + x_m[j]);
+        x_i[j] = mean;
+        x_m[j] = mean;
+      }
+    } else {
+      // Compressed averaging: what crossed the wire is C(x_m - x_i), so both
+      // endpoints move half of the decoded difference toward each other —
+      // the exact averaging above when C is the identity, and still
+      // mean-preserving for every lossy variant.
+      std::span<double> diff = harness_.CompressionScratch();
+      for (size_t j = 0; j < x_i.size(); ++j) diff[j] = x_m[j] - x_i[j];
+      harness_.ApplyCompression(w, round, diff);
+      for (size_t j = 0; j < x_i.size(); ++j) {
+        const double half = 0.5 * diff[j];
+        x_i[j] += half;
+        x_m[j] -= half;
+      }
     }
     harness_.ApplyStoredGradient(w);
     if (with_monitor_) {

@@ -180,9 +180,22 @@ class AllreduceEngine {
     // slowdowns apply). A single surviving member reduces with nobody:
     // communication-free round.
     double allreduce_seconds = 0.0;
+    int64_t round = 0;
     if (g > 1) {
-      const int64_t chunk_bytes =
+      const int64_t baseline_chunk =
           harness_.config().profile.message_bytes() / g;
+      int64_t chunk_bytes = baseline_chunk;
+      if (harness_.compression_enabled()) {
+        // One communication round per allreduce; the first member's counter
+        // indexes the layer-wise schedule for the whole ring.
+        round = harness_.NextCommRound(members_.front());
+        chunk_bytes = harness_.MessagePayloadBytes(round) / g;
+      }
+      // Ring allreduce moves 2(G-1) chunk steps of G concurrent messages.
+      const int64_t chunk_messages =
+          static_cast<int64_t>(g) * 2 * (g - 1);
+      harness_.AccountWire(chunk_messages, chunk_messages * chunk_bytes,
+                           chunk_messages * baseline_chunk);
       double step_seconds = 0.0;
       double latency_seconds = 0.0;
       for (int k = 0; k < g; ++k) {
@@ -204,6 +217,15 @@ class AllreduceEngine {
     // commit reached here and the next round is not scheduled yet, so no
     // backend holds an evaluation that could read these writes mid-flight;
     // ApplyStoredGradient still notifies each worker per the contract.
+    if (harness_.compression_enabled() && g > 1) {
+      // Each member contributes C(g_w) to the reduce — the gradient as the
+      // ring's round-`round` encoding reconstructs it. A single surviving
+      // member reduces with nobody, so nothing crosses the wire (and nothing
+      // is compressed).
+      for (int w : members_) {
+        harness_.ApplyCompression(w, round, harness_.worker(w).gradient);
+      }
+    }
     std::vector<double> mean_gradient(
         harness_.worker(0).gradient.size(), 0.0);
     for (int w : members_) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -64,7 +65,7 @@ class GossipEngine {
   // Checkpoint reification tags (core/checkpoint.h).
   enum Tag : int64_t {
     kIterate = 0,  // compute event: args [compute_seconds]
-    kArrival = 1,  // plain event: args [receiver, sender snapshot...]
+    kArrival = 1,  // plain event: args [receiver, round, sender snapshot...]
   };
 
   void Emit(double delay, int worker_key, net::EventPayload payload) {
@@ -94,11 +95,12 @@ class GossipEngine {
       }
       case kArrival: {
         const size_t num_params = harness_.worker(0).gradient.size();
-        if (event.worker_key >= 0 || args.size() != 1 + num_params) break;
+        if (event.worker_key >= 0 || args.size() != 2 + num_params) break;
         const int m = static_cast<int>(args[0]);
+        const int64_t round = static_cast<int64_t>(args[1]);
         if (m < 0 || m >= harness_.num_workers()) break;
-        rebuilt.plain = [this, m,
-                         snapshot = std::vector<double>(args.begin() + 1,
+        rebuilt.plain = [this, m, round,
+                         snapshot = std::vector<double>(args.begin() + 2,
                                                         args.end())] {
           if (!harness_.WorkerAlive(m)) {
             // The receiver died while the push was in flight: drop it.
@@ -110,8 +112,24 @@ class GossipEngine {
           // window entry; an in-flight evaluation is waited out first).
           harness_.sim().NotifyStateWrite(m);
           auto x_m = harness_.worker(m).model->parameters();
-          for (size_t j = 0; j < x_m.size(); ++j) {
-            x_m[j] = 0.5 * (x_m[j] + snapshot[j]);
+          if (!harness_.compression_enabled()) {
+            for (size_t j = 0; j < x_m.size(); ++j) {
+              x_m[j] = 0.5 * (x_m[j] + snapshot[j]);
+            }
+          } else {
+            // The push carried C(snapshot - x_m^push); decode against the
+            // receiver's current parameters (arrivals are ordered, so this
+            // is the deterministic gossip analogue of the exact average).
+            // Int8's stochastic rounding draws from the receiver's stream —
+            // the worker whose state this plain event commits.
+            std::span<double> diff = harness_.CompressionScratch();
+            for (size_t j = 0; j < x_m.size(); ++j) {
+              diff[j] = snapshot[j] - x_m[j];
+            }
+            harness_.ApplyCompression(m, round, diff);
+            for (size_t j = 0; j < x_m.size(); ++j) {
+              x_m[j] += 0.5 * diff[j];
+            }
           }
         };
         return rebuilt;
@@ -147,14 +165,16 @@ class GossipEngine {
       harness_.CountDegradedRound();
       return;
     }
-    const double transfer = harness_.PullSeconds(w, m);  // w -> m push
+    const int64_t round = harness_.NextCommRound(w);
+    const double transfer = harness_.SendSeconds(w, m, round);  // w -> m push
     push_busy_until_[static_cast<size_t>(w)] = now + transfer;
     // Snapshot the sender's parameters at push time; the snapshot rides in
     // the event payload so an in-flight push checkpoints/restores losslessly.
     const auto p = worker.model->parameters();
     std::vector<double> args;
-    args.reserve(1 + p.size());
+    args.reserve(2 + p.size());
     args.push_back(static_cast<double>(m));
+    args.push_back(static_cast<double>(round));
     args.insert(args.end(), p.begin(), p.end());
     Emit(transfer, core::kPlainEvent, {kArrival, std::move(args)});
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,10 +43,9 @@ class PsState {
                                                     options);
   }
 
-  // Transfer seconds between worker w and the PS at time `now` (either
-  // direction; the paper's links are symmetric).
-  double LinkSeconds(int w, double now) const {
-    const int64_t bytes = harness_->config().profile.message_bytes();
+  // Transfer seconds for `bytes` between worker w and the PS at time `now`
+  // (either direction; the paper's links are symmetric).
+  double LinkSeconds(int w, double now, int64_t bytes) const {
     if (w == 0) return kPsLocalLink.TransferSeconds(bytes);
     return harness_->links().TransferSeconds(0, w, now, bytes);
   }
@@ -234,16 +234,36 @@ class PsSyncEngine {
       max_compute = std::max(max_compute, computes[static_cast<size_t>(k)]);
     }
 
+    // One communication round per PS exchange: every member's upload and
+    // download leg carries the same encoding. With compression off the
+    // payload equals the dense baseline, so the transfer arithmetic below is
+    // unchanged and bytes_saved stays zero.
+    int64_t round = 0;
+    if (harness_.compression_enabled()) {
+      round = harness_.NextCommRound(members_.front());
+    }
+    const int64_t payload_bytes = harness_.MessagePayloadBytes(round);
+    const int64_t baseline_bytes =
+        harness_.config().profile.message_bytes();
+    harness_.AccountWire(2 * g, 2 * g * payload_bytes,
+                         2 * g * baseline_bytes);
+
     // Phase 2: uploads, serialized at the PS NIC (central congestion).
     double clock = t0;
     for (int k = 0; k < g; ++k) {
       const int w = members_[static_cast<size_t>(k)];
       const double ready = t0 + computes[static_cast<size_t>(k)];
       const double start = std::max(ready, clock);
-      clock = start + ps_->LinkSeconds(w, start);
+      clock = start + ps_->LinkSeconds(w, start, payload_bytes);
     }
 
     // PS applies the averaged gradient once.
+    if (harness_.compression_enabled()) {
+      // Each member uploaded C(g_w): the PS averages the decoded gradients.
+      for (int w : members_) {
+        harness_.ApplyCompression(w, round, harness_.worker(w).gradient);
+      }
+    }
     std::vector<double> mean_gradient(harness_.worker(0).gradient.size(), 0.0);
     for (int w : members_) {
       linalg::AddInPlace(harness_.worker(w).gradient, mean_gradient);
@@ -257,7 +277,7 @@ class PsSyncEngine {
     // member holds the fresh model (dead/dropped workers keep their stale
     // replicas until they rejoin a round).
     for (int w : members_) {
-      clock += ps_->LinkSeconds(w, clock);
+      clock += ps_->LinkSeconds(w, clock, payload_bytes);
     }
     const auto fresh = ps_->model().parameters();
     for (int k = 0; k < g; ++k) {
@@ -267,7 +287,19 @@ class PsSyncEngine {
       // backend that pre-dispatches the next round would depend on it).
       harness_.sim().NotifyStateWrite(w);
       auto params = harness_.worker(w).model->parameters();
-      std::copy(fresh.begin(), fresh.end(), params.begin());
+      if (!harness_.compression_enabled()) {
+        std::copy(fresh.begin(), fresh.end(), params.begin());
+      } else {
+        // The download carries C(fresh - x_w): the replica lands exactly on
+        // the PS model where the encoding is lossless and moves by the
+        // decoded difference elsewhere.
+        std::span<double> diff = harness_.CompressionScratch();
+        for (size_t j = 0; j < params.size(); ++j) {
+          diff[j] = fresh[j] - params[j];
+        }
+        harness_.ApplyCompression(w, round, diff);
+        for (size_t j = 0; j < params.size(); ++j) params[j] += diff[j];
+      }
       harness_.AccountIteration(w, computes[static_cast<size_t>(k)],
                                 clock - t0);
     }
@@ -355,8 +387,8 @@ class PsAsyncEngine {
   // pending events only need (w, t0, compute) to replay exactly.
   enum Tag : int64_t {
     kCompute = 0,   // compute event: args [t0, compute_seconds]
-    kUpload = 1,    // plain event: args [worker]
-    kDownload = 2,  // plain event: args [worker, t0, compute_seconds]
+    kUpload = 1,    // plain event: args [worker, round]
+    kDownload = 2,  // plain event: args [worker, t0, compute_seconds, round]
   };
 
   void Emit(double delay, int worker_key, net::EventPayload payload) {
@@ -378,28 +410,49 @@ class PsAsyncEngine {
         rebuilt.commit = [this, w, t0, compute](double loss) {
           harness_.CommitBatchStats(w, loss);
           const double now = harness_.sim().Now();
+          // One communication round per PS round trip, claimed here so the
+          // NIC reservations below price the round's actual payload.
+          int64_t round = 0;
+          if (harness_.compression_enabled()) {
+            round = harness_.NextCommRound(w);
+          }
+          const int64_t payload_bytes = harness_.MessagePayloadBytes(round);
+          const int64_t baseline_bytes =
+              harness_.config().profile.message_bytes();
+          harness_.AccountWire(2, 2 * payload_bytes, 2 * baseline_bytes);
           // Upload, then download, both serialized on the PS NIC; the worker
           // blocks for the round trip (async only across workers).
-          const double upload_done =
-              ps_->ReserveNic(now, ps_->LinkSeconds(w, now));
-          const double download_done =
-              ps_->ReserveNic(upload_done, ps_->LinkSeconds(w, upload_done));
-          core::ScheduleReifiedAt(harness_.sim(), upload_done,
-                                  core::kPlainEvent,
-                                  {kUpload, {static_cast<double>(w)}},
-                                  builder_);
+          const double upload_done = ps_->ReserveNic(
+              now, ps_->LinkSeconds(w, now, payload_bytes));
+          const double download_done = ps_->ReserveNic(
+              upload_done,
+              ps_->LinkSeconds(w, upload_done, payload_bytes));
+          core::ScheduleReifiedAt(
+              harness_.sim(), upload_done, core::kPlainEvent,
+              {kUpload,
+               {static_cast<double>(w), static_cast<double>(round)}},
+              builder_);
           core::ScheduleReifiedAt(
               harness_.sim(), download_done, core::kPlainEvent,
-              {kDownload, {static_cast<double>(w), t0, compute}}, builder_);
+              {kDownload,
+               {static_cast<double>(w), t0, compute,
+                static_cast<double>(round)}},
+              builder_);
         };
         return rebuilt;
       }
       case kUpload: {
-        if (event.worker_key >= 0 || args.size() != 1) break;
+        if (event.worker_key >= 0 || args.size() != 2) break;
         const int w = static_cast<int>(args[0]);
+        const int64_t round = static_cast<int64_t>(args[1]);
         if (w < 0 || w >= n) break;
-        rebuilt.plain = [this, w] {
-          // Async SGD: apply this worker's gradient immediately.
+        rebuilt.plain = [this, w, round] {
+          // Async SGD: apply this worker's gradient immediately. The PS
+          // received C(g_w); the decode happens in place (the buffer is
+          // rewritten by w's next compute anyway).
+          if (harness_.compression_enabled()) {
+            harness_.ApplyCompression(w, round, harness_.worker(w).gradient);
+          }
           ps_->optimizer().set_learning_rate(
               harness_.worker(w).optimizer->learning_rate());
           ps_->optimizer().Step(ps_->model().parameters(),
@@ -408,12 +461,13 @@ class PsAsyncEngine {
         return rebuilt;
       }
       case kDownload: {
-        if (event.worker_key >= 0 || args.size() != 3) break;
+        if (event.worker_key >= 0 || args.size() != 4) break;
         const int w = static_cast<int>(args[0]);
         if (w < 0 || w >= n) break;
         const double t0 = args[1];
         const double compute = args[2];
-        rebuilt.plain = [this, w, t0, compute] {
+        const int64_t round = static_cast<int64_t>(args[3]);
+        rebuilt.plain = [this, w, t0, compute, round] {
           // The download overwrites w's replica. w's own next compute is
           // only scheduled below, but OTHER workers' in-flight window
           // evaluations never read w's parameters, so notifying w alone
@@ -421,7 +475,17 @@ class PsAsyncEngine {
           harness_.sim().NotifyStateWrite(w);
           const auto fresh = ps_->model().parameters();
           auto params = harness_.worker(w).model->parameters();
-          std::copy(fresh.begin(), fresh.end(), params.begin());
+          if (!harness_.compression_enabled()) {
+            std::copy(fresh.begin(), fresh.end(), params.begin());
+          } else {
+            // C(fresh - x_w): on-model where lossless, decoded elsewhere.
+            std::span<double> diff = harness_.CompressionScratch();
+            for (size_t j = 0; j < params.size(); ++j) {
+              diff[j] = fresh[j] - params[j];
+            }
+            harness_.ApplyCompression(w, round, diff);
+            for (size_t j = 0; j < params.size(); ++j) params[j] += diff[j];
+          }
           harness_.AccountIteration(w, compute, harness_.sim().Now() - t0);
           StartIteration(w);
         };

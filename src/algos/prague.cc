@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -250,7 +251,19 @@ class PragueEngine {
     // network: the paper attributes Prague's congestion to exactly this, so
     // each step is stretched by the number of in-flight groups.
     const int g = static_cast<int>(group.size());
-    const int64_t chunk_bytes = harness_.config().profile.message_bytes() / g;
+    const int64_t baseline_chunk =
+        harness_.config().profile.message_bytes() / g;
+    int64_t chunk_bytes = baseline_chunk;
+    int64_t round = 0;
+    if (harness_.compression_enabled()) {
+      // One communication round per group reduce, indexed by the first
+      // member's counter (groups always have >= 2 members here).
+      round = harness_.NextCommRound(group.front());
+      chunk_bytes = harness_.MessagePayloadBytes(round) / g;
+    }
+    const int64_t chunk_messages = static_cast<int64_t>(g) * 2 * (g - 1);
+    harness_.AccountWire(chunk_messages, chunk_messages * chunk_bytes,
+                         chunk_messages * baseline_chunk);
     double step_seconds = 0.0;
     double latency_seconds = 0.0;
     for (int k = 0; k < g; ++k) {
@@ -282,7 +295,17 @@ class PragueEngine {
       // and engine-evolution-proof.
       harness_.sim().NotifyStateWrite(w);
       auto p = harness_.worker(w).model->parameters();
-      std::copy(mean.begin(), mean.end(), p.begin());
+      if (!harness_.compression_enabled()) {
+        std::copy(mean.begin(), mean.end(), p.begin());
+      } else {
+        // Each member receives C(mean - x_w): it moves onto the group mean
+        // exactly where the encoding is lossless and as far as the decoded
+        // difference carries it elsewhere.
+        std::span<double> diff = harness_.CompressionScratch();
+        for (size_t j = 0; j < p.size(); ++j) diff[j] = mean[j] - p[j];
+        harness_.ApplyCompression(w, round, diff);
+        for (size_t j = 0; j < p.size(); ++j) p[j] += diff[j];
+      }
     }
 
     std::vector<double> finish_args;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -135,7 +136,7 @@ class SapsEngine {
  private:
   // Checkpoint reification tags (core/checkpoint.h).
   enum Tag : int64_t {
-    kIterate = 0,      // compute event: args [peer, compute_secs, wall_secs]
+    kIterate = 0,  // compute event: args [peer, compute_secs, wall_secs, round]
     kPeerWait = 1,     // plain event: args [worker, peer, waited_secs]
     kPeerTimeout = 2,  // plain event: args [worker, peer]
     kLocalStep = 3,    // compute event: args [compute_secs, wall_secs]
@@ -153,14 +154,15 @@ class SapsEngine {
     switch (event.payload.tag) {
       case kIterate: {
         const int w = event.worker_key;
-        if (w < 0 || w >= n || args.size() != 3) break;
+        if (w < 0 || w >= n || args.size() != 4) break;
         const int m = static_cast<int>(args[0]);
         const double compute = args[1];
         const double wall = args[2];
+        const int64_t round = static_cast<int64_t>(args[3]);
         if (m < 0 || m >= n || m == w) break;
         rebuilt.compute = [this, w] { return harness_.EvalBatchGradient(w); };
-        rebuilt.commit = [this, w, m, compute, wall](double loss) {
-          CompleteIteration(w, m, compute, wall, loss);
+        rebuilt.commit = [this, w, m, compute, wall, round](double loss) {
+          CompleteIteration(w, m, compute, wall, round, loss);
         };
         return rebuilt;
       }
@@ -203,7 +205,7 @@ class SapsEngine {
   }
 
   void CompleteIteration(int w, int m, double compute, double wall,
-                         double loss) {
+                         int64_t round, double loss) {
     core::WorkerRuntime& wr = harness_.worker(w);
     harness_.CommitBatchStats(w, loss);
     if (!harness_.WorkerAlive(m)) {
@@ -221,8 +223,17 @@ class SapsEngine {
     harness_.sim().NotifyStateWrite(w);
     auto x_i = wr.model->parameters();
     const auto x_m = harness_.worker(m).model->parameters();
-    for (size_t j = 0; j < x_i.size(); ++j) {
-      x_i[j] = 0.5 * (x_i[j] + x_m[j]);
+    if (!harness_.compression_enabled()) {
+      for (size_t j = 0; j < x_i.size(); ++j) {
+        x_i[j] = 0.5 * (x_i[j] + x_m[j]);
+      }
+    } else {
+      // One-sided compressed pull: the puller moves halfway along the decoded
+      // difference C(x_m - x_i); m stays read-only like the exact path.
+      std::span<double> diff = harness_.CompressionScratch();
+      for (size_t j = 0; j < x_i.size(); ++j) diff[j] = x_m[j] - x_i[j];
+      harness_.ApplyCompression(w, round, diff);
+      for (size_t j = 0; j < x_i.size(); ++j) x_i[j] += 0.5 * diff[j];
     }
     harness_.ApplyStoredGradient(w);
     harness_.AccountIteration(w, compute, wall);
@@ -246,10 +257,14 @@ class SapsEngine {
       return;
     }
     const double compute = harness_.EffectiveComputeSeconds(w);
-    const double transfer = harness_.PullSeconds(m, w);
+    const int64_t round = harness_.NextCommRound(w);
+    const double transfer = harness_.SendSeconds(m, w, round);
     harness_.SampleBatch(w);
     const double wall = std::max(compute, transfer);
-    Emit(wall, w, {kIterate, {static_cast<double>(m), compute, wall}});
+    Emit(wall, w,
+         {kIterate,
+          {static_cast<double>(m), compute, wall,
+           static_cast<double>(round)}});
   }
 
   // Dead-neighbor handling (same per-episode machinery as AD-PSGD): kWait
@@ -303,11 +318,14 @@ class SapsEngine {
 
   void ResumePull(int w, int m, double waited) {
     const double compute = harness_.EffectiveComputeSeconds(w);
-    const double transfer = harness_.PullSeconds(m, w);
+    const int64_t round = harness_.NextCommRound(w);
+    const double transfer = harness_.SendSeconds(m, w, round);
     harness_.SampleBatch(w);
     const double wall = std::max(compute, transfer);
     Emit(wall, w,
-         {kIterate, {static_cast<double>(m), compute, waited + wall}});
+         {kIterate,
+          {static_cast<double>(m), compute, waited + wall,
+           static_cast<double>(round)}});
   }
 
   ExperimentHarness harness_;

@@ -278,6 +278,10 @@ StatusOr<std::vector<uint8_t>> ExperimentHarness::SerializeCheckpoint(
   out.WriteString(config_.profile.name);
   out.WriteI64(config_.profile.num_parameters);
   out.WriteDouble(config_.profile.compute_seconds);
+  // The compression spec shapes every transfer time and RNG draw after the
+  // snapshot, so restoring under a different spec must fail like a profile
+  // mismatch would (version 3).
+  out.WriteString(ml::CompressionSpecName(config_.compress));
 
   out.WriteDouble(sim_.Now());
   out.WriteI64(sim_.next_sequence());
@@ -322,6 +326,11 @@ StatusOr<std::vector<uint8_t>> ExperimentHarness::SerializeCheckpoint(
   out.WriteI64(faults_injected_);
   out.WriteI64(rounds_degraded_);
   out.WriteI64(peers_timed_out_);
+  // Wire accounting (version 3), alongside the fault counters: restored runs
+  // must report the same totals as the uninterrupted run.
+  out.WriteI64(messages_sent_);
+  out.WriteI64(bytes_sent_);
+  out.WriteI64(bytes_saved_);
   out.WriteI64(cadence_next_index_);
 
   NETMAX_RETURN_IF_ERROR(save_engine(out));
@@ -429,6 +438,13 @@ Status ExperimentHarness::Restore(const EngineStateRestorer& restore_engine,
                                    profile_name + "\" cost profile, config " +
                                    "uses \"" + config_.profile.name + "\"");
   }
+  NETMAX_ASSIGN_OR_RETURN(const std::string compress_name, in.ReadString());
+  if (compress_name != ml::CompressionSpecName(config_.compress)) {
+    return FailedPreconditionError(
+        "checkpoint was written with --compress=" + compress_name +
+        ", config uses --compress=" +
+        ml::CompressionSpecName(config_.compress));
+  }
 
   NETMAX_ASSIGN_OR_RETURN(const double now, in.ReadDouble());
   NETMAX_ASSIGN_OR_RETURN(const int64_t next_sequence, in.ReadI64());
@@ -486,6 +502,9 @@ Status ExperimentHarness::Restore(const EngineStateRestorer& restore_engine,
   NETMAX_ASSIGN_OR_RETURN(faults_injected_, in.ReadI64());
   NETMAX_ASSIGN_OR_RETURN(rounds_degraded_, in.ReadI64());
   NETMAX_ASSIGN_OR_RETURN(peers_timed_out_, in.ReadI64());
+  NETMAX_ASSIGN_OR_RETURN(messages_sent_, in.ReadI64());
+  NETMAX_ASSIGN_OR_RETURN(bytes_sent_, in.ReadI64());
+  NETMAX_ASSIGN_OR_RETURN(bytes_saved_, in.ReadI64());
   NETMAX_ASSIGN_OR_RETURN(cadence_next_index_, in.ReadI64());
 
   NETMAX_RETURN_IF_ERROR(restore_engine(in));
@@ -521,6 +540,10 @@ void ExperimentHarness::SaveWorker(Serializer& out,
   out.WriteDouble(worker.compute_cost_total);
   out.WriteDouble(worker.comm_cost_total);
   out.WriteI64(worker.iterations);
+  // The compressor schedule index (version 3): a restore must hand out the
+  // same round numbers — and so the same layer-wise masks and payload
+  // byte counts — the uninterrupted run would.
+  out.WriteI64(worker.comm_rounds);
   out.WriteBool(worker.finished);
 }
 
@@ -545,6 +568,7 @@ Status ExperimentHarness::RestoreWorker(Deserializer& in,
   NETMAX_ASSIGN_OR_RETURN(worker.compute_cost_total, in.ReadDouble());
   NETMAX_ASSIGN_OR_RETURN(worker.comm_cost_total, in.ReadDouble());
   NETMAX_ASSIGN_OR_RETURN(worker.iterations, in.ReadI64());
+  NETMAX_ASSIGN_OR_RETURN(worker.comm_rounds, in.ReadI64());
   NETMAX_ASSIGN_OR_RETURN(worker.finished, in.ReadBool());
   return Status::Ok();
 }

@@ -51,8 +51,11 @@ inline constexpr int kPlainEvent = -1;
 inline constexpr uint32_t kCheckpointMagic = 0x4E4D4350;
 inline constexpr uint32_t kCheckpointEndMarker = 0x4E4D4345;
 // Version 2 added the fault-injection state (liveness flags, slowdown
-// factors, fault counters) and the periodic-cadence tick index.
-inline constexpr uint32_t kCheckpointVersion = 2;
+// factors, fault counters) and the periodic-cadence tick index. Version 3
+// added the wire-accounting counters (messages/bytes sent, bytes saved), the
+// per-worker communication-round index, and the compression spec in the
+// config fingerprint.
+inline constexpr uint32_t kCheckpointVersion = 3;
 
 // Whole-file read/write. Write goes through a temp file + rename so a crash
 // mid-write never leaves a truncated checkpoint at `path`.

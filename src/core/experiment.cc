@@ -144,6 +144,7 @@ Status ExperimentConfig::Validate() const {
   if (peer_poll_seconds <= 0.0) {
     return InvalidArgumentError("peer_poll_seconds <= 0");
   }
+  NETMAX_RETURN_IF_ERROR(compress.Validate());
   return Status::Ok();
 }
 
@@ -303,6 +304,15 @@ Status ExperimentHarness::Init() {
     worker.compute_seconds_per_batch = ComputeSeconds(worker.batch_size);
   }
 
+  // Communication compression: one compressor per harness, built over the
+  // proxy model's layer geometry (identical across replicas), plus one
+  // model-sized delta scratch. Commits are strictly serial, so sharing the
+  // scratch across workers is safe and keeps sends allocation-free.
+  compressor_ = ml::GradientCompressor(
+      config_.compress, workers_.front().model->LayerSegments());
+  compression_scratch_.assign(
+      static_cast<size_t>(workers_.front().model->num_parameters()), 0.0);
+
   // Fault injection: everyone starts alive at full speed; the configured
   // schedule goes into the queue as tagged plain events, BEFORE the engine's
   // initial events so the sequence-number shift relative to a fault-free run
@@ -371,6 +381,27 @@ double ExperimentHarness::ComputeSeconds(int batch_size) const {
 double ExperimentHarness::PullSeconds(int src, int dst) const {
   return links_->TransferSeconds(src, dst, sim_.Now(),
                                  config_.profile.message_bytes());
+}
+
+int64_t ExperimentHarness::MessagePayloadBytes(int64_t round) const {
+  if (!compression_enabled()) return config_.profile.message_bytes();
+  return compressor_.Describe(config_.profile.num_parameters, round)
+      .PayloadBytes();
+}
+
+double ExperimentHarness::SendSeconds(int src, int dst, int64_t round) {
+  if (!compression_enabled()) {
+    // kDenseF32 is headerless, so the charged bytes are exactly
+    // profile.message_bytes() and bytes_saved stays identically zero —
+    // uncompressed runs keep their pre-accounting transfer times bit-exactly.
+    const int64_t bytes = config_.profile.message_bytes();
+    AccountWire(1, bytes, bytes);
+    return PullSeconds(src, dst);
+  }
+  const net::WireMessage message =
+      compressor_.Describe(config_.profile.num_parameters, round);
+  AccountWire(1, message.PayloadBytes(), message.DenseBaselineBytes());
+  return links_->TransferSeconds(src, dst, sim_.Now(), message.PayloadBytes());
 }
 
 void ExperimentHarness::SampleBatch(int w) {
@@ -499,6 +530,9 @@ RunResult ExperimentHarness::Finalize() {
   result.faults_injected = faults_injected_;
   result.rounds_degraded = rounds_degraded_;
   result.peers_timed_out = peers_timed_out_;
+  result.messages_sent = messages_sent_;
+  result.bytes_sent = bytes_sent_;
+  result.bytes_saved = bytes_saved_;
 
   double loss_sum = 0.0;
   int loss_count = 0;

@@ -23,6 +23,7 @@
 #include "common/thread_pool.h"
 #include "core/execution_backend.h"
 #include "core/policy_generator.h"
+#include "ml/compression.h"
 #include "ml/dataset.h"
 #include "ml/metrics.h"
 #include "ml/model.h"
@@ -212,6 +213,18 @@ struct ExperimentConfig {
   // peer.
   double peer_poll_seconds = 5.0;
 
+  // --- communication compression (ml/compression.h) ---
+  // What each model-sized exchange puts on the wire. The default (none)
+  // charges exactly profile.message_bytes() per message and transforms
+  // nothing, so uncompressed runs are byte-identical — stdout and golden
+  // traces — to builds without the subsystem. Active variants derive both
+  // the transfer seconds and the RunResult byte counters from the encoding
+  // (net/wire_format.h), and apply the matching lossy transform to every
+  // exchanged delta/gradient; int8's stochastic rounding draws from the
+  // committing worker's RNG stream, so results stay bit-identical across the
+  // whole {backend, reorder window, threads, shards, event queue} grid.
+  ml::CompressionSpec compress;
+
   // --- checkpoint / restore (core/checkpoint.h) ---
   // When > 0, the harness arms a checkpoint at this virtual time: the run is
   // quiesced, the full experiment state (workers, RNG streams, event queue,
@@ -298,6 +311,14 @@ struct RunResult {
   int64_t faults_injected = 0;
   int64_t rounds_degraded = 0;
   int64_t peers_timed_out = 0;
+  // Wire accounting (part of the simulation output, so bit-identical across
+  // backends/threads/shards): logical messages sent, bytes actually on the
+  // wire (derived from the message encoding, net/wire_format.h), and the
+  // dense-f32-baseline bytes the compression variant avoided (exactly zero
+  // with compression off).
+  int64_t messages_sent = 0;
+  int64_t bytes_sent = 0;
+  int64_t bytes_saved = 0;
 };
 
 // Interface implemented by NetMax and every baseline.
@@ -334,6 +355,12 @@ struct WorkerRuntime {
   double compute_cost_total = 0.0;
   double comm_cost_total = 0.0;
   int64_t iterations = 0;
+  // Communication rounds this worker has initiated (the compressor's
+  // schedule index: layer-wise sync masks are a function of it). Claimed via
+  // ExperimentHarness::NextCommRound in commit contexts, carried in reified
+  // event args, and checkpointed — the compression subsystem's only evolving
+  // state.
+  int64_t comm_rounds = 0;
   bool finished = false;
 
   WorkerRuntime(int worker_id, ml::Dataset worker_shard, uint64_t rng_seed)
@@ -361,8 +388,61 @@ class ExperimentHarness {
   // Compute time for one batch of `batch_size` examples.
   double ComputeSeconds(int batch_size) const;
 
-  // Transfer time for one model pull from `src` to `dst` starting now.
+  // Transfer time for one model pull from `src` to `dst` starting now,
+  // charging the dense baseline profile.message_bytes(). Accounting-free and
+  // const: measurement probes (SAPS's link survey) and the compression-off
+  // send path share it.
   double PullSeconds(int src, int dst) const;
+
+  // --- communication compression (ml/compression.h) --------------------------
+  // True when config.compress names an active (non-none) variant. Engines
+  // branch on this so the compression-off path keeps its exact historical
+  // arithmetic (byte-identical traces).
+  bool compression_enabled() const { return config_.compress.enabled(); }
+
+  // Claims worker w's next communication-round index (post-increments
+  // worker.comm_rounds). Commit contexts only; the index rides in reified
+  // event args so a restored run replays the same compression schedule.
+  int64_t NextCommRound(int w) {
+    return workers_[static_cast<size_t>(w)].comm_rounds++;
+  }
+
+  // Accounts one model-sized message from src to dst in communication round
+  // `round` and returns its transfer seconds from the *derived* wire bytes
+  // (net/wire_format.h). With compression off this charges and returns
+  // exactly what PullSeconds always has. Commit contexts only (it mutates
+  // the byte counters).
+  double SendSeconds(int src, int dst, int64_t round);
+
+  // Encoded payload bytes of one model-sized message in round `round`
+  // (profile.message_bytes() with compression off). Accounting-free, for
+  // engines that do their own multi-chunk timing (ring allreduce).
+  int64_t MessagePayloadBytes(int64_t round) const;
+
+  // Adds `messages` sends totalling `payload_bytes` on the wire against a
+  // dense baseline of `baseline_bytes` to the wire counters (commit contexts
+  // only). SendSeconds is a convenience over this.
+  void AccountWire(int64_t messages, int64_t payload_bytes,
+                   int64_t baseline_bytes) {
+    messages_sent_ += messages;
+    bytes_sent_ += payload_bytes;
+    bytes_saved_ += baseline_bytes - payload_bytes;
+  }
+
+  // In-place lossy transform of a model-sized delta/gradient: what the
+  // receiver decodes from round `round`'s encoding. No-op with compression
+  // off. int8's stochastic rounding draws from worker `rng_worker`'s stream,
+  // so this is a commit-context-only call like every other RNG use.
+  void ApplyCompression(int rng_worker, int64_t round,
+                        std::span<double> delta) {
+    compressor_.Transform(delta, round,
+                          workers_[static_cast<size_t>(rng_worker)].rng);
+  }
+
+  // Scratch sized to the proxy model's parameter count, for engines that
+  // build a delta to compress (commits are strictly serial per run, so one
+  // buffer suffices).
+  std::span<double> CompressionScratch() { return compression_scratch_; }
 
   // --- two-phase gradient step (the engines' unit of work) ---
   // One serial local step splits into three halves that map onto
@@ -573,6 +653,16 @@ class ExperimentHarness {
   int64_t faults_injected_ = 0;
   int64_t rounds_degraded_ = 0;
   int64_t peers_timed_out_ = 0;
+  // Wire accounting (checkpointed next to the fault counters; incremented
+  // only from commit contexts, so bit-identical like every simulation
+  // output).
+  int64_t messages_sent_ = 0;
+  int64_t bytes_sent_ = 0;
+  int64_t bytes_saved_ = 0;
+  // Stateless compressor for config_.compress, built in Init from the proxy
+  // model's layer geometry; plus the shared delta scratch.
+  ml::GradientCompressor compressor_;
+  std::vector<double> compression_scratch_;
   FaultListener fault_listener_;  // not checkpointed; re-registered per run
 
   // Outcome of the armed checkpoint(s), if any.

@@ -1,6 +1,7 @@
 #include "core/netmax_engine.h"
 
 #include <algorithm>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -86,7 +87,7 @@ class NetMaxEngine {
   // Checkpoint reification tags (core/checkpoint.h).
   enum Tag : int64_t {
     kSelfStep = 0,      // compute event: args [compute_seconds]
-    kPull = 1,          // compute event: args [peer, compute_secs, wall_secs]
+    kPull = 1,  // compute event: args [peer, compute_secs, wall_secs, round]
     kMonitorTick = 2,   // plain event: args []
     kDegradedStep = 3,  // compute event: args [compute_secs, wall_secs]
     kPeerWait = 4,      // plain event: args [worker, peer, waited_secs]
@@ -118,14 +119,15 @@ class NetMaxEngine {
       }
       case kPull: {
         const int w = event.worker_key;
-        if (w < 0 || w >= n || args.size() != 3) break;
+        if (w < 0 || w >= n || args.size() != 4) break;
         const int m = static_cast<int>(args[0]);
         const double compute = args[1];
         const double wall = args[2];
+        const int64_t round = static_cast<int64_t>(args[3]);
         if (m < 0 || m >= n || m == w) break;
         rebuilt.compute = [this, w] { return harness_.EvalBatchGradient(w); };
-        rebuilt.commit = [this, w, m, compute, wall](double loss) {
-          CompleteIteration(w, m, compute, wall, loss);
+        rebuilt.commit = [this, w, m, compute, wall, round](double loss) {
+          CompleteIteration(w, m, compute, wall, round, loss);
         };
         return rebuilt;
       }
@@ -226,11 +228,15 @@ class NetMaxEngine {
       Emit(compute, w, {kSelfStep, {compute}});
       return;
     }
-    const double transfer = harness_.PullSeconds(m, w);
+    const int64_t round = harness_.NextCommRound(w);
+    const double transfer = harness_.SendSeconds(m, w, round);
     const double wall = config_.overlap_communication
                             ? std::max(compute, transfer)
                             : compute + transfer;
-    Emit(wall, w, {kPull, {static_cast<double>(m), compute, wall}});
+    Emit(wall, w,
+         {kPull,
+          {static_cast<double>(m), compute, wall,
+           static_cast<double>(round)}});
   }
 
   // Peer m was dead when w's draw selected it. kWait re-probes liveness at
@@ -286,15 +292,19 @@ class NetMaxEngine {
   void ResumePull(int w, int m, double waited) {
     const double compute = harness_.EffectiveComputeSeconds(w);
     harness_.SampleBatch(w);
-    const double transfer = harness_.PullSeconds(m, w);
+    const int64_t round = harness_.NextCommRound(w);
+    const double transfer = harness_.SendSeconds(m, w, round);
     const double wall = config_.overlap_communication
                             ? std::max(compute, transfer)
                             : compute + transfer;
-    Emit(wall, w, {kPull, {static_cast<double>(m), compute, waited + wall}});
+    Emit(wall, w,
+         {kPull,
+          {static_cast<double>(m), compute, waited + wall,
+           static_cast<double>(round)}});
   }
 
   void CompleteIteration(int w, int m, double compute, double wall,
-                         double loss) {
+                         int64_t round, double loss) {
     WorkerRuntime& worker = harness_.worker(w);
     // First-step update: local gradients (Algorithm 2 line 11).
     harness_.CommitBatchStats(w, loss);
@@ -332,10 +342,24 @@ class NetMaxEngine {
     if (config_.symmetric_consensus) harness_.sim().NotifyStateWrite(m);
     auto x_i = worker.model->parameters();
     auto x_m = harness_.worker(m).model->parameters();
-    for (size_t j = 0; j < x_i.size(); ++j) {
-      const double delta = coefficient * (x_i[j] - x_m[j]);
-      x_i[j] -= delta;
-      if (config_.symmetric_consensus) x_m[j] += delta;
+    if (!harness_.compression_enabled()) {
+      for (size_t j = 0; j < x_i.size(); ++j) {
+        const double delta = coefficient * (x_i[j] - x_m[j]);
+        x_i[j] -= delta;
+        if (config_.symmetric_consensus) x_m[j] += delta;
+      }
+    } else {
+      // Compressed pull: w received C(x_i - x_m) — the difference as the
+      // compressor's round-`round` encoding reconstructs it — so both
+      // endpoints move along the decoded difference and stay symmetric.
+      std::span<double> diff = harness_.CompressionScratch();
+      for (size_t j = 0; j < x_i.size(); ++j) diff[j] = x_i[j] - x_m[j];
+      harness_.ApplyCompression(w, round, diff);
+      for (size_t j = 0; j < x_i.size(); ++j) {
+        const double delta = coefficient * diff[j];
+        x_i[j] -= delta;
+        if (config_.symmetric_consensus) x_m[j] += delta;
+      }
     }
     // Iteration-time EMA (line 16 / lines 19-22).
     ema_times_[static_cast<size_t>(w)][static_cast<size_t>(m)].Add(wall);

@@ -1,0 +1,225 @@
+#include "ml/compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/flags.h"
+
+namespace netmax::ml {
+namespace {
+
+int64_t TopKKept(double fraction, int64_t num_values) {
+  const int64_t kept = std::llround(fraction * static_cast<double>(num_values));
+  return std::clamp<int64_t>(kept, 1, num_values);
+}
+
+}  // namespace
+
+Status CompressionSpec::Validate() const {
+  switch (kind) {
+    case CompressionKind::kNone:
+    case CompressionKind::kInt8:
+      return Status::Ok();
+    case CompressionKind::kTopK:
+      if (!(topk_fraction > 0.0 && topk_fraction <= 1.0)) {
+        return InvalidArgumentError(
+            "compress: topk fraction must be in (0, 1], got " +
+            std::to_string(topk_fraction));
+      }
+      return Status::Ok();
+    case CompressionKind::kLayerwise:
+      if (layerwise_period < 1) {
+        return InvalidArgumentError(
+            "compress: layerwise period must be >= 1, got " +
+            std::to_string(layerwise_period));
+      }
+      return Status::Ok();
+  }
+  return InvalidArgumentError("compress: unknown compression kind");
+}
+
+StatusOr<CompressionSpec> ParseCompressionSpec(std::string_view text) {
+  CompressionSpec spec;
+  if (text == "none") {
+    spec.kind = CompressionKind::kNone;
+    return spec;
+  }
+  if (text == "int8") {
+    spec.kind = CompressionKind::kInt8;
+    return spec;
+  }
+  if (text.rfind("topk:", 0) == 0) {
+    const std::string value(text.substr(5));
+    char* end = nullptr;
+    const double fraction = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size()) {
+      return InvalidArgumentError("compress: bad topk fraction '" + value +
+                                  "'");
+    }
+    spec.kind = CompressionKind::kTopK;
+    spec.topk_fraction = fraction;
+    NETMAX_RETURN_IF_ERROR(spec.Validate());
+    return spec;
+  }
+  if (text.rfind("layerwise:", 0) == 0) {
+    const std::string value(text.substr(10));
+    StatusOr<int> period = ParseNonNegativeInt(value);
+    if (!period.ok()) {
+      return InvalidArgumentError("compress: bad layerwise period '" + value +
+                                  "'");
+    }
+    spec.kind = CompressionKind::kLayerwise;
+    spec.layerwise_period = *period;
+    NETMAX_RETURN_IF_ERROR(spec.Validate());
+    return spec;
+  }
+  return InvalidArgumentError(
+      "compress: expected none, topk:<frac>, int8, or layerwise:<period>; "
+      "got '" +
+      std::string(text) + "'");
+}
+
+std::string CompressionSpecName(const CompressionSpec& spec) {
+  switch (spec.kind) {
+    case CompressionKind::kNone:
+      return "none";
+    case CompressionKind::kInt8:
+      return "int8";
+    case CompressionKind::kTopK: {
+      char buffer[40];
+      std::snprintf(buffer, sizeof(buffer), "topk:%g", spec.topk_fraction);
+      return buffer;
+    }
+    case CompressionKind::kLayerwise:
+      return "layerwise:" + std::to_string(spec.layerwise_period);
+  }
+  return "unknown";
+}
+
+GradientCompressor::GradientCompressor(const CompressionSpec& spec,
+                                       std::vector<int64_t> layer_segments)
+    : spec_(spec), segments_(std::move(layer_segments)) {
+  for (const int64_t segment : segments_) total_segment_values_ += segment;
+}
+
+int64_t GradientCompressor::ActiveValues(int64_t round) const {
+  if (spec_.kind != CompressionKind::kLayerwise) return total_segment_values_;
+  const int64_t period = spec_.layerwise_period;
+  int64_t active = 0;
+  for (size_t layer = 0; layer < segments_.size(); ++layer) {
+    if (static_cast<int64_t>(layer) % period == round % period) {
+      active += segments_[layer];
+    }
+  }
+  return active;
+}
+
+net::WireMessage GradientCompressor::Describe(int64_t profile_values,
+                                              int64_t round) const {
+  switch (spec_.kind) {
+    case CompressionKind::kNone:
+      return net::DenseF32Message(profile_values, profile_values);
+    case CompressionKind::kTopK:
+      return net::TopKMessage(profile_values,
+                              TopKKept(spec_.topk_fraction, profile_values));
+    case CompressionKind::kInt8:
+      return net::Int8Message(profile_values);
+    case CompressionKind::kLayerwise: {
+      // The simulated tensor keeps the proxy's active fraction, in exact
+      // integer arithmetic (profile_values * active stays well inside int64
+      // for every profile in the repo).
+      const int64_t encoded =
+          total_segment_values_ > 0
+              ? profile_values * ActiveValues(round) / total_segment_values_
+              : profile_values;
+      return net::DenseF32Message(profile_values, encoded);
+    }
+  }
+  return net::DenseF32Message(profile_values, profile_values);
+}
+
+void GradientCompressor::Transform(std::span<double> values, int64_t round,
+                                   Rng& rng) const {
+  switch (spec_.kind) {
+    case CompressionKind::kNone:
+      return;
+    case CompressionKind::kTopK: {
+      const int64_t n = static_cast<int64_t>(values.size());
+      const int64_t kept = TopKKept(spec_.topk_fraction, n);
+      if (kept >= n) {
+        for (double& value : values) {
+          value = static_cast<double>(static_cast<float>(value));
+        }
+        return;
+      }
+      order_scratch_.resize(values.size());
+      for (size_t i = 0; i < values.size(); ++i) {
+        order_scratch_[i] = static_cast<int32_t>(i);
+      }
+      // Largest |v| first; equal magnitudes keep the lower index — the fixed
+      // tie-break that makes the selection a pure function of the values.
+      const auto larger = [&values](int32_t a, int32_t b) {
+        const double ma = std::fabs(values[static_cast<size_t>(a)]);
+        const double mb = std::fabs(values[static_cast<size_t>(b)]);
+        if (ma != mb) return ma > mb;
+        return a < b;
+      };
+      std::nth_element(order_scratch_.begin(),
+                       order_scratch_.begin() + (kept - 1),
+                       order_scratch_.end(), larger);
+      for (size_t rank = 0; rank < values.size(); ++rank) {
+        double& value = values[static_cast<size_t>(order_scratch_[rank])];
+        // Kept entries ride the wire as f32; dropped entries never ride.
+        value = rank < static_cast<size_t>(kept)
+                    ? static_cast<double>(static_cast<float>(value))
+                    : 0.0;
+      }
+      return;
+    }
+    case CompressionKind::kInt8: {
+      for (size_t start = 0; start < values.size();
+           start += static_cast<size_t>(net::kInt8BlockValues)) {
+        const size_t end = std::min(
+            values.size(), start + static_cast<size_t>(net::kInt8BlockValues));
+        double max_abs = 0.0;
+        for (size_t i = start; i < end; ++i) {
+          max_abs = std::max(max_abs, std::fabs(values[i]));
+        }
+        if (max_abs == 0.0) continue;  // all-zero block: nothing to round
+        // The per-block scale rides the wire as f32; quantization targets the
+        // exact value the receiver will multiply by.
+        const float scale = static_cast<float>(max_abs / 127.0);
+        for (size_t i = start; i < end; ++i) {
+          const double level_real = values[i] / static_cast<double>(scale);
+          double level = std::floor(level_real);
+          // Stochastic rounding: up with probability equal to the fractional
+          // part, so the quantizer is unbiased; the draw comes from the
+          // committing worker's stream, which is what keeps the whole grid
+          // bit-identical.
+          if (rng.Uniform() < level_real - level) level += 1.0;
+          level = std::clamp(level, -127.0, 127.0);
+          values[i] = static_cast<double>(static_cast<float>(level) * scale);
+        }
+      }
+      return;
+    }
+    case CompressionKind::kLayerwise: {
+      const int64_t period = spec_.layerwise_period;
+      size_t offset = 0;
+      for (size_t layer = 0; layer < segments_.size(); ++layer) {
+        const size_t size = static_cast<size_t>(segments_[layer]);
+        if (static_cast<int64_t>(layer) % period != round % period) {
+          std::fill(values.begin() + static_cast<ptrdiff_t>(offset),
+                    values.begin() + static_cast<ptrdiff_t>(offset + size),
+                    0.0);
+        }
+        offset += size;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace netmax::ml

@@ -47,6 +47,17 @@ size_t Mlp::BiasOffset(int layer) const {
   return WeightOffset(layer) + out * in;
 }
 
+std::vector<int64_t> Mlp::LayerSegments() const {
+  std::vector<int64_t> segments;
+  segments.reserve(static_cast<size_t>(num_layers()));
+  for (int layer = 0; layer < num_layers(); ++layer) {
+    const int64_t in = layer_sizes_[static_cast<size_t>(layer)];
+    const int64_t out = layer_sizes_[static_cast<size_t>(layer) + 1];
+    segments.push_back(out * in + out);
+  }
+  return segments;
+}
+
 void Mlp::InitializeParameters(uint64_t seed) {
   Rng rng(seed);
   for (int l = 0; l < num_layers(); ++l) {

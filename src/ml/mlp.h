@@ -47,6 +47,10 @@ class Mlp : public Model {
                     TrainingWorkspace& workspace) const override;
   std::unique_ptr<Model> Clone() const override;
 
+  // One segment per layer: weights + bias of layer l as a single contiguous
+  // block (matches the flat [W | b] layout above).
+  std::vector<int64_t> LayerSegments() const override;
+
   const std::vector<int>& layer_sizes() const { return layer_sizes_; }
   int num_layers() const { return static_cast<int>(layer_sizes_.size()) - 1; }
 

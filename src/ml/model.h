@@ -9,9 +9,11 @@
 // src/ml implements this interface and is verified against finite-difference
 // gradients in tests.
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "ml/dataset.h"
 #include "ml/sharding.h"
@@ -108,6 +110,14 @@ class Model {
     for (size_t i = 0; i < indices.size(); ++i) {
       out[i] = Predict(data, indices[i]);
     }
+  }
+
+  // Sizes of the contiguous parameter segments that layer-wise partial sync
+  // (ml/compression.h) masks over; entries sum to num_parameters(). The
+  // default treats the whole vector as one segment; layered models override
+  // with their real per-layer geometry.
+  virtual std::vector<int64_t> LayerSegments() const {
+    return {static_cast<int64_t>(num_parameters())};
   }
 
   // Deep copy (architecture + parameters).

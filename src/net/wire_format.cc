@@ -1,0 +1,230 @@
+#include "net/wire_format.h"
+
+#include <cstring>
+
+namespace netmax::net {
+namespace {
+
+int64_t Int8NumBlocks(int64_t values) {
+  return (values + kInt8BlockValues - 1) / kInt8BlockValues;
+}
+
+void AppendU32(std::vector<uint8_t>& out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<uint8_t>((value >> shift) & 0xff));
+  }
+}
+
+void AppendF32(std::vector<uint8_t>& out, float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU32(out, bits);
+}
+
+void AppendF64(std::vector<uint8_t>& out, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<uint8_t>((bits >> shift) & 0xff));
+  }
+}
+
+uint32_t ReadU32(std::span<const uint8_t> bytes, size_t offset) {
+  uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | bytes[offset + static_cast<size_t>(i)];
+  }
+  return value;
+}
+
+float ReadF32(std::span<const uint8_t> bytes, size_t offset) {
+  const uint32_t bits = ReadU32(bytes, offset);
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+double ReadF64(std::span<const uint8_t> bytes, size_t offset) {
+  uint64_t bits = 0;
+  for (int i = 7; i >= 0; --i) {
+    bits = (bits << 8) | bytes[offset + static_cast<size_t>(i)];
+  }
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// Header layout shared by every non-dense-f32 framing: encoding tag, then an
+// encoding-specific element count (kWireHeaderBytes total).
+void AppendHeader(std::vector<uint8_t>& out, WireEncoding encoding,
+                  uint32_t count) {
+  AppendU32(out, static_cast<uint32_t>(encoding));
+  AppendU32(out, count);
+}
+
+Status CheckHeader(std::span<const uint8_t> bytes, WireEncoding expected) {
+  if (bytes.size() < static_cast<size_t>(kWireHeaderBytes)) {
+    return InvalidArgumentError("wire message shorter than its header");
+  }
+  const uint32_t tag = ReadU32(bytes, 0);
+  if (tag != static_cast<uint32_t>(expected)) {
+    return InvalidArgumentError(
+        std::string("wire encoding mismatch: expected ") +
+        WireEncodingName(expected) + ", got tag " + std::to_string(tag));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* WireEncodingName(WireEncoding encoding) {
+  switch (encoding) {
+    case WireEncoding::kDenseF32:
+      return "dense-f32";
+    case WireEncoding::kDenseF64:
+      return "dense-f64";
+    case WireEncoding::kTopK:
+      return "top-k";
+    case WireEncoding::kInt8Blocks:
+      return "int8-blocks";
+  }
+  return "unknown";
+}
+
+int64_t WireMessage::PayloadBytes() const {
+  switch (encoding) {
+    case WireEncoding::kDenseF32:
+      // Headerless: the pre-compression baseline framing, and for partial
+      // (layer-wise) messages the layer schedule is derived from the round.
+      return 4 * encoded_values;
+    case WireEncoding::kDenseF64:
+      return kWireHeaderBytes + 8 * encoded_values;
+    case WireEncoding::kTopK:
+      return kWireHeaderBytes + 8 * encoded_values;
+    case WireEncoding::kInt8Blocks:
+      return kWireHeaderBytes + encoded_values +
+             4 * Int8NumBlocks(encoded_values);
+  }
+  return 0;
+}
+
+WireMessage DenseF32Message(int64_t num_values, int64_t encoded_values) {
+  return WireMessage{WireEncoding::kDenseF32, num_values, encoded_values};
+}
+
+WireMessage DenseF64Message(int64_t num_values) {
+  return WireMessage{WireEncoding::kDenseF64, num_values, num_values};
+}
+
+WireMessage TopKMessage(int64_t num_values, int64_t kept) {
+  return WireMessage{WireEncoding::kTopK, num_values, kept};
+}
+
+WireMessage Int8Message(int64_t num_values) {
+  return WireMessage{WireEncoding::kInt8Blocks, num_values, num_values};
+}
+
+std::vector<uint8_t> EncodeDenseF64(std::span<const double> values) {
+  std::vector<uint8_t> out;
+  const WireMessage msg = DenseF64Message(static_cast<int64_t>(values.size()));
+  out.reserve(static_cast<size_t>(msg.PayloadBytes()));
+  AppendHeader(out, WireEncoding::kDenseF64,
+               static_cast<uint32_t>(values.size()));
+  for (const double value : values) AppendF64(out, value);
+  return out;
+}
+
+StatusOr<std::vector<double>> DecodeDenseF64(std::span<const uint8_t> bytes) {
+  NETMAX_RETURN_IF_ERROR(CheckHeader(bytes, WireEncoding::kDenseF64));
+  const uint32_t count = ReadU32(bytes, 4);
+  const WireMessage msg = DenseF64Message(count);
+  if (bytes.size() != static_cast<size_t>(msg.PayloadBytes())) {
+    return InvalidArgumentError("dense-f64 payload size mismatch");
+  }
+  std::vector<double> values(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    values[i] = ReadF64(bytes, static_cast<size_t>(kWireHeaderBytes) + 8 * i);
+  }
+  return values;
+}
+
+std::vector<uint8_t> EncodeTopK(int64_t num_values,
+                                std::span<const TopKEntry> entries) {
+  std::vector<uint8_t> out;
+  const WireMessage msg =
+      TopKMessage(num_values, static_cast<int64_t>(entries.size()));
+  out.reserve(static_cast<size_t>(msg.PayloadBytes()));
+  // The element count names the *logical* size; the kept-entry count is
+  // implied by the buffer length (8 bytes per entry).
+  AppendHeader(out, WireEncoding::kTopK, static_cast<uint32_t>(num_values));
+  for (const TopKEntry& entry : entries) {
+    AppendU32(out, entry.index);
+    AppendF32(out, entry.value);
+  }
+  return out;
+}
+
+StatusOr<TopKPayload> DecodeTopK(std::span<const uint8_t> bytes) {
+  NETMAX_RETURN_IF_ERROR(CheckHeader(bytes, WireEncoding::kTopK));
+  const size_t body = bytes.size() - static_cast<size_t>(kWireHeaderBytes);
+  if (body % 8 != 0) {
+    return InvalidArgumentError("top-k payload size mismatch");
+  }
+  TopKPayload payload;
+  payload.num_values = ReadU32(bytes, 4);
+  payload.entries.resize(body / 8);
+  for (size_t i = 0; i < payload.entries.size(); ++i) {
+    const size_t offset = static_cast<size_t>(kWireHeaderBytes) + 8 * i;
+    payload.entries[i].index = ReadU32(bytes, offset);
+    payload.entries[i].value = ReadF32(bytes, offset + 4);
+  }
+  return payload;
+}
+
+std::vector<uint8_t> EncodeInt8Blocks(std::span<const int8_t> levels,
+                                      std::span<const float> scales) {
+  std::vector<uint8_t> out;
+  const WireMessage msg = Int8Message(static_cast<int64_t>(levels.size()));
+  out.reserve(static_cast<size_t>(msg.PayloadBytes()));
+  AppendHeader(out, WireEncoding::kInt8Blocks,
+               static_cast<uint32_t>(levels.size()));
+  for (const float scale : scales) AppendF32(out, scale);
+  for (const int8_t level : levels) {
+    out.push_back(static_cast<uint8_t>(level));
+  }
+  return out;
+}
+
+StatusOr<Int8Payload> DecodeInt8Blocks(std::span<const uint8_t> bytes) {
+  NETMAX_RETURN_IF_ERROR(CheckHeader(bytes, WireEncoding::kInt8Blocks));
+  const uint32_t count = ReadU32(bytes, 4);
+  const WireMessage msg = Int8Message(count);
+  if (bytes.size() != static_cast<size_t>(msg.PayloadBytes())) {
+    return InvalidArgumentError("int8-blocks payload size mismatch");
+  }
+  Int8Payload payload;
+  payload.scales.resize(static_cast<size_t>(Int8NumBlocks(count)));
+  size_t offset = static_cast<size_t>(kWireHeaderBytes);
+  for (float& scale : payload.scales) {
+    scale = ReadF32(bytes, offset);
+    offset += 4;
+  }
+  payload.levels.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    payload.levels[i] = static_cast<int8_t>(bytes[offset + i]);
+  }
+  return payload;
+}
+
+std::vector<double> Int8Payload::Dequantized() const {
+  std::vector<double> values(levels.size());
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const float scale = scales[i / static_cast<size_t>(kInt8BlockValues)];
+    // The same f32 product the quantizer's round-trip bound is stated
+    // against: level * scale in f32, widened once.
+    values[i] = static_cast<double>(static_cast<float>(levels[i]) * scale);
+  }
+  return values;
+}
+
+}  // namespace netmax::net

@@ -1,0 +1,125 @@
+#ifndef NETMAX_NET_WIRE_FORMAT_H_
+#define NETMAX_NET_WIRE_FORMAT_H_
+
+// Wire format of one tensor message: how a model-sized payload is laid out on
+// the wire, and — the part the simulator consumes — exactly how many bytes
+// that layout costs. Engines used to charge a hand-waved per-message constant
+// (ModelProfile::message_bytes()); with this layer every send reports bytes
+// *derived* from the actual encoding, so compression variants change both the
+// link-transfer seconds and the RunResult byte counters.
+//
+// Encodings:
+//   kDenseF32   4 bytes per value, headerless — by construction identical to
+//               ModelProfile::message_bytes(), the framing every
+//               pre-compression run charged. Partial (layer-wise) messages are
+//               dense f32 over the active values only; the layer schedule is
+//               a deterministic function of the round, so no index bytes ride
+//               along.
+//   kDenseF64   8 bytes per value plus the header; the lossless reference
+//               framing (round-trips bit-exactly, see Encode/Decode below).
+//   kTopK       8 bytes per kept entry ({uint32 index, f32 value}) plus the
+//               header.
+//   kInt8Blocks 1 byte per value plus one f32 scale per 256-value block,
+//               plus the header.
+//
+// The Encode*/Decode* functions below materialize real wire bytes in exactly
+// the layout PayloadBytes() counts. The simulator never materializes
+// payloads (it only needs the byte counts); the codec exists so the format is
+// honest — wire_format_test round-trips every encoding and cross-checks the
+// buffer sizes against the formulas.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace netmax::net {
+
+enum class WireEncoding {
+  kDenseF32 = 0,
+  kDenseF64 = 1,
+  kTopK = 2,
+  kInt8Blocks = 3,
+};
+
+const char* WireEncodingName(WireEncoding encoding);
+
+// Values per quantization block: one f32 scale amortized over this many
+// int8 values (~1.6% overhead).
+inline constexpr int64_t kInt8BlockValues = 256;
+
+// Non-dense-f32 framings carry a fixed header: uint32 encoding tag plus
+// uint32 element count.
+inline constexpr int64_t kWireHeaderBytes = 8;
+
+// Descriptor of one message: the logical tensor size, the encoding, and how
+// many values actually ride the wire (== num_values except for top-k and
+// layer-wise partial messages). Byte counts are derived, never stored.
+struct WireMessage {
+  WireEncoding encoding = WireEncoding::kDenseF32;
+  int64_t num_values = 0;      // logical tensor size
+  int64_t encoded_values = 0;  // values on the wire (<= num_values)
+
+  // Exact bytes this message occupies on the wire.
+  int64_t PayloadBytes() const;
+
+  // What the same tensor costs in the dense f32 baseline framing — the
+  // pre-compression ModelProfile::message_bytes() number.
+  int64_t DenseBaselineBytes() const { return 4 * num_values; }
+
+  // Baseline minus payload; negative when an encoding's overhead exceeds its
+  // savings on a tiny message.
+  int64_t BytesSaved() const { return DenseBaselineBytes() - PayloadBytes(); }
+};
+
+// Descriptor factories. `encoded_values` of the partial dense message (and
+// `kept` of the top-k one) must be in [0, num_values].
+WireMessage DenseF32Message(int64_t num_values, int64_t encoded_values);
+WireMessage DenseF64Message(int64_t num_values);
+WireMessage TopKMessage(int64_t num_values, int64_t kept);
+WireMessage Int8Message(int64_t num_values);
+
+// One top-k wire entry: a flat index and the value rounded through f32.
+struct TopKEntry {
+  uint32_t index = 0;
+  float value = 0.0f;
+};
+
+// --- Codec -------------------------------------------------------------------
+// Each encoder returns a buffer of exactly WireMessage::PayloadBytes() bytes;
+// each decoder rejects a malformed header or a size mismatch with
+// kInvalidArgument. Multi-byte fields are little-endian.
+
+// Lossless f64 framing: DecodeDenseF64(EncodeDenseF64(v)) == v bit for bit.
+std::vector<uint8_t> EncodeDenseF64(std::span<const double> values);
+StatusOr<std::vector<double>> DecodeDenseF64(std::span<const uint8_t> bytes);
+
+// Sparse framing: `num_values` rides in the header so the decoder can size
+// the dense result; kept entries decode bit-exactly (the f32 rounding
+// happened before encoding).
+std::vector<uint8_t> EncodeTopK(int64_t num_values,
+                                std::span<const TopKEntry> entries);
+struct TopKPayload {
+  int64_t num_values = 0;
+  std::vector<TopKEntry> entries;
+};
+StatusOr<TopKPayload> DecodeTopK(std::span<const uint8_t> bytes);
+
+// Quantized framing: the caller supplies already-quantized levels in
+// [-127, 127] plus one scale per kInt8BlockValues block
+// (scales.size() == ceil(levels.size() / kInt8BlockValues)). The decoder
+// returns level * scale per value, bit-exact against the same product
+// computed by the quantizer.
+std::vector<uint8_t> EncodeInt8Blocks(std::span<const int8_t> levels,
+                                      std::span<const float> scales);
+struct Int8Payload {
+  std::vector<int8_t> levels;
+  std::vector<float> scales;
+  std::vector<double> Dequantized() const;
+};
+StatusOr<Int8Payload> DecodeInt8Blocks(std::span<const uint8_t> bytes);
+
+}  // namespace netmax::net
+
+#endif  // NETMAX_NET_WIRE_FORMAT_H_

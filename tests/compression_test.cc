@@ -1,0 +1,244 @@
+// Tests for the gradient compression family: spec parsing, deterministic
+// top-k selection with the fixed tie-break, int8 stochastic quantization's
+// error bound and reproducibility, and the layer-wise mask schedule.
+
+#include "ml/compression.h"
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "net/wire_format.h"
+
+namespace netmax::ml {
+namespace {
+
+TEST(CompressionSpecTest, ParsesTheFullGrammar) {
+  auto none = ParseCompressionSpec("none");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->kind, CompressionKind::kNone);
+  EXPECT_FALSE(none->enabled());
+
+  auto topk = ParseCompressionSpec("topk:0.05");
+  ASSERT_TRUE(topk.ok());
+  EXPECT_EQ(topk->kind, CompressionKind::kTopK);
+  EXPECT_DOUBLE_EQ(topk->topk_fraction, 0.05);
+  EXPECT_EQ(CompressionSpecName(*topk), "topk:0.05");
+
+  auto int8 = ParseCompressionSpec("int8");
+  ASSERT_TRUE(int8.ok());
+  EXPECT_EQ(int8->kind, CompressionKind::kInt8);
+
+  auto layerwise = ParseCompressionSpec("layerwise:3");
+  ASSERT_TRUE(layerwise.ok());
+  EXPECT_EQ(layerwise->kind, CompressionKind::kLayerwise);
+  EXPECT_EQ(layerwise->layerwise_period, 3);
+  EXPECT_EQ(CompressionSpecName(*layerwise), "layerwise:3");
+}
+
+TEST(CompressionSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseCompressionSpec("").ok());
+  EXPECT_FALSE(ParseCompressionSpec("gzip").ok());
+  EXPECT_FALSE(ParseCompressionSpec("topk:").ok());
+  EXPECT_FALSE(ParseCompressionSpec("topk:0").ok());
+  EXPECT_FALSE(ParseCompressionSpec("topk:1.5").ok());
+  EXPECT_FALSE(ParseCompressionSpec("topk:abc").ok());
+  EXPECT_FALSE(ParseCompressionSpec("layerwise:0").ok());
+  EXPECT_FALSE(ParseCompressionSpec("layerwise:x").ok());
+}
+
+CompressionSpec TopKSpec(double fraction) {
+  CompressionSpec spec;
+  spec.kind = CompressionKind::kTopK;
+  spec.topk_fraction = fraction;
+  return spec;
+}
+
+TEST(TopKTest, KeepsLargestMagnitudesAndZeroesTheRest) {
+  GradientCompressor compressor(TopKSpec(0.25), {8});
+  std::vector<double> values = {0.1, -5.0, 0.2, 3.0, -0.3, 0.05, 1.0, -0.4};
+  Rng rng(1);
+  compressor.Transform(values, /*round=*/0, rng);
+  // kept = round(0.25 * 8) = 2: the -5.0 and 3.0 survive (through f32).
+  const std::vector<double> expected = {
+      0.0, static_cast<double>(static_cast<float>(-5.0)),
+      0.0, static_cast<double>(static_cast<float>(3.0)),
+      0.0, 0.0, 0.0, 0.0};
+  EXPECT_EQ(values, expected);
+}
+
+TEST(TopKTest, TiesBreakTowardTheLowerIndex) {
+  GradientCompressor compressor(TopKSpec(0.5), {4});
+  // All magnitudes equal: kept = 2, and the fixed tie-break must select
+  // indexes 0 and 1 regardless of sign.
+  std::vector<double> values = {-1.0, 1.0, 1.0, -1.0};
+  Rng rng(1);
+  compressor.Transform(values, /*round=*/0, rng);
+  EXPECT_EQ(values, (std::vector<double>{-1.0, 1.0, 0.0, 0.0}));
+}
+
+TEST(TopKTest, SelectionIsAPureFunctionOfTheValues) {
+  GradientCompressor compressor(TopKSpec(0.1), {512});
+  Rng data_rng(99);
+  std::vector<double> values(512);
+  for (double& v : values) v = data_rng.Uniform(-1.0, 1.0);
+  std::vector<double> a = values;
+  std::vector<double> b = values;
+  // Different RNG states and rounds: top-k consumes neither.
+  Rng rng_a(1);
+  Rng rng_b(123456);
+  rng_b.Uniform();
+  compressor.Transform(a, /*round=*/3, rng_a);
+  compressor.Transform(b, /*round=*/17, rng_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TopKTest, KeepsAtLeastOneValue) {
+  GradientCompressor compressor(TopKSpec(0.001), {4});
+  std::vector<double> values = {0.5, -2.0, 0.25, 1.0};
+  Rng rng(1);
+  compressor.Transform(values, /*round=*/0, rng);
+  int nonzero = 0;
+  for (const double v : values) nonzero += v != 0.0;
+  EXPECT_EQ(nonzero, 1);
+  EXPECT_EQ(values[1], static_cast<double>(static_cast<float>(-2.0)));
+}
+
+CompressionSpec Int8Spec() {
+  CompressionSpec spec;
+  spec.kind = CompressionKind::kInt8;
+  return spec;
+}
+
+TEST(Int8Test, QuantizationErrorIsWithinOneLevelPerValue) {
+  GradientCompressor compressor(Int8Spec(), {1000});
+  Rng data_rng(7);
+  std::vector<double> values(1000);
+  for (double& v : values) v = data_rng.Uniform(-4.0, 4.0);
+  std::vector<double> quantized = values;
+  Rng rng(42);
+  compressor.Transform(quantized, /*round=*/0, rng);
+  // Per 256-value block the scale is max|v| / 127; stochastic rounding moves
+  // each value by strictly less than one level. The f32 scale and product
+  // round-offs add at most a few ulps, covered by the 1.01 slack.
+  for (size_t start = 0; start < values.size();
+       start += static_cast<size_t>(net::kInt8BlockValues)) {
+    const size_t end =
+        std::min(values.size(),
+                 start + static_cast<size_t>(net::kInt8BlockValues));
+    double max_abs = 0.0;
+    for (size_t i = start; i < end; ++i) {
+      max_abs = std::max(max_abs, std::fabs(values[i]));
+    }
+    const double level = max_abs / 127.0;
+    for (size_t i = start; i < end; ++i) {
+      EXPECT_LE(std::fabs(quantized[i] - values[i]), 1.01 * level)
+          << "value " << i;
+    }
+  }
+}
+
+TEST(Int8Test, SameStreamStateReproducesTheSameBits) {
+  GradientCompressor compressor(Int8Spec(), {300});
+  Rng data_rng(3);
+  std::vector<double> values(300);
+  for (double& v : values) v = data_rng.Uniform(-1.0, 1.0);
+  std::vector<double> a = values;
+  std::vector<double> b = values;
+  Rng rng_a(2026);
+  Rng rng_b(2026);
+  compressor.Transform(a, /*round=*/0, rng_a);
+  compressor.Transform(b, /*round=*/0, rng_b);
+  EXPECT_EQ(a, b);
+  // And the draw count is deterministic too: both streams advanced in
+  // lockstep, so a subsequent draw agrees bit for bit.
+  EXPECT_EQ(rng_a.Uniform(), rng_b.Uniform());
+}
+
+TEST(Int8Test, AllZeroBlocksDrawNothing) {
+  GradientCompressor compressor(Int8Spec(), {512});
+  std::vector<double> values(512, 0.0);
+  Rng rng(5);
+  Rng untouched(5);
+  compressor.Transform(values, /*round=*/0, rng);
+  for (const double v : values) EXPECT_EQ(v, 0.0);
+  EXPECT_EQ(rng.Uniform(), untouched.Uniform());
+}
+
+CompressionSpec LayerwiseSpec(int period) {
+  CompressionSpec spec;
+  spec.kind = CompressionKind::kLayerwise;
+  spec.layerwise_period = period;
+  return spec;
+}
+
+TEST(LayerwiseTest, AlternatingLayerScheduleRoundTrips) {
+  // Three layers of sizes 2/3/1 under period 2: even rounds sync layers
+  // {0, 2}, odd rounds layer {1}.
+  GradientCompressor compressor(LayerwiseSpec(2), {2, 3, 1});
+  Rng rng(1);
+  std::vector<double> even = {1, 2, 3, 4, 5, 6};
+  compressor.Transform(even, /*round=*/0, rng);
+  EXPECT_EQ(even, (std::vector<double>{1, 2, 0, 0, 0, 6}));
+  std::vector<double> odd = {1, 2, 3, 4, 5, 6};
+  compressor.Transform(odd, /*round=*/1, rng);
+  EXPECT_EQ(odd, (std::vector<double>{0, 0, 3, 4, 5, 0}));
+  // Round 2 wraps back to the even mask; over any `period` consecutive
+  // rounds every layer syncs exactly once.
+  std::vector<double> wrap = {1, 2, 3, 4, 5, 6};
+  compressor.Transform(wrap, /*round=*/2, rng);
+  EXPECT_EQ(wrap, (std::vector<double>{1, 2, 0, 0, 0, 6}));
+  EXPECT_EQ(compressor.ActiveValues(0) + compressor.ActiveValues(1), 6);
+}
+
+TEST(LayerwiseTest, PeriodOneSyncsEverything) {
+  GradientCompressor compressor(LayerwiseSpec(1), {2, 3, 1});
+  std::vector<double> values = {1, 2, 3, 4, 5, 6};
+  Rng rng(1);
+  compressor.Transform(values, /*round=*/5, rng);
+  EXPECT_EQ(values, (std::vector<double>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(compressor.ActiveValues(5), 6);
+}
+
+TEST(DescribeTest, ByteCountsMatchTheWireFormulas) {
+  const int64_t profile_values = 1'000'000;
+  GradientCompressor none(CompressionSpec(), {10});
+  EXPECT_EQ(none.Describe(profile_values, 0).PayloadBytes(),
+            4 * profile_values);
+  EXPECT_EQ(none.Describe(profile_values, 0).BytesSaved(), 0);
+
+  GradientCompressor topk(TopKSpec(0.1), {10});
+  EXPECT_EQ(topk.Describe(profile_values, 0).PayloadBytes(),
+            net::kWireHeaderBytes + 8 * 100'000);
+
+  GradientCompressor int8(Int8Spec(), {10});
+  EXPECT_EQ(int8.Describe(profile_values, 0).PayloadBytes(),
+            net::kWireHeaderBytes + profile_values +
+                4 * ((profile_values + net::kInt8BlockValues - 1) /
+                     net::kInt8BlockValues));
+
+  // Layer-wise scales the simulated tensor by the proxy's active fraction:
+  // layers 2/3/1 -> round 0 keeps 3 of 6 proxy values -> half the profile.
+  GradientCompressor layerwise(LayerwiseSpec(2), {2, 3, 1});
+  EXPECT_EQ(layerwise.Describe(profile_values, 0).PayloadBytes(),
+            4 * (profile_values / 2));
+  EXPECT_EQ(layerwise.Describe(profile_values, 1).PayloadBytes(),
+            4 * (profile_values / 2));
+}
+
+TEST(DescribeTest, DefaultCompressorIsTheIdentity) {
+  GradientCompressor compressor;
+  EXPECT_FALSE(compressor.spec().enabled());
+  std::vector<double> values = {1.5, -2.5};
+  Rng rng(1);
+  compressor.Transform(values, /*round=*/0, rng);
+  EXPECT_EQ(values, (std::vector<double>{1.5, -2.5}));
+  EXPECT_EQ(compressor.Describe(100, 0).PayloadBytes(), 400);
+}
+
+}  // namespace
+}  // namespace netmax::ml

@@ -15,6 +15,8 @@
 #include "algos/registry.h"
 #include "core/execution_backend.h"
 #include "core/experiment.h"
+#include "ml/compression.h"
+#include "net/event_queue.h"
 #include "net/fault_schedule.h"
 
 namespace netmax {
@@ -86,6 +88,9 @@ void ExpectBitIdentical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.total_local_iterations, b.total_local_iterations);
   EXPECT_EQ(a.consensus_distance, b.consensus_distance);
   EXPECT_EQ(a.policies_generated, b.policies_generated);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.bytes_saved, b.bytes_saved);
 }
 
 class ParallelDeterminism : public ::testing::TestWithParam<std::string> {};
@@ -233,6 +238,73 @@ TEST_P(ParallelDeterminism, FaultScheduleBitIdenticalAcrossExecutionPoints) {
       EXPECT_EQ(reference.peers_timed_out, run.peers_timed_out);
     }
   }
+}
+
+TEST_P(ParallelDeterminism, CompressionBitIdenticalAcrossExecutionPoints) {
+  // Gradient compression draws from the committing worker's RNG stream
+  // (int8) and reads the per-worker communication-round counter (layerwise),
+  // both of which only move in commit contexts — so a compressed run must be
+  // exactly as reproducible as an uncompressed one across backends, reorder
+  // windows, thread counts, shard splits, and event-queue backends. One
+  // variant per encoding family; the reference is the fully serial unsharded
+  // run of the same spec.
+  ExperimentConfig config = BaseConfig();
+  config.dataset.num_train = 256;
+  config.dataset.num_test = 64;
+  config.batch_size = 24;
+  config.max_epochs = 1;
+
+  struct ExecutionPoint {
+    ExecutionBackendKind backend;
+    int threads;
+    int shards;
+    int reorder_window;
+    net::EventQueueKind queue;
+  };
+  const ExecutionPoint points[] = {
+      {ExecutionBackendKind::kSpeculative, 8, 1, 0,
+       net::EventQueueKind::kSortedVector},
+      {ExecutionBackendKind::kSpeculative, 8, 2, 0,
+       net::EventQueueKind::kBinaryHeap},
+      {ExecutionBackendKind::kAsyncPipeline, 8, 1, 4,
+       net::EventQueueKind::kCalendar},
+  };
+  for (const char* spec_text : {"topk:0.1", "int8", "layerwise:2"}) {
+    auto spec = ml::ParseCompressionSpec(spec_text);
+    NETMAX_CHECK_OK(spec.status());
+    config.compress = *spec;
+    const RunResult reference = RunWithThreads(
+        GetParam(), config, 1, 1, ExecutionBackendKind::kSerial);
+    // Compression must actually bite: bytes came off the wire.
+    EXPECT_GT(reference.messages_sent, 0) << spec_text;
+    EXPECT_GT(reference.bytes_saved, 0) << spec_text;
+    for (const ExecutionPoint& point : points) {
+      ExperimentConfig point_config = config;
+      point_config.event_queue = point.queue;
+      SCOPED_TRACE(std::string("compress=") + spec_text + " backend=" +
+                   std::to_string(static_cast<int>(point.backend)) +
+                   " threads=" + std::to_string(point.threads) +
+                   " shards=" + std::to_string(point.shards) + " queue=" +
+                   std::string(net::EventQueueKindName(point.queue)));
+      const RunResult run =
+          RunWithThreads(GetParam(), point_config, point.threads,
+                         point.shards, point.backend, point.reorder_window);
+      ExpectBitIdentical(reference, run);
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, UncompressedRunsChargeBaselineBytes) {
+  // Without compression every send charges exactly the dense f32 baseline:
+  // bytes_saved is identically zero (this is what lets the diagnostics table
+  // and the golden traces stay byte-identical to their pre-compression
+  // shape), while any communicating engine still accounts real messages.
+  ExperimentConfig config = BaseConfig();
+  config.max_epochs = 1;
+  const RunResult run = RunWithThreads(GetParam(), config, 8);
+  EXPECT_EQ(run.bytes_saved, 0);
+  EXPECT_GT(run.messages_sent, 0);
+  EXPECT_GT(run.bytes_sent, 0);
 }
 
 TEST_P(ParallelDeterminism, FaultFreeRunsReportZeroFaultCounters) {

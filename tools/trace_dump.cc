@@ -19,6 +19,14 @@
 // under timeout), so the golden lane also locks down the fault-injection
 // subsystem's bits; plain algorithm traces are byte-identical to before the
 // fault variants existed.
+//
+// Compression variants: "<algorithm>+topk" (top-k 0.1), "<algorithm>+int8",
+// and "<algorithm>+layerwise" (period 2) run the pinned experiment with the
+// respective gradient compression and append the wire counters. --list
+// advertises three pinned variants (netmax+topk, gossip+int8,
+// allreduce+layerwise) covering the per-send, push-gossip, and ring-chunk
+// accounting paths; plain traces stay byte-identical to their pre-compression
+// pins.
 
 #include <cinttypes>
 #include <cstdio>
@@ -28,6 +36,7 @@
 #include "algos/registry.h"
 #include "common/status.h"
 #include "core/experiment.h"
+#include "ml/compression.h"
 #include "ml/metrics.h"
 #include "net/event_queue.h"
 #include "net/fault_schedule.h"
@@ -70,6 +79,16 @@ constexpr char kFaultSpec[] = "slow@0.5+2x4:w1;leave@1:w2;join@3:w2";
 constexpr char kWaitSuffix[] = "+faults-wait";
 constexpr char kTimeoutSuffix[] = "+faults-timeout";
 
+// Pinned compression variants. The specs mirror the bench defaults
+// (--compress=topk:0.1 / int8 / layerwise:2); changing one invalidates its
+// pinned traces — regenerate them.
+constexpr char kTopKSuffix[] = "+topk";
+constexpr char kInt8Suffix[] = "+int8";
+constexpr char kLayerwiseSuffix[] = "+layerwise";
+constexpr char kTopKSpec[] = "topk:0.1";
+constexpr char kInt8Spec[] = "int8";
+constexpr char kLayerwiseSpec[] = "layerwise:2";
+
 bool StripSuffix(std::string& name, const char* suffix) {
   const std::string tail(suffix);
   if (name.size() <= tail.size() ||
@@ -89,11 +108,18 @@ Status DumpTrace(const std::string& request) {
   std::string name = request;
   bool fault_mode = false;
   core::PeerPolicy policy = core::PeerPolicy::kWait;
+  const char* compress_spec = nullptr;
   if (StripSuffix(name, kWaitSuffix)) {
     fault_mode = true;
   } else if (StripSuffix(name, kTimeoutSuffix)) {
     fault_mode = true;
     policy = core::PeerPolicy::kTimeoutAndContinue;
+  } else if (StripSuffix(name, kTopKSuffix)) {
+    compress_spec = kTopKSpec;
+  } else if (StripSuffix(name, kInt8Suffix)) {
+    compress_spec = kInt8Spec;
+  } else if (StripSuffix(name, kLayerwiseSuffix)) {
+    compress_spec = kLayerwiseSpec;
   }
   core::ExperimentConfig config = GoldenConfig();
   // NETMAX_EVENT_QUEUE selects the event-queue backend without perturbing
@@ -109,6 +135,10 @@ Status DumpTrace(const std::string& request) {
     config.peer_policy = policy;
     config.peer_timeout_seconds = 1.0;
     config.peer_poll_seconds = 0.4;
+  }
+  if (compress_spec != nullptr) {
+    NETMAX_ASSIGN_OR_RETURN(config.compress,
+                            ml::ParseCompressionSpec(compress_spec));
   }
   NETMAX_ASSIGN_OR_RETURN(const auto algorithm, algos::MakeAlgorithm(name));
   NETMAX_ASSIGN_OR_RETURN(const core::RunResult result,
@@ -136,6 +166,13 @@ Status DumpTrace(const std::string& request) {
     std::printf("rounds_degraded %" PRId64 "\n", result.rounds_degraded);
     std::printf("peers_timed_out %" PRId64 "\n", result.peers_timed_out);
   }
+  if (compress_spec != nullptr) {
+    // Likewise, only the compression variants carry the wire counters, so
+    // the plain traces stay byte-identical to their pre-compression pins.
+    std::printf("messages_sent %" PRId64 "\n", result.messages_sent);
+    std::printf("bytes_sent %" PRId64 "\n", result.bytes_sent);
+    std::printf("bytes_saved %" PRId64 "\n", result.bytes_saved);
+  }
   return Status::Ok();
 }
 
@@ -161,6 +198,13 @@ int main(int argc, char** argv) {
     std::printf("netmax%s\n", netmax::kWaitSuffix);
     std::printf("netmax%s\n", netmax::kTimeoutSuffix);
     std::printf("allreduce%s\n", netmax::kTimeoutSuffix);
+    // The pinned compression variants — one per encoding family, spread
+    // across the three wire-accounting shapes (directed consensus sends,
+    // push-gossip snapshots, ring allreduce chunks). Every other
+    // "<algorithm>+{topk,int8,layerwise}" spelling also runs, unpinned.
+    std::printf("netmax%s\n", netmax::kTopKSuffix);
+    std::printf("gossip%s\n", netmax::kInt8Suffix);
+    std::printf("allreduce%s\n", netmax::kLayerwiseSuffix);
     return 0;
   }
   const netmax::Status status = netmax::DumpTrace(arg);
