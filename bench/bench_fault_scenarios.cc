@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "ml/compression.h"
 #include "net/fault_schedule.h"
 
 namespace netmax {
@@ -151,6 +152,62 @@ Status RunSeedSweep() {
   return Status::Ok();
 }
 
+// Compression x fault-seed grid: does a sparser payload move the degradation
+// frontier under churn? Each row pairs one compressor from the PR-9 family
+// with one seed-derived schedule at the hostile intensity and reports the
+// same frontier counters as the seed sweep plus the wire columns. Two
+// readings: within one spec, how much the frontier counters move across
+// seeds (the churn sensitivity of that payload), and within one seed, how
+// far a lossy spec's final_loss sits from the "none" row — that delta is the
+// compressor's ordinary convergence cost, and the panel shows whether churn
+// widens it (it should not: compression is applied identically on every
+// gossip edge, faulted or not). This is the ROADMAP item 2 follow-on.
+constexpr const char* kCompressionSpecs[] = {"none", "topk:0.1", "int8",
+                                             "layerwise:2"};
+
+Status RunCompressionSweep() {
+  // Two engines bound the panel: the paper's system and the gossip baseline
+  // whose payloads dominate its wire bill. The hostile intensity (6 faults)
+  // under timeout-and-continue exercises compression on the degraded paths
+  // (rounds that drop a timed-out peer still compress the survivors'
+  // payloads).
+  const std::vector<std::string> algorithms = {"netmax", "adpsgd"};
+  TablePrinter table({"compress", "seed", "algorithm", "final_loss",
+                      "injected", "degraded", "timeouts", "bytes_sent",
+                      "bytes_saved"});
+  for (const char* spec_text : kCompressionSpecs) {
+    NETMAX_ASSIGN_OR_RETURN(const ml::CompressionSpec spec,
+                            ml::ParseCompressionSpec(spec_text));
+    for (const uint64_t seed : kSweepSeeds) {
+      core::ExperimentConfig config = FaultBaseConfig();
+      config.compress = spec;
+      config.faults = net::FaultSchedule::FromSeed(
+          seed, config.num_workers, kSweepHorizonSeconds, kSweepCounts[1]);
+      config.peer_policy = core::PeerPolicy::kTimeoutAndContinue;
+      NETMAX_ASSIGN_OR_RETURN(
+          const std::vector<bench::NamedResult> results,
+          bench::RunAlgorithms(algorithms, config));
+      for (const bench::NamedResult& entry : results) {
+        const core::RunResult& r = entry.result;
+        table.AddRow({spec_text, std::to_string(seed), entry.name,
+                      Fmt(r.final_train_loss, 4),
+                      std::to_string(r.faults_injected),
+                      std::to_string(r.rounds_degraded),
+                      std::to_string(r.peers_timed_out),
+                      std::to_string(r.bytes_sent),
+                      std::to_string(r.bytes_saved)});
+      }
+    }
+  }
+  const std::string title =
+      std::string("Compression x fault-seed sweep (faults=seed:") +
+      std::to_string(kSweepCounts[1]) + ", policy=timeout)";
+  std::cout << "\n== " << title << " ==\n";
+  table.Print(std::cout);
+  table.PrintCsv(std::cout, title);
+  return Status::Ok();
+}
+
 // Status-returning twin of the determinism tests' ExpectBitIdentical: the
 // deterministic subset of RunResult, compared bit-for-bit.
 Status CompareSeries(const std::string& run, const char* label,
@@ -258,6 +315,7 @@ Status RunBench() {
   NETMAX_RETURN_IF_ERROR(
       RunPolicyPanels(core::PeerPolicy::kTimeoutAndContinue));
   NETMAX_RETURN_IF_ERROR(RunSeedSweep());
+  NETMAX_RETURN_IF_ERROR(RunCompressionSweep());
   return CheckCrashRestore();
 }
 

@@ -8,12 +8,13 @@
 //     worker always has exactly one pending event, so the queue holds N
 //     entries in steady state) driven through the real EventSimulator for a
 //     fixed wall-clock budget per cell. The sorted vector pays an O(N)
-//     memmove per insert, the heap O(log N), the calendar queue O(1); at
-//     10^5+ workers the frontier separates them by orders of magnitude.
+//     memmove per insert, the heap O(log N), the pairing heap O(1) insert
+//     with an amortized O(log N) pop, the calendar queue O(1); at 10^5+
+//     workers the frontier separates them by orders of magnitude.
 //  2. Queue x backend matrix — one real training experiment per
 //     {event queue, execution backend} pair, wall clock measured and results
-//     verified bit-identical across all nine runs (the queue and the backend
-//     are real-machine choices only; virtual results never move).
+//     verified bit-identical across all twelve runs (the queue and the
+//     backend are real-machine choices only; virtual results never move).
 //  3. Hierarchical gossip at scale — 10^5+ workers on the
 //     clusters-of-clusters topology with the O(1)-memory hierarchical link
 //     model, each worker gossiping rounds to its neighbors through the
@@ -146,18 +147,18 @@ void CheckBitIdentical(const std::string& label, const core::RunResult& a,
 
 StatusOr<std::vector<MatrixCell>> RunQueueBackendMatrix(std::ostream& os) {
   core::ExperimentConfig config = bench::PaperBaseConfig();
-  config.max_epochs = 8;  // the matrix is 9 runs; keep full mode in minutes
+  config.max_epochs = 8;  // the matrix is 12 runs; keep full mode in minutes
   bench::MaybeApplySmoke(config);
   config.threads = 1;
   config.shards = 1;
   std::vector<MatrixCell> cells;
   const core::RunResult* reference = nullptr;
   std::vector<core::RunResult> results;
-  results.reserve(9);
+  results.reserve(12);
   TablePrinter table({"queue", "backend", "wall_s", "virtual_s", "identical"});
   for (const net::EventQueueKind queue :
        {net::EventQueueKind::kSortedVector, net::EventQueueKind::kBinaryHeap,
-        net::EventQueueKind::kCalendar}) {
+        net::EventQueueKind::kCalendar, net::EventQueueKind::kPairingHeap}) {
     for (const core::ExecutionBackendKind backend :
          {core::ExecutionBackendKind::kSerial,
           core::ExecutionBackendKind::kSpeculative,
@@ -195,7 +196,7 @@ StatusOr<std::vector<MatrixCell>> RunQueueBackendMatrix(std::ostream& os) {
                     Fmt(run.total_virtual_seconds, 1), "yes"});
     }
   }
-  os << "\n== Queue x backend matrix (netmax, 8 workers; all nine runs "
+  os << "\n== Queue x backend matrix (netmax, 8 workers; all twelve runs "
         "verified bit-identical) ==\n";
   table.Print(os);
   table.PrintCsv(os, "Queue x backend matrix");
@@ -360,7 +361,8 @@ Status Run() {
   for (const int workers : worker_grid) {
     for (const net::EventQueueKind kind :
          {net::EventQueueKind::kSortedVector, net::EventQueueKind::kBinaryHeap,
-          net::EventQueueKind::kCalendar}) {
+          net::EventQueueKind::kCalendar,
+          net::EventQueueKind::kPairingHeap}) {
       const FrontierCell cell =
           MeasureQueueFrontier(workers, kind, cell_budget);
       frontier.push_back(cell);

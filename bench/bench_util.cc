@@ -33,6 +33,7 @@ bool backend_override_set = false;
 core::ExecutionBackendKind backend_override =
     core::ExecutionBackendKind::kSpeculative;
 int reorder_window_override = -1;
+int procs_override = -1;
 double checkpoint_at_override = 0.0;
 double checkpoint_every_override = 0.0;
 std::string checkpoint_path_override;
@@ -79,9 +80,11 @@ void PrintUsage(std::ostream& os, const char* binary) {
      << "  --shards=N           intra-worker gradient shard tasks (0 = auto "
         "from the thread budget; results are bit-identical)\n"
      << "  --backend=K          execution backend: serial | speculative | "
-        "async (results are bit-identical)\n"
+        "async | process (results are bit-identical)\n"
      << "  --reorder-window=N   async backend in-flight compute bound "
         "(0 = synchronous; results are bit-identical)\n"
+     << "  --procs=N            process backend's forked gradient-compute "
+        "children (0 = one per core; results are bit-identical)\n"
      << "  --checkpoint-at=S    write a checkpoint S virtual seconds into "
         "every run (requires --checkpoint-path)\n"
      << "  --checkpoint-path=P  checkpoint file prefix; each run writes "
@@ -115,6 +118,7 @@ void PrintUsage(std::ostream& os, const char* binary) {
      << "  NETMAX_SHARDS=N           same as --shards=N\n"
      << "  NETMAX_BACKEND=K          same as --backend=K\n"
      << "  NETMAX_REORDER_WINDOW=N   same as --reorder-window=N\n"
+     << "  NETMAX_PROCS=N            same as --procs=N\n"
      << "  NETMAX_FAULTS=SPEC        same as --faults=SPEC\n"
      << "  NETMAX_PEER_POLICY=P      same as --peer-policy=P\n"
      << "  NETMAX_CHECKPOINT_EVERY=S same as --checkpoint-every=S\n"
@@ -143,8 +147,9 @@ StatusOr<core::ExecutionBackendKind> ParseBackend(const std::string& flag_text,
                                                   std::string_view value) {
   core::ExecutionBackendKind kind;
   if (!core::ParseExecutionBackendKind(value, &kind)) {
-    return InvalidArgumentError("bad flag value: " + flag_text +
-                                " (expected serial, speculative, or async)");
+    return InvalidArgumentError(
+        "bad flag value: " + flag_text +
+        " (expected serial, speculative, async, or process)");
   }
   return kind;
 }
@@ -210,7 +215,8 @@ Status ParseEventQueueFlag(const std::string& flag_text,
   StatusOr<net::EventQueueKind> kind = net::ParseEventQueueKind(value);
   if (!kind.ok()) {
     return InvalidArgumentError("bad flag value: " + flag_text +
-                                " (expected vector, heap, or calendar)");
+                                " (expected vector, heap, calendar, or "
+                                "pairing)");
   }
   event_queue_override = *kind;
   event_queue_override_set = true;
@@ -276,6 +282,7 @@ void ApplyExecutionOverrides(core::ExperimentConfig& config,
   if (reorder_window_override >= 0) {
     config.reorder_window = reorder_window_override;
   }
+  if (procs_override >= 0) config.procs = procs_override;
   if (event_queue_override_set) config.event_queue = event_queue_override;
   if (topology_override_set) config.topology = topology_override;
   // The worker override must land before a seed-derived fault schedule is
@@ -342,6 +349,7 @@ StatusOr<bool> InitBench(int argc, char** argv) {
   shards_override = -1;
   backend_override_set = false;
   reorder_window_override = -1;
+  procs_override = -1;
   checkpoint_at_override = 0.0;
   checkpoint_every_override = 0.0;
   checkpoint_path_override.clear();
@@ -394,6 +402,12 @@ StatusOr<bool> InitBench(int argc, char** argv) {
         reorder_window_override,
         ParseFlagValue(std::string("NETMAX_REORDER_WINDOW=") + env_window,
                        env_window));
+  }
+  const char* env_procs = std::getenv("NETMAX_PROCS");
+  if (env_procs != nullptr) {
+    NETMAX_ASSIGN_OR_RETURN(
+        procs_override,
+        ParseFlagValue(std::string("NETMAX_PROCS=") + env_procs, env_procs));
   }
   const char* env_faults = std::getenv("NETMAX_FAULTS");
   if (env_faults != nullptr) {
@@ -453,6 +467,10 @@ StatusOr<bool> InitBench(int argc, char** argv) {
       NETMAX_ASSIGN_OR_RETURN(
           reorder_window_override,
           ParseFlagValue(arg, std::string_view(arg).substr(17)));
+    } else if (arg.rfind("--procs=", 0) == 0) {
+      NETMAX_ASSIGN_OR_RETURN(
+          procs_override,
+          ParseFlagValue(arg, std::string_view(arg).substr(8)));
     } else if (arg.rfind("--checkpoint-at=", 0) == 0) {
       NETMAX_ASSIGN_OR_RETURN(
           checkpoint_at_override,
@@ -526,6 +544,8 @@ int ThreadsOverride() { return threads_override; }
 int ShardsOverride() { return shards_override; }
 
 int ReorderWindowOverride() { return reorder_window_override; }
+
+int ProcsOverride() { return procs_override; }
 
 int WorkersOverride() { return workers_override; }
 
@@ -750,10 +770,24 @@ void PrintExecutionDiagnostics(std::ostream& os,
       break;
     }
   }
+  // Process-backend columns likewise appear only when some run forked
+  // children that died or had leaf ranges re-dispatched — healthy process
+  // runs (and the thread backends, always) keep the pre-process table shape.
+  bool any_process = false;
+  for (const NamedResult& entry : results) {
+    if (entry.result.process_child_deaths != 0 ||
+        entry.result.process_ranges_redispatched != 0) {
+      any_process = true;
+      break;
+    }
+  }
   std::vector<std::string> header = {"run",          "backend",
                                      "batches",      "speculated",
                                      "redispatched", "recomputed",
                                      "stalls",       "backpressure"};
+  if (any_process) {
+    header.insert(header.end(), {"child_deaths", "ranges_redisp"});
+  }
   if (any_faults) {
     header.insert(header.end(),
                   {"resizes", "faults", "degraded", "timeouts"});
@@ -772,6 +806,11 @@ void PrintExecutionDiagnostics(std::ostream& os,
                                     std::to_string(r.computes_recomputed),
                                     std::to_string(r.window_stalls),
                                     std::to_string(r.window_backpressure)};
+    if (any_process) {
+      row.insert(row.end(),
+                 {std::to_string(r.process_child_deaths),
+                  std::to_string(r.process_ranges_redispatched)});
+    }
     if (any_faults) {
       row.insert(row.end(), {std::to_string(r.window_resizes),
                              std::to_string(r.faults_injected),

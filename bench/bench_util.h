@@ -34,11 +34,15 @@ namespace netmax::bench {
 //                        ExperimentConfig::shards; 0 = auto from the per-run
 //                        thread budget, results are bit-identical for any
 //                        value).
-//   --backend=K          execution backend: serial | speculative | async
-//                        (overrides ExperimentConfig::backend; results are
-//                        bit-identical for every backend).
+//   --backend=K          execution backend: serial | speculative | async |
+//                        process (overrides ExperimentConfig::backend;
+//                        results are bit-identical for every backend).
 //   --reorder-window=N   async backend's in-flight compute bound (overrides
 //                        ExperimentConfig::reorder_window; 0 = synchronous).
+//   --procs=N            process backend's forked gradient-compute children
+//                        (overrides ExperimentConfig::procs; 0 = one per
+//                        hardware core; results are bit-identical for any
+//                        value).
 //   --checkpoint-at=S    arm a checkpoint S virtual seconds into every run
 //                        (overrides ExperimentConfig::checkpoint_at_seconds;
 //                        pair with --checkpoint-path).
@@ -76,10 +80,11 @@ namespace netmax::bench {
 //                        (ExperimentConfig::adaptive_reorder_window; results
 //                        are bit-identical either way).
 //   --event-queue=K      simulator event-queue backend: vector | heap |
-//                        calendar (overrides ExperimentConfig::event_queue;
-//                        pop order — and therefore every result — is
-//                        bit-identical for all three; they differ only in
-//                        real-machine cost, see bench_scale_frontier).
+//                        calendar | pairing (overrides
+//                        ExperimentConfig::event_queue; pop order — and
+//                        therefore every result — is bit-identical for all
+//                        four; they differ only in real-machine cost, see
+//                        bench_scale_frontier).
 //   --workers=N          simulated worker count (overrides
 //                        ExperimentConfig::num_workers; N >= 2). Applied
 //                        before a seed-derived --faults=seed:K schedule is
@@ -126,6 +131,9 @@ int ShardsOverride();
 // hand pin their backends per leg — bench_scale32 compares all three — and
 // RunAlgorithms/RunConfigs apply the override internally.)
 int ReorderWindowOverride();
+
+// The --procs/NETMAX_PROCS override, or -1 when unset.
+int ProcsOverride();
 
 // The --workers/NETMAX_WORKERS override, or -1 when unset.
 int WorkersOverride();

@@ -1,0 +1,111 @@
+#include "common/proc.h"
+
+#include <sched.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+namespace netmax {
+namespace {
+
+// Parses the non-negative integer at text[pos...], advancing pos past it.
+StatusOr<int> ParseCpuId(std::string_view text, size_t* pos) {
+  size_t end = *pos;
+  while (end < text.size() && std::isdigit(static_cast<unsigned char>(
+                                  text[end]))) {
+    ++end;
+  }
+  if (end == *pos) {
+    return InvalidArgumentError("cpulist: expected a CPU id in '" +
+                                std::string(text) + "'");
+  }
+  int value = 0;
+  for (size_t i = *pos; i < end; ++i) {
+    value = value * 10 + (text[i] - '0');
+    if (value > 1 << 20) {
+      return InvalidArgumentError("cpulist: CPU id out of range in '" +
+                                  std::string(text) + "'");
+    }
+  }
+  *pos = end;
+  return value;
+}
+
+}  // namespace
+
+StatusOr<std::vector<int>> ParseCpuList(std::string_view text) {
+  std::string compact;
+  compact.reserve(text.size());
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) compact.push_back(c);
+  }
+  std::vector<int> cpus;
+  if (compact.empty()) return cpus;
+  size_t pos = 0;
+  const std::string_view body = compact;
+  while (true) {
+    NETMAX_ASSIGN_OR_RETURN(const int lo, ParseCpuId(body, &pos));
+    int hi = lo;
+    if (pos < body.size() && body[pos] == '-') {
+      ++pos;
+      NETMAX_ASSIGN_OR_RETURN(hi, ParseCpuId(body, &pos));
+      if (hi < lo) {
+        return InvalidArgumentError("cpulist: inverted range in '" +
+                                    std::string(text) + "'");
+      }
+    }
+    for (int cpu = lo; cpu <= hi; ++cpu) cpus.push_back(cpu);
+    if (pos == body.size()) break;
+    if (body[pos] != ',') {
+      return InvalidArgumentError("cpulist: unexpected '" +
+                                  std::string(1, body[pos]) + "' in '" +
+                                  std::string(text) + "'");
+    }
+    ++pos;
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+std::vector<std::vector<int>> ReadNumaNodeCpus() {
+  std::vector<std::vector<int>> nodes;
+  // Node ids are dense from 0 on every Linux NUMA layout this project meets;
+  // stopping at the first missing id avoids a readdir dependency and keeps
+  // the result ordered by node.
+  for (int node = 0;; ++node) {
+    const std::string path = "/sys/devices/system/node/node" +
+                             std::to_string(node) + "/cpulist";
+    std::ifstream in(path);
+    if (!in.is_open()) break;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    StatusOr<std::vector<int>> cpus = ParseCpuList(text);
+    if (!cpus.ok()) break;  // malformed sysfs: fall back to no pinning
+    // Memory-only nodes (CPU-less) exist on some machines; skip them, they
+    // are not placement targets.
+    if (!cpus->empty()) nodes.push_back(std::move(*cpus));
+  }
+  return nodes;
+}
+
+Status PinToCpus(const std::vector<int>& cpus) {
+  if (cpus.empty()) return Status::Ok();
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : cpus) {
+    if (cpu < 0 || cpu >= CPU_SETSIZE) continue;
+    CPU_SET(cpu, &set);
+  }
+  if (sched_setaffinity(/*pid=*/0, sizeof(set), &set) != 0) {
+    return InternalError(std::string("sched_setaffinity failed: ") +
+                         std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace netmax

@@ -1,0 +1,38 @@
+#ifndef NETMAX_COMMON_PROC_H_
+#define NETMAX_COMMON_PROC_H_
+
+// Process placement utilities for the multi-process execution backend
+// (core/process_backend.h): parsing the kernel's cpulist format, reading the
+// NUMA topology from /sys, and pinning the calling process to a CPU set.
+// Everything degrades gracefully — a machine without /sys NUMA nodes (or
+// with one node) reports an empty/singleton map and pinning becomes a no-op,
+// so placement never changes behaviour, only locality.
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace netmax {
+
+// Parses the kernel cpulist format ("0-3,8,10-11") into the sorted list of
+// CPU ids it names. Whitespace (including the trailing newline sysfs files
+// carry) is ignored; an empty list parses to an empty vector. Fails with
+// kInvalidArgument on malformed input (bad integers, inverted ranges).
+StatusOr<std::vector<int>> ParseCpuList(std::string_view text);
+
+// Reads /sys/devices/system/node/node<k>/cpulist into one CPU list per NUMA
+// node, ordered by node id. Returns an empty vector when the sysfs tree is
+// absent (non-Linux mounts, containers hiding /sys) — callers treat that the
+// same as a single-node machine: no pinning.
+std::vector<std::vector<int>> ReadNumaNodeCpus();
+
+// Pins the calling process (thread group leader semantics of
+// sched_setaffinity: the whole process) to `cpus`. An empty set is a no-op
+// returning Ok — the graceful single-node path. Fails with kInternal when
+// the syscall refuses (CPU ids outside the affinity mask of a container).
+Status PinToCpus(const std::vector<int>& cpus);
+
+}  // namespace netmax
+
+#endif  // NETMAX_COMMON_PROC_H_

@@ -1,0 +1,71 @@
+#include "common/shm.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace netmax {
+
+StatusOr<SharedArena> SharedArena::Map(size_t capacity) {
+  if (capacity == 0) {
+    return InvalidArgumentError("SharedArena::Map: capacity must be > 0");
+  }
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  const size_t rounded = (capacity + page - 1) / page * page;
+  void* base = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_ANONYMOUS, /*fd=*/-1, /*offset=*/0);
+  if (base == MAP_FAILED) {
+    return InternalError("SharedArena::Map: mmap of " +
+                         std::to_string(rounded) +
+                         " bytes failed: " + std::strerror(errno));
+  }
+  SharedArena arena;
+  arena.base_ = base;
+  arena.capacity_ = rounded;
+  return arena;
+}
+
+SharedArena::~SharedArena() { Unmap(); }
+
+SharedArena::SharedArena(SharedArena&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      capacity_(std::exchange(other.capacity_, 0)),
+      used_(std::exchange(other.used_, 0)) {}
+
+SharedArena& SharedArena::operator=(SharedArena&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    base_ = std::exchange(other.base_, nullptr);
+    capacity_ = std::exchange(other.capacity_, 0);
+    used_ = std::exchange(other.used_, 0);
+  }
+  return *this;
+}
+
+void SharedArena::Unmap() {
+  if (base_ != nullptr) {
+    munmap(base_, capacity_);
+    base_ = nullptr;
+    capacity_ = 0;
+    used_ = 0;
+  }
+}
+
+void* SharedArena::AllocateBytes(size_t bytes, size_t alignment) {
+  NETMAX_CHECK(base_ != nullptr) << "Allocate on an unmapped arena";
+  if (alignment < kSliceAlignment) alignment = kSliceAlignment;
+  const size_t offset = (used_ + alignment - 1) / alignment * alignment;
+  NETMAX_CHECK_LE(offset + bytes, capacity_)
+      << "arena overflow: slice of " << bytes << " bytes at offset " << offset
+      << " exceeds the mapped " << capacity_;
+  used_ = offset + bytes;
+  return static_cast<char*>(base_) + offset;
+}
+
+}  // namespace netmax

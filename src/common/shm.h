@@ -1,0 +1,74 @@
+#ifndef NETMAX_COMMON_SHM_H_
+#define NETMAX_COMMON_SHM_H_
+
+// Anonymous MAP_SHARED memory for the multi-process execution backend
+// (core/process_backend.h): one mmap'd region created BEFORE fork(), so
+// parent and children address the same physical pages, carved into typed
+// slices by a bump allocator. The arena is deliberately minimal — fixed
+// capacity, no free(), no cross-process allocation — because every slice the
+// process backend needs (parameter slot, leaf partials, request rings) is
+// sized up front from the model geometry.
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/status.h"
+
+namespace netmax {
+
+class SharedArena {
+ public:
+  // An unmapped arena; Allocate on it is a programmer error.
+  SharedArena() = default;
+
+  // Maps `capacity` bytes of anonymous shared memory (rounded up to the page
+  // size). Fails with kInvalidArgument on a zero capacity and kInternal when
+  // mmap refuses (resource limits), with the errno text in the message.
+  static StatusOr<SharedArena> Map(size_t capacity);
+
+  ~SharedArena();
+  SharedArena(SharedArena&& other) noexcept;
+  SharedArena& operator=(SharedArena&& other) noexcept;
+  SharedArena(const SharedArena&) = delete;
+  SharedArena& operator=(const SharedArena&) = delete;
+
+  // Bump-allocates `count` objects of T from the mapped region, aligned to at
+  // least kSliceAlignment so adjacent slices never share a cache line across
+  // the process boundary. The kernel zero-fills anonymous pages; types that
+  // are not trivially default-constructible (std::atomic) are additionally
+  // value-constructed in place. Exceeding the mapped capacity is a fatal
+  // programmer error: slice sizes are computed up front by the caller.
+  template <typename T>
+  T* Allocate(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena slices are never destroyed");
+    T* slice = static_cast<T*>(
+        AllocateBytes(count * sizeof(T), alignof(T)));
+    if constexpr (!std::is_trivially_default_constructible_v<T>) {
+      for (size_t i = 0; i < count; ++i) ::new (slice + i) T();
+    }
+    return slice;
+  }
+
+  // Slices start on their own cache line (the parent polls wave states while
+  // children write leaf partials; false sharing across the slice boundary
+  // would serialize them).
+  static constexpr size_t kSliceAlignment = 64;
+
+  bool mapped() const { return base_ != nullptr; }
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_; }
+
+ private:
+  void* AllocateBytes(size_t bytes, size_t alignment);
+  void Unmap();
+
+  void* base_ = nullptr;
+  size_t capacity_ = 0;
+  size_t used_ = 0;
+};
+
+}  // namespace netmax
+
+#endif  // NETMAX_COMMON_SHM_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "core/process_backend.h"
 
 namespace netmax::core {
 namespace {
@@ -53,6 +54,10 @@ bool ParseExecutionBackendKind(std::string_view text,
     *kind = ExecutionBackendKind::kAsyncPipeline;
     return true;
   }
+  if (text == "process") {
+    *kind = ExecutionBackendKind::kProcessPool;
+    return true;
+  }
   return false;
 }
 
@@ -64,6 +69,8 @@ std::string_view ExecutionBackendKindName(ExecutionBackendKind kind) {
       return "speculative";
     case ExecutionBackendKind::kAsyncPipeline:
       return "async";
+    case ExecutionBackendKind::kProcessPool:
+      return "process";
   }
   return "unknown";
 }
@@ -72,6 +79,11 @@ std::unique_ptr<ExecutionBackend> MakeExecutionBackend(
     ExecutionBackendKind kind, ThreadPool* pool, int reorder_window,
     bool adaptive_window) {
   NETMAX_CHECK_GE(reorder_window, 0);
+  // The process backend never wants a thread pool (its parallelism is forked
+  // children), so it must NOT fall into the pool-less serial degrade below.
+  if (kind == ExecutionBackendKind::kProcessPool) {
+    return std::make_unique<ProcessPoolBackend>();
+  }
   if (pool == nullptr || kind == ExecutionBackendKind::kSerial) {
     return std::make_unique<SerialBackend>();
   }

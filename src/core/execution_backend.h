@@ -8,7 +8,7 @@
 // depend on core); everything that picks or implements a strategy lives
 // here.
 //
-// Three strategies, all bit-identical to each other by the soundness
+// Four strategies, all bit-identical to each other by the soundness
 // contract in net/event_sim.h:
 //
 //  * SerialBackend — every event runs inline at its turn on the simulator
@@ -26,6 +26,11 @@
 //    backpressure when the window fills, and NotifyStateWrite invalidation
 //    covers every window-resident evaluation (in-flight ones are waited out
 //    before the caller's write, then re-dispatched).
+//  * ProcessPoolBackend — fork + MAP_SHARED (core/process_backend.h):
+//    serial event semantics, but each batch-gradient compute half fans its
+//    leaf ranges out to forked child processes over shared memory. Built by
+//    the factory below like the others, but attached to its experiment by
+//    the harness (the fork must happen after the worker slab is final).
 
 #include <cstdint>
 #include <future>
@@ -51,11 +56,12 @@ enum class ExecutionBackendKind {
   kSerial,
   kSpeculative,    // default: today's frontier speculation + re-dispatch
   kAsyncPipeline,  // bounded-reorder-window commit pipeline
+  kProcessPool,    // fork + MAP_SHARED leaf waves (process_backend.h)
 };
 
 // Strict parse of a --backend / NETMAX_BACKEND value ("serial",
-// "speculative", "async"); returns false on anything else, leaving *kind
-// untouched.
+// "speculative", "async", "process"); returns false on anything else,
+// leaving *kind untouched.
 bool ParseExecutionBackendKind(std::string_view text,
                                ExecutionBackendKind* kind);
 
@@ -63,11 +69,14 @@ bool ParseExecutionBackendKind(std::string_view text,
 std::string_view ExecutionBackendKindName(ExecutionBackendKind kind);
 
 // Builds the backend for one simulator run. `pool` is borrowed and must
-// outlive the backend; with a null pool every kind degrades to SerialBackend
-// (there is nothing to overlap with). `reorder_window` is the async
-// backend's in-flight bound and `adaptive_window` lets the async backend
-// re-size that bound at runtime from its own stall/backpressure counters;
-// both are ignored by the other kinds.
+// outlive the backend; with a null pool the THREAD-pooled kinds degrade to
+// SerialBackend (there is nothing to overlap with) — kProcessPool does not:
+// its parallelism is forked processes, so it never wants a pool and is
+// returned un-attached (the harness calls ProcessPoolBackend::Attach once
+// the state the children must inherit is final). `reorder_window` is the
+// async backend's in-flight bound and `adaptive_window` lets the async
+// backend re-size that bound at runtime from its own stall/backpressure
+// counters; both are ignored by the other kinds.
 std::unique_ptr<ExecutionBackend> MakeExecutionBackend(
     ExecutionBackendKind kind, ThreadPool* pool, int reorder_window,
     bool adaptive_window = false);

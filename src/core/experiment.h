@@ -37,6 +37,8 @@
 
 namespace netmax::core {
 
+class ProcessPoolBackend;  // core/process_backend.h
+
 // How an engine treats a neighbor that is dead (left/crashed) or stalled
 // when a round needs it (net/fault_schedule.h faults):
 //  * kWait — block the round on the peer, re-probing at a deterministic
@@ -197,6 +199,12 @@ struct ExperimentConfig {
   // under straggler faults, where the profitable window depth changes
   // mid-run). Still bit-identical — window depth never affects results.
   bool adaptive_reorder_window = false;
+  // Process backend only (--procs / NETMAX_PROCS): forked gradient-compute
+  // children. 0 = one per hardware core. Like threads/shards, purely an
+  // execution choice — RunResult is bit-identical for every value. The
+  // harness forces threads to 1 under this backend (fork safety: a child
+  // must never inherit live pool threads), so the two knobs never combine.
+  int procs = 0;
 
   // --- fault injection / graceful degradation (net/fault_schedule.h) ---
   // Worker lifecycle faults injected as first-class virtual-time events. An
@@ -294,7 +302,8 @@ struct RunResult {
   // full-window backpressure events (stalls are real-timing dependent; the
   // other counters are deterministic per config).
   std::string backend;
-  // Event-queue implementation the run used ("vector", "heap", "calendar");
+  // Event-queue implementation the run used ("vector", "heap", "calendar",
+  // "pairing");
   // diagnostics only — the queue never affects simulation output.
   std::string event_queue;
   int64_t parallel_batches = 0;
@@ -304,6 +313,11 @@ struct RunResult {
   int64_t window_stalls = 0;
   int64_t window_backpressure = 0;
   int64_t window_resizes = 0;
+  // Process backend only: forked children that died mid-run and the leaf
+  // ranges re-dispatched (or parent-computed) because of it. Real-machine
+  // dependent like window_stalls; zero on crash-free runs.
+  int64_t process_child_deaths = 0;
+  int64_t process_ranges_redispatched = 0;
   // Fault-injection diagnostics (all zero on fault-free runs; part of the
   // simulation output, so bit-identical across backends/threads/shards):
   // lifecycle events applied, rounds that degraded because a peer was dead
@@ -537,6 +551,10 @@ class ExperimentHarness {
   // Resolved intra-worker shard-task bound (config.shards with 0 mapped to
   // ceil(threads / num_workers)).
   int shards() const { return shards_; }
+  // Non-null when the run uses the multi-process backend
+  // (core/process_backend.h): the attached backend, exposed so benches can
+  // report its child count and tests can crash a child mid-run.
+  ProcessPoolBackend* process_backend() { return process_backend_; }
 
   // For NetMax diagnostics.
   void set_policies_generated(int64_t n) { policies_generated_ = n; }
@@ -625,6 +643,9 @@ class ExperimentHarness {
   // the simulator (declared before sim_ only for grouping — the simulator
   // never touches the backend after RunUntilIdle returns).
   std::unique_ptr<net::ExecutionBackend> backend_;
+  // Downcast view of backend_ when config_.backend is kProcessPool (null
+  // otherwise); EvalBatchGradient routes its leaf waves through it.
+  ProcessPoolBackend* process_backend_ = nullptr;
   net::EventSimulator sim_;
   std::unique_ptr<net::Topology> topology_;
   std::unique_ptr<net::LinkModel> links_;

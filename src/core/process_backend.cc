@@ -1,0 +1,442 @@
+#include "core/process_backend.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/proc.h"
+#include "ml/sharding.h"
+
+// ASan/TSan and fork are a bad mix (leak reports for the child's inherited
+// heap, lost interceptors in the forked runtime), so sanitizer builds run
+// the backend in inline mode: same shm layout, same wave split, same reduce,
+// same bits — just no second process.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define NETMAX_PROCESS_BACKEND_SANITIZED 1
+#endif
+#if !defined(NETMAX_PROCESS_BACKEND_SANITIZED) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define NETMAX_PROCESS_BACKEND_SANITIZED 1
+#endif
+#endif
+
+namespace netmax::core {
+namespace {
+
+#if defined(NETMAX_PROCESS_BACKEND_SANITIZED)
+constexpr bool kSanitizerBuild = true;
+#else
+constexpr bool kSanitizerBuild = false;
+#endif
+
+// Wave-entry lifecycle (0, the mapped-page default, is "empty").
+constexpr uint32_t kEntryQueued = 1;
+constexpr uint32_t kEntryDone = 2;
+
+// Parent wait loop: how many completion scans between waitpid(WNOHANG)
+// sweeps, and when to start yielding the CPU between scans. The poll period
+// bounds crash-detection latency without putting a syscall in the hot
+// all-done-on-first-scan path.
+constexpr int kDeathPollPeriod = 64;
+constexpr int kSpinsBeforeSleep = 256;
+constexpr long kWaitSleepNanos = 50'000;  // 50us
+
+// Teardown: total SIGTERM grace before SIGKILL, polled in 2ms steps.
+constexpr int kShutdownDeadlineSteps = 1000;
+constexpr long kShutdownStepNanos = 2'000'000;  // 2ms
+
+void SleepNanos(long nanos) {
+  timespec ts{0, nanos};
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+// One leaf range of the current wave, shm-resident. The parent writes the
+// plain fields, then `state` = kQueued, then the ring tail (release): the
+// child's tail acquire orders everything. Alignment keeps each entry on its
+// own cache line — the parent polls `state` while other entries are written.
+struct alignas(SharedArena::kSliceAlignment) ProcessPoolBackend::WaveEntry {
+  std::atomic<uint32_t> state;
+  int32_t worker;
+  int32_t leaf_lo;
+  int32_t leaf_hi;
+  int32_t batch;
+};
+
+// SPSC request ring header for one child (slot words live in a separate
+// arena slice): the parent is the only pusher — including re-dispatches —
+// and the owning child the only popper. tail - head never exceeds the wave
+// size (waves are synchronous), which is <= procs <= ring capacity, so the
+// ring cannot overflow.
+struct alignas(SharedArena::kSliceAlignment) ProcessPoolBackend::Ring {
+  std::atomic<uint32_t> head;  // next pop (child)
+  std::atomic<uint32_t> tail;  // next push (parent)
+};
+
+ProcessPoolBackend::~ProcessPoolBackend() { Shutdown(); }
+
+// --- ExecutionBackend: serial event semantics -------------------------------
+// The process parallelism lives inside the compute half (one wave per
+// EvalBatchGradient), below the event order, so the event-level contract is
+// exactly SerialBackend's: no dispatch-ahead, strictly ordered commits.
+
+void ProcessPoolBackend::Dispatch(net::EventSimulator& /*sim*/) {}
+
+int64_t ProcessPoolBackend::DrainCommits(net::EventSimulator& sim) {
+  return sim.StepWith(nullptr) ? 1 : 0;
+}
+
+void ProcessPoolBackend::OnStateWrite(net::EventSimulator& /*sim*/,
+                                      int /*worker_key*/) {}
+
+// --- attach / fork ----------------------------------------------------------
+
+Status ProcessPoolBackend::Attach(const ProcessPoolOptions& options,
+                                  ProcessLeafEvalFn eval) {
+  NETMAX_CHECK(!attached_) << "Attach called twice";
+  NETMAX_CHECK(eval != nullptr) << "Attach needs a leaf evaluator";
+  NETMAX_CHECK_GE(options.procs, 0);
+  NETMAX_CHECK_GT(options.width, 0);
+  NETMAX_CHECK_GT(options.max_batch, 0);
+
+  eval_ = std::move(eval);
+  procs_ = options.procs;
+  if (procs_ == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    procs_ = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  width_ = options.width;
+  max_batch_ = options.max_batch;
+  max_leaves_ = ml::GradientLeafCount(static_cast<size_t>(max_batch_));
+  ring_capacity_ = 1;
+  while (ring_capacity_ < procs_) ring_capacity_ <<= 1;
+  inline_mode_ = options.inline_mode || kSanitizerBuild;
+  if (const char* env = std::getenv("NETMAX_PROCESS_INLINE")) {
+    const std::string_view value(env);
+    if (value == "1") inline_mode_ = true;
+    if (value == "0") inline_mode_ = false;
+  }
+
+  // Arena layout (every slice 64-byte aligned, so budget alignment per
+  // slice). Sized once from the model geometry; waves never allocate.
+  const size_t align = SharedArena::kSliceAlignment;
+  const size_t width = static_cast<size_t>(width_);
+  const size_t leaves = static_cast<size_t>(max_leaves_);
+  const size_t procs = static_cast<size_t>(procs_);
+  size_t capacity = align + sizeof(std::atomic<uint32_t>);   // shutdown flag
+  capacity += align + width * sizeof(double);                // params
+  capacity += align + static_cast<size_t>(max_batch_) * sizeof(int);
+  capacity += align + leaves * sizeof(double);               // loss sums
+  capacity += align + leaves * width * sizeof(double);       // gradient sums
+  capacity += align + procs * sizeof(WaveEntry);
+  capacity += align + procs * sizeof(Ring);
+  capacity += align +
+              procs * static_cast<size_t>(ring_capacity_) * sizeof(uint32_t);
+  NETMAX_ASSIGN_OR_RETURN(arena_, SharedArena::Map(capacity));
+  shutdown_ = arena_.Allocate<std::atomic<uint32_t>>(1);
+  params_ = arena_.Allocate<double>(width);
+  indices_ = arena_.Allocate<int>(static_cast<size_t>(max_batch_));
+  loss_sums_ = arena_.Allocate<double>(leaves);
+  gradient_sums_ = arena_.Allocate<double>(leaves * width);
+  waves_ = arena_.Allocate<WaveEntry>(procs);
+  rings_ = arena_.Allocate<Ring>(procs);
+  ring_slots_ =
+      arena_.Allocate<uint32_t>(procs * static_cast<size_t>(ring_capacity_));
+
+  entry_owner_.assign(procs, -1);
+  children_.assign(procs, -1);
+  if (!inline_mode_) {
+    // Fork LAST: the children inherit the final worker slab (models, shards,
+    // workspaces) by copy-on-write, plus the arena pages by sharing.
+    for (int j = 0; j < procs_; ++j) {
+      const pid_t pid = fork();
+      if (pid < 0) {
+        const Status error = InternalError(
+            std::string("process backend fork failed: ") +
+            std::strerror(errno));
+        Shutdown();  // tear down the children forked so far
+        return error;
+      }
+      if (pid == 0) ChildMain(j);  // never returns
+      children_[j] = pid;
+    }
+  }
+  attached_ = true;
+  return Status::Ok();
+}
+
+// --- child ------------------------------------------------------------------
+
+void ProcessPoolBackend::ChildMain(int j) {
+  // NUMA placement: child j works the CPUs of node floor(j * nodes / procs),
+  // so consecutive children spread across sockets and a child's model/
+  // workspace pages (first touched after fork, on its node) stay local.
+  // Best-effort: a single node, hidden /sys, or a refused affinity mask
+  // leaves the child unpinned. No-op on single-node machines.
+  const std::vector<std::vector<int>> nodes = ReadNumaNodeCpus();
+  if (nodes.size() > 1) {
+    const size_t node =
+        static_cast<size_t>(j) * nodes.size() / static_cast<size_t>(procs_);
+    (void)PinToCpus(nodes[node]);  // best-effort: never gates progress
+  }
+
+  Ring& ring = rings_[j];
+  uint32_t* slots =
+      ring_slots_ + static_cast<size_t>(j) * static_cast<size_t>(ring_capacity_);
+  const uint32_t mask = static_cast<uint32_t>(ring_capacity_ - 1);
+  int spins = 0;
+  for (;;) {
+    if (shutdown_->load(std::memory_order_acquire) != 0) _exit(0);
+    const uint32_t head = ring.head.load(std::memory_order_relaxed);
+    if (head == ring.tail.load(std::memory_order_acquire)) {
+      if (++spins > kSpinsBeforeSleep) SleepNanos(kWaitSleepNanos);
+      continue;
+    }
+    spins = 0;
+    const uint32_t index = slots[head & mask];
+    ring.head.store(head + 1, std::memory_order_release);
+    WaveEntry& entry = waves_[index];
+    EvalEntry(entry);
+    entry.state.store(kEntryDone, std::memory_order_release);
+  }
+}
+
+void ProcessPoolBackend::EvalEntry(const WaveEntry& entry) {
+  const size_t lo = static_cast<size_t>(entry.leaf_lo);
+  const size_t count = static_cast<size_t>(entry.leaf_hi - entry.leaf_lo);
+  const size_t width = static_cast<size_t>(width_);
+  eval_(entry.worker, std::span<const double>(params_, width),
+        std::span<const int>(indices_, static_cast<size_t>(entry.batch)),
+        entry.leaf_lo, entry.leaf_hi,
+        std::span<double>(loss_sums_ + lo, count),
+        std::span<double>(gradient_sums_ + lo * width, count * width));
+}
+
+// --- parent wave ------------------------------------------------------------
+
+double ProcessPoolBackend::LossAndGradient(int w,
+                                           std::span<const double> params,
+                                           std::span<const int> indices,
+                                           std::span<double> gradient) {
+  NETMAX_CHECK(attached_) << "LossAndGradient before Attach";
+  NETMAX_CHECK(!indices.empty());
+  NETMAX_CHECK_EQ(static_cast<int64_t>(params.size()), width_);
+  NETMAX_CHECK_EQ(static_cast<int64_t>(gradient.size()), width_);
+  NETMAX_CHECK_LE(static_cast<int>(indices.size()), max_batch_);
+
+  std::copy(params.begin(), params.end(), params_);
+  std::copy(indices.begin(), indices.end(), indices_);
+
+  // Split the fixed leaf decomposition into contiguous balanced ranges, one
+  // per wave slot — the SAME `lo = leaves*t/procs` split as the in-process
+  // shard driver, over procs_ slots regardless of how many children are
+  // still alive. The split (like the leaf geometry and the tree reduction)
+  // only decides WHO computes a leaf, never what is summed in which order,
+  // so bits match every other backend for any procs value.
+  const int num_leaves = ml::GradientLeafCount(indices.size());
+  int wave_size = 0;
+  for (int t = 0; t < procs_; ++t) {
+    const int lo = num_leaves * t / procs_;
+    const int hi = num_leaves * (t + 1) / procs_;
+    if (lo == hi) continue;
+    WaveEntry& entry = waves_[wave_size];
+    entry.worker = w;
+    entry.leaf_lo = lo;
+    entry.leaf_hi = hi;
+    entry.batch = static_cast<int32_t>(indices.size());
+    entry.state.store(kEntryQueued, std::memory_order_relaxed);
+    ++wave_size;
+  }
+
+  if (inline_mode_ || live_children() == 0) {
+    // Inline mode, or every child already died: the parent evaluates the
+    // identical ranges itself.
+    for (int i = 0; i < wave_size; ++i) {
+      EvalEntry(waves_[i]);
+      waves_[i].state.store(kEntryDone, std::memory_order_relaxed);
+    }
+  } else {
+    int child = -1;
+    for (int i = 0; i < wave_size; ++i) {
+      child = NextLiveChild(child);
+      entry_owner_[static_cast<size_t>(i)] = child;
+      PushToChild(child, static_cast<uint32_t>(i));
+    }
+    if (wave_size >= 2) ++stats_.parallel_batches;
+    AwaitWave(wave_size);
+  }
+
+  // Identical combine arithmetic to ml::ShardedLossAndGradient, over the
+  // shm-resident partials (no pool: the parent is single-threaded under this
+  // backend).
+  const size_t width = static_cast<size_t>(width_);
+  std::span<double> loss_sums(loss_sums_, static_cast<size_t>(num_leaves));
+  std::span<double> gradient_sums(gradient_sums_,
+                                  static_cast<size_t>(num_leaves) * width);
+  ml::TreeReducePartials(loss_sums, num_leaves, 1, nullptr);
+  const double inv_batch = 1.0 / static_cast<double>(indices.size());
+  ml::TreeReducePartials(gradient_sums, num_leaves, width, nullptr);
+  for (size_t j = 0; j < width; ++j) {
+    gradient[j] = gradient_sums[j] * inv_batch;
+  }
+  return loss_sums[0] * inv_batch;
+}
+
+void ProcessPoolBackend::PushToChild(int j, uint32_t index) {
+  Ring& ring = rings_[j];
+  uint32_t* slots =
+      ring_slots_ + static_cast<size_t>(j) * static_cast<size_t>(ring_capacity_);
+  const uint32_t tail = ring.tail.load(std::memory_order_relaxed);
+  slots[tail & static_cast<uint32_t>(ring_capacity_ - 1)] = index;
+  // Publishes the slot word AND the entry fields written before the push.
+  ring.tail.store(tail + 1, std::memory_order_release);
+}
+
+void ProcessPoolBackend::AwaitWave(int wave_size) {
+  int spins = 0;
+  for (;;) {
+    bool all_done = true;
+    for (int i = 0; i < wave_size; ++i) {
+      if (waves_[i].state.load(std::memory_order_acquire) != kEntryDone) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) return;
+    ++spins;
+    if (spins % kDeathPollPeriod == 0 && ReapDeadChildren()) {
+      RedispatchOrphans(wave_size);
+    }
+    if (spins > kSpinsBeforeSleep) SleepNanos(kWaitSleepNanos);
+  }
+}
+
+bool ProcessPoolBackend::ReapDeadChildren() {
+  bool changed = false;
+  for (int j = 0; j < procs_; ++j) {
+    const pid_t pid = children_[static_cast<size_t>(j)];
+    if (pid < 0) continue;
+    int status = 0;
+    const pid_t reaped = waitpid(pid, &status, WNOHANG);
+    if (reaped == 0) continue;  // still running
+    // reaped == pid: the child is gone. reaped < 0 (ECHILD) means someone
+    // else collected it — equally gone.
+    if (child_failure_.ok()) {
+      std::string detail;
+      if (reaped == pid && WIFSIGNALED(status)) {
+        detail = "killed by signal " + std::to_string(WTERMSIG(status));
+      } else if (reaped == pid && WIFEXITED(status)) {
+        detail = "exited with status " + std::to_string(WEXITSTATUS(status));
+      } else {
+        detail = "vanished";
+      }
+      child_failure_ = InternalError(
+          "process backend child " + std::to_string(static_cast<long>(pid)) +
+          " " + detail +
+          " mid-run; its unfinished leaf ranges were re-dispatched");
+    }
+    ++stats_.process_child_deaths;
+    children_[static_cast<size_t>(j)] = -1;
+    changed = true;
+  }
+  return changed;
+}
+
+void ProcessPoolBackend::RedispatchOrphans(int wave_size) {
+  // Re-push every unfinished entry whose owner died. Re-computing a range a
+  // dead child half-wrote is safe by construction: leaf evaluation assigns
+  // its whole output slice (zero-fill + accumulate per leaf), it never reads
+  // prior contents. Entries round-robin over the survivors; with none left
+  // the parent computes them itself — the bits cannot tell the difference.
+  int child = -1;
+  for (int i = 0; i < wave_size; ++i) {
+    const int owner = entry_owner_[static_cast<size_t>(i)];
+    if (owner >= 0 && children_[static_cast<size_t>(owner)] >= 0) continue;
+    WaveEntry& entry = waves_[i];
+    if (entry.state.load(std::memory_order_acquire) == kEntryDone) continue;
+    ++stats_.process_ranges_redispatched;
+    child = NextLiveChild(child);
+    if (child < 0) {
+      EvalEntry(entry);
+      entry.state.store(kEntryDone, std::memory_order_relaxed);
+    } else {
+      entry_owner_[static_cast<size_t>(i)] = child;
+      PushToChild(child, static_cast<uint32_t>(i));
+    }
+  }
+}
+
+int ProcessPoolBackend::NextLiveChild(int after) const {
+  for (int step = 1; step <= procs_; ++step) {
+    const int j = (after + step) % procs_;
+    if (children_[static_cast<size_t>(j)] >= 0) return j;
+  }
+  return -1;
+}
+
+int ProcessPoolBackend::live_children() const {
+  int live = 0;
+  for (const pid_t pid : children_) {
+    if (pid >= 0) ++live;
+  }
+  return live;
+}
+
+pid_t ProcessPoolBackend::child_pid(int j) const {
+  if (j < 0 || j >= static_cast<int>(children_.size())) return -1;
+  return children_[static_cast<size_t>(j)];
+}
+
+// --- teardown ---------------------------------------------------------------
+
+void ProcessPoolBackend::Shutdown() {
+  if (shutdown_ != nullptr) {
+    shutdown_->store(1, std::memory_order_release);
+  }
+  bool any_live = false;
+  for (const pid_t pid : children_) {
+    if (pid >= 0) {
+      kill(pid, SIGTERM);
+      any_live = true;
+    }
+  }
+  if (!any_live) return;
+  // Grace period: idle children notice the shutdown flag within one sleep
+  // quantum, busy ones finish their range first. SIGKILL whatever remains
+  // past the deadline — their wave (if any) was already torn down with the
+  // run, so nothing is lost.
+  for (int step = 0; step < kShutdownDeadlineSteps; ++step) {
+    any_live = false;
+    for (pid_t& pid : children_) {
+      if (pid < 0) continue;
+      int status = 0;
+      if (waitpid(pid, &status, WNOHANG) != 0) {
+        pid = -1;
+      } else {
+        any_live = true;
+      }
+    }
+    if (!any_live) return;
+    SleepNanos(kShutdownStepNanos);
+  }
+  for (pid_t& pid : children_) {
+    if (pid < 0) continue;
+    kill(pid, SIGKILL);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    pid = -1;
+  }
+}
+
+}  // namespace netmax::core

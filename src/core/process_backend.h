@@ -1,0 +1,192 @@
+#ifndef NETMAX_CORE_PROCESS_BACKEND_H_
+#define NETMAX_CORE_PROCESS_BACKEND_H_
+
+// Multi-process execution backend: fork + MAP_SHARED gradient compute with
+// crash isolation and NUMA-aware placement.
+//
+// At attach time the backend maps one anonymous MAP_SHARED arena
+// (common/shm.h) holding
+//
+//   [control]  shutdown flag
+//   [params]   one model-parameter slot (width doubles)
+//   [indices]  one batch-index slot (max_batch ints)
+//   [loss]     per-leaf unscaled loss sums (max_leaves doubles)
+//   [grads]    per-leaf unscaled gradient sums (max_leaves x width doubles)
+//   [waves]    one wave-entry table (procs entries: state + leaf range)
+//   [rings]    one SPSC request ring per child (entry indices)
+//
+// and forks `procs` long-lived children. Each batch-gradient evaluation is
+// one synchronous "wave": the parent copies the owning worker's parameters
+// and batch indices into the shm slots, splits the fixed leaf decomposition
+// (ml/sharding.h) into contiguous ranges — one per live child — and pushes
+// one wave entry per range onto the children's rings. Children evaluate
+// their range through Model::EvalGradientLeaves into the shm leaf slots and
+// mark the entry done; the parent then runs the same fixed-shape pairwise
+// tree reduction and 1/batch scaling as ml::ShardedLossAndGradient, so the
+// result is bit-identical to every in-process backend for any process count.
+//
+// Crash isolation: the parent polls waitpid(WNOHANG) while waiting on a
+// wave; a child that dies mid-compute surfaces as a typed kInternal Status
+// (child_failure()) and its unfinished entries are re-pushed to a surviving
+// child — leaf evaluation assigns (never accumulates into) its output slice,
+// so a dead child's partial writes are simply overwritten. With no survivors
+// the parent evaluates the remaining ranges itself; bits never change, only
+// who computed them. Teardown is shutdown-flag + SIGTERM + waitpid with a
+// deadline, then SIGKILL for stragglers.
+//
+// NUMA placement: child j is pinned (sched_setaffinity, common/proc.h) to
+// the CPUs of node floor(j * nodes / procs) parsed from
+// /sys/devices/system/node; a single-node machine (or a hidden /sys) makes
+// pinning a graceful no-op.
+//
+// Event-level contract: identical to SerialBackend — Dispatch is a no-op and
+// every compute half runs inline at its turn on the simulator thread. The
+// parallelism lives INSIDE the compute half (the wave), below the event
+// order, which is why commits still apply strictly in (time, sequence)
+// order and the golden traces stay byte-identical.
+//
+// Sanitizer builds (ASan/TSan intercept fork poorly: leak-on-exec false
+// positives, lost interceptors) and NETMAX_PROCESS_INLINE=1 fall back to an
+// inline mode that runs the identical per-range wave arithmetic in the
+// parent without forking — same shm layout, same split, same reduce, same
+// bits.
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/shm.h"
+#include "common/status.h"
+#include "core/execution_backend.h"
+
+namespace netmax::core {
+
+// Evaluates gradient leaves [leaf_lo, leaf_hi) for simulated worker `w` at
+// `params` over `indices`, writing per-leaf UNSCALED loss and gradient sums
+// into slices indexed relative to leaf_lo (the Model::EvalGradientLeaves
+// contract). Runs in the child after fork — it must touch only state the
+// child inherited (the harness's worker slab) plus the given spans.
+using ProcessLeafEvalFn = std::function<void(
+    int w, std::span<const double> params, std::span<const int> indices,
+    int leaf_lo, int leaf_hi, std::span<double> loss_sums,
+    std::span<double> gradient_sums)>;
+
+struct ProcessPoolOptions {
+  // Child processes to fork; 0 = one per hardware core (at least 1).
+  int procs = 0;
+  // Model parameter count (the gradient width).
+  int64_t width = 0;
+  // Largest batch any worker evaluates (sizes the index/leaf slots).
+  int max_batch = 0;
+  // Compute waves in the parent without forking (sanitizer fallback /
+  // NETMAX_PROCESS_INLINE). Defaults off; Attach forces it on in sanitizer
+  // builds.
+  bool inline_mode = false;
+};
+
+class ProcessPoolBackend final : public ExecutionBackend {
+ public:
+  ProcessPoolBackend() = default;
+  ~ProcessPoolBackend() override;
+
+  ProcessPoolBackend(const ProcessPoolBackend&) = delete;
+  ProcessPoolBackend& operator=(const ProcessPoolBackend&) = delete;
+
+  // --- ExecutionBackend (serial event semantics) ---
+  std::string_view name() const override { return "process"; }
+  void Dispatch(net::EventSimulator& sim) override;
+  int64_t DrainCommits(net::EventSimulator& sim) override;
+  void OnStateWrite(net::EventSimulator& sim, int worker_key) override;
+
+  // Maps the arena and forks the children (no-op fork in inline mode). Must
+  // be called exactly once, after the caller has built every structure the
+  // children need to inherit (the harness calls it at the end of Init, once
+  // the worker slab is final). Fails with a typed Status when mmap or fork
+  // refuses; a failed Attach leaves the backend safe to destroy.
+  Status Attach(const ProcessPoolOptions& options, ProcessLeafEvalFn eval);
+
+  // One batch-gradient wave for worker `w` (see file comment): writes the
+  // mean gradient into `gradient` and returns the mean loss, bit-identical
+  // to ml::ShardedLossAndGradient on the same inputs. Steady-state waves
+  // perform zero heap allocations in the parent. `indices` must hold at
+  // most max_batch entries.
+  double LossAndGradient(int w, std::span<const double> params,
+                         std::span<const int> indices,
+                         std::span<double> gradient);
+
+  // Teardown: shutdown flag + SIGTERM + waitpid with kShutdownDeadline, then
+  // SIGKILL stragglers. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  bool attached() const { return attached_; }
+  bool inline_mode() const { return inline_mode_; }
+  // Resolved child count (ProcessPoolOptions::procs with 0 mapped to the
+  // hardware concurrency); the wave split width even in inline mode.
+  int procs() const { return procs_; }
+  int live_children() const;
+  // pid of child j, or -1 when it is dead / in inline mode. Tests use this
+  // to SIGKILL a child mid-run.
+  pid_t child_pid(int j) const;
+  // Ok until a child dies mid-run; then the first death's typed kInternal
+  // error (later deaths only bump the stats counters). A child death never
+  // corrupts the run — this is a diagnostic, not a failure of the result.
+  const Status& child_failure() const { return child_failure_; }
+
+ private:
+  struct WaveEntry;  // shm-resident; defined in the .cc
+  struct Ring;       // shm-resident SPSC ring header
+
+  // Child j's main loop: pop entries, evaluate, mark done. Never returns
+  // (leaves via _exit).
+  [[noreturn]] void ChildMain(int j);
+  // Pushes wave entry `index` onto child j's ring (parent only).
+  void PushToChild(int j, uint32_t index);
+  // Waits for every entry of the current wave to reach kDone, handling child
+  // deaths (re-dispatch to survivors, parent fallback).
+  void AwaitWave(int wave_size);
+  // Reaps dead children via waitpid(WNOHANG); returns true when the live
+  // set changed. Records the first death as child_failure_.
+  bool ReapDeadChildren();
+  // Re-pushes the unfinished entries of the current wave owned by dead
+  // children onto survivors (or evaluates them in the parent when none are
+  // left alive).
+  void RedispatchOrphans(int wave_size);
+  // Evaluates one wave entry in the calling process via eval_.
+  void EvalEntry(const WaveEntry& entry);
+  // The next live child strictly after `after` in round-robin order, or -1
+  // when every child is dead.
+  int NextLiveChild(int after) const;
+
+  bool attached_ = false;
+  bool inline_mode_ = false;
+  int procs_ = 0;
+  int64_t width_ = 0;
+  int max_batch_ = 0;
+  int max_leaves_ = 0;
+  int ring_capacity_ = 0;  // power of two >= procs_
+
+  SharedArena arena_;
+  // Arena slices (parent and children address the same pages).
+  std::atomic<uint32_t>* shutdown_ = nullptr;
+  double* params_ = nullptr;
+  int* indices_ = nullptr;
+  double* loss_sums_ = nullptr;
+  double* gradient_sums_ = nullptr;
+  WaveEntry* waves_ = nullptr;
+  Ring* rings_ = nullptr;       // procs_ ring headers
+  uint32_t* ring_slots_ = nullptr;  // procs_ x ring_capacity_ slot words
+
+  ProcessLeafEvalFn eval_;
+  std::vector<pid_t> children_;      // -1 once reaped
+  std::vector<int> entry_owner_;     // wave entry -> child index (parent)
+  Status child_failure_;
+};
+
+}  // namespace netmax::core
+
+#endif  // NETMAX_CORE_PROCESS_BACKEND_H_

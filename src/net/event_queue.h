@@ -10,7 +10,7 @@
 // suite and the pinned golden traces hold every implementation here to that
 // bit-identity standard, tie-breaks included.
 //
-// Three implementations, selectable per run (--event-queue):
+// Four implementations, selectable per run (--event-queue):
 //
 //  * kSortedVector — a vector sorted by descending (time, sequence), next
 //    event at the back. O(n) insert / O(1) pop; the fastest at the paper's
@@ -21,8 +21,13 @@
 //  * kCalendar    — a bucketed calendar queue (R. Brown, CACM 1988):
 //    amortized O(1) insert+pop independent of n; the scale-frontier choice
 //    at 10^5+ workers (see bench_scale_frontier / BENCH_scale.json).
+//  * kPairingHeap — a pairing heap (Fredman et al. 1986) over a node pool
+//    with free-list reuse: O(1) insert/merge, amortized O(log n) pop, and —
+//    unlike kBinaryHeap — no O(log n) sift on every push, which favors the
+//    push-heavy phases of large fleets. The comparator is the same strict
+//    (time, sequence) order, so its merge shape is deterministic.
 //
-// All three keep their storage grow-only (Clear() and pops retain capacity),
+// All four keep their storage grow-only (Clear() and pops retain capacity),
 // so steady-state push/pop performs no heap allocation once warm — the
 // simulator-core half of the PR-2 zero-alloc workspace discipline
 // (event closures are inline SmallFns, see common/small_fn.h).
@@ -80,10 +85,15 @@ struct SimEvent {
   }
 };
 
-enum class EventQueueKind { kSortedVector, kBinaryHeap, kCalendar };
+enum class EventQueueKind {
+  kSortedVector,
+  kBinaryHeap,
+  kCalendar,
+  kPairingHeap,
+};
 
-// "vector" | "heap" | "calendar"; an unknown name is an InvalidArgument
-// error naming the accepted spellings.
+// "vector" | "heap" | "calendar" | "pairing"; an unknown name is an
+// InvalidArgument error naming the accepted spellings.
 StatusOr<EventQueueKind> ParseEventQueueKind(std::string_view text);
 std::string_view EventQueueKindName(EventQueueKind kind);
 
@@ -97,8 +107,8 @@ class EventQueue {
 
   virtual ~EventQueue() = default;
 
-  // Short stable identifier ("vector", "heap", "calendar") used in
-  // diagnostics and bench tables.
+  // Short stable identifier ("vector", "heap", "calendar", "pairing") used
+  // in diagnostics and bench tables.
   virtual std::string_view name() const = 0;
   virtual EventQueueKind kind() const = 0;
 

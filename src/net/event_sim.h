@@ -122,6 +122,13 @@ struct ExecutionStats {
   // re-sized in response to the backpressure/stall/re-dispatch counters
   // (real-timing dependent, like window_stalls).
   int64_t window_resizes = 0;
+  // Process backend: forked children that died mid-run (each death also
+  // surfaces as a typed Status on the backend) and the unfinished leaf
+  // ranges re-dispatched to a surviving child (or computed by the parent
+  // with no survivors left) because of those deaths. Both real-machine
+  // dependent, like window_stalls; both zero on crash-free runs.
+  int64_t process_child_deaths = 0;
+  int64_t process_ranges_redispatched = 0;
 };
 
 class EventSimulator {

@@ -107,7 +107,8 @@ TEST(InitBenchTest, RejectsUnknownEventQueueNamingTheSpellings) {
   EXPECT_EQ(init.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(init.status().message().find("--event-queue=pagoda"),
             std::string::npos);
-  EXPECT_NE(init.status().message().find("expected vector, heap, or calendar"),
+  EXPECT_NE(init.status().message().find(
+                "expected vector, heap, calendar, or pairing"),
             std::string::npos);
 }
 

@@ -157,6 +157,40 @@ TEST_P(CheckpointRoundTrip, CheckpointsAreBackendPortable) {
   ExpectBitIdentical(reference, MustRun(GetParam(), resumed));
 }
 
+// Cross-config restore across the process boundary: a checkpoint written by
+// the speculative backend under a full thread pool restores bit-identically
+// under the multi-process backend (forked children, shared-memory dispatch)
+// and back under serial. The checkpoint fingerprint covers the simulation
+// config only — backend, threads, and procs are real-machine choices — so
+// both restores must accept the bytes and finish on the reference's bits.
+TEST_P(CheckpointRoundTrip, SpeculativeCheckpointRestoresUnderProcessBackend) {
+  const ExperimentConfig base = BaseConfig();
+  const RunResult reference = MustRun(GetParam(), base);
+  ASSERT_GT(reference.total_virtual_seconds, 0.0);
+
+  std::vector<uint8_t> checkpoint;
+  ExperimentConfig with_checkpoint = base;
+  with_checkpoint.backend = ExecutionBackendKind::kSpeculative;
+  with_checkpoint.threads = 8;
+  with_checkpoint.checkpoint_at_seconds =
+      0.5 * reference.total_virtual_seconds;
+  with_checkpoint.checkpoint_sink = &checkpoint;
+  MustRun(GetParam(), with_checkpoint);
+  ASSERT_FALSE(checkpoint.empty());
+
+  ExperimentConfig under_process = base;
+  under_process.backend = ExecutionBackendKind::kProcessPool;
+  under_process.procs = 2;  // pinned: the grid must not fork one per core
+  under_process.restore_source = &checkpoint;
+  const RunResult process_restored = MustRun(GetParam(), under_process);
+  EXPECT_EQ(process_restored.backend, "process");
+  ExpectBitIdentical(reference, process_restored);
+
+  ExperimentConfig under_serial = base;
+  under_serial.restore_source = &checkpoint;
+  ExpectBitIdentical(reference, MustRun(GetParam(), under_serial));
+}
+
 // The crash-recovery contract: a run killed by a crash@T fault, restored
 // from the newest periodic (checkpoint_every_seconds) checkpoint, finishes
 // bit-identical to the run that never crashed — for every algorithm. The

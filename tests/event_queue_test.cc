@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <string>
 #include <utility>
@@ -59,9 +60,9 @@ void operator delete[](void* p, const std::nothrow_t&) noexcept {
 namespace netmax::net {
 namespace {
 
-constexpr EventQueueKind kAllKinds[] = {EventQueueKind::kSortedVector,
-                                        EventQueueKind::kBinaryHeap,
-                                        EventQueueKind::kCalendar};
+constexpr EventQueueKind kAllKinds[] = {
+    EventQueueKind::kSortedVector, EventQueueKind::kBinaryHeap,
+    EventQueueKind::kCalendar, EventQueueKind::kPairingHeap};
 
 int64_t AllocationCount() {
   return g_allocation_count.load(std::memory_order_relaxed);
@@ -88,7 +89,7 @@ TEST(ParseEventQueueKindTest, RejectsUnknownNamesWithTheSpellings) {
   EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
   const std::string message(parsed.status().message());
   EXPECT_NE(message.find("pagoda"), std::string::npos);
-  EXPECT_NE(message.find("expected vector, heap, or calendar"),
+  EXPECT_NE(message.find("expected vector, heap, calendar, or pairing"),
             std::string::npos);
 }
 
@@ -104,13 +105,15 @@ TEST(EventQueueTest, NamesAndKindsRoundTrip) {
 // The property at the heart of the seam: under a randomized interleaving of
 // pushes and pops — with heavy time ties, out-of-order arrivals, and clock
 // advances — every implementation pops the identical (time, sequence)
-// stream. The sorted vector is the reference; heap and calendar must match
-// it exactly.
+// stream. The sorted vector is the reference; heap, calendar, and pairing
+// heap must match it exactly.
 TEST(EventQueueTest, RandomizedPopOrderMatchesSortedVectorIncludingTies) {
   for (const uint64_t seed : {1u, 7u, 1234u}) {
     const auto reference = MakeEventQueue(EventQueueKind::kSortedVector);
-    const auto heap = MakeEventQueue(EventQueueKind::kBinaryHeap);
-    const auto calendar = MakeEventQueue(EventQueueKind::kCalendar);
+    std::vector<std::unique_ptr<EventQueue>> others;
+    others.push_back(MakeEventQueue(EventQueueKind::kBinaryHeap));
+    others.push_back(MakeEventQueue(EventQueueKind::kCalendar));
+    others.push_back(MakeEventQueue(EventQueueKind::kPairingHeap));
     Rng rng(seed);
     int64_t next_sequence = 0;
     double base_time = 0.0;
@@ -122,38 +125,40 @@ TEST(EventQueueTest, RandomizedPopOrderMatchesSortedVectorIncludingTies) {
             base_time + 0.25 * static_cast<double>(rng.UniformInt(0, 9));
         const int64_t sequence = next_sequence++;
         reference->Push(MakeEvent(time, sequence));
-        heap->Push(MakeEvent(time, sequence));
-        calendar->Push(MakeEvent(time, sequence));
+        for (const auto& other : others) {
+          other->Push(MakeEvent(time, sequence));
+        }
       }
       const int pops =
           static_cast<int>(rng.UniformInt(0, reference->size() / 2 + 1));
       for (int p = 0; p < pops && !reference->empty(); ++p) {
-        ASSERT_EQ(heap->NextTime(), reference->NextTime());
-        ASSERT_EQ(calendar->NextTime(), reference->NextTime());
+        for (const auto& other : others) {
+          ASSERT_EQ(other->NextTime(), reference->NextTime()) << other->name();
+        }
         const SimEvent want = reference->PopNext();
-        const SimEvent heap_got = heap->PopNext();
-        const SimEvent calendar_got = calendar->PopNext();
-        ASSERT_EQ(heap_got.time, want.time);
-        ASSERT_EQ(heap_got.sequence, want.sequence);
-        ASSERT_EQ(calendar_got.time, want.time);
-        ASSERT_EQ(calendar_got.sequence, want.sequence);
+        for (const auto& other : others) {
+          const SimEvent got = other->PopNext();
+          ASSERT_EQ(got.time, want.time) << other->name();
+          ASSERT_EQ(got.sequence, want.sequence) << other->name();
+        }
         // The simulator never schedules before the popped event's time, so
         // later pushes land at or after it (mirrors Insert's time >= now).
         base_time = want.time;
       }
-      ASSERT_EQ(heap->size(), reference->size());
-      ASSERT_EQ(calendar->size(), reference->size());
+      for (const auto& other : others) {
+        ASSERT_EQ(other->size(), reference->size()) << other->name();
+      }
     }
     // Drain what's left: the tails must agree too.
     while (!reference->empty()) {
       const SimEvent want = reference->PopNext();
-      const SimEvent heap_got = heap->PopNext();
-      const SimEvent calendar_got = calendar->PopNext();
-      ASSERT_EQ(heap_got.sequence, want.sequence);
-      ASSERT_EQ(calendar_got.sequence, want.sequence);
+      for (const auto& other : others) {
+        ASSERT_EQ(other->PopNext().sequence, want.sequence) << other->name();
+      }
     }
-    EXPECT_TRUE(heap->empty());
-    EXPECT_TRUE(calendar->empty());
+    for (const auto& other : others) {
+      EXPECT_TRUE(other->empty()) << other->name();
+    }
   }
 }
 
@@ -331,10 +336,11 @@ TEST(EventQueueTest, SimulatorRunsIdenticallyUnderEveryKind) {
     orders.push_back(std::move(order));
     final_times.push_back(sim.Now());
   }
-  EXPECT_EQ(orders[1], orders[0]);
-  EXPECT_EQ(orders[2], orders[0]);
-  EXPECT_EQ(final_times[1], final_times[0]);
-  EXPECT_EQ(final_times[2], final_times[0]);
+  for (size_t i = 1; i < orders.size(); ++i) {
+    EXPECT_EQ(orders[i], orders[0]) << EventQueueKindName(kAllKinds[i]);
+    EXPECT_EQ(final_times[i], final_times[0])
+        << EventQueueKindName(kAllKinds[i]);
+  }
 }
 
 }  // namespace

@@ -116,6 +116,15 @@ TEST(ExecutionBackendSeamTest, FactoryDegradesToSerialWithoutAPool) {
       MakeExecutionBackend(ExecutionBackendKind::kAsyncPipeline, &pool, 4)
           ->name(),
       "async");
+  // The process pool's parallelism is forked children, not the thread pool:
+  // it must NOT degrade to serial without one (and must ignore one if given).
+  EXPECT_EQ(MakeExecutionBackend(ExecutionBackendKind::kProcessPool,
+                                 /*pool=*/nullptr, /*reorder_window=*/0)
+                ->name(),
+            "process");
+  EXPECT_EQ(MakeExecutionBackend(ExecutionBackendKind::kProcessPool, &pool, 0)
+                ->name(),
+            "process");
 }
 
 TEST(ExecutionBackendSeamTest, KindParsingIsStrict) {
@@ -126,15 +135,19 @@ TEST(ExecutionBackendSeamTest, KindParsingIsStrict) {
   EXPECT_EQ(kind, ExecutionBackendKind::kAsyncPipeline);
   EXPECT_TRUE(ParseExecutionBackendKind("serial", &kind));
   EXPECT_EQ(kind, ExecutionBackendKind::kSerial);
+  EXPECT_TRUE(ParseExecutionBackendKind("process", &kind));
+  EXPECT_EQ(kind, ExecutionBackendKind::kProcessPool);
   for (const std::string_view bad :
-       {"", "Serial", "asink", "async ", "speculative2"}) {
+       {"", "Serial", "asink", "async ", "speculative2", "Process",
+        "process "}) {
     ExecutionBackendKind untouched = ExecutionBackendKind::kAsyncPipeline;
     EXPECT_FALSE(ParseExecutionBackendKind(bad, &untouched)) << bad;
     EXPECT_EQ(untouched, ExecutionBackendKind::kAsyncPipeline) << bad;
   }
   for (const ExecutionBackendKind k :
        {ExecutionBackendKind::kSerial, ExecutionBackendKind::kSpeculative,
-        ExecutionBackendKind::kAsyncPipeline}) {
+        ExecutionBackendKind::kAsyncPipeline,
+        ExecutionBackendKind::kProcessPool}) {
     ExecutionBackendKind round_trip = ExecutionBackendKind::kSerial;
     ASSERT_TRUE(
         ParseExecutionBackendKind(ExecutionBackendKindName(k), &round_trip));

@@ -158,7 +158,7 @@ TEST(HarnessTest, HierarchicalTopologyBuildsClusteredGossipGraph) {
 }
 
 TEST(HarnessTest, EventQueueChoiceNeverChangesResults) {
-  // A full engine run on the hierarchical topology under all three queue
+  // A full engine run on the hierarchical topology under all four queue
   // implementations: the (time, sequence) order is a strict total order, so
   // every result field must match bit-for-bit; only RunResult.event_queue
   // (a diagnostic) differs.
@@ -170,7 +170,7 @@ TEST(HarnessTest, EventQueueChoiceNeverChangesResults) {
   std::vector<RunResult> results;
   for (const net::EventQueueKind kind :
        {net::EventQueueKind::kSortedVector, net::EventQueueKind::kBinaryHeap,
-        net::EventQueueKind::kCalendar}) {
+        net::EventQueueKind::kCalendar, net::EventQueueKind::kPairingHeap}) {
     config.event_queue = kind;
     const auto algorithm = algos::MakeAlgorithm("gossip");
     NETMAX_CHECK_OK(algorithm.status());

@@ -9,6 +9,7 @@
 // threads, shards} point.
 
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -26,6 +27,22 @@ using core::ExecutionBackendKind;
 using core::ExperimentConfig;
 using core::NetworkScenario;
 using core::RunResult;
+
+// Sanitizer builds run the process backend in its in-process inline mode
+// (no fork, so no cross-process waves) — see core/process_backend.h.
+bool SanitizerBuild() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
 
 ExperimentConfig BaseConfig() {
   ExperimentConfig config;
@@ -52,12 +69,15 @@ RunResult RunWithThreads(
     const std::string& name, const ExperimentConfig& base, int threads,
     int shards = 1,
     ExecutionBackendKind backend = ExecutionBackendKind::kSpeculative,
-    int reorder_window = 0) {
+    int reorder_window = 0, int procs = 2) {
   ExperimentConfig config = base;
   config.threads = threads;
   config.shards = shards;
   config.backend = backend;
   config.reorder_window = reorder_window;
+  // Only read by the process backend; pinned small so grid tests never fork
+  // one child per hardware core.
+  config.procs = procs;
   auto algorithm = algos::MakeAlgorithm(name);
   NETMAX_CHECK_OK(algorithm.status());
   auto result = (*algorithm)->Run(config);
@@ -138,8 +158,16 @@ TEST_P(ParallelDeterminism, BackendWindowGridBitIdentical) {
   const RunResult reference = RunWithThreads(GetParam(), config, 1, 1);
   for (const ExecutionBackendKind backend :
        {ExecutionBackendKind::kSerial, ExecutionBackendKind::kSpeculative,
-        ExecutionBackendKind::kAsyncPipeline}) {
-    for (const int reorder_window : {0, 1, 4}) {
+        ExecutionBackendKind::kAsyncPipeline,
+        ExecutionBackendKind::kProcessPool}) {
+    // The process backend ignores reorder_window (serial event semantics)
+    // and forces threads to 1; one window value keeps the grid affordable
+    // while {threads, shards} still vary the ignored knobs.
+    const auto windows =
+        backend == ExecutionBackendKind::kProcessPool
+            ? std::vector<int>{0}
+            : std::vector<int>{0, 1, 4};
+    for (const int reorder_window : windows) {
       for (const int threads : {1, 8}) {
         for (const int shards : {1, 2}) {
           const RunResult run = RunWithThreads(
@@ -152,6 +180,34 @@ TEST_P(ParallelDeterminism, BackendWindowGridBitIdentical) {
           EXPECT_EQ(run.computes_recomputed, 0);
         }
       }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, ProcessBackendForksAndMatchesAtAnyProcCount) {
+  // The fork + MAP_SHARED backend: bits identical to the serial reference
+  // for 1, 2, and 3 children (the leaf split is procs-stable geometry over
+  // the same fixed decomposition), with real waves fanning out whenever
+  // procs >= 2 and no child deaths on the healthy path.
+  ExperimentConfig config = BaseConfig();
+  config.dataset.num_train = 256;
+  config.dataset.num_test = 64;
+  config.batch_size = 24;
+  config.max_epochs = 1;
+  const RunResult reference =
+      RunWithThreads("netmax", config, 1, 1, ExecutionBackendKind::kSerial);
+  for (const int procs : {1, 2, 3}) {
+    SCOPED_TRACE(procs);
+    const RunResult run =
+        RunWithThreads("netmax", config, 1, 1,
+                       ExecutionBackendKind::kProcessPool, 0, procs);
+    EXPECT_EQ(run.backend, "process");
+    ExpectBitIdentical(reference, run);
+    EXPECT_EQ(run.process_child_deaths, 0);
+    EXPECT_EQ(run.process_ranges_redispatched, 0);
+    if (procs >= 2 && !SanitizerBuild()) {
+      // Inline mode (sanitizer builds) evaluates in-process: no waves.
+      EXPECT_GT(run.parallel_batches, 0);
     }
   }
 }
@@ -268,6 +324,8 @@ TEST_P(ParallelDeterminism, CompressionBitIdenticalAcrossExecutionPoints) {
        net::EventQueueKind::kBinaryHeap},
       {ExecutionBackendKind::kAsyncPipeline, 8, 1, 4,
        net::EventQueueKind::kCalendar},
+      {ExecutionBackendKind::kProcessPool, 1, 1, 0,
+       net::EventQueueKind::kPairingHeap},
   };
   for (const char* spec_text : {"topk:0.1", "int8", "layerwise:2"}) {
     auto spec = ml::ParseCompressionSpec(spec_text);

@@ -1,0 +1,320 @@
+// ProcessPoolBackend (core/process_backend.h): the fork + MAP_SHARED wave
+// must reproduce ml::ShardedLossAndGradient bit for bit at any process
+// count, survive a SIGKILLed child mid-run (typed child_failure(), orphaned
+// leaf ranges re-dispatched, bits unchanged), fall back to the parent when
+// every child is gone, tear down idempotently, and perform zero parent heap
+// allocations in the steady state — verified with a global operator
+// new/delete override, like event_queue_test's simulator-core check.
+
+#include "core/process_backend.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "ml/dataset.h"
+#include "ml/mlp.h"
+#include "ml/sharding.h"
+#include "ml/workspace.h"
+
+// The counting operator new below forwards to malloc, which defeats the
+// compiler's new/free pairing heuristic and yields false mismatch reports.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+
+std::atomic<int64_t> g_allocation_count{0};
+
+}  // namespace
+
+// Counting overrides. Every form forwards to malloc/free so sanitizer builds
+// still see the underlying allocations.
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace netmax::core {
+namespace {
+
+int64_t AllocationCount() {
+  return g_allocation_count.load(std::memory_order_relaxed);
+}
+
+// One tiny model + dataset + batch, shared by every test: large enough for
+// several leaves (48 samples = 6 leaves of 8), small enough to fork fast.
+struct Fixture {
+  static ml::Dataset MakeData() {
+    ml::SyntheticSpec spec;
+    spec.feature_dim = 10;
+    spec.num_classes = 4;
+    spec.num_train = 96;
+    spec.num_test = 1;
+    spec.seed = 7;
+    return GenerateSynthetic(spec).train;
+  }
+
+  Fixture() : data(MakeData()), model({10, 8, 4}) {
+    model.InitializeParameters(11);
+    Rng rng(13);
+    batch.resize(48);
+    for (int& v : batch) v = static_cast<int>(rng.UniformInt(0, 95));
+  }
+
+  // The harness's eval callback, minus the harness: load the snapshot into
+  // the (inherited) model and evaluate the range.
+  ProcessLeafEvalFn Eval() {
+    return [this](int /*w*/, std::span<const double> params,
+                  std::span<const int> indices, int leaf_lo, int leaf_hi,
+                  std::span<double> loss_sums,
+                  std::span<double> gradient_sums) {
+      const std::span<double> dest = model.parameters();
+      std::copy(params.begin(), params.end(), dest.begin());
+      model.EvalGradientLeaves(data, indices, leaf_lo, leaf_hi, loss_sums,
+                               gradient_sums, workspace);
+    };
+  }
+
+  // The in-process reference bits.
+  double Reference(std::vector<double>& gradient) {
+    gradient.assign(static_cast<size_t>(model.num_parameters()), 0.0);
+    ml::TrainingWorkspace reference_workspace;
+    return ml::ShardedLossAndGradient(model, data, batch, gradient,
+                                      reference_workspace, /*pool=*/nullptr,
+                                      /*shards=*/1);
+  }
+
+  ProcessPoolOptions Options(int procs) const {
+    ProcessPoolOptions options;
+    options.procs = procs;
+    options.width = model.num_parameters();
+    options.max_batch = static_cast<int>(batch.size());
+    return options;
+  }
+
+  ml::Dataset data;
+  ml::Mlp model;
+  ml::TrainingWorkspace workspace;
+  std::vector<int> batch;
+};
+
+bool SanitizerBuild() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+TEST(ProcessPoolBackendTest, BitIdenticalToShardedAtEveryProcessCount) {
+  Fixture fx;
+  std::vector<double> reference;
+  const double reference_loss = fx.Reference(reference);
+
+  for (const int procs : {1, 2, 3, 5}) {
+    ProcessPoolBackend backend;
+    NETMAX_EXPECT_OK(backend.Attach(fx.Options(procs), fx.Eval()));
+    EXPECT_EQ(backend.procs(), procs);
+    std::vector<double> gradient(reference.size());
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const double loss = backend.LossAndGradient(
+          0, fx.model.parameters(), fx.batch, gradient);
+      EXPECT_EQ(loss, reference_loss) << "procs=" << procs;
+      for (size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(gradient[i], reference[i])
+            << "procs=" << procs << " coordinate " << i;
+      }
+    }
+    NETMAX_EXPECT_OK(backend.child_failure());
+    backend.Shutdown();
+  }
+}
+
+TEST(ProcessPoolBackendTest, InlineModeMatchesForkedBits) {
+  Fixture fx;
+  std::vector<double> reference;
+  const double reference_loss = fx.Reference(reference);
+
+  ProcessPoolOptions options = fx.Options(3);
+  options.inline_mode = true;
+  ProcessPoolBackend backend;
+  NETMAX_EXPECT_OK(backend.Attach(options, fx.Eval()));
+  EXPECT_TRUE(backend.inline_mode());
+  EXPECT_EQ(backend.live_children(), 0);
+  EXPECT_EQ(backend.child_pid(0), -1);
+
+  std::vector<double> gradient(reference.size());
+  const double loss =
+      backend.LossAndGradient(0, fx.model.parameters(), fx.batch, gradient);
+  EXPECT_EQ(loss, reference_loss);
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(gradient[i], reference[i]) << i;
+  }
+}
+
+TEST(ProcessPoolBackendTest, SigkilledChildIsReDispatchedBitExactly) {
+  if (SanitizerBuild()) {
+    GTEST_SKIP() << "forked children run inline under sanitizers";
+  }
+  Fixture fx;
+  std::vector<double> reference;
+  const double reference_loss = fx.Reference(reference);
+
+  ProcessPoolBackend backend;
+  NETMAX_EXPECT_OK(backend.Attach(fx.Options(2), fx.Eval()));
+  ASSERT_EQ(backend.live_children(), 2);
+
+  // A healthy wave first, then murder child 0 and run another: its leaf
+  // ranges must land on the survivor with identical bits.
+  std::vector<double> gradient(reference.size());
+  EXPECT_EQ(backend.LossAndGradient(0, fx.model.parameters(), fx.batch,
+                                    gradient),
+            reference_loss);
+  NETMAX_EXPECT_OK(backend.child_failure());
+
+  const pid_t victim = backend.child_pid(0);
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(kill(victim, SIGKILL), 0);
+
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    const double loss = backend.LossAndGradient(0, fx.model.parameters(),
+                                                fx.batch, gradient);
+    EXPECT_EQ(loss, reference_loss) << "repeat " << repeat;
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(gradient[i], reference[i]) << i;
+    }
+  }
+
+  EXPECT_EQ(backend.live_children(), 1);
+  EXPECT_EQ(backend.child_pid(0), -1);
+  const Status& failure = backend.child_failure();
+  ASSERT_FALSE(failure.ok());
+  EXPECT_EQ(failure.code(), StatusCode::kInternal);
+  EXPECT_NE(failure.message().find("killed by signal"), std::string::npos)
+      << failure.ToString();
+  EXPECT_GE(backend.stats().process_child_deaths, 1);
+  EXPECT_GE(backend.stats().process_ranges_redispatched, 1);
+}
+
+TEST(ProcessPoolBackendTest, ParentComputesWhenEveryChildIsDead) {
+  if (SanitizerBuild()) {
+    GTEST_SKIP() << "forked children run inline under sanitizers";
+  }
+  Fixture fx;
+  std::vector<double> reference;
+  const double reference_loss = fx.Reference(reference);
+
+  ProcessPoolBackend backend;
+  NETMAX_EXPECT_OK(backend.Attach(fx.Options(2), fx.Eval()));
+  for (int j = 0; j < 2; ++j) {
+    const pid_t pid = backend.child_pid(j);
+    ASSERT_GT(pid, 0);
+    ASSERT_EQ(kill(pid, SIGKILL), 0);
+  }
+  // Let both deaths land before the wave so this pins the no-survivors path
+  // (a racing death mid-wave is the previous test's territory).
+  for (int j = 0; j < 2; ++j) {
+    int status = 0;
+    // The backend reaps via WNOHANG polls; make the zombies collectable now.
+    waitpid(backend.child_pid(j), &status, 0);
+  }
+
+  std::vector<double> gradient(reference.size());
+  const double loss =
+      backend.LossAndGradient(0, fx.model.parameters(), fx.batch, gradient);
+  EXPECT_EQ(loss, reference_loss);
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(gradient[i], reference[i]) << i;
+  }
+  EXPECT_EQ(backend.live_children(), 0);
+}
+
+TEST(ProcessPoolBackendTest, SteadyStateWaveIsAllocationFreeInTheParent) {
+  Fixture fx;
+  ProcessPoolBackend backend;
+  NETMAX_EXPECT_OK(backend.Attach(fx.Options(2), fx.Eval()));
+  std::vector<double> gradient(static_cast<size_t>(fx.model.num_parameters()));
+
+  // First wave may still fault pages; measure the ones after it.
+  backend.LossAndGradient(0, fx.model.parameters(), fx.batch, gradient);
+  const int64_t before = AllocationCount();
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    backend.LossAndGradient(0, fx.model.parameters(), fx.batch, gradient);
+  }
+  EXPECT_EQ(AllocationCount(), before)
+      << "steady-state waves must not allocate in the parent";
+}
+
+TEST(ProcessPoolBackendTest, ShutdownIsIdempotentAndReapsEveryChild) {
+  Fixture fx;
+  ProcessPoolBackend backend;
+  NETMAX_EXPECT_OK(backend.Attach(fx.Options(2), fx.Eval()));
+
+  backend.Shutdown();
+  EXPECT_EQ(backend.live_children(), 0);
+  if (!backend.inline_mode()) {
+    // The children were waited on, not orphaned: their pids are gone.
+    EXPECT_EQ(backend.child_pid(0), -1);
+    EXPECT_EQ(backend.child_pid(1), -1);
+  }
+  backend.Shutdown();  // second call is a no-op
+  EXPECT_EQ(backend.live_children(), 0);
+}
+
+TEST(ProcessPoolBackendTest, SerialEventSemantics) {
+  // Event-level contract: no dispatch-ahead, commits strictly in order —
+  // identical to SerialBackend. (The wave parallelism lives below the event
+  // order, inside one compute half.)
+  ProcessPoolBackend backend;
+  EXPECT_EQ(backend.name(), "process");
+  net::EventSimulator sim;
+  sim.set_backend(&backend);
+  std::vector<int> order;
+  for (int key = 0; key < 3; ++key) {
+    sim.ScheduleCompute(
+        /*time=*/static_cast<double>(key), key,
+        [key] { return static_cast<double>(key); },
+        [&order](double value) { order.push_back(static_cast<int>(value)); });
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(backend.stats().computes_speculated, 0);
+}
+
+}  // namespace
+}  // namespace netmax::core

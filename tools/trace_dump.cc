@@ -129,6 +129,22 @@ Status DumpTrace(const std::string& request) {
     NETMAX_ASSIGN_OR_RETURN(config.event_queue,
                             net::ParseEventQueueKind(queue_env));
   }
+  // NETMAX_BACKEND / NETMAX_PROCS select the execution backend the same way:
+  // every backend (including the forked process pool) must reproduce the
+  // same trace bytes, and the determinism lane diffs process against serial.
+  if (const char* backend_env = std::getenv("NETMAX_BACKEND")) {
+    if (!core::ParseExecutionBackendKind(backend_env, &config.backend)) {
+      return InvalidArgumentError(std::string("bad NETMAX_BACKEND value: ") +
+                                  backend_env);
+    }
+  }
+  if (const char* procs_env = std::getenv("NETMAX_PROCS")) {
+    config.procs = std::atoi(procs_env);
+    if (config.procs <= 0) {
+      return InvalidArgumentError(std::string("bad NETMAX_PROCS value: ") +
+                                  procs_env);
+    }
+  }
   if (fault_mode) {
     NETMAX_ASSIGN_OR_RETURN(config.faults,
                             net::FaultSchedule::Parse(kFaultSpec));
